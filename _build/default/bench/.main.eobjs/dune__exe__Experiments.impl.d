@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Dtype Float Format Hashtbl List Option Printf Stdlib Unit_baselines Unit_core Unit_dsl Unit_dtype Unit_graph Unit_inspector Unit_isa Unit_machine Unit_models Unit_rewriter

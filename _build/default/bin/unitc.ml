@@ -1,0 +1,326 @@
+(* unitc — the UNIT command-line driver.
+
+   Subcommands expose each stage of the pipeline on a user-specified
+   convolution/matmul: list and show instruction descriptions, run the
+   Inspector, compile (reorganize + tune + replace) with IR dumps, and
+   execute the tensorized kernel against the scalar oracle. *)
+
+open Cmdliner
+open Unit_dtype
+open Unit_dsl
+module Inspector = Unit_inspector.Inspector
+module Reorganize = Unit_rewriter.Reorganize
+module Replace = Unit_rewriter.Replace
+module Cpu_tuner = Unit_rewriter.Cpu_tuner
+module Spec = Unit_machine.Spec
+module Cpu_model = Unit_machine.Cpu_model
+
+let () = Unit_isa.Defs.ensure_registered ()
+
+(* ---------- shared arguments ---------- *)
+
+let isa_arg =
+  let doc = "Tensorized instruction name (see list-isa)." in
+  Arg.(value & opt string "vnni.vpdpbusd" & info [ "isa" ] ~docv:"NAME" ~doc)
+
+let op_kind_arg =
+  let doc = "Operation kind: conv2d, conv3d, matmul or dense." in
+  Arg.(value & opt string "conv2d" & info [ "op" ] ~docv:"KIND" ~doc)
+
+let int_opt name default doc = Arg.(value & opt int default & info [ name ] ~doc)
+
+let channels_arg = int_opt "ic" 64 "Input channels."
+let hw_arg = int_opt "hw" 14 "Input height = width (conv2d) / depth edge (conv3d)."
+let out_channels_arg = int_opt "oc" 128 "Output channels."
+let kernel_arg = int_opt "kernel" 3 "Convolution kernel size."
+let stride_arg = int_opt "stride" 1 "Convolution stride."
+let n_arg = int_opt "n" 64 "Matmul N."
+let m_arg = int_opt "m" 64 "Matmul M."
+let kdim_arg = int_opt "kdim" 64 "Matmul/dense reduction length."
+
+let spec_arg =
+  let doc = "Target CPU model: cascadelake or graviton2." in
+  Arg.(value & opt string "cascadelake" & info [ "target" ] ~docv:"CPU" ~doc)
+
+let lookup_spec = function
+  | "cascadelake" -> Ok Spec.cascadelake
+  | "graviton2" -> Ok Spec.graviton2
+  | other -> Error (Printf.sprintf "unknown target %s" other)
+
+let lookup_intrin name =
+  match Unit_isa.Registry.find name with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "unknown instruction %s (try list-isa)" name)
+
+(* Build the requested op with dtypes matching the instruction's operands. *)
+let build_op ~kind ~intrin ~c ~hw ~k ~kernel ~stride ~n ~m ~kdim =
+  let data_dtype, weight_dtype =
+    match Unit_isa.Intrin.tensor_by_name intrin "a", Unit_isa.Intrin.tensor_by_name intrin "b" with
+    | Some a, Some b -> (a.Tensor.dtype, b.Tensor.dtype)
+    | _ -> (Dtype.U8, Dtype.I8)
+  in
+  let acc_dtype =
+    (intrin.Unit_isa.Intrin.op).Op.output.Tensor.dtype
+  in
+  let lanes = Unit_isa.Intrin.output_lanes intrin in
+  let lanes = if lanes > k then k else lanes in
+  let reduce_width = Stdlib.max 1 (Unit_isa.Intrin.reduction_width intrin) in
+  match kind with
+  | "conv2d" ->
+    Ok
+      (Op_library.conv2d_nchwc ~data_dtype ~weight_dtype ~acc_dtype ~lanes
+         ~reduce_width:(if reduce_width = 1 then 4 else reduce_width)
+         { Op_library.in_channels = c; in_height = hw; in_width = hw;
+           out_channels = k; kernel; stride })
+  | "conv3d" ->
+    Ok
+      (Op_library.conv3d_ncdhwc ~data_dtype ~weight_dtype ~acc_dtype ~lanes
+         ~reduce_width:(if reduce_width = 1 then 4 else reduce_width)
+         { Op_library.c3_in_channels = c; c3_in_depth = hw; c3_in_height = hw;
+           c3_in_width = hw; c3_out_channels = k; c3_kernel = kernel;
+           c3_stride = stride })
+  | "matmul" -> Ok (Op_library.matmul ~n ~m ~k:kdim ~a_dtype:data_dtype ~b_dtype:weight_dtype ~acc_dtype ())
+  | "dense" -> Ok (Op_library.dense ~m ~k:kdim ~a_dtype:data_dtype ~b_dtype:weight_dtype ~acc_dtype ())
+  | other -> Error (Printf.sprintf "unknown op kind %s" other)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("unitc: " ^ msg);
+    exit 1
+
+(* ---------- list-isa / show-isa ---------- *)
+
+let list_isa () =
+  Printf.printf "%-22s %-9s %6s %6s  %s\n" "name" "platform" "lanes" "redux" "llvm intrinsic";
+  List.iter
+    (fun (i : Unit_isa.Intrin.t) ->
+      Printf.printf "%-22s %-9s %6d %6d  %s\n" i.Unit_isa.Intrin.name
+        (Unit_isa.Intrin.platform_to_string i.Unit_isa.Intrin.platform)
+        (Unit_isa.Intrin.output_lanes i)
+        (Unit_isa.Intrin.reduction_width i)
+        i.Unit_isa.Intrin.llvm_name)
+    (Unit_isa.Registry.all ())
+
+let show_isa name =
+  let intrin = or_die (lookup_intrin name) in
+  Format.printf "%a@." Unit_isa.Intrin.pp intrin
+
+(* ---------- inspect ---------- *)
+
+let inspect kind isa c hw k kernel stride n m kdim =
+  let intrin = or_die (lookup_intrin isa) in
+  let op = or_die (build_op ~kind ~intrin ~c ~hw ~k ~kernel ~stride ~n ~m ~kdim) in
+  Format.printf "operation:@.%a@.@." Op.pp op;
+  match Inspector.inspect op intrin with
+  | Ok ap -> Format.printf "%a@." Inspector.pp_applicability ap
+  | Error r ->
+    Format.printf "not applicable: %s@." (Inspector.rejection_to_string r);
+    exit 1
+
+(* ---------- compile ---------- *)
+
+let compile kind isa target c hw k kernel stride n m kdim show_ir =
+  let intrin = or_die (lookup_intrin isa) in
+  let spec = or_die (lookup_spec target) in
+  let op = or_die (build_op ~kind ~intrin ~c ~hw ~k ~kernel ~stride ~n ~m ~kdim) in
+  match Inspector.inspect op intrin with
+  | Error r ->
+    Format.printf "not applicable: %s@." (Inspector.rejection_to_string r);
+    exit 1
+  | Ok ap ->
+    let reorganized = Reorganize.apply op ap () in
+    let tuned = Cpu_tuner.tune spec reorganized in
+    Format.printf "schedule:@.%a@." Unit_dsl.Schedule.pp tuned.Cpu_tuner.t_schedule;
+    if show_ir then
+      Format.printf "@.tensor IR after replacement:@.%a@." Unit_tir.Stmt.pp
+        tuned.Cpu_tuner.t_func.Unit_tir.Lower.fn_body;
+    (* static validation of the generated program *)
+    let registry_axes name =
+      Option.map
+        (fun (i : Unit_isa.Intrin.t) ->
+          List.map
+            (fun (a : Axis.t) -> (a.Axis.name, a.Axis.extent))
+            (Op.all_axes i.Unit_isa.Intrin.op))
+        (Unit_isa.Registry.find name)
+    in
+    (match
+       Unit_tir.Validate.check_func ~intrin_axes:registry_axes tuned.Cpu_tuner.t_func
+     with
+     | [] -> Format.printf "@.validation: OK@."
+     | violations ->
+       List.iter
+         (fun v -> Format.printf "validation: %a@." Unit_tir.Validate.pp_violation v)
+         violations;
+       exit 1);
+    let est = tuned.Cpu_tuner.t_estimate in
+    Format.printf
+      "@.config: parallel_grain=%d unroll_budget=%d@.estimated: %.0f cycles (%.3f us), %.1f MACs/cycle/core@."
+      tuned.Cpu_tuner.t_config.Cpu_tuner.parallel_grain
+      tuned.Cpu_tuner.t_config.Cpu_tuner.unroll_budget est.Cpu_model.est_cycles
+      (est.Cpu_model.est_seconds *. 1e6)
+      (Float.of_int (Op.macs op) /. est.Cpu_model.est_compute_cycles)
+
+(* ---------- run (differential execution) ---------- *)
+
+let run kind isa c hw k kernel stride n m kdim =
+  let intrin = or_die (lookup_intrin isa) in
+  let op = or_die (build_op ~kind ~intrin ~c ~hw ~k ~kernel ~stride ~n ~m ~kdim) in
+  match Inspector.inspect op intrin with
+  | Error r ->
+    Format.printf "not applicable: %s@." (Inspector.rejection_to_string r);
+    exit 1
+  | Ok ap ->
+    let reorganized = Reorganize.apply op ap () in
+    let func = Replace.run (Unit_tir.Lower.lower reorganized.Reorganize.schedule) in
+    let inputs =
+      List.map
+        (fun t -> (t, Unit_codegen.Ndarray.random_for_tensor ~seed:1 t))
+        (Op.inputs op)
+    in
+    let out_ref = Unit_codegen.Ndarray.of_tensor_zeros op.Op.output in
+    let out_t = Unit_codegen.Ndarray.of_tensor_zeros op.Op.output in
+    Unit_codegen.Interp.run (Unit_tir.Lower.scalar_reference op)
+      ~bindings:((op.Op.output, out_ref) :: inputs);
+    Unit_codegen.Interp.run func ~bindings:((op.Op.output, out_t) :: inputs);
+    let ok = Unit_codegen.Ndarray.equal out_ref out_t in
+    Format.printf "tensorized vs scalar reference: %s@."
+      (if ok then "IDENTICAL" else "MISMATCH");
+    if not ok then exit 1
+
+(* ---------- e2e ---------- *)
+
+(* End-to-end latency of one model on one platform, every engine. *)
+let e2e model_name target =
+  let build =
+    match Unit_models.Zoo.find model_name with
+    | Some b -> b
+    | None ->
+      prerr_endline
+        ("unitc: unknown model " ^ model_name ^ " (see unitc models)");
+      exit 1
+  in
+  let act_dtype = if String.equal target "graviton2" then Dtype.I8 else Dtype.U8 in
+  let g =
+    Unit_graph.Passes.fuse
+      (Unit_graph.Passes.quantize_structural ~act_dtype (build ()))
+  in
+  let engines =
+    match target with
+    | "cascadelake" ->
+      [ Unit_baselines.Engines.x86_unit; Unit_baselines.Engines.x86_tvm_manual;
+        Unit_baselines.Engines.x86_mxnet_onednn ]
+    | "graviton2" ->
+      [ Unit_baselines.Engines.arm_unit; Unit_baselines.Engines.arm_tvm_manual;
+        Unit_baselines.Engines.arm_tvm_neon ]
+    | "v100" ->
+      [ Unit_baselines.Engines.gpu_unit; Unit_baselines.Engines.gpu_cudnn ]
+    | other ->
+      prerr_endline ("unitc: unknown target " ^ other);
+      exit 1
+  in
+  Printf.printf "%s on %s (batch 1):\n" model_name target;
+  let times =
+    List.map
+      (fun engine ->
+        let t = Unit_core.Latency.latency engine g in
+        Printf.printf "  %-14s %10.3f ms\n%!" engine.Unit_core.Latency.e_name (t *. 1e3);
+        t)
+      engines
+  in
+  match times with
+  | unit_t :: (_ :: _ as rest) ->
+    Printf.printf "  UNIT speedup: %s\n"
+      (String.concat ", "
+         (List.map2
+            (fun e t -> Printf.sprintf "%.2fx vs %s" (t /. unit_t) e.Unit_core.Latency.e_name)
+            (List.tl engines) rest))
+  | _ -> ()
+
+(* ---------- models / table1 ---------- *)
+
+let models () =
+  List.iter
+    (fun (name, build) ->
+      let g = build () in
+      let convs = Unit_models.Zoo.conv_workloads g in
+      let macs =
+        List.fold_left
+          (fun acc (wl, count) ->
+            acc + (count * Unit_graph.Workload.macs (Unit_graph.Workload.Conv wl)))
+          0 convs
+      in
+      Printf.printf "%-14s %4d nodes, %3d distinct convs, %.2f GMACs\n" name
+        (Unit_graph.Graph.arity g) (List.length convs)
+        (Float.of_int macs /. 1e9))
+    Unit_models.Zoo.all
+
+let table1 () = Format.printf "%a@." Unit_models.Table1.pp_table ()
+
+(* ---------- command wiring ---------- *)
+
+let conv_args f =
+  Term.(
+    const f $ op_kind_arg $ isa_arg $ channels_arg $ hw_arg $ out_channels_arg
+    $ kernel_arg $ stride_arg $ n_arg $ m_arg $ kdim_arg)
+
+let list_isa_cmd =
+  Cmd.v (Cmd.info "list-isa" ~doc:"List registered tensorized instructions.")
+    Term.(const list_isa $ const ())
+
+let show_isa_cmd =
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  Cmd.v (Cmd.info "show-isa" ~doc:"Print an instruction's tensor-DSL description.")
+    Term.(const show_isa $ name_arg)
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Run the Inspector: applicability of an instruction to an operation.")
+    (conv_args inspect)
+
+let compile_cmd =
+  let show_ir =
+    Arg.(value & flag & info [ "ir" ] ~doc:"Dump the tensor IR after replacement.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Tensorize, tune and estimate a kernel.")
+    Term.(
+      const compile $ op_kind_arg $ isa_arg $ spec_arg $ channels_arg $ hw_arg
+      $ out_channels_arg $ kernel_arg $ stride_arg $ n_arg $ m_arg $ kdim_arg $ show_ir)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute the tensorized kernel and the scalar oracle; compare.")
+    (conv_args run)
+
+let e2e_cmd =
+  let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
+  let target =
+    Arg.(value & opt string "cascadelake"
+         & info [ "target" ] ~docv:"TARGET"
+             ~doc:"cascadelake, graviton2 or v100.")
+  in
+  Cmd.v
+    (Cmd.info "e2e" ~doc:"End-to-end model latency on a platform, every engine.")
+    Term.(const e2e $ model $ target)
+
+let models_cmd =
+  Cmd.v (Cmd.info "models" ~doc:"List the model zoo.") Term.(const models $ const ())
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"Print the paper's Table I.")
+    Term.(const table1 $ const ())
+
+let () =
+  let info =
+    Cmd.info "unitc" ~version:"1.0.0"
+      ~doc:"UNIT: unified tensorized instruction compilation."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_isa_cmd; show_isa_cmd; inspect_cmd; compile_cmd; run_cmd; e2e_cmd;
+            models_cmd; table1_cmd
+          ]))

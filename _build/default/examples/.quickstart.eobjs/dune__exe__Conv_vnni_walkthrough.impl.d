@@ -1,0 +1,1 @@
+examples/conv_vnni_walkthrough.ml: Dtype Format List Op Op_library Schedule Unit_codegen Unit_dsl Unit_dtype Unit_inspector Unit_isa Unit_rewriter Unit_tir

@@ -1,0 +1,1 @@
+examples/conv_vnni_walkthrough.mli:

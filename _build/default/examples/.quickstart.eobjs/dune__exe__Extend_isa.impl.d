@@ -1,0 +1,1 @@
+examples/extend_isa.ml: Axis Dtype Expr Format List Op Op_library Schedule Tensor Unit_codegen Unit_core Unit_dsl Unit_dtype Unit_isa Unit_machine Unit_rewriter Unit_tir

@@ -1,0 +1,1 @@
+examples/matmul_tensorcore.ml: Dtype Format List Op Op_library Unit_codegen Unit_dsl Unit_dtype Unit_graph Unit_inspector Unit_isa Unit_machine Unit_rewriter Unit_tir

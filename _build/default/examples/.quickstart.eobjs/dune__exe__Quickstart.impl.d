@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dtype Format List Op Op_library Schedule Unit_codegen Unit_core Unit_dsl Unit_dtype Unit_isa Unit_machine Unit_rewriter Unit_tir

@@ -1,0 +1,1 @@
+examples/resnet_e2e.ml: Array Dtype Float Format List Unit_baselines Unit_core Unit_dtype Unit_graph Unit_isa Unit_models

@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Float Graph Hashtbl Lazy List Unit_core Unit_graph Unit_machine Unit_models Unit_rewriter Workload

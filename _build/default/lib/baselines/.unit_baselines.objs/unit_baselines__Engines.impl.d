@@ -1,0 +1,1 @@
+lib/baselines/engines.ml: Baselines Float Unit_core Unit_graph Unit_machine

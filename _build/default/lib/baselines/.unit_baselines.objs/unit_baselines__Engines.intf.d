@@ -1,0 +1,1 @@
+lib/baselines/engines.mli: Unit_core

@@ -1,0 +1,44 @@
+(** Simulated comparator systems (Section V-B).
+
+    The paper compares against vendor libraries and hand-written schedules;
+    we model each as a {e fixed scheduling policy} executed on the same
+    machine models UNIT uses, plus realistic dispatch overheads:
+
+    - {b oneDNN} (x86): an expertly chosen but shape-oblivious blocked
+      schedule; for the handful of shapes its engineers aggressively tuned
+      (ResNet-50's convolutions — Section VI-A) it slightly {e beats}
+      UNIT's tuned kernel.  Library dispatch overhead per call.
+    - {b TVM-Manual} (x86/ARM): TVM's hand-written VNNI/DOT template —
+      parallel over fused (ko, oh), fully unroll ow — good on friendly
+      shapes, brittle when ow is large or prime.
+    - {b TVM-NEON} (ARM): the same template without DOT: plain widening
+      MLA, i.e. UNIT's pipeline with the [neon.mla.i16] description.
+    - {b cuDNN} (GPU): Tensor-Core implicit GEMM restricted to the direct
+      accumulation family (no p x p window tuning, no dimension fusion, no
+      split-K), but with dedicated strided kernels (no strided-gather
+      penalty) and per-call dispatch.
+
+    What the substitution preserves: every baseline differs from UNIT only
+    in {e scheduling policy}, exactly as in the paper — not in the
+    underlying performance model. *)
+
+open Unit_graph
+
+val onednn_conv_time : Workload.conv2d -> float
+val onednn_conv3d_time : Workload.conv3d -> float
+val onednn_dense_time : Workload.dense -> float
+
+val tvm_manual_x86_conv_time : Workload.conv2d -> float
+val tvm_manual_arm_conv_time : Workload.conv2d -> float
+val tvm_neon_conv_time : Workload.conv2d -> float
+
+val cudnn_conv_time : Workload.conv2d -> float
+
+val onednn_call_overhead : float
+(** Seconds of library dispatch per kernel call. *)
+
+val cudnn_call_overhead : float
+
+val is_onednn_hot_shape : Workload.conv2d -> bool
+(** Whether the shape belongs to the ResNet-50 family oneDNN engineers
+    hand-tuned (exposed for tests). *)

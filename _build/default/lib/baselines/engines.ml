@@ -1,0 +1,99 @@
+module Latency = Unit_core.Latency
+module Pipeline = Unit_core.Pipeline
+module Spec = Unit_machine.Spec
+
+let cpu_bw (spec : Spec.cpu) = spec.Spec.dram_bw *. spec.Spec.freq_ghz *. 1e9
+
+(* ARM 3-D conv and GPU 3-D conv are not exercised by any figure; fail
+   loudly if a model sneaks one in. *)
+let no_conv3d _ = invalid_arg "this engine has no conv3d path"
+
+let x86_unit =
+  { Latency.e_name = "UNIT";
+    e_conv = Pipeline.conv_time_x86 ?config:None;
+    e_depthwise = Pipeline.depthwise_time_cpu Spec.cascadelake;
+    e_conv3d = Pipeline.conv3d_time_x86;
+    e_dense = Pipeline.dense_time_x86;
+    e_elementwise_bw = cpu_bw Spec.cascadelake;
+    e_node_overhead = 1.5e-6
+  }
+
+let x86_tvm_manual =
+  { Latency.e_name = "TVM";
+    e_conv = Baselines.tvm_manual_x86_conv_time;
+    e_depthwise = Pipeline.depthwise_time_cpu Spec.cascadelake;
+    e_conv3d = no_conv3d;
+    e_dense = Pipeline.dense_time_x86;
+    e_elementwise_bw = cpu_bw Spec.cascadelake;
+    e_node_overhead = 1.5e-6
+  }
+
+let x86_mxnet_onednn =
+  { Latency.e_name = "MXNet-oneDNN";
+    e_conv = Baselines.onednn_conv_time;
+    e_depthwise =
+      (fun wl -> Pipeline.depthwise_time_cpu Spec.cascadelake wl
+                 +. Baselines.onednn_call_overhead);
+    e_conv3d = Baselines.onednn_conv3d_time;
+    e_dense = Baselines.onednn_dense_time;
+    e_elementwise_bw = cpu_bw Spec.cascadelake;
+    (* framework graph executor: an order of magnitude more per-node cost
+       than a compiled runtime, and less aggressive fusion *)
+    e_node_overhead = 10e-6
+  }
+
+let gpu_bw = 900e9
+
+let gpu_glue_overhead = 5e-6 (* a kernel launch per glue op *)
+
+let gpu_depthwise (wl : Unit_graph.Workload.conv2d) =
+  (* memory-bound elementwise kernel *)
+  let macs = Unit_graph.Workload.macs (Unit_graph.Workload.Conv wl) in
+  (Float.of_int (macs * 4) /. gpu_bw) +. gpu_glue_overhead
+
+let gpu_unit =
+  { Latency.e_name = "UNIT-TensorCore";
+    e_conv = Pipeline.conv_time_gpu ?config:None;
+    e_depthwise = gpu_depthwise;
+    e_conv3d = no_conv3d;
+    e_dense =
+      (fun wl ->
+        let gemm =
+          Unit_machine.Gpu_model.gemm_of_matmul ~m:1 ~n:wl.Unit_graph.Workload.d_units
+            ~k:wl.Unit_graph.Workload.d_k
+        in
+        let _, est = Unit_machine.Gpu_model.tune Spec.v100 gemm in
+        est.Unit_machine.Gpu_model.g_seconds);
+    e_elementwise_bw = gpu_bw;
+    e_node_overhead = gpu_glue_overhead
+  }
+
+let gpu_cudnn =
+  (* TVM+cuDNN fuses less: more kernels launched per model *)
+  { gpu_unit with
+    Latency.e_name = "cuDNN";
+    e_conv = Baselines.cudnn_conv_time;
+    e_node_overhead = gpu_glue_overhead +. 5e-6
+  }
+
+let arm_unit =
+  { Latency.e_name = "UNIT-DOT";
+    e_conv = Pipeline.conv_time_arm ?intrin:None ?config:None;
+    e_depthwise = Pipeline.depthwise_time_cpu Spec.graviton2;
+    e_conv3d = no_conv3d;
+    e_dense = Pipeline.dense_time_arm;
+    e_elementwise_bw = cpu_bw Spec.graviton2;
+    e_node_overhead = 1.5e-6
+  }
+
+let arm_tvm_manual =
+  { arm_unit with
+    Latency.e_name = "TVM-Manual";
+    e_conv = Baselines.tvm_manual_arm_conv_time
+  }
+
+let arm_tvm_neon =
+  { arm_unit with
+    Latency.e_name = "TVM-NEON";
+    e_conv = Baselines.tvm_neon_conv_time
+  }

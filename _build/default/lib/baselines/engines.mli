@@ -1,0 +1,26 @@
+(** Assembled end-to-end engines for {!Unit_core.Latency}: UNIT and every
+    baseline, per platform.  These are what the end-to-end figures
+    (8, 9, 12) run the model zoo through. *)
+
+val x86_unit : Unit_core.Latency.engine
+(** UNIT: tuned VNNI kernels, fused graph, compiler runtime overheads. *)
+
+val x86_tvm_manual : Unit_core.Latency.engine
+(** TVM with the hand-written VNNI schedule template. *)
+
+val x86_mxnet_onednn : Unit_core.Latency.engine
+(** MXNet dispatching to oneDNN: expert kernels, framework-level per-node
+    overhead, less fusion. *)
+
+val gpu_unit : Unit_core.Latency.engine
+(** UNIT on V100 Tensor Cores: tuned (p, fuse_dim, split_k). *)
+
+val gpu_cudnn : Unit_core.Latency.engine
+
+val arm_unit : Unit_core.Latency.engine
+(** UNIT with ARM DOT, tuned. *)
+
+val arm_tvm_manual : Unit_core.Latency.engine
+val arm_tvm_neon : Unit_core.Latency.engine
+(** No DOT: plain widening-MLA NEON — the Fig. 12 normalization
+    baseline. *)

@@ -1,0 +1,1 @@
+lib/codegen/interp.ml: Buffer Dtype Hashtbl Int64 List Lower Ndarray Option Printf Stmt Texpr Unit_dsl Unit_dtype Unit_isa Unit_tir Value Var

@@ -1,0 +1,1 @@
+lib/codegen/interp.mli: Buffer Lower Ndarray Texpr Unit_dsl Unit_dtype Unit_tir Var

@@ -1,0 +1,1 @@
+lib/codegen/ndarray.ml: Array Dtype Float Format Printf Stdlib String Unit_dsl Unit_dtype Value

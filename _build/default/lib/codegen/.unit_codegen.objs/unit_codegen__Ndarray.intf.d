@@ -1,0 +1,1 @@
+lib/codegen/ndarray.mli: Dtype Format Unit_dsl Unit_dtype Value

@@ -1,0 +1,99 @@
+open Unit_dtype
+
+type t = {
+  dtype : Dtype.t;
+  shape : int array;
+  data : Value.t array;
+}
+
+let num_elements_of_shape shape = Array.fold_left ( * ) 1 shape
+
+let strides_of_shape shape =
+  let n = Array.length shape in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * shape.(i + 1)
+  done;
+  strides
+
+let zeros ~dtype ~shape =
+  let shape = Array.of_list shape in
+  { dtype; shape; data = Array.make (num_elements_of_shape shape) (Value.zero dtype) }
+
+let flat_to_multi shape flat =
+  let strides = strides_of_shape shape in
+  Array.mapi (fun d stride -> flat / stride mod shape.(d)) strides
+
+let init ~dtype ~shape f =
+  let shape = Array.of_list shape in
+  { dtype;
+    shape;
+    data = Array.init (num_elements_of_shape shape) (fun i -> f (flat_to_multi shape i))
+  }
+
+let of_tensor_zeros (tensor : Unit_dsl.Tensor.t) =
+  zeros ~dtype:tensor.dtype ~shape:(Array.to_list tensor.shape)
+
+(* A small xorshift keeps fills deterministic and platform independent. *)
+let random_for_tensor ~seed (tensor : Unit_dsl.Tensor.t) =
+  let state = ref (seed lxor 0x9e3779b9 lxor (tensor.Unit_dsl.Tensor.id * 2654435761)) in
+  let next () =
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land max_int;
+    !state
+  in
+  let dtype = tensor.Unit_dsl.Tensor.dtype in
+  let value _ =
+    if Dtype.is_float dtype then Value.of_float dtype ((float_of_int (next () mod 2001) /. 1000.0) -. 1.0)
+    else if Dtype.is_signed dtype then Value.of_int dtype ((next () mod 9) - 4)
+    else Value.of_int dtype (next () mod 9)
+  in
+  init ~dtype ~shape:(Array.to_list tensor.Unit_dsl.Tensor.shape) value
+
+let num_elements t = Array.length t.data
+
+let flat_index t idx =
+  let strides = strides_of_shape t.shape in
+  if Array.length idx <> Array.length t.shape then
+    invalid_arg "Ndarray: index rank mismatch";
+  Array.iteri
+    (fun d i ->
+      if i < 0 || i >= t.shape.(d) then
+        invalid_arg
+          (Printf.sprintf "Ndarray: index %d out of bounds for dim %d (size %d)" i d
+             t.shape.(d)))
+    idx;
+  let flat = ref 0 in
+  Array.iteri (fun d i -> flat := !flat + (i * strides.(d))) idx;
+  !flat
+
+let get t idx = t.data.(flat_index t idx)
+let set t idx v = t.data.(flat_index t idx) <- v
+let get_flat t i = t.data.(i)
+let set_flat t i v = t.data.(i) <- v
+
+let equal a b =
+  Dtype.equal a.dtype b.dtype && a.shape = b.shape
+  && Array.for_all2 Value.equal a.data b.data
+
+let approx_equal ~tol a b =
+  Dtype.equal a.dtype b.dtype && a.shape = b.shape
+  && Array.for_all2
+       (fun x y ->
+         let fx = Value.to_float x and fy = Value.to_float y in
+         Float.abs (fx -. fy) <= tol *. Float.max 1.0 (Float.abs fy))
+       a.data b.data
+
+let fold f acc t = Array.fold_left f acc t.data
+
+let pp fmt t =
+  Format.fprintf fmt "ndarray %s[%s]:" (Dtype.to_string t.dtype)
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.shape)));
+  let n = Stdlib.min 16 (Array.length t.data) in
+  for i = 0 to n - 1 do
+    Format.fprintf fmt " %a" Value.pp t.data.(i)
+  done;
+  if Array.length t.data > n then Format.pp_print_string fmt " ..."

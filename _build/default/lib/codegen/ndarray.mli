@@ -1,0 +1,42 @@
+(** Dense host-side arrays for the reference interpreter and the tests.
+
+    Values are stored boxed ({!Unit_dtype.Value.t}) — this is a semantics
+    oracle, not a fast runtime; the performance story lives in
+    [Unit_machine]. *)
+
+open Unit_dtype
+
+type t = private {
+  dtype : Dtype.t;
+  shape : int array;
+  data : Value.t array;  (** row-major *)
+}
+
+val zeros : dtype:Dtype.t -> shape:int list -> t
+
+val init : dtype:Dtype.t -> shape:int list -> (int array -> Value.t) -> t
+(** Element at each multi-index. *)
+
+val of_tensor_zeros : Unit_dsl.Tensor.t -> t
+
+val random_for_tensor : seed:int -> Unit_dsl.Tensor.t -> t
+(** Deterministic pseudo-random fill covering the dtype's small range
+    (integers in [-4, 4] — or [0, 8] unsigned — and floats in [-1, 1], so
+    int32/fp32 accumulations in tests never overflow or lose precision). *)
+
+val num_elements : t -> int
+val get : t -> int array -> Value.t
+val set : t -> int array -> Value.t -> unit
+val get_flat : t -> int -> Value.t
+val set_flat : t -> int -> Value.t -> unit
+
+val equal : t -> t -> bool
+(** Same dtype, shape, and element-wise {!Unit_dtype.Value.equal}. *)
+
+val approx_equal : tol:float -> t -> t -> bool
+(** Element-wise [|a - b| <= tol * max(1, |b|)]; for float comparisons. *)
+
+val fold : ('a -> Value.t -> 'a) -> 'a -> t -> 'a
+
+val pp : Format.formatter -> t -> unit
+(** Shape/dtype header plus leading elements; for test failure output. *)

@@ -1,0 +1,1 @@
+lib/core/latency.ml: Float Graph List Unit_dtype Unit_graph Workload

@@ -1,0 +1,1 @@
+lib/core/latency.mli: Graph Unit_graph Workload

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Dtype Float Hashtbl Op Option Printf Stdlib String Unit_dsl Unit_dtype Unit_graph Unit_inspector Unit_isa Unit_machine Unit_rewriter

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Op Unit_dsl Unit_graph Unit_isa Unit_machine Unit_rewriter

@@ -1,0 +1,163 @@
+open Unit_dtype
+open Unit_dsl
+module Inspector = Unit_inspector.Inspector
+module Reorganize = Unit_rewriter.Reorganize
+module Cpu_tuner = Unit_rewriter.Cpu_tuner
+module Spec = Unit_machine.Spec
+module Cpu_model = Unit_machine.Cpu_model
+module Gpu_model = Unit_machine.Gpu_model
+module Workload = Unit_graph.Workload
+
+let () = Unit_isa.Defs.ensure_registered ()
+
+type compiled = {
+  c_op : Op.t;
+  c_intrin : Unit_isa.Intrin.t;
+  c_tuned : Cpu_tuner.tuned;
+}
+
+let tensorize ?mapping_index ?configs ~spec op intrin =
+  match Inspector.inspect op intrin with
+  | Error r -> Error (Inspector.rejection_to_string r)
+  | Ok ap ->
+    let reorganized = Reorganize.apply op ap ?mapping_index () in
+    let tuned = Cpu_tuner.tune spec ?configs reorganized in
+    Ok { c_op = op; c_intrin = intrin; c_tuned = tuned }
+
+let seconds compiled = compiled.c_tuned.Cpu_tuner.t_estimate.Cpu_model.est_seconds
+
+(* ---------- cached per-workload kernel times ---------- *)
+
+type cache_key = {
+  ck_tag : string;
+  ck_workload : string;
+  ck_config : string;
+}
+
+let cache : (cache_key, float) Hashtbl.t = Hashtbl.create 256
+
+let clear_cache () = Hashtbl.reset cache
+
+let memo ~tag ~workload ~config f =
+  let key = { ck_tag = tag; ck_workload = workload; ck_config = config } in
+  match Hashtbl.find_opt cache key with
+  | Some t -> t
+  | None ->
+    let t = f () in
+    Hashtbl.add cache key t;
+    t
+
+let config_string = function
+  | None -> "tuned"
+  | Some (c : Cpu_tuner.config) ->
+    Printf.sprintf "g%d-u%d" c.Cpu_tuner.parallel_grain c.Cpu_tuner.unroll_budget
+
+let cpu_conv_time ~tag ~spec ~intrin_name ~data_dtype ?config wl =
+  memo ~tag ~workload:(Workload.name (Workload.Conv wl)) ~config:(config_string config)
+    (fun () ->
+      let intrin = Unit_isa.Registry.find_exn intrin_name in
+      let lanes = Unit_isa.Intrin.output_lanes intrin in
+      let reduce_width = Unit_isa.Intrin.reduction_width intrin in
+      let op =
+        Workload.conv_op ~data_dtype ~weight_dtype:Dtype.I8 ~lanes ~reduce_width wl
+      in
+      let configs = Option.map (fun c -> [ c ]) config in
+      match tensorize ?configs ~spec op intrin with
+      | Ok compiled -> seconds compiled
+      | Error reason ->
+        invalid_arg
+          (Printf.sprintf "conv %s does not tensorize with %s: %s"
+             (Workload.name (Workload.Conv wl)) intrin_name reason))
+
+let conv_time_x86 ?config wl =
+  cpu_conv_time ~tag:"x86-vnni" ~spec:Spec.cascadelake ~intrin_name:"vnni.vpdpbusd"
+    ~data_dtype:Dtype.U8 ?config wl
+
+let conv_time_arm ?(intrin = "arm.udot") ?config wl =
+  let data_dtype =
+    (* the MLA baseline widens to i16 first; DOT consumes quantized u8 *)
+    if String.equal intrin "neon.mla.i16" then Dtype.I16 else Dtype.U8
+  in
+  let weight_dtype = if String.equal intrin "neon.mla.i16" then Dtype.I16 else Dtype.I8 in
+  memo ~tag:("arm-" ^ intrin)
+    ~workload:(Workload.name (Workload.Conv wl))
+    ~config:(config_string config)
+    (fun () ->
+      let intrin_def = Unit_isa.Registry.find_exn intrin in
+      let lanes = Unit_isa.Intrin.output_lanes intrin_def in
+      let reduce_width = Stdlib.max 1 (Unit_isa.Intrin.reduction_width intrin_def) in
+      let reduce_width = if reduce_width = 1 then 4 else reduce_width in
+      let op = Workload.conv_op ~data_dtype ~weight_dtype ~lanes ~reduce_width wl in
+      let configs = Option.map (fun c -> [ c ]) config in
+      match tensorize ?configs ~spec:Spec.graviton2 op intrin_def with
+      | Ok compiled -> seconds compiled
+      | Error reason ->
+        invalid_arg
+          (Printf.sprintf "conv %s does not tensorize with %s: %s"
+             (Workload.name (Workload.Conv wl)) intrin reason))
+
+let conv3d_time_x86 wl =
+  memo ~tag:"x86-vnni-3d" ~workload:(Workload.name (Workload.Conv3 wl)) ~config:"tuned"
+    (fun () ->
+      let op =
+        Workload.conv3d_op ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8 ~lanes:16
+          ~reduce_width:4 wl
+      in
+      let intrin = Unit_isa.Registry.find_exn "vnni.vpdpbusd" in
+      match tensorize ~spec:Spec.cascadelake op intrin with
+      | Ok compiled -> seconds compiled
+      | Error reason -> invalid_arg ("conv3d does not tensorize: " ^ reason))
+
+let cpu_dense_time ~tag ~spec ~intrin_name ~data_dtype wl =
+  memo ~tag ~workload:(Workload.name (Workload.Fc wl)) ~config:"tuned" (fun () ->
+      let intrin = Unit_isa.Registry.find_exn intrin_name in
+      let lanes = Unit_isa.Intrin.output_lanes intrin in
+      let reduce_width = Unit_isa.Intrin.reduction_width intrin in
+      let op =
+        Workload.dense_op ~data_dtype ~weight_dtype:Dtype.I8 ~lanes ~reduce_width wl
+      in
+      match tensorize ~spec op intrin with
+      | Ok compiled -> seconds compiled
+      | Error reason -> invalid_arg ("dense does not tensorize: " ^ reason))
+
+let dense_time_x86 wl =
+  cpu_dense_time ~tag:"x86-dense" ~spec:Spec.cascadelake ~intrin_name:"vnni.vpdpbusd"
+    ~data_dtype:Dtype.U8 wl
+
+let dense_time_arm wl =
+  cpu_dense_time ~tag:"arm-dense" ~spec:Spec.graviton2 ~intrin_name:"arm.udot"
+    ~data_dtype:Dtype.U8 wl
+
+let conv_time_gpu ?config wl =
+  let config_str =
+    match config with
+    | None -> "tuned"
+    | Some (c : Gpu_model.config) ->
+      Printf.sprintf "p%d-f%b-k%d" c.Gpu_model.p c.Gpu_model.fuse_dim c.Gpu_model.split_k
+  in
+  memo ~tag:"gpu-wmma" ~workload:(Workload.name (Workload.Conv wl)) ~config:config_str
+    (fun () ->
+      let spec = Workload.conv_spec ~lanes:1 ~reduce_width:1 wl in
+      let gemm = Gpu_model.gemm_of_conv spec in
+      match config with
+      | Some c -> (Gpu_model.estimate Spec.v100 gemm c).Gpu_model.g_seconds
+      | None ->
+        let _, est = Gpu_model.tune Spec.v100 gemm in
+        est.Gpu_model.g_seconds)
+
+(* Depthwise convolutions reduce one channel per group: no dot-product
+   idiom to tensorize.  They run as vectorized elementwise MACs, bounded by
+   memory streaming and per-element vector work. *)
+let depthwise_time_cpu (spec : Spec.cpu) (wl : Workload.conv2d) =
+  let macs = Workload.macs (Workload.Conv wl) in
+  let oh = Unit_graph.Graph.conv_out_dim ~size:wl.Workload.h ~kernel:wl.Workload.kernel
+             ~stride:wl.Workload.stride ~padding:wl.Workload.padding in
+  let ow = Unit_graph.Graph.conv_out_dim ~size:wl.Workload.w ~kernel:wl.Workload.kernel
+             ~stride:wl.Workload.stride ~padding:wl.Workload.padding in
+  let bytes = (wl.Workload.c * wl.Workload.h * wl.Workload.w) + (wl.Workload.k * oh * ow * 4) in
+  let threads = Float.of_int spec.Spec.cores in
+  let simd_macs_per_cycle = 8.0 in
+  let compute = Float.of_int macs /. simd_macs_per_cycle /. threads in
+  let memory = Float.of_int bytes /. spec.Spec.dram_bw in
+  let cycles = Float.max compute memory +. spec.Spec.fork_join_cost in
+  Spec.cycles_to_seconds ~freq_ghz:spec.Spec.freq_ghz cycles

@@ -1,0 +1,60 @@
+(** The end-to-end UNIT pipeline (Fig. 3): operation + instruction in,
+    tensorized and tuned kernel out.
+
+    [tensorize] is the whole story: Inspector (applicability), Rewriter
+    (loop reorganization + instruction replacement), tuner (machine-model
+    profiling).  The per-workload helpers below add the graph-level
+    plumbing (layout blocking, channel padding) and cache compiled kernels
+    by workload, which is what the end-to-end figures iterate over. *)
+
+open Unit_dsl
+module Cpu_tuner = Unit_rewriter.Cpu_tuner
+module Spec = Unit_machine.Spec
+
+type compiled = {
+  c_op : Op.t;
+  c_intrin : Unit_isa.Intrin.t;
+  c_tuned : Cpu_tuner.tuned;
+}
+
+val tensorize :
+  ?mapping_index:int ->
+  ?configs:Cpu_tuner.config list ->
+  spec:Spec.cpu ->
+  Op.t ->
+  Unit_isa.Intrin.t ->
+  (compiled, string) result
+(** Inspect, reorganize, tune (over [configs], default the full candidate
+    grid), lower and replace.  [Error reason] when the instruction does not
+    apply. *)
+
+val seconds : compiled -> float
+
+(** Per-platform convolution kernel times, cached by workload.  Activations
+    are u8 on x86 (VNNI is unsigned-by-signed) and i8 on ARM. *)
+
+val conv_time_x86 :
+  ?config:Cpu_tuner.config -> Unit_graph.Workload.conv2d -> float
+(** UNIT on Cascade Lake with [vnni.vpdpbusd]; a fixed [config] skips the
+    search (used by the Fig. 10 ablation). *)
+
+val conv_time_arm :
+  ?intrin:string -> ?config:Cpu_tuner.config -> Unit_graph.Workload.conv2d -> float
+(** UNIT on Graviton2; [intrin] defaults to ["arm.udot"], the Fig. 12
+    TVM-NEON baseline passes ["neon.mla.i16"]. *)
+
+val conv3d_time_x86 : Unit_graph.Workload.conv3d -> float
+(** Fig. 13: 3-D convolutions through the unchanged pipeline. *)
+
+val dense_time_x86 : Unit_graph.Workload.dense -> float
+val dense_time_arm : Unit_graph.Workload.dense -> float
+
+val conv_time_gpu : ?config:Unit_machine.Gpu_model.config -> Unit_graph.Workload.conv2d -> float
+(** UNIT on the V100 model: implicit-GEMM Tensor Core template, tuned over
+    (p, fuse_dim, split_k) unless [config] pins one. *)
+
+val depthwise_time_cpu : Spec.cpu -> Unit_graph.Workload.conv2d -> float
+(** Grouped convolutions never tensorize; they run as memory-bound vector
+    code. *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,1 @@
+lib/dsl/axis.mli: Format

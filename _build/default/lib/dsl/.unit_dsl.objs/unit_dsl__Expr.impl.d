@@ -1,0 +1,1 @@
+lib/dsl/expr.ml: Array Axis Dtype Format Int64 List Printf Tensor Unit_dtype Value

@@ -1,0 +1,1 @@
+lib/dsl/expr.mli: Axis Dtype Format Tensor Unit_dtype Value

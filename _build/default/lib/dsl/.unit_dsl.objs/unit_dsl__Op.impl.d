@@ -1,0 +1,1 @@
+lib/dsl/op.ml: Array Axis Dtype Expr Format List Printf String Tensor Unit_dtype

@@ -1,0 +1,1 @@
+lib/dsl/op.mli: Axis Expr Format Tensor

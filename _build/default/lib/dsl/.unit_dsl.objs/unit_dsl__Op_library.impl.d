@@ -1,0 +1,1 @@
+lib/dsl/op_library.ml: Axis Expr Op Printf Tensor

@@ -1,0 +1,1 @@
+lib/dsl/op_library.mli: Dtype Op Unit_dtype

@@ -1,0 +1,1 @@
+lib/dsl/schedule.ml: Axis Format List Op Printf String

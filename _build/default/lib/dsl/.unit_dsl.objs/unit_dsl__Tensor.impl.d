@@ -1,0 +1,1 @@
+lib/dsl/tensor.ml: Array Format List Printf String Unit_dtype

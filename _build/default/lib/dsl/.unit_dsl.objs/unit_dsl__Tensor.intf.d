@@ -1,0 +1,1 @@
+lib/dsl/tensor.mli: Format Unit_dtype

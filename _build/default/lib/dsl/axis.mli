@@ -1,0 +1,35 @@
+(** Loop axes of the tensor DSL.
+
+    An axis is either {e data parallel} (each iteration writes a distinct
+    output element) or a {e reduction} (iterations accumulate into the same
+    element).  The distinction drives everything downstream: the Inspector
+    only maps axes of equal kind onto each other (Section III-B of the
+    paper), and the tuner may parallelize data-parallel axes but must
+    serialize or split-reduce reductions. *)
+
+type kind =
+  | Data_parallel
+  | Reduction
+
+type t = private {
+  id : int;  (** globally unique; identity of the axis *)
+  name : string;
+  kind : kind;
+  extent : int;  (** canonical domain: 0 <= v < extent *)
+}
+
+val create : ?name:string -> kind -> extent:int -> t
+(** Fresh axis with a unique [id].
+    @raise Invalid_argument if [extent <= 0]. *)
+
+val data_parallel : ?name:string -> int -> t
+(** [data_parallel n] = [create ~name Data_parallel ~extent:n]. *)
+
+val reduction : ?name:string -> int -> t
+
+val equal : t -> t -> bool
+(** Identity ([id]) equality. *)
+
+val kind_equal : kind -> kind -> bool
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,189 @@
+
+type conv2d_spec = {
+  in_channels : int;
+  in_height : int;
+  in_width : int;
+  out_channels : int;
+  kernel : int;
+  stride : int;
+}
+
+let out_height spec = ((spec.in_height - spec.kernel) / spec.stride) + 1
+let out_width spec = ((spec.in_width - spec.kernel) / spec.stride) + 1
+
+let acc dt e = Expr.cast dt e
+
+let matmul ?(name = "matmul") ~n ~m ~k ~a_dtype ~b_dtype ~acc_dtype () =
+  let a = Tensor.create ~name:"a" ~shape:[ n; k ] a_dtype in
+  let b = Tensor.create ~name:"b" ~shape:[ m; k ] b_dtype in
+  let c = Tensor.create ~name:"c" ~shape:[ n; m ] acc_dtype in
+  let i = Axis.data_parallel ~name:"i" n in
+  let j = Axis.data_parallel ~name:"j" m in
+  let r = Axis.reduction ~name:"k" k in
+  let body =
+    Expr.mul
+      (acc acc_dtype (Expr.access a [ Expr.axis i; Expr.axis r ]))
+      (acc acc_dtype (Expr.access b [ Expr.axis j; Expr.axis r ]))
+  in
+  Op.create ~name ~output:c ~spatial:[ i; j ] ~reduce:[ r ] body
+
+let dense ?(name = "dense") ~m ~k ~a_dtype ~b_dtype ~acc_dtype () =
+  let x = Tensor.create ~name:"x" ~shape:[ k ] a_dtype in
+  let w = Tensor.create ~name:"w" ~shape:[ m; k ] b_dtype in
+  let y = Tensor.create ~name:"y" ~shape:[ m ] acc_dtype in
+  let j = Axis.data_parallel ~name:"j" m in
+  let r = Axis.reduction ~name:"k" k in
+  let body =
+    Expr.mul
+      (acc acc_dtype (Expr.access x [ Expr.axis r ]))
+      (acc acc_dtype (Expr.access w [ Expr.axis j; Expr.axis r ]))
+  in
+  Op.create ~name ~output:y ~spatial:[ j ] ~reduce:[ r ] body
+
+let conv2d_nhwc ?(name = "conv2d_nhwc") ~data_dtype ~weight_dtype ~acc_dtype spec =
+  let oh = out_height spec and ow = out_width spec in
+  let a =
+    Tensor.create ~name:"a"
+      ~shape:[ spec.in_height; spec.in_width; spec.in_channels ]
+      data_dtype
+  in
+  let b =
+    Tensor.create ~name:"b"
+      ~shape:[ spec.kernel; spec.kernel; spec.out_channels; spec.in_channels ]
+      weight_dtype
+  in
+  let c = Tensor.create ~name:"c" ~shape:[ oh; ow; spec.out_channels ] acc_dtype in
+  let x = Axis.data_parallel ~name:"x" oh in
+  let y = Axis.data_parallel ~name:"y" ow in
+  let k = Axis.data_parallel ~name:"k" spec.out_channels in
+  let r = Axis.reduction ~name:"r" spec.kernel in
+  let s = Axis.reduction ~name:"s" spec.kernel in
+  let rc = Axis.reduction ~name:"rc" spec.in_channels in
+  let stride v = Expr.mul (Expr.axis v) (Expr.int_imm spec.stride) in
+  let body =
+    Expr.mul
+      (acc acc_dtype
+         (Expr.access a
+            [ Expr.add (stride x) (Expr.axis r);
+              Expr.add (stride y) (Expr.axis s);
+              Expr.axis rc
+            ]))
+      (acc acc_dtype (Expr.access b [ Expr.axis r; Expr.axis s; Expr.axis k; Expr.axis rc ]))
+  in
+  Op.create ~name ~output:c ~spatial:[ x; y; k ] ~reduce:[ r; s; rc ] body
+
+let conv2d_nchwc ?(name = "conv2d_nchwc") ~data_dtype ~weight_dtype ~acc_dtype ~lanes
+    ~reduce_width spec =
+  if spec.out_channels mod lanes <> 0 then
+    invalid_arg
+      (Printf.sprintf "conv2d_nchwc: lanes %d does not divide out_channels %d" lanes
+         spec.out_channels);
+  if spec.in_channels mod reduce_width <> 0 then
+    invalid_arg
+      (Printf.sprintf "conv2d_nchwc: reduce_width %d does not divide in_channels %d"
+         reduce_width spec.in_channels);
+  let oh = out_height spec and ow = out_width spec in
+  let c_outer = spec.in_channels / reduce_width in
+  let k_outer = spec.out_channels / lanes in
+  let a =
+    Tensor.create ~name:"a"
+      ~shape:[ c_outer; spec.in_height; spec.in_width; reduce_width ]
+      data_dtype
+  in
+  let w =
+    Tensor.create ~name:"w"
+      ~shape:[ k_outer; c_outer; spec.kernel; spec.kernel; lanes; reduce_width ]
+      weight_dtype
+  in
+  let o = Tensor.create ~name:"o" ~shape:[ k_outer; oh; ow; lanes ] acc_dtype in
+  let ko = Axis.data_parallel ~name:"ko" k_outer in
+  let x = Axis.data_parallel ~name:"oh" oh in
+  let y = Axis.data_parallel ~name:"ow" ow in
+  let ok = Axis.data_parallel ~name:"ok" lanes in
+  let co = Axis.reduction ~name:"co" c_outer in
+  let r = Axis.reduction ~name:"r" spec.kernel in
+  let s = Axis.reduction ~name:"s" spec.kernel in
+  let ci = Axis.reduction ~name:"ci" reduce_width in
+  let stride v = Expr.mul (Expr.axis v) (Expr.int_imm spec.stride) in
+  let body =
+    Expr.mul
+      (acc acc_dtype
+         (Expr.access a
+            [ Expr.axis co;
+              Expr.add (stride x) (Expr.axis r);
+              Expr.add (stride y) (Expr.axis s);
+              Expr.axis ci
+            ]))
+      (acc acc_dtype
+         (Expr.access w
+            [ Expr.axis ko; Expr.axis co; Expr.axis r; Expr.axis s; Expr.axis ok;
+              Expr.axis ci
+            ]))
+  in
+  Op.create ~name ~output:o ~spatial:[ ko; x; y; ok ] ~reduce:[ co; r; s; ci ] body
+
+type conv3d_spec = {
+  c3_in_channels : int;
+  c3_in_depth : int;
+  c3_in_height : int;
+  c3_in_width : int;
+  c3_out_channels : int;
+  c3_kernel : int;
+  c3_stride : int;
+}
+
+let conv3d_ncdhwc ?(name = "conv3d_ncdhwc") ~data_dtype ~weight_dtype ~acc_dtype ~lanes
+    ~reduce_width spec =
+  if spec.c3_out_channels mod lanes <> 0 then
+    invalid_arg "conv3d_ncdhwc: lanes does not divide out_channels";
+  if spec.c3_in_channels mod reduce_width <> 0 then
+    invalid_arg "conv3d_ncdhwc: reduce_width does not divide in_channels";
+  let out_dim size = ((size - spec.c3_kernel) / spec.c3_stride) + 1 in
+  let od = out_dim spec.c3_in_depth in
+  let oh = out_dim spec.c3_in_height in
+  let ow = out_dim spec.c3_in_width in
+  let c_outer = spec.c3_in_channels / reduce_width in
+  let k_outer = spec.c3_out_channels / lanes in
+  let a =
+    Tensor.create ~name:"a"
+      ~shape:[ c_outer; spec.c3_in_depth; spec.c3_in_height; spec.c3_in_width; reduce_width ]
+      data_dtype
+  in
+  let w =
+    Tensor.create ~name:"w"
+      ~shape:
+        [ k_outer; c_outer; spec.c3_kernel; spec.c3_kernel; spec.c3_kernel; lanes;
+          reduce_width
+        ]
+      weight_dtype
+  in
+  let o = Tensor.create ~name:"o" ~shape:[ k_outer; od; oh; ow; lanes ] acc_dtype in
+  let ko = Axis.data_parallel ~name:"ko" k_outer in
+  let z = Axis.data_parallel ~name:"od" od in
+  let x = Axis.data_parallel ~name:"oh" oh in
+  let y = Axis.data_parallel ~name:"ow" ow in
+  let ok = Axis.data_parallel ~name:"ok" lanes in
+  let co = Axis.reduction ~name:"co" c_outer in
+  let q = Axis.reduction ~name:"q" spec.c3_kernel in
+  let r = Axis.reduction ~name:"r" spec.c3_kernel in
+  let s = Axis.reduction ~name:"s" spec.c3_kernel in
+  let ci = Axis.reduction ~name:"ci" reduce_width in
+  let stride v = Expr.mul (Expr.axis v) (Expr.int_imm spec.c3_stride) in
+  let body =
+    Expr.mul
+      (acc acc_dtype
+         (Expr.access a
+            [ Expr.axis co;
+              Expr.add (stride z) (Expr.axis q);
+              Expr.add (stride x) (Expr.axis r);
+              Expr.add (stride y) (Expr.axis s);
+              Expr.axis ci
+            ]))
+      (acc acc_dtype
+         (Expr.access w
+            [ Expr.axis ko; Expr.axis co; Expr.axis q; Expr.axis r; Expr.axis s;
+              Expr.axis ok; Expr.axis ci
+            ]))
+  in
+  Op.create ~name ~output:o ~spatial:[ ko; z; x; y; ok ]
+    ~reduce:[ co; q; r; s; ci ] body

@@ -1,0 +1,100 @@
+(** Builders for the tensor operations the paper evaluates.
+
+    Each builder returns a fresh {!Op.t} (with fresh tensors and axes).
+    Inputs are assumed already padded: a convolution reads every
+    [x*stride + r] without bounds checks, matching the paper's reliance on
+    graph-level padding (Section II-C.1).
+
+    Layout conventions follow Section V-C: activations are NCHW[x]c with
+    the blocked channel innermost, kernels are KCRS[y]k[x]c, and the batch
+    dimension is dropped because every experiment runs at batch size 1. *)
+
+open Unit_dtype
+
+type conv2d_spec = {
+  in_channels : int;  (** C, total input channels *)
+  in_height : int;  (** padded input height *)
+  in_width : int;  (** padded input width *)
+  out_channels : int;  (** K *)
+  kernel : int;  (** R = S *)
+  stride : int;
+}
+
+val out_height : conv2d_spec -> int
+(** [(in_height - kernel) / stride + 1]. *)
+
+val out_width : conv2d_spec -> int
+
+val matmul :
+  ?name:string ->
+  n:int ->
+  m:int ->
+  k:int ->
+  a_dtype:Dtype.t ->
+  b_dtype:Dtype.t ->
+  acc_dtype:Dtype.t ->
+  unit ->
+  Op.t
+(** [c\[i,j\] += acc(a\[i,k\]) * acc(b\[j,k\])] — the B operand is stored
+    transposed ([m] x [k]) so the reduction is contiguous for both inputs,
+    as mixed-precision GEMM kernels lay it out. *)
+
+val dense :
+  ?name:string ->
+  m:int ->
+  k:int ->
+  a_dtype:Dtype.t ->
+  b_dtype:Dtype.t ->
+  acc_dtype:Dtype.t ->
+  unit ->
+  Op.t
+(** Batch-1 fully connected layer: [y\[j\] += acc(x\[k\]) * acc(w\[j,k\])]. *)
+
+val conv2d_nhwc :
+  ?name:string ->
+  data_dtype:Dtype.t ->
+  weight_dtype:Dtype.t ->
+  acc_dtype:Dtype.t ->
+  conv2d_spec ->
+  Op.t
+(** The Fig. 5 form: activations [a\[h,w,c\]], kernel [b\[r,s,k,c\]],
+    output [c\[x,y,k\]]. *)
+
+val conv2d_nchwc :
+  ?name:string ->
+  data_dtype:Dtype.t ->
+  weight_dtype:Dtype.t ->
+  acc_dtype:Dtype.t ->
+  lanes:int ->
+  reduce_width:int ->
+  conv2d_spec ->
+  Op.t
+(** Blocked layout used end-to-end: activations NCHW[x]c
+    [a\[co, h, w, ci\]] with [ci] of extent [reduce_width], kernel
+    KCRS[y]k[x]c [w\[ko, co, r, s, ok, ci\]] with [ok] of extent [lanes],
+    output [o\[ko, oh, ow, ok\]].  [lanes] must divide [out_channels] and
+    [reduce_width] must divide [in_channels] (the graph layer pads
+    channels to guarantee this).
+    @raise Invalid_argument otherwise. *)
+
+type conv3d_spec = {
+  c3_in_channels : int;
+  c3_in_depth : int;
+  c3_in_height : int;
+  c3_in_width : int;
+  c3_out_channels : int;
+  c3_kernel : int;  (** cubic kernel *)
+  c3_stride : int;
+}
+
+val conv3d_ncdhwc :
+  ?name:string ->
+  data_dtype:Dtype.t ->
+  weight_dtype:Dtype.t ->
+  acc_dtype:Dtype.t ->
+  lanes:int ->
+  reduce_width:int ->
+  conv3d_spec ->
+  Op.t
+(** 3-D analogue of {!conv2d_nchwc}; the extensibility workload of
+    Fig. 13 — UNIT needs no change to handle it, only this new input. *)

@@ -1,0 +1,127 @@
+(** Loop schedules over a tensor {!Op}.
+
+    A schedule refines the op's axes into {e iteration variables} by
+    splitting and fusing, fixes their loop order, and annotates them
+    (parallel, unroll, GPU thread binding, tensorize pragma) — without
+    changing the computation's semantics.  This mirrors TVM's scheduling
+    primitives, which the paper's Rewriter drives (Section IV-B).
+
+    Lowering a schedule to tensor IR lives in [Unit_tir.Lower]. *)
+
+module Iter : sig
+  type t = private {
+    id : int;
+    name : string;
+    extent : int;
+    kind : Axis.kind;  (** inherited: split preserves kind, fuse requires equal kinds *)
+  }
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type thread_tag =
+  | Block_x
+  | Block_y
+  | Block_z
+  | Thread_x
+  | Thread_y
+  | Thread_z
+
+(** Payload of the tensorize pragma: everything the tensor-IR replacement
+    pass needs, recorded by the Rewriter when it reorganizes the loops.
+    Names and ids only — no dependency on the ISA library. *)
+type tensorize_info = {
+  intrin_name : string;
+  axis_binding : (string * int) list;
+      (** intrinsic axis name -> leaf iter id implementing it *)
+  operand_binding : (int * string) list;
+      (** operation tensor id -> intrinsic tensor name *)
+}
+
+type annotation =
+  | Serial
+  | Parallel
+  | Unroll
+  | Vectorize
+  | Tensorize of tensorize_info
+      (** placed on the {e outermost} iter of the tensorized nest *)
+  | Bind of thread_tag
+
+type t
+
+exception Schedule_error of string
+
+val create : Op.t -> t
+(** Fresh schedule: one root iter per axis, spatial axes outermost in
+    declaration order, then reduce axes. *)
+
+val op : t -> Op.t
+
+val leaves : t -> Iter.t list
+(** Current loop order, outermost first. *)
+
+val root_iter : t -> Axis.t -> Iter.t
+(** The iter a root axis was initially mapped to.
+    @raise Schedule_error if the axis does not belong to the op. *)
+
+val annotation : t -> Iter.t -> annotation
+(** [Serial] unless set. *)
+
+val split : t -> Iter.t -> factor:int -> t * Iter.t * Iter.t
+(** [split s it ~factor] returns [(s', outer, inner)] where [inner] has
+    extent [factor] and [outer] has extent [ceil(extent/factor)].  When
+    [factor] does not divide the extent, lowering guards the body with a
+    "likely" bounds test — the residue handling the paper inherits from TVM
+    (Section VI-B discusses its cost).
+    @raise Schedule_error if [it] is not a leaf or [factor <= 0]. *)
+
+val fuse : t -> Iter.t -> Iter.t -> t * Iter.t
+(** [fuse s a b] fuses adjacent leaves ([a] immediately outside [b]) of the
+    same kind into one iter of extent [a.extent * b.extent]. *)
+
+val fuse_many : t -> Iter.t list -> t * Iter.t
+(** Left fold of {!fuse} over two or more adjacent leaves.  With a single
+    iter, the schedule is unchanged. *)
+
+val reorder : t -> Iter.t list -> t
+(** [reorder s its] permutes the mentioned leaves into the given order,
+    keeping their set of positions (TVM semantics).
+    @raise Schedule_error if the iters are not distinct leaves. *)
+
+val annotate : t -> Iter.t -> annotation -> t
+(** @raise Schedule_error if [Parallel] or [Bind] of a block tag is applied
+    to a reduction iter (that would race on the accumulator). *)
+
+(** How a root axis's value is reconstructed from leaf-iter values.
+    [D_split (o, f, i)] reads [o * f + i]; [D_fuse_outer (d, e)] reads
+    [d / e] and [D_fuse_inner (d, e)] reads [d mod e].  Lowering interprets
+    this over its own expression type. *)
+type derivation =
+  | D_leaf of Iter.t
+  | D_split of derivation * int * derivation
+  | D_fuse_outer of derivation * int
+  | D_fuse_inner of derivation * int
+
+val derivation : t -> Axis.t -> derivation
+(** @raise Schedule_error if the axis does not belong to the op. *)
+
+val axis_needs_guard : t -> Axis.t -> bool
+(** Whether the axis's derivation contains a non-exact split, so lowering
+    must guard the body. *)
+
+val guards : t -> (derivation * int) list
+(** One entry per non-exact split: the derivation of the {e split iter}'s
+    value and its true extent.  Lowering must emit a "likely" bounds test
+    [value < extent] for each — guarding only the root axis would both
+    miss duplicated iterations (when an intermediate iter is re-split with
+    a larger factor) and out-of-range intermediate values. *)
+
+val leaf_coefficient : t -> Axis.t -> Iter.t -> int option
+(** [leaf_coefficient s axis leaf] is [Some c] when the axis value provably
+    changes by exactly [c] per unit step of [leaf] ([Some 0] when
+    independent; always defined for split-only derivations).  [None] when
+    the dependence goes through a fuse's div/mod and is not linear. *)
+
+val pp : Format.formatter -> t -> unit
+(** Loop-nest sketch: one line per leaf with annotation. *)

@@ -1,0 +1,29 @@
+(** Tensors declared in the DSL.
+
+    At the DSL level a tensor is just a typed, shaped name.  For an
+    operation it denotes an array in memory; for a tensorized-instruction
+    description it abstracts a register operand (Section III-A), which is
+    why the Inspector insists one instruction operand binds to exactly one
+    operation tensor. *)
+
+type t = private {
+  id : int;
+  name : string;
+  shape : int array;
+  dtype : Unit_dtype.Dtype.t;
+}
+
+val create : ?name:string -> shape:int list -> Unit_dtype.Dtype.t -> t
+(** @raise Invalid_argument on an empty shape or non-positive dimension. *)
+
+val rank : t -> int
+val num_elements : t -> int
+
+val row_major_strides : t -> int array
+(** Element strides of the canonical row-major layout; the last dimension
+    has stride 1. *)
+
+val equal : t -> t -> bool
+(** Identity ([id]) equality. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dtype/dtype.ml: Format Hashtbl Int32 Int64 Printf Stdlib

@@ -1,0 +1,1 @@
+lib/dtype/dtype.mli: Format

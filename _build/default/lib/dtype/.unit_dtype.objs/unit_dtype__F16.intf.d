@@ -1,0 +1,1 @@
+lib/dtype/f16.mli:

@@ -1,0 +1,1 @@
+lib/dtype/value.ml: Dtype F16 Float Format Int32 Int64 Printf Stdlib

@@ -1,0 +1,1 @@
+lib/dtype/value.mli: Dtype Format

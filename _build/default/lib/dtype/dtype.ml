@@ -1,0 +1,103 @@
+type t =
+  | Bool
+  | U8
+  | I8
+  | I16
+  | I32
+  | I64
+  | F16
+  | F32
+  | F64
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (t : t) = Hashtbl.hash t
+
+let bits = function
+  | Bool -> 8
+  | U8 | I8 -> 8
+  | I16 | F16 -> 16
+  | I32 | F32 -> 32
+  | I64 | F64 -> 64
+
+let bytes t = bits t / 8
+
+let is_integer = function
+  | Bool | U8 | I8 | I16 | I32 | I64 -> true
+  | F16 | F32 | F64 -> false
+
+let is_float t = not (is_integer t)
+
+let is_signed = function
+  | Bool | U8 -> false
+  | I8 | I16 | I32 | I64 -> true
+  | F16 | F32 | F64 -> true
+
+let min_int_value = function
+  | Bool -> 0L
+  | U8 -> 0L
+  | I8 -> -128L
+  | I16 -> -32768L
+  | I32 -> Int64.of_int32 Int32.min_int
+  | I64 -> Int64.min_int
+  | (F16 | F32 | F64) as t ->
+    invalid_arg (Printf.sprintf "Dtype.min_int_value: float type %d-bit" (bits t))
+
+let max_int_value = function
+  | Bool -> 1L
+  | U8 -> 255L
+  | I8 -> 127L
+  | I16 -> 32767L
+  | I32 -> Int64.of_int32 Int32.max_int
+  | I64 -> Int64.max_int
+  | (F16 | F32 | F64) as t ->
+    invalid_arg (Printf.sprintf "Dtype.max_int_value: float type %d-bit" (bits t))
+
+let to_string = function
+  | Bool -> "bool"
+  | U8 -> "u8"
+  | I8 -> "i8"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F16 -> "fp16"
+  | F32 -> "fp32"
+  | F64 -> "fp64"
+
+let of_string = function
+  | "bool" -> Some Bool
+  | "u8" | "uint8" -> Some U8
+  | "i8" | "int8" -> Some I8
+  | "i16" | "int16" -> Some I16
+  | "i32" | "int32" -> Some I32
+  | "i64" | "int64" -> Some I64
+  | "fp16" | "f16" | "half" -> Some F16
+  | "fp32" | "f32" | "float" -> Some F32
+  | "fp64" | "f64" | "double" -> Some F64
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let all = [ Bool; U8; I8; I16; F16; I32; F32; I64; F64 ]
+
+let can_cast_losslessly ~src ~dst =
+  match src, dst with
+  | a, b when equal a b -> true
+  | Bool, _ -> true
+  | U8, (I16 | I32 | I64 | F16 | F32 | F64) -> true
+  | I8, (I16 | I32 | I64 | F16 | F32 | F64) -> true
+  | I16, (I32 | I64 | F32 | F64) -> true
+  | I32, (I64 | F64) -> true
+  | F16, (F32 | F64) -> true
+  | F32, F64 -> true
+  | _, _ -> false
+
+let promote a b =
+  if equal a b then Some a
+  else if can_cast_losslessly ~src:a ~dst:b then Some b
+  else if can_cast_losslessly ~src:b ~dst:a then Some a
+  else
+    (* mixed signedness of the same width: widen to the next signed type *)
+    match a, b with
+    | U8, I8 | I8, U8 -> Some I16
+    | _ -> None

@@ -1,0 +1,64 @@
+(** Scalar data types of the tensor DSL and IRs.
+
+    UNIT's whole point is mixed precision: tensorized instructions multiply
+    narrow operands (u8/i8/f16) and accumulate into wide ones (i32/f32).
+    This module is the single source of truth for widths, signedness, value
+    ranges and legal promotions; every IR level reuses it. *)
+
+type t =
+  | Bool
+  | U8
+  | I8
+  | I16
+  | I32
+  | I64
+  | F16
+  | F32
+  | F64
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val bits : t -> int
+(** Storage width in bits ([Bool] is 8). *)
+
+val bytes : t -> int
+
+val is_integer : t -> bool
+(** True for [Bool] and all fixed-point types. *)
+
+val is_float : t -> bool
+
+val is_signed : t -> bool
+(** Floats are signed; [Bool] and [U8] are not. *)
+
+val min_int_value : t -> int64
+(** Smallest representable value of an integer type.
+    @raise Invalid_argument on float types. *)
+
+val max_int_value : t -> int64
+(** Largest representable value of an integer type.
+    @raise Invalid_argument on float types. *)
+
+val to_string : t -> string
+(** Short conventional name: ["u8"], ["i32"], ["fp16"], ... *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; also accepts ["f16"]/["f32"]/["f64"]
+    spellings. *)
+
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** Every data type, ordered by width then signedness; handy for
+    property-test generators. *)
+
+val promote : t -> t -> t option
+(** [promote a b] is the narrowest type both [a] and [b] losslessly convert
+    to, if one exists within this type universe.  Used by expression
+    builders to check well-typedness of mixed arithmetic. *)
+
+val can_cast_losslessly : src:t -> dst:t -> bool
+(** Whether every value of [src] is exactly representable in [dst] (e.g.
+    u8 -> i32 yes, i32 -> f32 no since f32 has a 24-bit mantissa). *)

@@ -1,0 +1,79 @@
+type t = int
+
+let of_bits b = b land 0xffff
+let to_bits t = t
+
+let zero = 0x0000
+let one = 0x3c00
+let infinity = 0x7c00
+let neg_infinity = 0xfc00
+let nan = 0x7e00
+
+(* Widening fp16 -> fp64 is exact: unpack sign/exponent/mantissa and
+   rebuild the value with ordinary float arithmetic. *)
+let to_float t =
+  let sign = if t land 0x8000 <> 0 then -1.0 else 1.0 in
+  let exp = (t lsr 10) land 0x1f in
+  let mant = t land 0x3ff in
+  if exp = 0x1f then
+    if mant = 0 then sign *. Float.infinity else Float.nan
+  else if exp = 0 then
+    (* subnormal: mant * 2^-24 *)
+    sign *. float_of_int mant *. 0x1p-24
+  else
+    sign *. (1.0 +. (float_of_int mant *. 0x1p-10)) *. Float.pow 2.0 (float_of_int (exp - 15))
+
+(* Narrowing fp64 -> fp16 with round-to-nearest-even.  We go through the
+   float32 bit pattern first (Int32.bits_of_float rounds correctly to
+   single precision) and then round the float32 pattern to half. *)
+let of_float x =
+  if Float.is_nan x then nan
+  else begin
+    let bits32 = Int32.to_int (Int32.bits_of_float x) land 0xffffffff in
+    let sign = (bits32 lsr 16) land 0x8000 in
+    let exp32 = (bits32 lsr 23) land 0xff in
+    let mant32 = bits32 land 0x7fffff in
+    if exp32 = 0xff then sign lor 0x7c00 (* infinity (NaN handled above) *)
+    else begin
+      (* unbiased exponent *)
+      let e = exp32 - 127 in
+      if e > 15 then sign lor 0x7c00 (* overflow to infinity *)
+      else if e >= -14 then begin
+        (* normal fp16 range: keep 10 mantissa bits, round to nearest even *)
+        let mant = mant32 lsr 13 in
+        let rest = mant32 land 0x1fff in
+        let half = 0x1000 in
+        let mant =
+          if rest > half || (rest = half && mant land 1 = 1) then mant + 1
+          else mant
+        in
+        (* mantissa carry may bump the exponent; the encoding handles this
+           naturally because mant = 0x400 rolls into the exponent field *)
+        let encoded = ((e + 15) lsl 10) + mant in
+        if encoded >= 0x7c00 then sign lor 0x7c00 else sign lor encoded
+      end
+      else if e >= -25 then begin
+        (* subnormal: shift the implicit leading one into the mantissa *)
+        let full = mant32 lor 0x800000 in
+        let shift = -e - 14 + 13 in
+        let mant = full lsr shift in
+        let rest = full land ((1 lsl shift) - 1) in
+        let half = 1 lsl (shift - 1) in
+        let mant =
+          if rest > half || (rest = half && mant land 1 = 1) then mant + 1
+          else mant
+        in
+        sign lor mant
+      end
+      else sign (* underflow to signed zero *)
+    end
+  end
+
+let round_float x = to_float (of_float x)
+
+let is_nan t =
+  let exp = (t lsr 10) land 0x1f in
+  let mant = t land 0x3ff in
+  exp = 0x1f && mant <> 0
+
+let equal a b = (a : int) = b || (is_nan a && is_nan b)

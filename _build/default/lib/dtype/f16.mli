@@ -1,0 +1,36 @@
+(** Software emulation of IEEE-754 binary16 (half precision).
+
+    Values are represented by their 16-bit pattern stored in an [int].
+    Conversions use round-to-nearest-even, matching hardware fp16 units so
+    that mixed-precision numerics in the interpreter behave like the
+    tensorized instructions they stand in for. *)
+
+type t = private int
+(** A half-precision float, as its 16-bit pattern. *)
+
+val of_bits : int -> t
+(** [of_bits b] reinterprets the low 16 bits of [b] as an fp16 value. *)
+
+val to_bits : t -> int
+
+val of_float : float -> t
+(** Convert from double precision with round-to-nearest-even, overflow to
+    infinity, and preservation of NaN. *)
+
+val to_float : t -> float
+(** Exact widening conversion. *)
+
+val round_float : float -> float
+(** [round_float x] is [to_float (of_float x)]: the nearest representable
+    fp16 value of [x], as a double.  This is the primitive used by the
+    interpreter to emulate fp16 arithmetic ([fp16 (a op b)] is computed in
+    doubles and then rounded). *)
+
+val zero : t
+val one : t
+val neg_infinity : t
+val infinity : t
+val nan : t
+
+val is_nan : t -> bool
+val equal : t -> t -> bool

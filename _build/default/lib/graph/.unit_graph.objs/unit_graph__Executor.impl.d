@@ -1,0 +1,1 @@
+lib/graph/executor.ml: Array Dtype Float Graph Hashtbl Int64 List Ndarray Printf Stdlib Unit_codegen Unit_dtype Value

@@ -1,0 +1,1 @@
+lib/graph/executor.mli: Graph Ndarray Unit_codegen

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Dtype Format Hashtbl List Printf Stdlib String Unit_dtype

@@ -1,0 +1,1 @@
+lib/graph/passes.ml: Array Dtype Executor Graph Hashtbl Int64 List Printf Unit_dtype

@@ -1,0 +1,1 @@
+lib/graph/workload.ml: Graph List Printf Unit_dsl Unit_dtype

@@ -1,0 +1,1 @@
+lib/graph/workload.mli: Dtype Graph Unit_dsl Unit_dtype

@@ -1,0 +1,428 @@
+open Unit_dtype
+open Unit_codegen
+
+type value = {
+  arr : Ndarray.t;
+  scale : float;
+}
+
+exception Exec_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+let is_quantized v = Dtype.is_integer v.arr.Ndarray.dtype
+
+(* real-domain element access *)
+let real v idx = Value.to_float (Ndarray.get v.arr idx) *. v.scale
+let real_flat v i = Value.to_float (Ndarray.get_flat v.arr i) *. v.scale
+
+let qmax dtype = Int64.to_float (Dtype.max_int_value dtype)
+
+(* represent a real number in a quantized (or float) signature *)
+let represent dtype scale x =
+  if Dtype.is_float dtype then Value.of_float dtype x
+  else Value.cast_saturating dtype (Value.of_int64 Dtype.I64 (Int64.of_float (Float.round (x /. scale))))
+
+let represent_arr ~dtype ~scale ~shape f =
+  { arr = Ndarray.init ~dtype ~shape (fun idx -> represent dtype scale (f idx));
+    scale = (if Dtype.is_float dtype then 1.0 else scale)
+  }
+
+(* ---------- deterministic parameter synthesis ---------- *)
+
+let hash_mix a b =
+  let x = (a * 2654435761) lxor (b * 40503) lxor 0x9e3779b9 in
+  let x = x lxor (x lsr 13) in
+  let x = x * 1274126177 land max_int in
+  x lxor (x lsr 16)
+
+let unit_float seed i = (Float.of_int (hash_mix seed i mod 2001) /. 1000.0) -. 1.0
+
+let synth_weight (node : Graph.node) shape =
+  let fan_in =
+    match shape with
+    | [ _bias ] -> 16
+    | _ :: rest -> List.fold_left ( * ) 1 rest
+    | [] -> 1
+  in
+  let scale = 1.0 /. Float.sqrt (Float.of_int (Stdlib.max 1 fan_in)) in
+  let n = List.fold_left ( * ) 1 shape in
+  (* keyed by the node's (stable) name, not its id: passes renumber ids
+     but must see the same model parameters *)
+  let key = Hashtbl.hash node.Graph.name in
+  Ndarray.init ~dtype:Dtype.F32 ~shape (fun idx ->
+      let flat = Array.fold_left (fun acc i -> (acc * 1021) + i) 0 idx mod n in
+      Value.of_float Dtype.F32 (unit_float key flat *. scale))
+
+let default_input g ~seed =
+  let input_node =
+    match
+      List.find_opt
+        (fun (n : Graph.node) ->
+          match n.Graph.kind with Graph.Input _ -> true | _ -> false)
+        (Graph.nodes g)
+    with
+    | Some n -> n
+    | None -> error "graph has no input node"
+  in
+  let shape = Graph.shape_of g input_node.Graph.id in
+  Ndarray.init ~dtype:Dtype.F32 ~shape (fun idx ->
+      let flat = Array.fold_left (fun acc i -> (acc * 2039) + i) seed idx in
+      Value.of_float Dtype.F32 (Float.abs (unit_float seed flat)))
+
+(* ---------- per-kind numerics ---------- *)
+
+let shape3 v =
+  match v.arr.Ndarray.shape with
+  | [| c; h; w |] -> (c, h, w)
+  | _ -> error "expected rank-3 activation"
+
+let conv2d (attrs : Graph.conv2d_attrs) data weights =
+  let c, h, w = shape3 data in
+  let k = attrs.Graph.out_channels in
+  let cg = c / attrs.Graph.groups in
+  let kg = k / attrs.Graph.groups in
+  let oh = Graph.conv_out_dim ~size:h ~kernel:attrs.Graph.kernel ~stride:attrs.Graph.stride ~padding:attrs.Graph.padding in
+  let ow = Graph.conv_out_dim ~size:w ~kernel:attrs.Graph.kernel ~stride:attrs.Graph.stride ~padding:attrs.Graph.padding in
+  let quantized = is_quantized data in
+  let out_dtype = if quantized then Dtype.I32 else Dtype.F32 in
+  let out_scale = if quantized then data.scale *. weights.scale else 1.0 in
+  let get_int v idx = Int64.to_int (Value.to_int64 (Ndarray.get v.arr idx)) in
+  let compute idx =
+    let ko = idx.(0) and y = idx.(1) and x = idx.(2) in
+    let group = ko / kg in
+    if quantized then begin
+      let acc = ref 0 in
+      for ci = 0 to cg - 1 do
+        for r = 0 to attrs.Graph.kernel - 1 do
+          for s = 0 to attrs.Graph.kernel - 1 do
+            let iy = (y * attrs.Graph.stride) + r - attrs.Graph.padding in
+            let ix = (x * attrs.Graph.stride) + s - attrs.Graph.padding in
+            if iy >= 0 && iy < h && ix >= 0 && ix < w then
+              acc :=
+                !acc
+                + get_int data [| (group * cg) + ci; iy; ix |]
+                  * get_int weights [| ko; ci; r; s |]
+          done
+        done
+      done;
+      Float.of_int !acc *. out_scale
+    end
+    else begin
+      let acc = ref 0.0 in
+      for ci = 0 to cg - 1 do
+        for r = 0 to attrs.Graph.kernel - 1 do
+          for s = 0 to attrs.Graph.kernel - 1 do
+            let iy = (y * attrs.Graph.stride) + r - attrs.Graph.padding in
+            let ix = (x * attrs.Graph.stride) + s - attrs.Graph.padding in
+            if iy >= 0 && iy < h && ix >= 0 && ix < w then
+              acc :=
+                !acc
+                +. real data [| (group * cg) + ci; iy; ix |]
+                   *. real weights [| ko; ci; r; s |]
+          done
+        done
+      done;
+      !acc
+    end
+  in
+  represent_arr ~dtype:out_dtype ~scale:out_scale ~shape:[ k; oh; ow ] compute
+
+let conv3d (attrs : Graph.conv3d_attrs) data weights =
+  let c, d, h, w =
+    match data.arr.Ndarray.shape with
+    | [| c; d; h; w |] -> (c, d, h, w)
+    | _ -> error "conv3d expects rank-4 data"
+  in
+  let k = attrs.Graph.c3_out_channels in
+  let dim size =
+    Graph.conv_out_dim ~size ~kernel:attrs.Graph.c3_kernel ~stride:attrs.Graph.c3_stride
+      ~padding:attrs.Graph.c3_padding
+  in
+  let quantized = is_quantized data in
+  let out_dtype = if quantized then Dtype.I32 else Dtype.F32 in
+  let out_scale = if quantized then data.scale *. weights.scale else 1.0 in
+  let compute idx =
+    let ko = idx.(0) and z = idx.(1) and y = idx.(2) and x = idx.(3) in
+    let acc = ref 0.0 in
+    for ci = 0 to c - 1 do
+      for q = 0 to attrs.Graph.c3_kernel - 1 do
+        for r = 0 to attrs.Graph.c3_kernel - 1 do
+          for s = 0 to attrs.Graph.c3_kernel - 1 do
+            let iz = (z * attrs.Graph.c3_stride) + q - attrs.Graph.c3_padding in
+            let iy = (y * attrs.Graph.c3_stride) + r - attrs.Graph.c3_padding in
+            let ix = (x * attrs.Graph.c3_stride) + s - attrs.Graph.c3_padding in
+            if iz >= 0 && iz < d && iy >= 0 && iy < h && ix >= 0 && ix < w then
+              acc :=
+                !acc
+                +. real data [| ci; iz; iy; ix |] *. real weights [| ko; ci; q; r; s |]
+          done
+        done
+      done
+    done;
+    !acc
+  in
+  represent_arr ~dtype:out_dtype ~scale:out_scale ~shape:[ k; dim d; dim h; dim w ]
+    compute
+
+let dense units data weights =
+  let k =
+    match data.arr.Ndarray.shape with
+    | [| k |] -> k
+    | _ -> error "dense expects rank-1 data"
+  in
+  let quantized = is_quantized data in
+  let out_dtype = if quantized then Dtype.I32 else Dtype.F32 in
+  let out_scale = if quantized then data.scale *. weights.scale else 1.0 in
+  let compute idx =
+    let u = idx.(0) in
+    let acc = ref 0.0 in
+    for i = 0 to k - 1 do
+      acc := !acc +. (real data [| i |] *. real weights [| u; i |])
+    done;
+    !acc
+  in
+  represent_arr ~dtype:out_dtype ~scale:out_scale ~shape:[ units ] compute
+
+let map_value v f =
+  represent_arr ~dtype:v.arr.Ndarray.dtype
+    ~scale:v.scale
+    ~shape:(Array.to_list v.arr.Ndarray.shape)
+    (fun idx -> f (real v idx))
+
+let bias_add data bias =
+  let channels_first idx = idx.(0) in
+  represent_arr ~dtype:data.arr.Ndarray.dtype ~scale:data.scale
+    ~shape:(Array.to_list data.arr.Ndarray.shape)
+    (fun idx -> real data idx +. real_flat bias (channels_first idx))
+
+let add_values a b =
+  represent_arr ~dtype:a.arr.Ndarray.dtype ~scale:a.scale
+    ~shape:(Array.to_list a.arr.Ndarray.shape)
+    (fun idx -> real a idx +. real b idx)
+
+let pool pool_kind ~window ~stride ~padding data =
+  let c, h, w = shape3 data in
+  let oh = Graph.conv_out_dim ~size:h ~kernel:window ~stride ~padding in
+  let ow = Graph.conv_out_dim ~size:w ~kernel:window ~stride ~padding in
+  represent_arr ~dtype:data.arr.Ndarray.dtype ~scale:data.scale ~shape:[ c; oh; ow ]
+    (fun idx ->
+      let ch = idx.(0) and y = idx.(1) and x = idx.(2) in
+      let acc = ref (match pool_kind with Graph.Max_pool -> Float.neg_infinity | Graph.Avg_pool -> 0.0) in
+      let count = ref 0 in
+      for r = 0 to window - 1 do
+        for s = 0 to window - 1 do
+          let iy = (y * stride) + r - padding in
+          let ix = (x * stride) + s - padding in
+          if iy >= 0 && iy < h && ix >= 0 && ix < w then begin
+            let v = real data [| ch; iy; ix |] in
+            incr count;
+            match pool_kind with
+            | Graph.Max_pool -> acc := Float.max !acc v
+            | Graph.Avg_pool -> acc := !acc +. v
+          end
+        done
+      done;
+      match pool_kind with
+      | Graph.Max_pool -> !acc
+      | Graph.Avg_pool -> !acc /. Float.of_int (Stdlib.max 1 !count))
+
+let global_avg_pool data =
+  let c, h, w = shape3 data in
+  represent_arr ~dtype:data.arr.Ndarray.dtype ~scale:data.scale ~shape:[ c ]
+    (fun idx ->
+      let ch = idx.(0) in
+      let acc = ref 0.0 in
+      for y = 0 to h - 1 do
+        for x = 0 to w - 1 do
+          acc := !acc +. real data [| ch; y; x |]
+        done
+      done;
+      !acc /. Float.of_int (h * w))
+
+let flatten data =
+  let n = Ndarray.num_elements data.arr in
+  { data with
+    arr =
+      Ndarray.init ~dtype:data.arr.Ndarray.dtype ~shape:[ n ] (fun idx ->
+          Ndarray.get_flat data.arr idx.(0))
+  }
+
+let concat values =
+  match values with
+  | [] -> error "concat: no inputs"
+  | first :: _ ->
+    let spatial =
+      match Array.to_list first.arr.Ndarray.shape with
+      | _ :: rest -> rest
+      | [] -> error "concat: empty shape"
+    in
+    let channels =
+      List.map
+        (fun v ->
+          match v.arr.Ndarray.shape with
+          | [||] -> error "concat: empty shape"
+          | shape -> shape.(0))
+        values
+    in
+    let total = List.fold_left ( + ) 0 channels in
+    represent_arr ~dtype:first.arr.Ndarray.dtype ~scale:first.scale
+      ~shape:(total :: spatial)
+      (fun idx ->
+        let rec pick ch values channels =
+          match values, channels with
+          | v :: vs, c :: cs -> if ch < c then (v, ch) else pick (ch - c) vs cs
+          | _ -> error "concat: channel out of range"
+        in
+        let v, ch = pick idx.(0) values channels in
+        let idx' = Array.copy idx in
+        idx'.(0) <- ch;
+        real v idx')
+
+let softmax data =
+  let n = Ndarray.num_elements data.arr in
+  let xs = Array.init n (fun i -> real_flat data i) in
+  let m = Array.fold_left Float.max Float.neg_infinity xs in
+  let exps = Array.map (fun x -> Float.exp (x -. m)) xs in
+  let total = Array.fold_left ( +. ) 0.0 exps in
+  { arr =
+      Ndarray.init ~dtype:Dtype.F32 ~shape:[ n ] (fun idx ->
+          Value.of_float Dtype.F32 (exps.(idx.(0)) /. total));
+    scale = 1.0
+  }
+
+let quantize ~scale ~dtype data =
+  represent_arr ~dtype ~scale ~shape:(Array.to_list data.arr.Ndarray.shape) (real data)
+
+let dequantize data =
+  represent_arr ~dtype:Dtype.F32 ~scale:1.0
+    ~shape:(Array.to_list data.arr.Ndarray.shape)
+    (real data)
+
+(* weights: synthesized fp32; an I8-declared weight is self-quantized with
+   its own max-abs (per-tensor symmetric, like offline weight
+   quantization) *)
+let weight_value (node : Graph.node) shape dtype =
+  let f32 = synth_weight node shape in
+  let v = { arr = f32; scale = 1.0 } in
+  if Dtype.equal dtype Dtype.F32 then v
+  else begin
+    let maxabs =
+      Ndarray.fold (fun acc x -> Float.max acc (Float.abs (Value.to_float x))) 1e-6 f32
+    in
+    let scale = maxabs /. qmax dtype in
+    quantize ~scale ~dtype v
+  end
+
+(* ---------- the walk ---------- *)
+
+let base_arity = function
+  | Graph.Input _ | Graph.Weight _ -> 0
+  | Graph.Conv2d _ | Graph.Conv3d _ | Graph.Dense _ | Graph.Bias_add | Graph.Add -> 2
+  | Graph.Relu | Graph.Clip _ | Graph.Pool _ | Graph.Global_avg_pool | Graph.Flatten
+  | Graph.Softmax | Graph.Quantize _ | Graph.Dequantize _ -> 1
+  | Graph.Concat -> -1 (* variadic; never fused *)
+
+let apply_kind kind args =
+  match kind, args with
+  | Graph.Conv2d attrs, [ data; weights ] -> conv2d attrs data weights
+  | Graph.Conv3d attrs, [ data; weights ] -> conv3d attrs data weights
+  | Graph.Dense { units }, [ data; weights ] -> dense units data weights
+  | Graph.Bias_add, [ data; bias ] -> bias_add data bias
+  | Graph.Relu, [ data ] -> map_value data (Float.max 0.0)
+  | Graph.Clip { lo; hi }, [ data ] ->
+    map_value data (fun x -> Float.min hi (Float.max lo x))
+  | Graph.Add, [ a; b ] -> add_values a b
+  | Graph.Pool { pool = k; window; stride; padding }, [ data ] ->
+    pool k ~window ~stride ~padding data
+  | Graph.Global_avg_pool, [ data ] -> global_avg_pool data
+  | Graph.Flatten, [ data ] -> flatten data
+  | Graph.Concat, values -> concat values
+  | Graph.Softmax, [ data ] -> softmax data
+  | Graph.Quantize { scale; dtype }, [ data ] -> quantize ~scale ~dtype data
+  | Graph.Dequantize _, [ data ] -> dequantize data
+  | (Graph.Input _ | Graph.Weight _), _ -> error "input/weight evaluated as op"
+  | _ -> error "arity mismatch during execution"
+
+let run g ~input =
+  let results : (int, value) Hashtbl.t = Hashtbl.create 64 in
+  let eval_node (n : Graph.node) =
+    let all_inputs = List.map (fun i -> Hashtbl.find results i) n.Graph.inputs in
+    let v =
+      match n.Graph.kind with
+      | Graph.Input { dtype; _ } ->
+        if not (Dtype.equal input.Ndarray.dtype dtype) then
+          error "input dtype mismatch";
+        { arr = input; scale = 1.0 }
+      | Graph.Weight { shape; dtype } -> weight_value n shape dtype
+      | kind ->
+        let arity = base_arity kind in
+        let own, extra =
+          if arity < 0 then (all_inputs, [])
+          else begin
+            let rec split i xs =
+              if i = 0 then ([], xs)
+              else
+                match xs with
+                | [] -> error "%s: missing inputs" n.Graph.name
+                | x :: rest ->
+                  let a, b = split (i - 1) rest in
+                  (x :: a, b)
+            in
+            split arity all_inputs
+          end
+        in
+        let base = apply_kind kind own in
+        (* fused epilogues consume the remaining inputs in order *)
+        let v, leftover =
+          List.fold_left
+            (fun (v, extra) fused_kind ->
+              let arity = base_arity fused_kind - 1 in
+              let rec take i xs =
+                if i = 0 then ([], xs)
+                else
+                  match xs with
+                  | [] -> error "%s: fused %s missing inputs" n.Graph.name "op"
+                  | x :: rest ->
+                    let a, b = take (i - 1) rest in
+                    (x :: a, b)
+              in
+              let extras, rest = take (Stdlib.max 0 arity) extra in
+              (apply_kind fused_kind (v :: extras), rest))
+            (base, extra) n.Graph.fused
+        in
+        if leftover <> [] then error "%s: unconsumed inputs" n.Graph.name;
+        v
+    in
+    Hashtbl.replace results n.Graph.id v
+  in
+  List.iter eval_node (Graph.nodes g);
+  Hashtbl.find results (Graph.output g)
+
+let run_to_floats g ~input =
+  let out = run g ~input in
+  Array.init (Ndarray.num_elements out.arr) (fun i -> real_flat out i)
+
+let calibrate g ~input =
+  let results : (int, value) Hashtbl.t = Hashtbl.create 64 in
+  let maxima : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let record id v =
+    let m = ref 1e-6 in
+    for i = 0 to Ndarray.num_elements v.arr - 1 do
+      m := Float.max !m (Float.abs (real_flat v i))
+    done;
+    Hashtbl.replace maxima id !m
+  in
+  List.iter
+    (fun (n : Graph.node) ->
+      let v =
+        match n.Graph.kind with
+        | Graph.Input _ -> { arr = input; scale = 1.0 }
+        | Graph.Weight { shape; dtype } -> weight_value n shape dtype
+        | kind ->
+          apply_kind kind (List.map (fun i -> Hashtbl.find results i) n.Graph.inputs)
+      in
+      Hashtbl.replace results n.Graph.id v;
+      record n.Graph.id v)
+    (Graph.nodes g);
+  fun id -> match Hashtbl.find_opt maxima id with Some m -> m | None -> 1.0

@@ -1,0 +1,39 @@
+(** Reference numeric executor for graphs.
+
+    Runs a model end-to-end on synthesized weights — the correctness side
+    of the evaluation: a quantized graph must reproduce the fp32 graph's
+    output within quantization tolerance.  Quantized tensors carry a
+    per-tensor symmetric [scale] ([real = q * scale]); all rescaling
+    happens where real inference engines put it (requantize after the
+    accumulator, rescale-on-add for residuals).
+
+    This executor is an oracle, not a runtime: latency questions go to
+    [Unit_machine]. *)
+
+open Unit_codegen
+
+type value = {
+  arr : Ndarray.t;
+  scale : float;  (** 1.0 for float tensors *)
+}
+
+exception Exec_error of string
+
+val synth_weight : Graph.node -> int list -> Ndarray.t
+(** Deterministic pseudo-random parameters: fan-in-scaled floats, keyed by
+    the node id, so every run of every pass variant sees the same model. *)
+
+val default_input : Graph.t -> seed:int -> Ndarray.t
+(** A deterministic input in [0, 1) matching the graph's input shape. *)
+
+val run : Graph.t -> input:Ndarray.t -> value
+(** Execute the whole graph; returns the output node's value.
+    @raise Exec_error on kind/dtype combinations the graph passes never
+    produce. *)
+
+val run_to_floats : Graph.t -> input:Ndarray.t -> float array
+(** [run] then dequantize: the output as real numbers. *)
+
+val calibrate : Graph.t -> input:Ndarray.t -> Graph.id -> float
+(** Max-abs of every node's (float-domain) output on this input — the
+    profile the quantization pass turns into scales. *)

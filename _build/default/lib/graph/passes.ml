@@ -1,0 +1,192 @@
+open Unit_dtype
+
+exception Pass_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Pass_error s)) fmt
+
+let count_kind g pred =
+  List.fold_left
+    (fun acc (n : Graph.node) -> if pred n.Graph.kind then acc + 1 else acc)
+    0 (Graph.nodes g)
+
+(* consumers.(id) = ids of nodes reading it (any input position) *)
+let consumer_table g =
+  let table = Array.make (Graph.arity g) [] in
+  List.iter
+    (fun (n : Graph.node) ->
+      List.iter (fun i -> table.(i) <- n.Graph.id :: table.(i)) n.Graph.inputs)
+    (Graph.nodes g);
+  table
+
+let is_compute = function
+  | Graph.Conv2d _ | Graph.Conv3d _ | Graph.Dense _ -> true
+  | _ -> false
+
+let is_epilogue = function
+  | Graph.Bias_add | Graph.Relu | Graph.Clip _ -> true
+  | _ -> false
+
+let qmax dtype = Int64.to_float (Dtype.max_int_value dtype)
+
+(* ---------- quantization ---------- *)
+
+let quantize_with ~act_dtype ~calib g =
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.kind with
+      | Graph.Quantize _ | Graph.Dequantize _ ->
+        error "quantize: graph is already quantized"
+      | _ -> ())
+    (Graph.nodes g);
+  let consumers = consumer_table g in
+  (* which Weight nodes are the weight operand (input #1) of a compute
+     node; those become i8.  Biases and other weights stay fp32. *)
+  let quantized_weights = Array.make (Graph.arity g) false in
+  List.iter
+    (fun (n : Graph.node) ->
+      if is_compute n.Graph.kind then
+        match n.Graph.inputs with
+        | [ _; w ] -> quantized_weights.(w) <- true
+        | _ -> ())
+    (Graph.nodes g);
+  (* end of each compute node's epilogue chain: the place to requantize *)
+  let requant_after = Array.make (Graph.arity g) false in
+  List.iter
+    (fun (n : Graph.node) ->
+      if is_compute n.Graph.kind then begin
+        let rec chase id =
+          match consumers.(id) with
+          | [ c ] ->
+            let cn = Graph.node g c in
+            if is_epilogue cn.Graph.kind && List.hd cn.Graph.inputs = id then chase c
+            else id
+          | _ -> id
+        in
+        requant_after.(chase n.Graph.id) <- true
+      end)
+    (Graph.nodes g);
+  (* rebuild with insertions *)
+  let rev_emitted = ref [] in
+  let next = ref 0 in
+  let sigs : (int, int list * Dtype.t) Hashtbl.t = Hashtbl.create 64 in
+  let emit name kind inputs =
+    let id = !next in
+    incr next;
+    Hashtbl.replace sigs id
+      (Graph.infer kind ~fused:[] (List.map (Hashtbl.find sigs) inputs));
+    rev_emitted := (name, kind, inputs, []) :: !rev_emitted;
+    id
+  in
+  let map = Array.make (Graph.arity g) (-1) in
+  List.iter
+    (fun (n : Graph.node) ->
+      let inputs = List.map (fun i -> map.(i)) n.Graph.inputs in
+      let kind =
+        match n.Graph.kind with
+        | Graph.Weight { shape; _ } when quantized_weights.(n.Graph.id) ->
+          Graph.Weight { shape; dtype = Dtype.I8 }
+        | k -> k
+      in
+      (* float-only consumers of integer data get an explicit dequantize *)
+      let inputs =
+        match kind with
+        | Graph.Softmax ->
+          List.map
+            (fun i ->
+              if Dtype.is_integer (snd (Hashtbl.find sigs i)) then
+                emit (n.Graph.name ^ "_deq")
+                  (Graph.Dequantize { scale = calib n.Graph.id })
+                  [ i ]
+              else i)
+            inputs
+        | _ -> inputs
+      in
+      let new_id = emit n.Graph.name kind inputs in
+      let insert_quantize source scale_basis =
+        let scale = scale_basis /. qmax act_dtype in
+        emit (n.Graph.name ^ "_q") (Graph.Quantize { scale; dtype = act_dtype }) [ source ]
+      in
+      map.(n.Graph.id) <-
+        (match n.Graph.kind with
+         | Graph.Input _ -> insert_quantize new_id (calib n.Graph.id)
+         | _ when requant_after.(n.Graph.id) -> insert_quantize new_id (calib n.Graph.id)
+         | _ -> new_id))
+    (Graph.nodes g);
+  (* if the network output is still integer, dequantize it *)
+  let out = map.(Graph.output g) in
+  let out =
+    if Dtype.is_integer (snd (Hashtbl.find sigs out)) then
+      emit "output_deq" (Graph.Dequantize { scale = calib (Graph.output g) }) [ out ]
+    else out
+  in
+  Graph.build (List.rev !rev_emitted) ~output:out
+
+(* ---------- fusion ---------- *)
+
+let fusable_epilogue = function
+  | Graph.Bias_add | Graph.Relu | Graph.Clip _ | Graph.Quantize _ -> true
+  | _ -> false
+
+let fuse g =
+  let consumers = consumer_table g in
+  (* fold_target.(old id) = old id of the compute node it folds into *)
+  let fold_target = Array.make (Graph.arity g) (-1) in
+  List.iter
+    (fun (n : Graph.node) ->
+      if fusable_epilogue n.Graph.kind then begin
+        match n.Graph.inputs with
+        | data :: _ when List.length consumers.(data) = 1 ->
+          let producer = Graph.node g data in
+          if is_compute producer.Graph.kind then fold_target.(n.Graph.id) <- data
+          else if fold_target.(data) >= 0 then
+            fold_target.(n.Graph.id) <- fold_target.(data)
+        | _ -> ()
+      end)
+    (Graph.nodes g);
+  (* assemble: each surviving node keeps its own inputs plus the extra
+     inputs of everything folded into it, in fold order *)
+  let extra_inputs = Array.make (Graph.arity g) [] in
+  let fused_kinds = Array.make (Graph.arity g) [] in
+  List.iter
+    (fun (n : Graph.node) ->
+      let target = fold_target.(n.Graph.id) in
+      if target >= 0 then begin
+        fused_kinds.(target) <- fused_kinds.(target) @ [ n.Graph.kind ];
+        extra_inputs.(target)
+        <- extra_inputs.(target) @ List.tl n.Graph.inputs
+      end)
+    (Graph.nodes g);
+  (* a folded epilogue's extra inputs (e.g. its bias weight) come later in
+     the original order than the compute node they now feed, so emission
+     follows the NEW dependency order *)
+  let map = Array.make (Graph.arity g) (-1) in
+  let rev_emitted = ref [] in
+  let next = ref 0 in
+  let rec ensure old_id =
+    if map.(old_id) < 0 then begin
+      let target = fold_target.(old_id) in
+      if target >= 0 then begin
+        ensure target;
+        map.(old_id) <- map.(target)
+      end
+      else begin
+        let n = Graph.node g old_id in
+        let all_inputs = n.Graph.inputs @ extra_inputs.(old_id) in
+        List.iter ensure all_inputs;
+        let inputs = List.map (fun i -> map.(i)) all_inputs in
+        let id = !next in
+        incr next;
+        rev_emitted :=
+          (n.Graph.name, n.Graph.kind, inputs, fused_kinds.(old_id)) :: !rev_emitted;
+        map.(old_id) <- id
+      end
+    end
+  in
+  List.iter (fun (n : Graph.node) -> ensure n.Graph.id) (Graph.nodes g);
+  Graph.build (List.rev !rev_emitted) ~output:map.(Graph.output g)
+
+let quantize ~act_dtype ~calibration_seed g =
+  let input = Executor.default_input g ~seed:calibration_seed in
+  quantize_with ~act_dtype ~calib:(Executor.calibrate g ~input) g
+
+let quantize_structural ~act_dtype g = quantize_with ~act_dtype ~calib:(fun _ -> 1.0) g

@@ -1,0 +1,34 @@
+(** Graph-level transformations (Section II-C.1).
+
+    - {!quantize}: fp32 -> mixed precision.  Activations are requantized
+      to [act_dtype] (u8 on x86 with VNNI's unsigned-by-signed operands,
+      i8 on ARM DOT) after every conv/dense epilogue; weights become i8;
+      scales come from a calibration run.  This is the paper's
+      prerequisite for mapping the integer tensorized instructions.
+    - {!fuse}: folds bias/activation/requantize epilogues into the
+      producing conv/dense node — the operator fusion UNIT inherits from
+      the deep-learning-compiler pipeline, and the reason vendor-library
+      baselines pay per-op dispatch overhead that UNIT does not. *)
+
+exception Pass_error of string
+
+val quantize : act_dtype:Unit_dtype.Dtype.t -> calibration_seed:int -> Graph.t -> Graph.t
+(** The input graph must be fp32 (not already quantized).
+    @raise Pass_error otherwise. *)
+
+val quantize_structural : act_dtype:Unit_dtype.Dtype.t -> Graph.t -> Graph.t
+(** Same rewrite with placeholder scales (no calibration run).  The result
+    has the right {e structure and dtypes} for workload extraction and
+    latency modelling but meaningless numerics — use {!quantize} when the
+    output will be executed.  This is what the end-to-end latency figures
+    use: calibrating all nine models numerically costs tens of GMACs in
+    the reference interpreter. *)
+
+val fuse : Graph.t -> Graph.t
+(** Fold every [Bias_add]/[Relu]/[Clip]/[Quantize] whose data input is a
+    single-consumer [Conv2d]/[Conv3d]/[Dense] (or a node already fused
+    into one) into that producer. *)
+
+val count_kind : Graph.t -> (Graph.kind -> bool) -> int
+(** Nodes (not counting fused epilogues) satisfying the predicate;
+    convenience for tests and the latency model. *)

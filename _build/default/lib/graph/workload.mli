@@ -1,0 +1,81 @@
+(** Kernel workloads extracted from a graph: the units UNIT compiles.
+
+    A workload is a conv/dense shape plus dtypes; equal workloads are
+    deduplicated with a count so a model compiles each distinct kernel
+    once (the paper's 148 distinct convolutions across 9 models). *)
+
+open Unit_dtype
+
+type conv2d = {
+  c : int;  (** input channels *)
+  h : int;  (** input height (pre-padding) *)
+  w : int;
+  k : int;  (** output channels *)
+  kernel : int;
+  stride : int;
+  padding : int;
+  groups : int;
+}
+
+type conv3d = {
+  w3_c : int;
+  w3_d : int;
+  w3_h : int;
+  w3_w : int;
+  w3_k : int;
+  w3_kernel : int;
+  w3_stride : int;
+  w3_padding : int;
+}
+
+type dense = {
+  d_k : int;
+  d_units : int;
+}
+
+type t =
+  | Conv of conv2d
+  | Conv3 of conv3d
+  | Fc of dense
+
+val of_graph : Graph.t -> (t * int) list
+(** Distinct workloads with multiplicities, in first-appearance order. *)
+
+val macs : t -> int
+(** True multiply-accumulates (no padding). *)
+
+val name : t -> string
+(** e.g. ["conv_c64_hw56_k128_k3_s2"]. *)
+
+val pad_to : int -> multiple:int -> int
+
+val conv_spec :
+  lanes:int -> reduce_width:int -> conv2d -> Unit_dsl.Op_library.conv2d_spec
+(** The spatially padded, channel-padded spec handed to
+    {!Unit_dsl.Op_library.conv2d_nchwc}: spatial padding from the conv
+    attribute; input channels padded to a [reduce_width] multiple and
+    output channels to a [lanes] multiple (the graph-level padding of
+    Section II-C.1).
+    @raise Invalid_argument on grouped convolutions — those never
+    tensorize and are costed separately. *)
+
+val conv_op :
+  data_dtype:Dtype.t ->
+  weight_dtype:Dtype.t ->
+  lanes:int ->
+  reduce_width:int ->
+  conv2d ->
+  Unit_dsl.Op.t
+
+val conv3d_op :
+  data_dtype:Dtype.t ->
+  weight_dtype:Dtype.t ->
+  lanes:int ->
+  reduce_width:int ->
+  conv3d ->
+  Unit_dsl.Op.t
+
+val dense_op :
+  data_dtype:Dtype.t -> weight_dtype:Dtype.t -> lanes:int -> reduce_width:int -> dense -> Unit_dsl.Op.t
+(** Dense with [d_units] padded to a [lanes] multiple and [d_k] to a
+    [reduce_width] multiple. *)

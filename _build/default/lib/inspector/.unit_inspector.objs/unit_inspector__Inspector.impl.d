@@ -1,0 +1,1 @@
+lib/inspector/inspector.ml: Array Axis Dtype Expr Format Int64 List Op Printf Stdlib String Tensor Unit_dsl Unit_dtype Unit_isa Value

@@ -1,0 +1,1 @@
+lib/inspector/inspector.mli: Axis Expr Format Op Tensor Unit_dsl Unit_dtype Unit_isa

@@ -1,0 +1,271 @@
+open Unit_dtype
+open Unit_dsl
+
+type operand_source =
+  | From_tensor of Tensor.t * Expr.t list
+  | From_constant of Value.t
+
+type mapping = (Axis.t * Axis.t) list
+
+type applicability = {
+  ap_intrin : Unit_isa.Intrin.t;
+  ap_operands : (string * operand_source) list;
+  ap_mappings : mapping list;
+}
+
+type rejection =
+  | Not_isomorphic of string
+  | No_feasible_mapping of string
+
+(* ---------- linear analysis over DSL index expressions ---------- *)
+
+let axis_occurs axis e = List.exists (Axis.equal axis) (Expr.axes_of e)
+
+let as_const_int = function
+  | Expr.Imm v when Dtype.is_integer (Value.dtype v) ->
+    Some (Int64.to_int (Value.to_int64 v))
+  | _ -> None
+
+let rec axis_coefficient e axis =
+  match e with
+  | Expr.Imm _ -> Some 0
+  | Expr.Axis_ref a -> Some (if Axis.equal a axis then 1 else 0)
+  | Expr.Cast (dt, x) when Dtype.is_integer dt -> axis_coefficient x axis
+  | Expr.Binop (Expr.Add, a, b) ->
+    (match axis_coefficient a axis, axis_coefficient b axis with
+     | Some x, Some y -> Some (x + y)
+     | _ -> None)
+  | Expr.Binop (Expr.Sub, a, b) ->
+    (match axis_coefficient a axis, axis_coefficient b axis with
+     | Some x, Some y -> Some (x - y)
+     | _ -> None)
+  | Expr.Binop (Expr.Mul, a, b) ->
+    (match axis_coefficient a axis, axis_coefficient b axis, as_const_int a, as_const_int b
+     with
+     | Some 0, Some 0, _, _ -> Some 0
+     | Some ca, Some 0, _, Some cb -> Some (ca * cb)
+     | Some 0, Some cb, Some ca, _ -> Some (ca * cb)
+     | _ -> None)
+  | Expr.Binop ((Expr.Div | Expr.Mod | Expr.Min | Expr.Max), a, b) ->
+    if axis_occurs axis a || axis_occurs axis b then None else Some 0
+  | Expr.Access _ | Expr.Cast _ | Expr.Neg _ ->
+    if axis_occurs axis e then None else Some 0
+
+(* Element stride with which [axis] walks the flattened access
+   [tensor[indices]]; [None] when non-linear. *)
+let flat_stride tensor indices axis =
+  let strides = Tensor.row_major_strides tensor in
+  let rec go dim acc = function
+    | [] -> Some acc
+    | ix :: rest ->
+      (match axis_coefficient ix axis with
+       | Some c -> go (dim + 1) (acc + (c * strides.(dim))) rest
+       | None -> None)
+  in
+  go 0 0 indices
+
+(* ---------- step 1: Algorithm 1 ---------- *)
+
+let source_equal a b =
+  match a, b with
+  | From_constant x, From_constant y -> Value.equal x y
+  | From_tensor (t, ix), From_tensor (u, iy) ->
+    Tensor.equal t u
+    && List.length ix = List.length iy
+    && List.for_all2 Expr.equal_structural ix iy
+  | (From_constant _ | From_tensor _), _ -> false
+
+(* bindings: intrin tensor id -> (tensor name, source) *)
+let bind_operand bindings (t : Tensor.t) source =
+  match List.assoc_opt t.id bindings with
+  | Some (_, existing) -> if source_equal existing source then Some bindings else None
+  | None -> Some ((t.id, (t.name, source)) :: bindings)
+
+let commutative : Expr.binop -> bool = function
+  | Expr.Add | Expr.Mul | Expr.Min | Expr.Max -> true
+  | Expr.Sub | Expr.Div | Expr.Mod -> false
+
+(* [a] is the instruction tree, [b] the operation tree (Algorithm 1). *)
+let rec inspect_trees bindings a b =
+  if not (Dtype.equal (Expr.dtype_of a) (Expr.dtype_of b)) then None
+  else
+    match a, b with
+    | Expr.Access (t, _), Expr.Access (u, indices) ->
+      bind_operand bindings t (From_tensor (u, indices))
+    | Expr.Access (t, _), Expr.Imm v -> bind_operand bindings t (From_constant v)
+    | Expr.Imm va, Expr.Imm vb -> if Value.equal va vb then Some bindings else None
+    | Expr.Cast (_, x), Expr.Cast (_, y) ->
+      (* node dtypes already matched; operand dtypes match recursively *)
+      inspect_trees bindings x y
+    | Expr.Cast (_, x), Expr.Imm v ->
+      (* a literal on the operation side can stand for a whole cast chain:
+         the register operand simply holds the (narrowed) constant *)
+      inspect_trees bindings x (Expr.imm (Value.cast (Expr.dtype_of x) v))
+    | Expr.Neg x, Expr.Neg y -> inspect_trees bindings x y
+    | Expr.Binop (op, x1, x2), Expr.Binop (oq, y1, y2) when op = oq ->
+      let direct =
+        match inspect_trees bindings x1 y1 with
+        | Some bindings -> inspect_trees bindings x2 y2
+        | None -> None
+      in
+      (match direct with
+       | Some _ as ok -> ok
+       | None ->
+         if commutative op then
+           match inspect_trees bindings x1 y2 with
+           | Some bindings -> inspect_trees bindings x2 y1
+           | None -> None
+         else None)
+    | (Expr.Imm _ | Expr.Axis_ref _ | Expr.Access _ | Expr.Cast _ | Expr.Neg _
+      | Expr.Binop _), _ -> None
+
+let match_bodies op (intrin : Unit_isa.Intrin.t) =
+  inspect_trees [] intrin.Unit_isa.Intrin.op.Op.body op.Op.body
+
+let trees_isomorphic op intrin = match_bodies op intrin <> None
+
+(* ---------- step 2: array access isomorphism ---------- *)
+
+(* operand pairs to check: (op access, intrin access) for tensor-bound
+   operands; constants are skipped (the register holds the literal). *)
+let operand_access_pairs bindings (intrin : Unit_isa.Intrin.t) =
+  let intrin_accesses = Expr.accesses_of intrin.Unit_isa.Intrin.op.Op.body in
+  List.filter_map
+    (fun ((t : Tensor.t), v_indices) ->
+      match List.assoc_opt t.id bindings with
+      | Some (_, From_tensor (u_tensor, u_indices)) ->
+        Some (u_tensor, u_indices, v_indices)
+      | Some (_, From_constant _) | None -> None)
+    intrin_accesses
+
+let axes_of_indices indices =
+  List.concat_map Expr.axes_of indices
+  |> List.fold_left
+       (fun acc a -> if List.exists (Axis.equal a) acc then acc else a :: acc)
+       []
+
+let feasible bindings intrin mapping =
+  let mapped = mapping in
+  let image_of alpha =
+    List.find_map
+      (fun (a, b) -> if Axis.equal a alpha then Some b else None)
+      mapped
+  in
+  List.for_all
+    (fun (_u_tensor, u_indices, v_indices) ->
+      let s_u = axes_of_indices u_indices in
+      let s_v = axes_of_indices v_indices in
+      (* S'(u) = f(S(u) ∩ A) must be a subset of S(v) *)
+      List.for_all
+        (fun alpha ->
+          match image_of alpha with
+          | None -> true (* not tensorized: varies with the outer loops *)
+          | Some beta -> List.exists (Axis.equal beta) s_v)
+        s_u)
+    (operand_access_pairs bindings intrin)
+
+(* An op axis is a stride-analyzable candidate when every bound access it
+   appears in is linear in it. *)
+let axis_strides bindings intrin (alpha : Axis.t) =
+  let pairs = operand_access_pairs bindings intrin in
+  let rec go acc = function
+    | [] -> Some acc
+    | (u_tensor, u_indices, _) :: rest ->
+      if axis_occurs alpha (List.fold_left Expr.add (Expr.int_imm 0) u_indices) then
+        match flat_stride u_tensor u_indices alpha with
+        | Some s -> go (s :: acc) rest
+        | None -> None
+      else go acc rest
+  in
+  go [] pairs
+
+let locality_score bindings intrin mapping =
+  List.fold_left
+    (fun acc ((alpha : Axis.t), (_ : Axis.t)) ->
+      match axis_strides bindings intrin alpha with
+      | Some (_ :: _ as strides) ->
+        acc + List.fold_left Stdlib.min max_int (List.map abs strides)
+      | Some [] | None -> acc)
+    0 mapping
+
+let enumerate_mappings op bindings (intrin : Unit_isa.Intrin.t) =
+  let intrin_axes = Op.all_axes intrin.Unit_isa.Intrin.op in
+  let op_axes = Op.all_axes op in
+  let usable alpha =
+    (* nonlinear axes cannot produce constant tile strides *)
+    axis_strides bindings intrin alpha <> None
+  in
+  let candidates (beta : Axis.t) =
+    List.filter
+      (fun (alpha : Axis.t) ->
+        Axis.kind_equal alpha.kind beta.kind
+        && alpha.extent mod beta.extent = 0
+        && usable alpha)
+      op_axes
+  in
+  let rec assign remaining used acc =
+    match remaining with
+    | [] -> [ List.rev acc ]
+    | beta :: rest ->
+      List.concat_map
+        (fun (alpha : Axis.t) ->
+          if List.exists (fun (a : Axis.t) -> Axis.equal a alpha) used then []
+          else assign rest (alpha :: used) ((alpha, beta) :: acc))
+        (candidates beta)
+  in
+  let all = assign intrin_axes [] [] in
+  let feasible_mappings = List.filter (feasible bindings intrin) all in
+  List.sort
+    (fun m1 m2 ->
+      compare (locality_score bindings intrin m1) (locality_score bindings intrin m2))
+    feasible_mappings
+
+let inspect op intrin =
+  match match_bodies op intrin with
+  | None ->
+    Error
+      (Not_isomorphic
+         (Printf.sprintf "expression trees of %s and %s are not isomorphic"
+            op.Op.name intrin.Unit_isa.Intrin.name))
+  | Some bindings ->
+    (match enumerate_mappings op bindings intrin with
+     | [] ->
+       Error
+         (No_feasible_mapping
+            (Printf.sprintf
+               "no loop mapping of %s onto %s satisfies the access check"
+               op.Op.name intrin.Unit_isa.Intrin.name))
+     | mappings ->
+       let operands = List.map snd bindings in
+       Ok { ap_intrin = intrin; ap_operands = List.rev operands; ap_mappings = mappings })
+
+(* Re-runs step 1 to score a mapping without threading bindings through the
+   public API. *)
+let mapping_locality_score op intrin mapping =
+  match match_bodies op intrin with
+  | Some bindings -> locality_score bindings intrin mapping
+  | None -> 0
+
+let rejection_to_string = function
+  | Not_isomorphic s -> "not isomorphic: " ^ s
+  | No_feasible_mapping s -> "no feasible mapping: " ^ s
+
+let pp_applicability fmt ap =
+  Format.fprintf fmt "@[<v>applicable: %s@," ap.ap_intrin.Unit_isa.Intrin.name;
+  List.iter
+    (fun (name, source) ->
+      match source with
+      | From_tensor (t, _) -> Format.fprintf fmt "  operand %s <- %s@," name t.Tensor.name
+      | From_constant v ->
+        Format.fprintf fmt "  operand %s <- const %a@," name Value.pp v)
+    ap.ap_operands;
+  List.iteri
+    (fun i mapping ->
+      Format.fprintf fmt "  mapping #%d:%s@," i
+        (String.concat ""
+           (List.map
+              (fun ((a : Axis.t), (b : Axis.t)) ->
+                Printf.sprintf " %s->%s" a.name b.name)
+              mapping)))
+    ap.ap_mappings;
+  Format.fprintf fmt "@]"

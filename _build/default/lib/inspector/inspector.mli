@@ -1,0 +1,65 @@
+(** The Inspector: applicability detection (Section III-B).
+
+    Given a tensor operation and a tensorized instruction, decide whether
+    and how the instruction applies, in two steps:
+
+    + {b Compute isomorphism} (Algorithm 1): the instruction's expression
+      tree and (a sub-tree pattern of) the operation's body must be
+      arithmetically isomorphic — same topology, opcodes and data types —
+      which also binds each instruction register operand to one data source
+      of the operation.
+    + {b Array-access isomorphism}: enumerate injective mappings [f] from
+      operation loop axes to instruction axes (same annotation kind, tile
+      extents dividing), and keep those where every operand pair [(u, v)]
+      satisfies [S'(u) ⊆ S(v)] — i.e. each register lane corresponds to at
+      most one memory address, with broadcast along missing axes.
+
+    Feasible mappings are returned best-first by a data-locality score
+    (smaller memory strides for innermost instruction axes), matching the
+    paper's innermost-first greedy; the rest remain available as a tuning
+    dimension. *)
+
+open Unit_dsl
+
+(** What an instruction register operand was bound to by Algorithm 1. *)
+type operand_source =
+  | From_tensor of Tensor.t * Expr.t list
+      (** a memory access of the operation: tensor and its index
+          expressions *)
+  | From_constant of Unit_dtype.Value.t
+      (** bound to a literal; no data movement needed *)
+
+type mapping = (Axis.t * Axis.t) list
+(** Operation axis -> instruction axis, one pair per instruction axis. *)
+
+type applicability = {
+  ap_intrin : Unit_isa.Intrin.t;
+  ap_operands : (string * operand_source) list;
+      (** instruction input-tensor name -> bound source.  The instruction's
+          accumulator operand ([Init_tensor]/[In_place]) is {e not} listed:
+          it is always realized by the operation's output buffer. *)
+  ap_mappings : mapping list;  (** feasible mappings, best (greedy) first *)
+}
+
+type rejection =
+  | Not_isomorphic of string  (** step 1 failed *)
+  | No_feasible_mapping of string  (** step 2 failed *)
+
+val inspect : Op.t -> Unit_isa.Intrin.t -> (applicability, rejection) result
+(** Full two-step inspection.  [Ok] guarantees [ap_mappings] is
+    non-empty. *)
+
+val trees_isomorphic : Op.t -> Unit_isa.Intrin.t -> bool
+(** Step 1 only; exposed for tests and for [unitc inspect] diagnostics. *)
+
+val axis_coefficient : Expr.t -> Axis.t -> int option
+(** Linear coefficient of an axis inside a (DSL-level) index expression;
+    [None] when non-linear.  Exposed for the Rewriter, which derives tile
+    strides from it. *)
+
+val mapping_locality_score : Op.t -> Unit_isa.Intrin.t -> mapping -> int
+(** Lower is better: sum over mapped axes of the smallest element stride
+    with which that axis walks any operand access.  Exposed for tests. *)
+
+val rejection_to_string : rejection -> string
+val pp_applicability : Format.formatter -> applicability -> unit

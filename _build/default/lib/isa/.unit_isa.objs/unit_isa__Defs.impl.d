@@ -1,0 +1,1 @@
+lib/isa/defs.ml: Axis Dtype Expr Intrin List Op Registry Tensor Unit_dsl Unit_dtype

@@ -1,0 +1,1 @@
+lib/isa/defs.mli: Intrin

@@ -1,0 +1,1 @@
+lib/isa/intrin.ml: Axis Expr Format Hashtbl List Op Printf String Tensor Unit_dsl

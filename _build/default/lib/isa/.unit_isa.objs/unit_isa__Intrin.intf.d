@@ -1,0 +1,1 @@
+lib/isa/intrin.mli: Format Unit_dsl

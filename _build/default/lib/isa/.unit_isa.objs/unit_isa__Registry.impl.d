@@ -1,0 +1,1 @@
+lib/isa/registry.ml: Hashtbl Intrin List

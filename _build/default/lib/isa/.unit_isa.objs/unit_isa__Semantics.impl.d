@@ -1,0 +1,1 @@
+lib/isa/semantics.ml: Axis Expr Intrin List Op Printf Stmt Tensor Unit_dsl Unit_dtype Unit_tir

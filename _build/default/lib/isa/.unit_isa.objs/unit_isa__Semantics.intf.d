@@ -1,0 +1,1 @@
+lib/isa/semantics.mli: Buffer Intrin Stmt Texpr Unit_dtype Unit_tir

@@ -1,0 +1,138 @@
+open Unit_dtype
+open Unit_dsl
+
+(* 1-D dot-product instructions (VNNI/DOT shape): [lanes] outputs, each
+   accumulating [width] products of [a_dtype] x [b_dtype] into
+   [acc_dtype]:  d[i] = c[i] + sum_j acc(a[i*width+j]) * acc(b[i*width+j]) *)
+let dot_product_description ~lanes ~width ~a_dtype ~b_dtype ~acc_dtype =
+  let a = Tensor.create ~name:"a" ~shape:[ lanes * width ] a_dtype in
+  let b = Tensor.create ~name:"b" ~shape:[ lanes * width ] b_dtype in
+  let c = Tensor.create ~name:"c" ~shape:[ lanes ] acc_dtype in
+  let d = Tensor.create ~name:"d" ~shape:[ lanes ] acc_dtype in
+  let i = Axis.data_parallel ~name:"i" lanes in
+  let j = Axis.reduction ~name:"j" width in
+  let index =
+    Expr.add (Expr.mul (Expr.axis i) (Expr.int_imm width)) (Expr.axis j)
+  in
+  let body =
+    Expr.mul
+      (Expr.cast acc_dtype (Expr.access a [ index ]))
+      (Expr.cast acc_dtype (Expr.access b [ index ]))
+  in
+  Op.create ~name:"dot" ~output:d ~spatial:[ i ] ~reduce:[ j ]
+    ~init:(Op.Init_tensor c) body
+
+(* Elementwise multiply-accumulate (plain SIMD MLA): no horizontal
+   reduction, the accumulator is a separate register. *)
+let mla_description ~lanes ~a_dtype ~acc_dtype =
+  let a = Tensor.create ~name:"a" ~shape:[ lanes ] a_dtype in
+  let b = Tensor.create ~name:"b" ~shape:[ lanes ] a_dtype in
+  let c = Tensor.create ~name:"c" ~shape:[ lanes ] acc_dtype in
+  let d = Tensor.create ~name:"d" ~shape:[ lanes ] acc_dtype in
+  let i = Axis.data_parallel ~name:"i" lanes in
+  let body =
+    Expr.mul
+      (Expr.cast acc_dtype (Expr.access a [ Expr.axis i ]))
+      (Expr.cast acc_dtype (Expr.access b [ Expr.axis i ]))
+  in
+  Op.create ~name:"mla" ~output:d ~spatial:[ i ] ~init:(Op.Init_tensor c) body
+
+(* Square matrix multiply-accumulate (Tensor Core WMMA shape), in place:
+   c[i,j] += acc(a[i,k]) * acc(b[k,j]) *)
+let wmma_description ~dim ~in_dtype ~acc_dtype =
+  let a = Tensor.create ~name:"a" ~shape:[ dim; dim ] in_dtype in
+  let b = Tensor.create ~name:"b" ~shape:[ dim; dim ] in_dtype in
+  let c = Tensor.create ~name:"c" ~shape:[ dim; dim ] acc_dtype in
+  let i = Axis.data_parallel ~name:"i" dim in
+  let j = Axis.data_parallel ~name:"j" dim in
+  let k = Axis.reduction ~name:"k" dim in
+  let body =
+    Expr.mul
+      (Expr.cast acc_dtype (Expr.access a [ Expr.axis i; Expr.axis k ]))
+      (Expr.cast acc_dtype (Expr.access b [ Expr.axis k; Expr.axis j ]))
+  in
+  Op.create ~name:"wmma" ~output:c ~spatial:[ i; j ] ~reduce:[ k ] ~init:Op.In_place body
+
+let vnni_vpdpbusd =
+  Intrin.create ~name:"vnni.vpdpbusd" ~llvm_name:"llvm.x86.avx512.vpdpbusd.512"
+    ~platform:Intrin.X86
+    ~cost:{ latency = 5; throughput = 2.0; macs = 64 }
+    (dot_product_description ~lanes:16 ~width:4 ~a_dtype:Dtype.U8 ~b_dtype:Dtype.I8
+       ~acc_dtype:Dtype.I32)
+
+let avx512_vpmaddwd =
+  Intrin.create ~name:"avx512.vpmaddwd" ~llvm_name:"llvm.x86.avx512.pmaddw.d.512"
+    ~platform:Intrin.X86
+    ~cost:{ latency = 6; throughput = 1.0; macs = 32 }
+    (dot_product_description ~lanes:16 ~width:2 ~a_dtype:Dtype.I16 ~b_dtype:Dtype.I16
+       ~acc_dtype:Dtype.I32)
+
+let arm_sdot =
+  Intrin.create ~name:"arm.sdot" ~llvm_name:"llvm.arm.neon.sdot.v4i32.v16i8"
+    ~platform:Intrin.Arm
+    ~cost:{ latency = 4; throughput = 2.0; macs = 16 }
+    (dot_product_description ~lanes:4 ~width:4 ~a_dtype:Dtype.I8 ~b_dtype:Dtype.I8
+       ~acc_dtype:Dtype.I32)
+
+let arm_udot =
+  Intrin.create ~name:"arm.udot" ~llvm_name:"llvm.arm.neon.udot.v4i32.v16i8"
+    ~platform:Intrin.Arm
+    ~cost:{ latency = 4; throughput = 2.0; macs = 16 }
+    (dot_product_description ~lanes:4 ~width:4 ~a_dtype:Dtype.U8 ~b_dtype:Dtype.I8
+       ~acc_dtype:Dtype.I32)
+
+let neon_mla_i16 =
+  Intrin.create ~name:"neon.mla.i16" ~llvm_name:"llvm.arm.neon.smlal.v4i32"
+    ~platform:Intrin.Arm
+    ~cost:{ latency = 4; throughput = 2.0; macs = 4 }
+    (mla_description ~lanes:4 ~a_dtype:Dtype.I16 ~acc_dtype:Dtype.I32)
+
+(* Rectangular tile matmul (Intel AMX shape): c[16,16] i32 +=
+   a[16,64] u8 . b[16,64] i8 with the reduction along each tile row. *)
+let amx_description () =
+  let a = Tensor.create ~name:"a" ~shape:[ 16; 64 ] Dtype.U8 in
+  let b = Tensor.create ~name:"b" ~shape:[ 16; 64 ] Dtype.I8 in
+  let c = Tensor.create ~name:"c" ~shape:[ 16; 16 ] Dtype.I32 in
+  let i = Axis.data_parallel ~name:"i" 16 in
+  let j = Axis.data_parallel ~name:"j" 16 in
+  let k = Axis.reduction ~name:"k" 64 in
+  let body =
+    Expr.mul
+      (Expr.cast Dtype.I32 (Expr.access a [ Expr.axis i; Expr.axis k ]))
+      (Expr.cast Dtype.I32 (Expr.access b [ Expr.axis j; Expr.axis k ]))
+  in
+  Op.create ~name:"amx" ~output:c ~spatial:[ i; j ] ~reduce:[ k ] ~init:Op.In_place body
+
+let amx_tdpbusd =
+  Intrin.create ~name:"amx.tdpbusd" ~llvm_name:"llvm.x86.tdpbusd.internal"
+    ~platform:Intrin.X86
+    (* one tile op retires every ~16 cycles and performs 16x16x64 MACs *)
+    ~cost:{ latency = 52; throughput = 0.0625; macs = 16384 }
+    (amx_description ())
+
+let sve256_udot =
+  Intrin.create ~name:"sve256.udot" ~llvm_name:"llvm.aarch64.sve.udot.nxv4i32"
+    ~platform:Intrin.Arm
+    ~cost:{ latency = 4; throughput = 2.0; macs = 32 }
+    (dot_product_description ~lanes:8 ~width:4 ~a_dtype:Dtype.U8 ~b_dtype:Dtype.I8
+       ~acc_dtype:Dtype.I32)
+
+let wmma_f16 =
+  Intrin.create ~name:"wmma.m16n16k16.f32"
+    ~llvm_name:"llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32" ~platform:Intrin.Gpu
+    ~cost:{ latency = 8; throughput = 1.0; macs = 4096 }
+    (wmma_description ~dim:16 ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32)
+
+let wmma_i8 =
+  Intrin.create ~name:"wmma.m16n16k16.i32"
+    ~llvm_name:"llvm.nvvm.wmma.m16n16k16.mma.row.row.s32.s32" ~platform:Intrin.Gpu
+    ~cost:{ latency = 8; throughput = 1.0; macs = 4096 }
+    (wmma_description ~dim:16 ~in_dtype:Dtype.I8 ~acc_dtype:Dtype.I32)
+
+let () =
+  List.iter Registry.register
+    [ vnni_vpdpbusd; avx512_vpmaddwd; amx_tdpbusd; arm_sdot; arm_udot; sve256_udot;
+      neon_mla_i16; wmma_f16; wmma_i8 ];
+  Registry.mark_builtins ()
+
+let ensure_registered () = ()

@@ -1,0 +1,47 @@
+(** Built-in tensorized instructions (Fig. 4 and the evaluation's
+    baselines), registered in {!Registry} at module initialization.
+
+    The "pseudo" instructions ([avx512.vpmaddwd], [neon.mla.i16]) bundle
+    the SIMD multi-instruction sequences the baselines use into one
+    accumulating description so that SIMD code paths flow through the same
+    pipeline as true tensorized instructions. *)
+
+val vnni_vpdpbusd : Intrin.t
+(** Intel VNNI: 16 lanes of u8 x i8 4-way dot product into i32
+    (Fig. 4a). *)
+
+val avx512_vpmaddwd : Intrin.t
+(** AVX512 without VNNI: the vpmaddwd + vpaddd pair, 16 lanes of i16 x i16
+    2-way dot product into i32. *)
+
+val arm_sdot : Intrin.t
+(** ARM DOT: 4 lanes of i8 x i8 4-way dot product into i32 (Fig. 4b). *)
+
+val arm_udot : Intrin.t
+(** Unsigned-by-signed variant used for quantized activations. *)
+
+val neon_mla_i16 : Intrin.t
+(** Plain NEON widening multiply-accumulate (SMLAL), 4 lanes of i16 into
+    i32, no horizontal reduction — the TVM-NEON baseline's workhorse. *)
+
+val amx_tdpbusd : Intrin.t
+(** Intel AMX tile dot product: a 16x16x64 u8 x i8 -> i32 tile
+    multiply-accumulate.  Post-dates the paper (the kind of instruction its
+    "moderate effort to extend" claim is about): rectangular, 2-D register
+    tiles, 16K MACs per issue. *)
+
+val sve256_udot : Intrin.t
+(** ARM SVE (256-bit vector length) unsigned dot product: 8 lanes of 4-way
+    u8 x i8 reduction — the wider-vector successor to NEON DOT. *)
+
+val wmma_f16 : Intrin.t
+(** Nvidia Tensor Core: 16x16x16 matrix multiply-accumulate, fp16 operands
+    and fp32 accumulator, in-place (Fig. 4c). *)
+
+val wmma_i8 : Intrin.t
+(** Tensor Core integer variant: 16x16x16, i8 operands, i32 accumulator.
+    (Real hardware exposes m8n32k16 for int8; we keep the cubic shape of
+    the paper's description — the lane count and reduction width match.) *)
+
+val ensure_registered : unit -> unit
+(** Force linkage so the registrations above have run. *)

@@ -1,0 +1,75 @@
+open Unit_dsl
+
+type platform =
+  | X86
+  | Arm
+  | Gpu
+
+type cost = {
+  latency : int;
+  throughput : float;
+  macs : int;
+}
+
+type t = {
+  name : string;
+  llvm_name : string;
+  platform : platform;
+  op : Op.t;
+  cost : cost;
+}
+
+exception Invalid_intrin of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_intrin s)) fmt
+
+let validate t =
+  let op = t.op in
+  let accesses = Expr.accesses_of op.Op.body in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun ((tensor : Tensor.t), _) ->
+      if Hashtbl.mem seen tensor.id then
+        invalid "%s: register operand %s accessed more than once" t.name tensor.name;
+      Hashtbl.add seen tensor.id ())
+    accesses;
+  if List.length op.Op.spatial > 3 then invalid "%s: more than 3 spatial axes" t.name;
+  if List.length op.Op.reduce > 3 then invalid "%s: more than 3 reduce axes" t.name;
+  let names = List.map (fun (a : Axis.t) -> a.name) (Op.all_axes op) in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid "%s: axis names must be unique" t.name;
+  (match op.Op.init with
+   | Op.Init_tensor _ | Op.In_place -> ()
+   | Op.Zero ->
+     invalid "%s: instruction must accumulate (init must not be Zero)" t.name);
+  if t.cost.latency < 1 then invalid "%s: latency must be >= 1" t.name;
+  if t.cost.throughput <= 0.0 then invalid "%s: throughput must be positive" t.name;
+  if t.cost.macs < 1 then invalid "%s: macs must be >= 1" t.name
+
+let create ~name ~llvm_name ~platform ~cost op =
+  let t = { name; llvm_name; platform; op; cost } in
+  validate t;
+  t
+
+let output_lanes t =
+  List.fold_left (fun acc (a : Axis.t) -> acc * a.extent) 1 t.op.Op.spatial
+
+let reduction_width t =
+  List.fold_left (fun acc (a : Axis.t) -> acc * a.extent) 1 t.op.Op.reduce
+
+let axis_names t = List.map (fun (a : Axis.t) -> a.name) (Op.all_axes t.op)
+
+let axis_by_name t name =
+  List.find_opt (fun (a : Axis.t) -> String.equal a.name name) (Op.all_axes t.op)
+
+let tensor_by_name t name =
+  List.find_opt
+    (fun (tensor : Tensor.t) -> String.equal tensor.name name)
+    (Op.inputs t.op @ [ t.op.Op.output ])
+
+let platform_to_string = function X86 -> "x86" | Arm -> "arm" | Gpu -> "gpu"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s (%s, %s)@,%a@]" t.name t.llvm_name
+    (platform_to_string t.platform)
+    Op.pp t.op

@@ -1,0 +1,28 @@
+exception Duplicate_intrin of string
+
+let table : (string, Intrin.t) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []
+let builtins : string list ref = ref []
+
+let register (intrin : Intrin.t) =
+  let name = intrin.Intrin.name in
+  if Hashtbl.mem table name then raise (Duplicate_intrin name);
+  Hashtbl.add table name intrin;
+  order := name :: !order
+
+let find name = Hashtbl.find_opt table name
+let find_exn name = match find name with Some i -> i | None -> raise Not_found
+
+let all () = List.rev_map (fun name -> Hashtbl.find table name) !order
+
+let of_platform platform =
+  List.filter (fun (i : Intrin.t) -> i.Intrin.platform = platform) (all ())
+
+(* [Defs] calls this once after registering the built-ins so that
+   [reset_for_testing] can preserve them. *)
+let mark_builtins () = builtins := !order
+
+let reset_for_testing () =
+  let keep = !builtins in
+  List.iter (fun name -> if not (List.mem name keep) then Hashtbl.remove table name) !order;
+  order := keep

@@ -1,0 +1,29 @@
+(** Global table of known tensorized instructions.
+
+    Integrating a new instruction — the extensibility axis the paper
+    evaluates in Section VI-C — is exactly one {!register} call with a DSL
+    description; every analysis, transformation and the interpreter pick it
+    up from here. *)
+
+exception Duplicate_intrin of string
+
+val register : Intrin.t -> unit
+(** @raise Duplicate_intrin if the name is taken. *)
+
+val find : string -> Intrin.t option
+
+val find_exn : string -> Intrin.t
+(** @raise Not_found *)
+
+val all : unit -> Intrin.t list
+(** Registration order.  Includes the built-ins once {!Defs} is linked. *)
+
+val of_platform : Intrin.platform -> Intrin.t list
+
+val mark_builtins : unit -> unit
+(** Snapshot the current registrations as "built-in" so
+    {!reset_for_testing} preserves them.  Called once by {!Defs}. *)
+
+val reset_for_testing : unit -> unit
+(** Clear every registration {e except} the built-ins; test isolation
+    only. *)

@@ -1,0 +1,66 @@
+open Unit_dsl
+open Unit_tir
+
+exception Execution_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
+
+let tile_address (tile : Stmt.tile) ~env ~eval_index =
+  List.fold_left
+    (fun acc (axis_name, stride) -> acc + (stride * env axis_name))
+    (eval_index tile.Stmt.tile_base)
+    tile.Stmt.tile_strides
+
+(* Iterate a list of axes, calling [f] with the environment extended by
+   each combination of axis values. *)
+let rec iterate_axes axes env f =
+  match axes with
+  | [] -> f env
+  | (a : Axis.t) :: rest ->
+    for v = 0 to a.extent - 1 do
+      iterate_axes rest ((a.name, v) :: env) f
+    done
+
+let execute intrin ~output ~inputs ~read ~write ~eval_index =
+  let op = intrin.Intrin.op in
+  let input_tile name =
+    match List.assoc_opt name inputs with
+    | Some tile -> tile
+    | None -> error "%s: operand %s not supplied" intrin.Intrin.name name
+  in
+  let check_tile_axes (tile : Stmt.tile) =
+    List.iter
+      (fun (axis_name, _) ->
+        if Intrin.axis_by_name intrin axis_name = None then
+          error "%s: tile references unknown axis %s" intrin.Intrin.name axis_name)
+      tile.Stmt.tile_strides
+  in
+  check_tile_axes output;
+  List.iter (fun (_, tile) -> check_tile_axes tile) inputs;
+  let lookup env name =
+    match List.assoc_opt name env with
+    | Some v -> v
+    | None -> error "%s: axis %s unbound" intrin.Intrin.name name
+  in
+  let load_operand env (tensor : Tensor.t) =
+    let tile = input_tile tensor.name in
+    read tile.Stmt.tile_buf (tile_address tile ~env:(lookup env) ~eval_index)
+  in
+  let out_dtype = op.Op.output.Tensor.dtype in
+  iterate_axes op.Op.spatial []
+    (fun dp_env ->
+      let out_addr = tile_address output ~env:(lookup dp_env) ~eval_index in
+      let init =
+        match op.Op.init with
+        | Op.Zero -> Unit_dtype.Value.zero out_dtype
+        | Op.Init_tensor c -> load_operand dp_env c
+        | Op.In_place -> read output.Stmt.tile_buf out_addr
+      in
+      let acc = ref init in
+      iterate_axes op.Op.reduce dp_env
+        (fun env ->
+          let axis_env (a : Axis.t) = lookup env a.name in
+          let load tensor _indices = load_operand env tensor in
+          let term = Expr.eval ~env:axis_env ~load op.Op.body in
+          acc := Unit_dtype.Value.add !acc term);
+      write output.Stmt.tile_buf out_addr !acc)

@@ -1,0 +1,32 @@
+(** Reference execution of a tensorized-instruction call.
+
+    The interpreter delegates every {!Unit_tir.Stmt.Intrin_call} here: the
+    instruction's own DSL description is executed directly, with each
+    register operand backed by a memory {e tile} (base element index plus
+    one stride per intrinsic axis; stride 0 = broadcast).  Because the
+    description {e is} the semantics, a newly registered instruction is
+    executable with zero extra code. *)
+
+open Unit_tir
+
+exception Execution_error of string
+
+val execute :
+  Intrin.t ->
+  output:Stmt.tile ->
+  inputs:(string * Stmt.tile) list ->
+  read:(Buffer.t -> int -> Unit_dtype.Value.t) ->
+  write:(Buffer.t -> int -> Unit_dtype.Value.t -> unit) ->
+  eval_index:(Texpr.t -> int) ->
+  unit
+(** [inputs] maps intrinsic tensor names to tiles.  For an
+    [Init_tensor c]-style instruction the [c] operand is usually bound to
+    the same memory as the output, which realizes the accumulate-in-place
+    behaviour of the real hardware instruction.
+    @raise Execution_error if an operand is missing or a tile references an
+    axis the instruction does not have. *)
+
+val tile_address :
+  Stmt.tile -> env:(string -> int) -> eval_index:(Texpr.t -> int) -> int
+(** Element address of the tile entry at the given intrinsic axis values.
+    Exposed for tests. *)

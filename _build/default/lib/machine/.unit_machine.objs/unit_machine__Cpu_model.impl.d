@@ -1,0 +1,1 @@
+lib/machine/cpu_model.ml: Buffer Float Linear List Lower Spec Stdlib Stmt Texpr Unit_dsl Unit_dtype Unit_isa Unit_tir Var

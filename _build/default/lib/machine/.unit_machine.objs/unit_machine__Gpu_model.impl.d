@@ -1,0 +1,1 @@
+lib/machine/gpu_model.ml: Float List Spec Stdlib Unit_dsl Unit_dtype

@@ -1,0 +1,1 @@
+lib/machine/gpu_model.mli: Spec Unit_dsl Unit_dtype

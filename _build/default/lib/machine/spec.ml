@@ -1,0 +1,95 @@
+type cpu = {
+  cpu_name : string;
+  cores : int;
+  freq_ghz : float;
+  issue_width : float;
+  load_ports : float;
+  loop_overhead : float;
+  branch_cost : float;
+  fork_join_cost : float;
+  l1_bytes : int;
+  l2_bytes : int;
+  llc_bytes : int;
+  l2_bw : float;
+  dram_bw : float;
+  icache_bytes : int;
+  icache_penalty : float;
+  mul_add_cost : float;
+  cast_cost : float;
+}
+
+type gpu = {
+  gpu_name : string;
+  sms : int;
+  freq_ghz : float;
+  tensor_tput_per_sm : float;
+  fma_tput_per_sm : float;
+  f16_cast_penalty : float;
+  registers_per_sm : int;
+  smem_bytes_per_sm : int;
+  dram_bw_bytes_per_cycle : float;
+  kernel_launch_us : float;
+  sync_cost_cycles : float;
+  max_blocks_per_sm : int;
+}
+
+let cascadelake =
+  { cpu_name = "cascadelake";
+    cores = 24;
+    freq_ghz = 3.0;
+    issue_width = 4.0;
+    load_ports = 2.0;
+    loop_overhead = 2.0;
+    branch_cost = 1.0;
+    fork_join_cost = 2000.0;
+    l1_bytes = 32 * 1024;
+    l2_bytes = 1024 * 1024;
+    llc_bytes = 36 * 1024 * 1024;
+    l2_bw = 32.0;
+    dram_bw = 60.0;
+    (* ~180 GB/s at 3 GHz *)
+    icache_bytes = 4 * 1024;
+    icache_penalty = 1.6;
+    mul_add_cost = 0.5;
+    cast_cost = 0.5
+  }
+
+let graviton2 =
+  { cpu_name = "graviton2";
+    cores = 32;
+    freq_ghz = 2.3;
+    issue_width = 3.0;
+    load_ports = 2.0;
+    loop_overhead = 2.0;
+    branch_cost = 1.0;
+    fork_join_cost = 2000.0;
+    l1_bytes = 64 * 1024;
+    l2_bytes = 1024 * 1024;
+    llc_bytes = 32 * 1024 * 1024;
+    l2_bw = 24.0;
+    dram_bw = 80.0;
+    (* ~190 GB/s at 2.3 GHz *)
+    icache_bytes = 4 * 1024;
+    icache_penalty = 1.6;
+    mul_add_cost = 0.5;
+    cast_cost = 0.5
+  }
+
+let v100 =
+  { gpu_name = "v100";
+    sms = 80;
+    freq_ghz = 1.38;
+    (* 8 tensor cores per SM, 64 MACs each per cycle *)
+    tensor_tput_per_sm = 512.0;
+    fma_tput_per_sm = 64.0;
+    f16_cast_penalty = 2.5;
+    registers_per_sm = 65536;
+    smem_bytes_per_sm = 96 * 1024;
+    dram_bw_bytes_per_cycle = 650.0;
+    (* ~900 GB/s at 1.38 GHz *)
+    kernel_launch_us = 1.0;
+    sync_cost_cycles = 300.0;
+    max_blocks_per_sm = 8
+  }
+
+let cycles_to_seconds ~freq_ghz cycles = cycles /. (freq_ghz *. 1e9)

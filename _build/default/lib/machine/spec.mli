@@ -1,0 +1,60 @@
+(** Machine descriptions for the performance models.
+
+    These stand in for the paper's physical testbeds (Section V-A): an
+    AWS c5.12xlarge (Cascade Lake, AVX512-VNNI), an m6g.8xlarge
+    (Graviton2, NEON+DOT) and a p3.2xlarge (V100, Tensor Cores).  The
+    constants are first-order figures from vendor documentation; the models
+    built on them are meant to reproduce the {e shape} of the paper's
+    results (who wins, which optimization matters), not absolute
+    latencies. *)
+
+type cpu = {
+  cpu_name : string;
+  cores : int;
+  freq_ghz : float;
+  issue_width : float;  (** scalar micro-ops issued per cycle *)
+  load_ports : float;  (** loads sustained per cycle *)
+  loop_overhead : float;  (** cycles of control per loop iteration *)
+  branch_cost : float;  (** cycles to evaluate a (likely) guard *)
+  fork_join_cost : float;  (** cycles to dispatch one parallel chunk *)
+  l1_bytes : int;
+  l2_bytes : int;
+  llc_bytes : int;  (** shared last-level cache *)
+  l2_bw : float;  (** bytes/cycle per core, L1 misses served by L2 *)
+  dram_bw : float;  (** bytes/cycle, whole socket *)
+  icache_bytes : int;  (** effective uop/instruction cache budget *)
+  icache_penalty : float;
+      (** issue multiplier once an unrolled body overflows it *)
+  mul_add_cost : float;
+      (** cycles per scalar multiply-accumulate (amortized, superscalar) *)
+  cast_cost : float;  (** cycles per scalar conversion *)
+}
+
+type gpu = {
+  gpu_name : string;
+  sms : int;
+  freq_ghz : float;
+  tensor_tput_per_sm : float;
+      (** tensor-core MACs per cycle per SM (mixed precision) *)
+  fma_tput_per_sm : float;  (** CUDA-core fp32 FMAs per cycle per SM *)
+  f16_cast_penalty : float;
+      (** multiplier on CUDA-core work when fp16 needs per-op conversion
+          (the Fig. 1 effect) *)
+  registers_per_sm : int;  (** 32-bit registers *)
+  smem_bytes_per_sm : int;
+  dram_bw_bytes_per_cycle : float;  (** whole device, at core clock *)
+  kernel_launch_us : float;
+  sync_cost_cycles : float;  (** one block-wide barrier *)
+  max_blocks_per_sm : int;
+}
+
+val cascadelake : cpu
+(** 24-core Intel Xeon Platinum 8275CL @ 3.0 GHz (c5.12xlarge). *)
+
+val graviton2 : cpu
+(** 32-core AWS Graviton2 @ 2.3 GHz (m6g.8xlarge). *)
+
+val v100 : gpu
+(** Nvidia Tesla V100-SXM2 16GB (p3.2xlarge). *)
+
+val cycles_to_seconds : freq_ghz:float -> float -> float

@@ -1,0 +1,1 @@
+lib/models/inception.ml: Dtype Graph Unit_dtype Unit_graph

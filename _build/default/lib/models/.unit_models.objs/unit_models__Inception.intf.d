@@ -1,0 +1,1 @@
+lib/models/inception.mli: Unit_graph

@@ -1,0 +1,1 @@
+lib/models/misc_models.ml: Dtype Graph Unit_dtype Unit_graph

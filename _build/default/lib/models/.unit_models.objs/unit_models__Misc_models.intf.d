@@ -1,0 +1,1 @@
+lib/models/misc_models.mli: Unit_graph

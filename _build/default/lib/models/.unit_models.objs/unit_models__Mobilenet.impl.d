@@ -1,0 +1,1 @@
+lib/models/mobilenet.ml: Dtype Float Graph List Stdlib Unit_dtype Unit_graph

@@ -1,0 +1,1 @@
+lib/models/mobilenet.mli: Unit_graph

@@ -1,0 +1,1 @@
+lib/models/res3d.ml: Dtype Graph List Unit_dtype Unit_graph Workload

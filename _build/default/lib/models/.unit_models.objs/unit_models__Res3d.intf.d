@@ -1,0 +1,1 @@
+lib/models/res3d.mli: Unit_graph

@@ -1,0 +1,1 @@
+lib/models/resnet.ml: Dtype Graph List Unit_dtype Unit_graph

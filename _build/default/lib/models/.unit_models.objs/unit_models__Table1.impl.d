@@ -1,0 +1,1 @@
+lib/models/table1.ml: Array Format Graph List Unit_graph Workload

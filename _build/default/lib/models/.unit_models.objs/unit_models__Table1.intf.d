@@ -1,0 +1,1 @@
+lib/models/table1.mli: Format Unit_graph

@@ -1,0 +1,1 @@
+lib/models/zoo.ml: Hashtbl Inception List Misc_models Mobilenet Resnet Unit_graph Workload

@@ -1,0 +1,98 @@
+open Unit_dtype
+open Unit_graph
+module B = Graph.Builder
+
+let conv b ?(padding = 0) ?(stride = 1) ~channels ~kernel x =
+  B.relu b (B.bias_add b (B.conv2d b ~channels ~kernel ~stride ~padding x))
+
+(* 35x35 blocks: 1x1 / 5x5 / double-3x3 / pool branches *)
+let block_a b ~pool_channels x =
+  let b1 = conv b ~channels:64 ~kernel:1 x in
+  let b2 = conv b ~channels:64 ~kernel:5 ~padding:2 (conv b ~channels:48 ~kernel:1 x) in
+  let b3 =
+    conv b ~channels:96 ~kernel:3 ~padding:1
+      (conv b ~channels:96 ~kernel:3 ~padding:1 (conv b ~channels:64 ~kernel:1 x))
+  in
+  let b4 =
+    conv b ~channels:pool_channels ~kernel:1 (B.avg_pool b ~window:3 ~stride:1 ~padding:1 x)
+  in
+  B.concat b [ b1; b2; b3; b4 ]
+
+(* 35 -> 17 *)
+let reduction_a b x =
+  let b1 = conv b ~channels:384 ~kernel:3 ~stride:2 x in
+  let b2 =
+    conv b ~channels:96 ~kernel:3 ~stride:2
+      (conv b ~channels:96 ~kernel:3 ~padding:1 (conv b ~channels:64 ~kernel:1 x))
+  in
+  let b3 = B.max_pool b ~window:3 ~stride:2 x in
+  B.concat b [ b1; b2; b3 ]
+
+(* 17x17 blocks; the 1x7/7x1 factorized pairs appear as single 3x3s *)
+let block_b b ~mid x =
+  let b1 = conv b ~channels:192 ~kernel:1 x in
+  let b2 = conv b ~channels:192 ~kernel:3 ~padding:1 (conv b ~channels:mid ~kernel:1 x) in
+  let b3 =
+    conv b ~channels:192 ~kernel:3 ~padding:1
+      (conv b ~channels:mid ~kernel:3 ~padding:1 (conv b ~channels:mid ~kernel:1 x))
+  in
+  let b4 = conv b ~channels:192 ~kernel:1 (B.avg_pool b ~window:3 ~stride:1 ~padding:1 x) in
+  B.concat b [ b1; b2; b3; b4 ]
+
+(* 17 -> 8 *)
+let reduction_b b x =
+  let b1 = conv b ~channels:320 ~kernel:3 ~stride:2 (conv b ~channels:192 ~kernel:1 x) in
+  let b2 =
+    conv b ~channels:192 ~kernel:3 ~stride:2
+      (conv b ~channels:192 ~kernel:3 ~padding:1 (conv b ~channels:192 ~kernel:1 x))
+  in
+  let b3 = B.max_pool b ~window:3 ~stride:2 x in
+  B.concat b [ b1; b2; b3 ]
+
+(* 8x8 blocks *)
+let block_c b x =
+  let b1 = conv b ~channels:320 ~kernel:1 x in
+  let b2a = conv b ~channels:384 ~kernel:1 x in
+  let b2 =
+    B.concat b
+      [ conv b ~channels:384 ~kernel:3 ~padding:1 b2a;
+        conv b ~channels:384 ~kernel:3 ~padding:1 b2a
+      ]
+  in
+  let b3a = conv b ~channels:384 ~kernel:3 ~padding:1 (conv b ~channels:448 ~kernel:1 x) in
+  let b3 =
+    B.concat b
+      [ conv b ~channels:384 ~kernel:3 ~padding:1 b3a;
+        conv b ~channels:384 ~kernel:3 ~padding:1 b3a
+      ]
+  in
+  let b4 = conv b ~channels:192 ~kernel:1 (B.avg_pool b ~window:3 ~stride:1 ~padding:1 x) in
+  B.concat b [ b1; b2; b3; b4 ]
+
+let inception_v3 () =
+  let b = B.create () in
+  let data = B.input b ~shape:[ 3; 299; 299 ] Dtype.F32 in
+  (* stem: 299 -> 35, 192 channels *)
+  let x = conv b ~channels:32 ~kernel:3 ~stride:2 data in
+  let x = conv b ~channels:32 ~kernel:3 x in
+  let x = conv b ~channels:64 ~kernel:3 ~padding:1 x in
+  let x = B.max_pool b ~window:3 ~stride:2 x in
+  let x = conv b ~channels:80 ~kernel:1 x in
+  let x = conv b ~channels:192 ~kernel:3 x in
+  let x = B.max_pool b ~window:3 ~stride:2 x in
+  (* 3x A blocks (256, 288, 288 channels) *)
+  let x = block_a b ~pool_channels:32 x in
+  let x = block_a b ~pool_channels:64 x in
+  let x = block_a b ~pool_channels:64 x in
+  let x = reduction_a b x in
+  (* 4x B blocks at 17x17, 768 channels *)
+  let x = block_b b ~mid:128 x in
+  let x = block_b b ~mid:160 x in
+  let x = block_b b ~mid:160 x in
+  let x = block_b b ~mid:192 x in
+  let x = reduction_b b x in
+  (* 2x C blocks at 8x8 *)
+  let x = block_c b x in
+  let x = block_c b x in
+  let gap = B.global_avg_pool b x in
+  B.finish b (B.softmax b (B.bias_add b (B.dense b ~units:1000 gap)))

@@ -1,0 +1,9 @@
+(** Inception-v3 (Szegedy et al.) at 299x299x3, batch 1.
+
+    One simplification: the graph IR supports square kernels only, so the
+    factorized 1x7/7x1 (and 1x3/3x1) convolution pairs of the B/C blocks
+    are represented by a single 3x3 convolution of the same output
+    channels.  Channel/grid sizes per block match the original, which is
+    what the kernel workloads (and Table I-style shapes) depend on. *)
+
+val inception_v3 : unit -> Unit_graph.Graph.t

@@ -1,0 +1,52 @@
+open Unit_dtype
+open Unit_graph
+module B = Graph.Builder
+
+let conv b ?(padding = 0) ?(stride = 1) ~channels ~kernel x =
+  B.relu b (B.bias_add b (B.conv2d b ~channels ~kernel ~stride ~padding x))
+
+(* fire module: squeeze 1x1 then parallel expand 1x1 / 3x3 *)
+let fire b ~squeeze ~expand x =
+  let s = conv b ~channels:squeeze ~kernel:1 x in
+  B.concat b [ conv b ~channels:expand ~kernel:1 s;
+               conv b ~channels:expand ~kernel:3 ~padding:1 s ]
+
+let squeezenet () =
+  let b = B.create () in
+  let data = B.input b ~shape:[ 3; 224; 224 ] Dtype.F32 in
+  let x = conv b ~channels:64 ~kernel:3 ~stride:2 data in
+  let x = B.max_pool b ~window:3 ~stride:2 x in
+  let x = fire b ~squeeze:16 ~expand:64 x in
+  let x = fire b ~squeeze:16 ~expand:64 x in
+  let x = B.max_pool b ~window:3 ~stride:2 x in
+  let x = fire b ~squeeze:32 ~expand:128 x in
+  let x = fire b ~squeeze:32 ~expand:128 x in
+  let x = B.max_pool b ~window:3 ~stride:2 x in
+  let x = fire b ~squeeze:48 ~expand:192 x in
+  let x = fire b ~squeeze:48 ~expand:192 x in
+  let x = fire b ~squeeze:64 ~expand:256 x in
+  let x = fire b ~squeeze:64 ~expand:256 x in
+  (* classifier: 1x1 conv to classes, then GAP *)
+  let x = conv b ~channels:1000 ~kernel:1 x in
+  B.finish b (B.softmax b (B.global_avg_pool b x))
+
+let vgg16 () =
+  let b = B.create () in
+  let data = B.input b ~shape:[ 3; 224; 224 ] Dtype.F32 in
+  let block b' x channels repeats =
+    let x = ref x in
+    for _ = 1 to repeats do
+      x := conv b' ~channels ~kernel:3 ~padding:1 !x
+    done;
+    B.max_pool b' ~window:2 ~stride:2 !x
+  in
+  let x = block b data 64 2 in
+  let x = block b x 128 2 in
+  let x = block b x 256 3 in
+  let x = block b x 512 3 in
+  let x = block b x 512 3 in
+  let x = B.flatten b x in
+  let fc b' units x = B.relu b' (B.bias_add b' (B.dense b' ~units x)) in
+  let x = fc b 4096 x in
+  let x = fc b 4096 x in
+  B.finish b (B.softmax b (B.bias_add b (B.dense b ~units:1000 x)))

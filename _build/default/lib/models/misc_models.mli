@@ -1,0 +1,5 @@
+(** SqueezeNet 1.1 and VGG-16 at 224x224x3, batch 1 — the small-model and
+    big-dense extremes of the evaluation's nine networks. *)
+
+val squeezenet : unit -> Unit_graph.Graph.t
+val vgg16 : unit -> Unit_graph.Graph.t

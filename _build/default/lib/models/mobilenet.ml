@@ -1,0 +1,73 @@
+open Unit_dtype
+open Unit_graph
+module B = Graph.Builder
+
+let scaled multiplier c =
+  let v = int_of_float (Float.round (multiplier *. Float.of_int c)) in
+  Stdlib.max 8 (v / 8 * 8)
+
+let conv_bn b ?(relu = `Relu) ?(groups = 1) ?(padding = 0) ?(stride = 1) ~channels
+    ~kernel x =
+  let y = B.bias_add b (B.conv2d b ~groups ~channels ~kernel ~stride ~padding x) in
+  match relu with `Relu -> B.relu b y | `Relu6 -> B.relu6 b y | `None -> y
+
+(* v1 separable unit: depthwise 3x3 + pointwise 1x1 *)
+let separable b ~in_channels ~out_channels ~stride x =
+  let dw =
+    conv_bn b ~groups:in_channels ~channels:in_channels ~kernel:3 ~stride ~padding:1 x
+  in
+  conv_bn b ~channels:out_channels ~kernel:1 dw
+
+let mobilenet_v1 ?(multiplier = 1.0) () =
+  let s = scaled multiplier in
+  let b = B.create () in
+  let data = B.input b ~shape:[ 3; 224; 224 ] Dtype.F32 in
+  let x = conv_bn b ~channels:(s 32) ~kernel:3 ~stride:2 ~padding:1 data in
+  let plan =
+    [ (32, 64, 1); (64, 128, 2); (128, 128, 1); (128, 256, 2); (256, 256, 1);
+      (256, 512, 2); (512, 512, 1); (512, 512, 1); (512, 512, 1); (512, 512, 1);
+      (512, 512, 1); (512, 1024, 2); (1024, 1024, 1)
+    ]
+  in
+  let x =
+    List.fold_left
+      (fun x (cin, cout, stride) ->
+        separable b ~in_channels:(s cin) ~out_channels:(s cout) ~stride x)
+      x plan
+  in
+  let gap = B.global_avg_pool b x in
+  B.finish b (B.softmax b (B.bias_add b (B.dense b ~units:1000 gap)))
+
+(* v2 inverted residual: 1x1 expand (relu6), depthwise 3x3 (relu6),
+   1x1 project (linear), residual when stride 1 and shapes match *)
+let inverted_residual b ~in_channels ~out_channels ~stride ~expand x =
+  let mid = in_channels * expand in
+  let y = if expand = 1 then x else conv_bn b ~relu:`Relu6 ~channels:mid ~kernel:1 x in
+  let y = conv_bn b ~relu:`Relu6 ~groups:mid ~channels:mid ~kernel:3 ~stride ~padding:1 y in
+  let y = conv_bn b ~relu:`None ~channels:out_channels ~kernel:1 y in
+  if stride = 1 && in_channels = out_channels then B.add b x y else y
+
+let mobilenet_v2 () =
+  let b = B.create () in
+  let data = B.input b ~shape:[ 3; 224; 224 ] Dtype.F32 in
+  let x = conv_bn b ~relu:`Relu6 ~channels:32 ~kernel:3 ~stride:2 ~padding:1 data in
+  let x = inverted_residual b ~in_channels:32 ~out_channels:16 ~stride:1 ~expand:1 x in
+  let stages =
+    (* (expand, out, repeats, first stride) *)
+    [ (6, 24, 2, 2); (6, 32, 3, 2); (6, 64, 4, 2); (6, 96, 3, 1); (6, 160, 3, 2);
+      (6, 320, 1, 1)
+    ]
+  in
+  let x = ref x in
+  let in_c = ref 16 in
+  List.iter
+    (fun (expand, out, repeats, first_stride) ->
+      for i = 0 to repeats - 1 do
+        let stride = if i = 0 then first_stride else 1 in
+        x := inverted_residual b ~in_channels:!in_c ~out_channels:out ~stride ~expand !x;
+        in_c := out
+      done)
+    stages;
+  let x = conv_bn b ~relu:`Relu6 ~channels:1280 ~kernel:1 !x in
+  let gap = B.global_avg_pool b x in
+  B.finish b (B.softmax b (B.bias_add b (B.dense b ~units:1000 gap)))

@@ -1,0 +1,13 @@
+(** MobileNet v1 and v2 (Howard/Sandler et al.) at 224x224x3, batch 1.
+
+    Depthwise convolutions appear as grouped convs ([groups = channels]);
+    UNIT's integer dot-product instructions do not apply to them (each
+    group reduces a single channel), so on CPU they stay memory-bound
+    vector code — one reason MobileNets show smaller tensorization gains in
+    Fig. 8/12. *)
+
+val mobilenet_v1 : ?multiplier:float -> unit -> Unit_graph.Graph.t
+(** [multiplier] scales channel counts (1.0 default; the paper also
+    evaluates 1.5-ish variants in some figures). *)
+
+val mobilenet_v2 : unit -> Unit_graph.Graph.t

@@ -1,0 +1,44 @@
+open Unit_dtype
+open Unit_graph
+module B = Graph.Builder
+
+(* The 3-D network keeps ResNet-18's channel/spatial plan but with an
+   8-frame depth axis; spatial 112 input (crop) keeps the workload sizes
+   close to the 2-D model's. *)
+let conv3 b ?(relu = true) ?(padding = 0) ?(stride = 1) ~channels ~kernel x =
+  let y = B.bias_add b (B.conv3d b ~channels ~kernel ~stride ~padding x) in
+  if relu then B.relu b y else y
+
+let basic_block3d b ~channels ~stride x =
+  let shortcut =
+    if stride <> 1 then conv3 b ~relu:false ~channels ~kernel:1 ~stride x else x
+  in
+  let y = conv3 b ~channels ~kernel:3 ~stride ~padding:1 x in
+  let y = conv3 b ~relu:false ~channels ~kernel:3 ~padding:1 y in
+  B.relu b (B.add b shortcut y)
+
+let res18_3d () =
+  let b = B.create () in
+  let data = B.input b ~shape:[ 3; 8; 112; 112 ] Dtype.F32 in
+  (* 3-D stem: 3x3x3 stride 2 (the 7x7 stem does not fit an 8-deep clip) *)
+  let x = conv3 b ~channels:64 ~kernel:3 ~stride:2 ~padding:1 data in
+  let x = ref x in
+  List.iteri
+    (fun stage blocks ->
+      let channels = 64 lsl stage in
+      for block = 0 to blocks - 1 do
+        let stride = if stage > 0 && block = 0 then 2 else 1 in
+        x := basic_block3d b ~channels ~stride !x
+      done)
+    [ 2; 2; 2; 2 ];
+  let gap =
+    (* flatten the clip and average: Global_avg_pool expects channel-led *)
+    B.global_avg_pool b !x
+  in
+  B.finish b (B.softmax b (B.bias_add b (B.dense b ~units:1000 gap)))
+
+let conv_workloads () =
+  List.filter_map
+    (fun (w, n) ->
+      match w with Workload.Conv3 wl -> Some (wl, n) | Workload.Conv _ | Workload.Fc _ -> None)
+    (Workload.of_graph (res18_3d ()))

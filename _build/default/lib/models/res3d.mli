@@ -1,0 +1,11 @@
+(** The Fig. 13 extensibility workload: ResNet-18 with every 2-D
+    convolution converted to a 3-D convolution (a temporal dimension of 8
+    frames is added at the input and halves where the spatial grid
+    halves), exactly the manual conversion the paper describes.  UNIT needs
+    no changes — these are just new tensor operations. *)
+
+val res18_3d : unit -> Unit_graph.Graph.t
+
+val conv_workloads : unit -> (Unit_graph.Workload.conv3d * int) list
+(** The distinct 3-D convolutions of the model, with multiplicities —
+    the per-layer x-axis of Fig. 13. *)

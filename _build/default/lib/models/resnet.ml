@@ -1,0 +1,73 @@
+open Unit_dtype
+open Unit_graph
+module B = Graph.Builder
+
+let conv_bn_relu b ?(relu = true) ?(padding = 0) ?(stride = 1) ~channels ~kernel x =
+  let y = B.bias_add b (B.conv2d b ~channels ~kernel ~stride ~padding x) in
+  if relu then B.relu b y else y
+
+(* conv7x7/2 + maxpool3/2: 224 -> 56, 64 channels *)
+let stem b data =
+  let x = conv_bn_relu b ~channels:64 ~kernel:7 ~stride:2 ~padding:3 data in
+  B.max_pool b ~window:3 ~stride:2 ~padding:1 x
+
+let basic_block b ~channels ~stride x =
+  let shortcut =
+    if stride <> 1 then
+      conv_bn_relu b ~relu:false ~channels ~kernel:1 ~stride x
+    else x
+  in
+  let y = conv_bn_relu b ~channels ~kernel:3 ~stride ~padding:1 x in
+  let y = conv_bn_relu b ~relu:false ~channels ~kernel:3 ~padding:1 y in
+  B.relu b (B.add b shortcut y)
+
+(* v1 puts the stage's stride on the first 1x1; v1b on the 3x3 *)
+let bottleneck b ~channels ~stride ~project ~v1b x =
+  let out_channels = channels * 4 in
+  let shortcut =
+    if project then conv_bn_relu b ~relu:false ~channels:out_channels ~kernel:1 ~stride x
+    else x
+  in
+  let s1, s3 = if v1b then (1, stride) else (stride, 1) in
+  let y = conv_bn_relu b ~channels ~kernel:1 ~stride:s1 x in
+  let y = conv_bn_relu b ~channels ~kernel:3 ~stride:s3 ~padding:1 y in
+  let y = conv_bn_relu b ~relu:false ~channels:out_channels ~kernel:1 y in
+  B.relu b (B.add b shortcut y)
+
+let head b x =
+  let gap = B.global_avg_pool b x in
+  B.softmax b (B.bias_add b (B.dense b ~units:1000 gap))
+
+let basic_resnet layers =
+  let b = B.create () in
+  let data = B.input b ~shape:[ 3; 224; 224 ] Dtype.F32 in
+  let x = ref (stem b data) in
+  List.iteri
+    (fun stage blocks ->
+      let channels = 64 lsl stage in
+      for block = 0 to blocks - 1 do
+        let stride = if stage > 0 && block = 0 then 2 else 1 in
+        x := basic_block b ~channels ~stride !x
+      done)
+    layers;
+  B.finish b (head b !x)
+
+let bottleneck_resnet ~v1b layers =
+  let b = B.create () in
+  let data = B.input b ~shape:[ 3; 224; 224 ] Dtype.F32 in
+  let x = ref (stem b data) in
+  List.iteri
+    (fun stage blocks ->
+      let channels = 64 lsl stage in
+      for block = 0 to blocks - 1 do
+        let stride = if stage > 0 && block = 0 then 2 else 1 in
+        let project = block = 0 in
+        x := bottleneck b ~channels ~stride ~project ~v1b !x
+      done)
+    layers;
+  B.finish b (head b !x)
+
+let resnet18 () = basic_resnet [ 2; 2; 2; 2 ]
+let resnet34 () = basic_resnet [ 3; 4; 6; 3 ]
+let resnet50 () = bottleneck_resnet ~v1b:false [ 3; 4; 6; 3 ]
+let resnet50_v1b () = bottleneck_resnet ~v1b:true [ 3; 4; 6; 3 ]

@@ -1,0 +1,14 @@
+(** ResNet family (He et al.), built on the graph IR at batch size 1 with
+    224x224x3 inputs.  Batch norms are folded into the preceding
+    convolution's bias, as every inference deployment does, so blocks are
+    conv+bias+relu chains. *)
+
+val resnet18 : unit -> Unit_graph.Graph.t
+val resnet34 : unit -> Unit_graph.Graph.t
+
+val resnet50 : unit -> Unit_graph.Graph.t
+(** v1: the stride-2 downsample sits on the first 1x1 of each stage. *)
+
+val resnet50_v1b : unit -> Unit_graph.Graph.t
+(** v1b moves the stride onto the 3x3, changing several conv shapes — the
+    paper evaluates both ("resnet50" and "resnet50b"). *)

@@ -1,0 +1,13 @@
+(** Table I: the 16 representative convolution layers of the ablation
+    studies (Figs. 10 and 11), reproduced verbatim from the paper.  These
+    cover diverse shapes and strides out of the 148 distinct convolutions
+    in the nine models. *)
+
+val workloads : Unit_graph.Workload.conv2d array
+(** Index 0 = the paper's workload #1 ... index 15 = #16. *)
+
+val characteristics_rows : (string * (Unit_graph.Workload.conv2d -> int)) list
+(** The table's rows (C, IHW, K, R=S, Stride, OHW) as accessors, for
+    printing the table exactly as published. *)
+
+val pp_table : Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+lib/rewriter/cpu_tuner.ml: Axis List Reorganize Replace Schedule Stdlib Unit_dsl Unit_machine Unit_tir

@@ -1,0 +1,1 @@
+lib/rewriter/cpu_tuner.mli: Reorganize Schedule Unit_dsl Unit_machine Unit_tir

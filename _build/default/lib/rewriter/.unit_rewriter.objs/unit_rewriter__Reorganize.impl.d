@@ -1,0 +1,1 @@
+lib/rewriter/reorganize.ml: Axis List Op Printf Schedule Tensor Unit_dsl Unit_inspector Unit_isa

@@ -1,0 +1,1 @@
+lib/rewriter/reorganize.mli: Op Schedule Unit_dsl Unit_inspector

@@ -1,0 +1,1 @@
+lib/rewriter/replace.ml: Axis Buffer Linear List Lower Op Printf Schedule Stmt Tensor Texpr Unit_dsl Unit_isa Unit_tir Var

@@ -1,0 +1,1 @@
+lib/rewriter/replace.mli: Lower Unit_tir

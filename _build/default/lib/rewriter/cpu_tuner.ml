@@ -1,0 +1,145 @@
+open Unit_dsl
+
+type config = {
+  parallel_grain : int;
+  unroll_budget : int;
+}
+
+let default_config = { parallel_grain = 3000; unroll_budget = 8 }
+let parallel_only = { default_config with unroll_budget = 1 }
+
+let divisors n =
+  let rec go d acc = if d > n then List.rev acc
+    else go (d + 1) (if n mod d = 0 then d :: acc else acc)
+  in
+  go 1 []
+
+(* The largest divisor of [extent] that is <= [budget]. *)
+let best_divisor extent budget =
+  List.fold_left (fun acc d -> if d <= budget then Stdlib.max acc d else acc) 1
+    (divisors extent)
+
+let is_dp (it : Schedule.Iter.t) = it.kind = Axis.Data_parallel
+
+(* Greedily take whole loops from [iters] (outermost first) while the
+   running product stays within [budget]; when the next loop overflows,
+   split a [chunk]-sized outer piece off it.  Returns
+   (schedule, taken, leftovers). *)
+let take_parallel s iters budget =
+  let rec go s acc taken = function
+    | [] -> (s, List.rev taken, [])
+    | (it : Schedule.Iter.t) :: rest ->
+      if acc * it.extent <= budget then go s (acc * it.extent) (it :: taken) rest
+      else begin
+        let want = budget / acc in
+        let chunk = best_divisor it.extent want in
+        if chunk <= 1 then (s, List.rev taken, it :: rest)
+        else begin
+          let s, outer, inner = Schedule.split s it ~factor:(it.extent / chunk) in
+          (s, List.rev (outer :: taken), inner :: rest)
+        end
+      end
+  in
+  go s 1 [] iters
+
+(* For the unroll group we walk the dp loops from the innermost side and
+   split chunks off the inner end. *)
+let take_unroll s iters_rev budget =
+  let rec go s acc taken = function
+    | [] -> (s, taken, [])
+    | (it : Schedule.Iter.t) :: rest ->
+      if acc * it.extent <= budget then go s (acc * it.extent) (it :: taken) rest
+      else begin
+        let want = budget / acc in
+        let chunk = best_divisor it.extent want in
+        if chunk <= 1 then (s, taken, it :: rest)
+        else begin
+          let s, outer, inner = Schedule.split s it ~factor:chunk in
+          (s, inner :: taken, outer :: rest)
+        end
+      end
+  in
+  (* [taken] accumulates back in outer-to-inner order *)
+  let s, taken, leftovers_rev = go s 1 [] iters_rev in
+  (s, taken, List.rev leftovers_rev)
+
+let apply (r : Reorganize.t) config =
+  let s = r.Reorganize.schedule in
+  let outer_dp = List.filter is_dp r.Reorganize.outer in
+  let outer_red =
+    List.filter (fun it -> not (is_dp it)) r.Reorganize.outer
+  in
+  (* second breaking point first: carve the unroll group off the inner end
+     of the dp nest (it may split a loop the parallel group would
+     otherwise swallow whole) *)
+  let s, unroll_group, remaining_dp =
+    take_unroll s (List.rev outer_dp) config.unroll_budget
+  in
+  (* first breaking point: the parallel group from the outer end *)
+  let s, parallel_group, serial_dp =
+    take_parallel s remaining_dp config.parallel_grain
+  in
+  let order = parallel_group @ serial_dp @ outer_red @ unroll_group @ r.Reorganize.region in
+  let s = Schedule.reorder s order in
+  let s, fused =
+    match parallel_group with
+    | [] -> (s, None)
+    | group ->
+      let s, fused = Schedule.fuse_many s group in
+      (s, Some fused)
+  in
+  let s =
+    match fused with
+    | Some it -> Schedule.annotate s it Schedule.Parallel
+    | None -> s
+  in
+  List.fold_left (fun s it -> Schedule.annotate s it Schedule.Unroll) s unroll_group
+
+let compile r config = Replace.run (Unit_tir.Lower.lower (apply r config))
+
+type tuned = {
+  t_config : config;
+  t_schedule : Schedule.t;
+  t_func : Unit_tir.Lower.func;
+  t_estimate : Unit_machine.Cpu_model.estimate;
+}
+
+let candidate_configs (spec : Unit_machine.Spec.cpu) =
+  let grains =
+    List.sort_uniq compare
+      [ spec.Unit_machine.Spec.cores;
+        2 * spec.Unit_machine.Spec.cores;
+        4 * spec.Unit_machine.Spec.cores;
+        8 * spec.Unit_machine.Spec.cores;
+        default_config.parallel_grain
+      ]
+  in
+  (* 16 independent i32x16 accumulators already claim half the vector
+     register file; beyond that real kernels spill *)
+  let unrolls = [ 1; 2; 4; 8; 16 ] in
+  List.concat_map
+    (fun parallel_grain ->
+      List.map (fun unroll_budget -> { parallel_grain; unroll_budget }) unrolls)
+    grains
+
+let tune spec ?threads ?configs (r : Reorganize.t) =
+  let configs =
+    match configs with Some c -> c | None -> candidate_configs spec
+  in
+  let evaluate config =
+    let schedule = apply r config in
+    let func = Replace.run (Unit_tir.Lower.lower schedule) in
+    let estimate = Unit_machine.Cpu_model.estimate spec ?threads func in
+    { t_config = config; t_schedule = schedule; t_func = func; t_estimate = estimate }
+  in
+  match List.map evaluate configs with
+  | [] -> invalid_arg "Cpu_tuner.tune: empty configuration list"
+  | first :: rest ->
+    List.fold_left
+      (fun best candidate ->
+        if
+          candidate.t_estimate.Unit_machine.Cpu_model.est_cycles
+          < best.t_estimate.Unit_machine.Cpu_model.est_cycles
+        then candidate
+        else best)
+      first rest

@@ -1,0 +1,64 @@
+(** The CPU tuning strategy (Sections III-C.3 and IV-B, Fig. 7).
+
+    After tensorization the remaining loops are organized around two
+    {e breaking points} on the data-parallel nest:
+
+    {v
+    [fused + parallel dp loops]      <- before the first breaking point
+    [serial dp loops]
+    [reduction loops]
+    [unrolled dp loops]              <- after the second breaking point
+    [tensorized innermost nest]
+    v}
+
+    Placing unrolled data-parallel loops {e below} the innermost reduction
+    creates independent accumulation chains that hide the tensorized
+    instruction's RAW latency; fusing enough outer loops feeds every core.
+    A configuration is summarized by the two budgets the paper sweeps: the
+    parallel grain bound (3000 in Fig. 10's "Parallel" bar) and the unroll
+    budget (8 in "+Unroll"); [tune] searches the space ("+Tune"). *)
+
+open Unit_dsl
+
+type config = {
+  parallel_grain : int;
+      (** fuse outermost dp loops while their product stays below this *)
+  unroll_budget : int;
+      (** unroll innermost dp loops while their product stays within this *)
+}
+
+val default_config : config
+(** The paper's first tuning pair: grain 3000, unroll 8 — which Fig. 10
+    reports is already optimal for more than half the kernels. *)
+
+val parallel_only : config
+(** Fig. 10's "Parallel" ablation: no unrolling. *)
+
+val apply : Reorganize.t -> config -> Schedule.t
+(** Realize a configuration on a reorganized schedule: split/fuse the
+    data-parallel loops into the three groups, reorder the unroll group
+    below the reductions, annotate. *)
+
+type tuned = {
+  t_config : config;
+  t_schedule : Schedule.t;
+  t_func : Unit_tir.Lower.func;  (** lowered, instruction replaced *)
+  t_estimate : Unit_machine.Cpu_model.estimate;
+}
+
+val candidate_configs : Unit_machine.Spec.cpu -> config list
+(** The swept grid: parallel grains scaled around the core count plus the
+    3000 default, crossed with unroll budgets 1..32. *)
+
+val compile : Reorganize.t -> config -> Unit_tir.Lower.func
+(** [apply], lower, and replace in one step. *)
+
+val tune :
+  Unit_machine.Spec.cpu ->
+  ?threads:int ->
+  ?configs:config list ->
+  Reorganize.t ->
+  tuned
+(** Profile every candidate on the machine model and keep the fastest —
+    the paper's feedback-driven search, with the model standing in for
+    hardware profiling. *)

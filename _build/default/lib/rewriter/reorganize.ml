@@ -1,0 +1,77 @@
+open Unit_dsl
+module Inspector = Unit_inspector.Inspector
+
+type t = {
+  schedule : Schedule.t;
+  outer : Schedule.Iter.t list;
+  region : Schedule.Iter.t list;
+  info : Schedule.tensorize_info;
+}
+
+exception Rewrite_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Rewrite_error s)) fmt
+
+let apply op (ap : Inspector.applicability) ?(mapping_index = 0) () =
+  let mapping =
+    match List.nth_opt ap.Inspector.ap_mappings mapping_index with
+    | Some m -> m
+    | None ->
+      error "mapping index %d out of range (%d feasible)" mapping_index
+        (List.length ap.Inspector.ap_mappings)
+  in
+  let intrin = ap.Inspector.ap_intrin in
+  let s = Schedule.create op in
+  (* Tile each mapped op axis; collect (intrin axis, inner iter). *)
+  let s, inner_of_beta =
+    List.fold_left
+      (fun (s, acc) ((alpha : Axis.t), (beta : Axis.t)) ->
+        let root = Schedule.root_iter s alpha in
+        if alpha.extent = beta.extent then (s, (beta, root) :: acc)
+        else begin
+          let s, _outer, inner = Schedule.split s root ~factor:beta.extent in
+          (s, (beta, inner) :: acc)
+        end)
+      (s, []) mapping
+  in
+  (* Sink the inner iters to the innermost levels, in the instruction's
+     own axis order (spatial then reduce). *)
+  let intrin_axes = Op.all_axes intrin.Unit_isa.Intrin.op in
+  let region =
+    List.map
+      (fun (beta : Axis.t) ->
+        match
+          List.find_opt (fun ((b : Axis.t), _) -> Axis.equal b beta) inner_of_beta
+        with
+        | Some (_, it) -> it
+        | None -> error "instruction axis %s was not mapped" beta.name)
+      intrin_axes
+  in
+  let outer =
+    List.filter
+      (fun (it : Schedule.Iter.t) ->
+        not (List.exists (Schedule.Iter.equal it) region))
+      (Schedule.leaves s)
+  in
+  let s = Schedule.reorder s (outer @ region) in
+  let info =
+    { Schedule.intrin_name = intrin.Unit_isa.Intrin.name;
+      axis_binding =
+        List.map2
+          (fun (beta : Axis.t) (it : Schedule.Iter.t) -> (beta.name, it.id))
+          intrin_axes region;
+      operand_binding =
+        List.filter_map
+          (fun (name, source) ->
+            match source with
+            | Inspector.From_tensor (tensor, _) -> Some (tensor.Tensor.id, name)
+            | Inspector.From_constant _ -> None)
+          ap.Inspector.ap_operands
+    }
+  in
+  let s =
+    match region with
+    | [] -> error "instruction %s has no axes" intrin.Unit_isa.Intrin.name
+    | first :: _ -> Schedule.annotate s first (Schedule.Tensorize info)
+  in
+  { schedule = s; outer; region; info }

@@ -1,0 +1,30 @@
+(** Loop reorganization (Section III-C.1).
+
+    Given a feasible Inspector result, tile each mapped operation axis by
+    the corresponding instruction axis's extent and sink the inner halves
+    to the innermost loop levels, ordered like the instruction's own axes.
+    The innermost nest then performs exactly the instruction's computation
+    and is annotated with the tensorize pragma for the replacement pass. *)
+
+open Unit_dsl
+
+type t = {
+  schedule : Schedule.t;  (** reorganized, pragma attached *)
+  outer : Schedule.Iter.t list;
+      (** the remaining freely schedulable iters, outermost first: the
+          tuner's domain *)
+  region : Schedule.Iter.t list;
+      (** the tensorized iters, in instruction-axis order *)
+  info : Schedule.tensorize_info;  (** as attached to [List.hd region] *)
+}
+
+exception Rewrite_error of string
+
+val apply :
+  Op.t -> Unit_inspector.Inspector.applicability -> ?mapping_index:int -> unit -> t
+(** Reorganize using the [mapping_index]-th feasible mapping (default 0 =
+    the Inspector's greedy choice).
+
+    Axes mapped with extent equal to the instruction axis are reordered
+    directly (no degenerate outer loop); larger axes are split first.
+    @raise Rewrite_error if [mapping_index] is out of range. *)

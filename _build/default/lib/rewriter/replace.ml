@@ -1,0 +1,142 @@
+open Unit_dsl
+open Unit_tir
+
+exception Replace_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Replace_error s)) fmt
+
+(* Peel the loops of the tensorized region.  [expected] maps variable ids
+   to (axis name, extent); returns the collected (axis name, var) pairs,
+   hoisted guard conditions, and the innermost statement. *)
+let rec peel_region expected acc_vars acc_guards stmt =
+  match stmt with
+  | Stmt.For { var; extent; body; _ } ->
+    (match List.assoc_opt var.Var.id expected with
+     | Some (axis_name, axis_extent) ->
+       if extent <> axis_extent then
+         error "loop %s has extent %d, instruction axis %s needs %d" var.Var.name
+           extent axis_name axis_extent;
+       peel_region expected ((axis_name, var) :: acc_vars) acc_guards body
+     | None ->
+       error "loop %s inside a tensorized region is not an instruction axis"
+         var.Var.name)
+  | Stmt.If { cond; likely = true; then_; else_ = None } ->
+    peel_region expected acc_vars (cond :: acc_guards) then_
+  | Stmt.Store _ -> (List.rev acc_vars, List.rev acc_guards, stmt)
+  | Stmt.Nop | Stmt.If _ | Stmt.Let _ | Stmt.Alloc _ | Stmt.Seq _
+  | Stmt.Intrin_call _ ->
+    error "unexpected statement inside a tensorized region"
+
+let tile_of ~region_vars buf index =
+  let vars = List.map snd region_vars in
+  let base = Linear.substitute_zero vars index in
+  let strides =
+    List.filter_map
+      (fun (axis_name, var) ->
+        match Linear.coefficient_of index var with
+        | Some 0 -> None
+        | Some c -> Some (axis_name, c)
+        | None ->
+          error "access %s: stride of %s is not constant" buf.Buffer.name
+            var.Var.name)
+      region_vars
+  in
+  { Stmt.tile_buf = buf; tile_base = base; tile_strides = strides }
+
+(* Find the Load feeding each bound instruction operand inside [rest]. *)
+let operand_tiles ~region_vars ~operand_binding rest =
+  let loads = Texpr.loads_of rest in
+  List.map
+    (fun (tensor_id, intrin_name) ->
+      let matching =
+        List.filter
+          (fun ((b : Buffer.t), _) -> b.source = Some tensor_id)
+          loads
+      in
+      match matching with
+      | [] -> error "no load found for instruction operand %s" intrin_name
+      | (buf, index) :: rest_loads ->
+        (* several loads of one tensor are fine only if they are all the
+           same access (e.g. a square term bound to two operands) *)
+        if
+          List.for_all
+            (fun ((b : Buffer.t), ix) ->
+              Buffer.equal b buf && Texpr.equal_structural ix index)
+            rest_loads
+        then (intrin_name, tile_of ~region_vars buf index)
+        else
+          error
+            "operand %s: tensor is loaded with several distinct accesses; \
+             binding is ambiguous"
+            intrin_name)
+    operand_binding
+
+let rewrite_region (func : Lower.func) (info : Schedule.tensorize_info) stmt =
+  let intrin =
+    match Unit_isa.Registry.find info.Schedule.intrin_name with
+    | Some i -> i
+    | None -> error "instruction %s is not registered" info.Schedule.intrin_name
+  in
+  let var_of_iter iter_id =
+    match List.assoc_opt iter_id func.Lower.fn_iter_vars with
+    | Some v -> v
+    | None -> error "tensorize pragma references unknown iter %d" iter_id
+  in
+  let expected =
+    List.map
+      (fun (axis_name, iter_id) ->
+        let axis =
+          match Unit_isa.Intrin.axis_by_name intrin axis_name with
+          | Some a -> a
+          | None ->
+            error "pragma axis %s is not an axis of %s" axis_name
+              intrin.Unit_isa.Intrin.name
+        in
+        let var = var_of_iter iter_id in
+        (var.Var.id, (axis_name, axis.Axis.extent)))
+      info.Schedule.axis_binding
+  in
+  let region_vars, guards, innermost = peel_region expected [] [] stmt in
+  if List.length region_vars <> List.length expected then
+    error "tensorized region covers %d of %d instruction axes"
+      (List.length region_vars) (List.length expected);
+  List.iter
+    (fun cond ->
+      List.iter
+        (fun (_, var) ->
+          if not (Linear.is_independent_of cond var) then
+            error "split residue guard depends on tensorized loop %s" var.Var.name)
+        region_vars)
+    guards;
+  match innermost with
+  | Stmt.Store (out_buf, out_index, Texpr.Binop (Texpr.Add, Texpr.Load (b, load_index), rest))
+    when Buffer.equal b out_buf && Texpr.equal_structural out_index load_index ->
+    let output = tile_of ~region_vars out_buf out_index in
+    let inputs =
+      operand_tiles ~region_vars ~operand_binding:info.Schedule.operand_binding rest
+    in
+    (* the accumulator operand of an Init_tensor-style instruction is the
+       output memory itself: d = c + sum  becomes  out += sum *)
+    let inputs =
+      match intrin.Unit_isa.Intrin.op.Op.init with
+      | Op.Init_tensor c -> (c.Tensor.name, output) :: inputs
+      | Op.In_place | Op.Zero -> inputs
+    in
+    let call =
+      Stmt.Intrin_call { intrin = intrin.Unit_isa.Intrin.name; output; inputs }
+    in
+    List.fold_left
+      (fun body cond -> Stmt.If { cond; likely = true; then_ = body; else_ = None })
+      call guards
+  | Stmt.Store _ ->
+    error "innermost statement of the tensorized region is not the canonical \
+           accumulate out[i] = out[i] + e"
+  | _ -> assert false (* peel_region only returns Store *)
+
+let run (func : Lower.func) =
+  let rec walk stmt =
+    match stmt with
+    | Stmt.For { kind = Stmt.Tensorized info; _ } -> rewrite_region func info stmt
+    | _ -> Stmt.map_children walk stmt
+  in
+  { func with Lower.fn_body = walk func.Lower.fn_body }

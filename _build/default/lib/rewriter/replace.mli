@@ -1,0 +1,26 @@
+(** Tensorized instruction replacement (Section III-C.2): a tensor-IR pass
+    that rewrites the loop nest marked with the tensorize pragma into a
+    single {!Unit_tir.Stmt.Intrin_call}.
+
+    Operand generation follows the paper's interface: for every loop
+    variable being replaced, its constant coefficient in each memory
+    access's (flattened) index expression becomes the register tile's
+    stride along the corresponding instruction axis; setting the replaced
+    variables to zero gives the tile's base.  A zero stride realizes a
+    broadcast, a missing instruction axis an unroll-and-concatenate — all
+    derived automatically from the access expressions. *)
+
+open Unit_tir
+
+exception Replace_error of string
+
+val run : Lower.func -> Lower.func
+(** Replace every [Tensorized]-marked nest in the body.  The marked loop
+    and the loops below it must be exactly the instruction's axes (extents
+    matching), optionally guarded by split-residue tests that do not depend
+    on the replaced variables (such guards are hoisted above the call).
+    The innermost statement must be the canonical accumulate
+    [out\[i\] = out\[i\] + e].
+    @raise Replace_error if the marked nest does not have that shape, an
+    operand's stride is not constant, or the instruction is not
+    registered. *)

@@ -1,0 +1,1 @@
+lib/tir/buffer.ml: Format Printf Unit_dsl Unit_dtype

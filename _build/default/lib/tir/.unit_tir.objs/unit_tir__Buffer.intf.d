@@ -1,0 +1,1 @@
+lib/tir/buffer.mli: Format Unit_dsl Unit_dtype

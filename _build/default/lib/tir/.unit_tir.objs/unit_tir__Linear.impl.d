@@ -1,0 +1,1 @@
+lib/tir/linear.ml: Int64 List Stdlib Texpr Unit_dtype Var

@@ -1,0 +1,1 @@
+lib/tir/linear.mli: Texpr Var

@@ -1,0 +1,1 @@
+lib/tir/lower.ml: Array Axis Buffer Expr List Op Printf Schedule Stmt Tensor Texpr Unit_dsl Unit_dtype Var

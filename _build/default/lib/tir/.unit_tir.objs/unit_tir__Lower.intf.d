@@ -1,0 +1,1 @@
+lib/tir/lower.mli: Buffer Stmt Texpr Unit_dsl Var

@@ -1,0 +1,1 @@
+lib/tir/stmt.ml: Buffer Format List Option Printf Stdlib String Texpr Unit_dsl Var

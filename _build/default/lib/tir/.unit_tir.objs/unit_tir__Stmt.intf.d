@@ -1,0 +1,1 @@
+lib/tir/stmt.mli: Buffer Format Texpr Unit_dsl Var

@@ -1,0 +1,1 @@
+lib/tir/texpr.ml: Buffer Dtype Format Int64 List Printf Unit_dtype Value Var

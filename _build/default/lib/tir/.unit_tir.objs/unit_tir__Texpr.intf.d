@@ -1,0 +1,1 @@
+lib/tir/texpr.mli: Buffer Dtype Format Unit_dtype Value Var

@@ -1,0 +1,1 @@
+lib/tir/validate.ml: Buffer Format Linear List Lower Option Printf Stdlib Stmt Texpr Var

@@ -1,0 +1,1 @@
+lib/tir/var.ml: Format Stdlib Unit_dtype

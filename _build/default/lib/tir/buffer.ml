@@ -1,0 +1,24 @@
+type t = {
+  id : int;
+  name : string;
+  dtype : Unit_dtype.Dtype.t;
+  size : int;
+  source : int option;
+}
+
+let counter = ref 0
+
+let create ?source ~name ~dtype ~size () =
+  if size <= 0 then invalid_arg (Printf.sprintf "Buffer.create %s: size %d" name size);
+  incr counter;
+  { id = !counter; name; dtype; size; source }
+
+let of_tensor (tensor : Unit_dsl.Tensor.t) =
+  create ~source:tensor.id ~name:tensor.name ~dtype:tensor.dtype
+    ~size:(Unit_dsl.Tensor.num_elements tensor) ()
+
+let bytes t = t.size * Unit_dtype.Dtype.bytes t.dtype
+let equal a b = a.id = b.id
+
+let pp fmt t =
+  Format.fprintf fmt "%s:%s[%d]" t.name (Unit_dtype.Dtype.to_string t.dtype) t.size

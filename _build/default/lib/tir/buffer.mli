@@ -1,0 +1,27 @@
+(** Flat, restricted memory buffers of the tensor IR.
+
+    Lowering flattens every multi-dimensional tensor access to a row-major
+    element index into one of these.  Buffers are {e restricted} in the
+    paper's sense (Section II-C.3): distinct buffers never alias, which is
+    what licenses the Inspector/Rewriter's strong assumptions. *)
+
+type t = private {
+  id : int;
+  name : string;
+  dtype : Unit_dtype.Dtype.t;
+  size : int;  (** number of elements *)
+  source : int option;
+      (** id of the DSL tensor this buffer realizes, when it does *)
+}
+
+val create :
+  ?source:int -> name:string -> dtype:Unit_dtype.Dtype.t -> size:int -> unit -> t
+(** @raise Invalid_argument if [size <= 0]. *)
+
+val of_tensor : Unit_dsl.Tensor.t -> t
+(** Row-major realization of a DSL tensor; records the tensor id in
+    [source]. *)
+
+val bytes : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+open Texpr
+
+let rec occurs v = function
+  | Var w -> Var.equal v w
+  | Imm _ -> false
+  | Load (_, ix) -> occurs v ix
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) -> occurs v a || occurs v b
+  | Not a | Cast (_, a) -> occurs v a
+  | Select (c, a, b) -> occurs v c || occurs v a || occurs v b
+
+let is_independent_of e v = not (occurs v e)
+
+let rec coefficient_of e v =
+  match e with
+  | Imm _ -> Some 0
+  | Var w -> Some (if Var.equal v w then 1 else 0)
+  | Cast (dt, a) when Unit_dtype.Dtype.is_integer dt -> coefficient_of a v
+  | Binop (Add, a, b) ->
+    (match coefficient_of a v, coefficient_of b v with
+     | Some x, Some y -> Some (x + y)
+     | _ -> None)
+  | Binop (Sub, a, b) ->
+    (match coefficient_of a v, coefficient_of b v with
+     | Some x, Some y -> Some (x - y)
+     | _ -> None)
+  | Binop (Mul, a, b) ->
+    (match coefficient_of a v, coefficient_of b v, as_const_int a, as_const_int b with
+     | Some 0, Some 0, _, _ -> Some 0
+     | Some ca, Some 0, _, Some cb -> Some (ca * cb)
+     | Some 0, Some cb, Some ca, _ -> Some (ca * cb)
+     | _ -> None)
+  | Binop ((Div | Mod | Min | Max), a, b) ->
+    if is_independent_of a v && is_independent_of b v then Some 0 else None
+  | Load _ | Cmp _ | And _ | Or _ | Not _ | Select _ | Cast _ ->
+    if is_independent_of e v then Some 0 else None
+
+let rec bounds ~env e =
+  let combine f a b =
+    match bounds ~env a, bounds ~env b with
+    | Some ia, Some ib -> f ia ib
+    | _ -> None
+  in
+  match e with
+  | Imm v when Unit_dtype.Dtype.is_integer (Unit_dtype.Value.dtype v) ->
+    let x = Int64.to_int (Unit_dtype.Value.to_int64 v) in
+    Some (x, x)
+  | Imm _ -> None
+  | Var v -> env v
+  | Cast (dt, a) when Unit_dtype.Dtype.is_integer dt -> bounds ~env a
+  | Cast _ -> None
+  | Binop (Add, a, b) -> combine (fun (l1, h1) (l2, h2) -> Some (l1 + l2, h1 + h2)) a b
+  | Binop (Sub, a, b) -> combine (fun (l1, h1) (l2, h2) -> Some (l1 - h2, h1 - l2)) a b
+  | Binop (Mul, a, b) ->
+    let corners (l1, h1) (l2, h2) =
+      let products = [ l1 * l2; l1 * h2; h1 * l2; h1 * h2 ] in
+      Some (List.fold_left Stdlib.min max_int products,
+            List.fold_left Stdlib.max min_int products)
+    in
+    combine corners a b
+  | Binop (Div, a, b) ->
+    (match bounds ~env a, as_const_int b with
+     | Some (l, h), Some c when c > 0 ->
+       (* OCaml division truncates toward zero; for non-negative index
+          arithmetic this matches floor division, which is all lowering
+          produces. *)
+       Some (l / c, h / c)
+     | _ -> None)
+  | Binop (Mod, a, b) ->
+    (match bounds ~env a, as_const_int b with
+     | Some (l, _), Some c when c > 0 && l >= 0 -> Some (0, c - 1)
+     | _ -> None)
+  | Binop (Min, a, b) ->
+    combine (fun (l1, h1) (l2, h2) -> Some (Stdlib.min l1 l2, Stdlib.min h1 h2)) a b
+  | Binop (Max, a, b) ->
+    combine (fun (l1, h1) (l2, h2) -> Some (Stdlib.max l1 l2, Stdlib.max h1 h2)) a b
+  | Select (_, a, b) ->
+    combine (fun (l1, h1) (l2, h2) -> Some (Stdlib.min l1 l2, Stdlib.max h1 h2)) a b
+  | Load _ | Cmp _ | And _ | Or _ | Not _ -> None
+
+let substitute_zero vars e =
+  Texpr.substitute (List.map (fun v -> (v, Texpr.int_imm 0)) vars) e

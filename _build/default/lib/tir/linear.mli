@@ -1,0 +1,24 @@
+(** Arithmetic analyses over index expressions.
+
+    The tensorize replacement pass asks "with what constant stride does
+    this loop variable move this memory access?" ({!coefficient_of}), and
+    the machine model asks "what address range does this access cover?"
+    ({!bounds}).  Both are conservative: [None] means "not provable". *)
+
+val coefficient_of : Texpr.t -> Var.t -> int option
+(** [coefficient_of e v] is [Some c] when [e] provably changes by exactly
+    [c] for a unit step of [v] (i.e. [e] is linear in [v] with constant
+    coefficient; [c = 0] when [e] does not mention [v]).  [None] when the
+    dependence is nonlinear (through [Div]/[Mod]/[Load]/...). *)
+
+val is_independent_of : Texpr.t -> Var.t -> bool
+(** Purely syntactic: [v] does not occur in [e]. *)
+
+val bounds : env:(Var.t -> (int * int) option) -> Texpr.t -> (int * int) option
+(** Inclusive interval of an integer expression's value, given inclusive
+    intervals for its variables.  Handles [Div]/[Mod] by constants, which
+    fused-loop decompositions produce.  [None] for non-integer expressions,
+    unbounded variables or [Load]s. *)
+
+val substitute_zero : Var.t list -> Texpr.t -> Texpr.t
+(** Set the given variables to 0 — the "base index" of a register tile. *)

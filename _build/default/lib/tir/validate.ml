@@ -1,0 +1,221 @@
+type violation = {
+  v_rule : string;
+  v_detail : string;
+}
+
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.v_rule v.v_detail
+
+type ctx = {
+  (* loop/let variables in scope with their inclusive value intervals *)
+  vars : (Var.t * (int * int)) list;
+  (* buffers in scope *)
+  buffers : Buffer.t list;
+  (* guard refinements: an expression known to be < bound in this branch *)
+  guards : (Texpr.t * int) list;
+  (* instruction axis extents, when known *)
+  intrin_axes : string -> (string * int) list option;
+}
+
+let env_of ctx v =
+  List.find_map
+    (fun (w, range) -> if Var.equal v w then Some range else None)
+    ctx.vars
+
+(* Replace every subtree structurally equal to [target] by [replacement];
+   used to apply guard refinements before interval analysis. *)
+let rec replace_subtree ~target ~replacement e =
+  if Texpr.equal_structural e target then replacement
+  else
+    match e with
+    | Texpr.Imm _ | Texpr.Var _ -> e
+    | Texpr.Load (b, ix) -> Texpr.load b (replace_subtree ~target ~replacement ix)
+    | Texpr.Binop (op, a, b2) ->
+      Texpr.binop op
+        (replace_subtree ~target ~replacement a)
+        (replace_subtree ~target ~replacement b2)
+    | Texpr.Cmp (c, a, b2) ->
+      Texpr.cmp c
+        (replace_subtree ~target ~replacement a)
+        (replace_subtree ~target ~replacement b2)
+    | Texpr.And (a, b2) ->
+      Texpr.and_ (replace_subtree ~target ~replacement a)
+        (replace_subtree ~target ~replacement b2)
+    | Texpr.Or (a, b2) ->
+      Texpr.or_ (replace_subtree ~target ~replacement a)
+        (replace_subtree ~target ~replacement b2)
+    | Texpr.Not a -> Texpr.not_ (replace_subtree ~target ~replacement a)
+    | Texpr.Cast (dt, a) -> Texpr.cast dt (replace_subtree ~target ~replacement a)
+    | Texpr.Select (c, a, b2) ->
+      Texpr.select
+        (replace_subtree ~target ~replacement c)
+        (replace_subtree ~target ~replacement a)
+        (replace_subtree ~target ~replacement b2)
+
+(* Interval of [e], refining with the branch's guard constraints: each
+   guarded subexpression is replaced by a fresh variable whose range is
+   the guard's bound intersected with the subexpression's own range. *)
+let bounds_with_guards ctx e =
+  let refined =
+    List.fold_left
+      (fun (expr, extra) (guarded, upper) ->
+        let own = Linear.bounds ~env:(fun v -> env_of { ctx with vars = ctx.vars @ extra } v) guarded in
+        let lo = match own with Some (l, _) -> Stdlib.max 0 l | None -> 0 in
+        let hi =
+          match own with
+          | Some (_, h) -> Stdlib.min h (upper - 1)
+          | None -> upper - 1
+        in
+        let placeholder = Var.create "guard_bound" in
+        ( replace_subtree ~target:guarded ~replacement:(Texpr.var placeholder) expr,
+          (placeholder, (lo, hi)) :: extra ))
+      (e, []) ctx.guards
+  in
+  let expr, extra = refined in
+  Linear.bounds ~env:(fun v -> env_of { ctx with vars = extra @ ctx.vars } v) expr
+
+let check_access ctx ~what (buf : Buffer.t) index violations =
+  if not (List.exists (Buffer.equal buf) ctx.buffers) then
+    violations :=
+      { v_rule = "scope"; v_detail = Printf.sprintf "%s of %s: buffer not in scope" what buf.Buffer.name }
+      :: !violations
+  else begin
+    (* every variable in the index must be bound *)
+    List.iter
+      (fun v ->
+        if env_of ctx v = None then
+          violations :=
+            { v_rule = "scope";
+              v_detail = Printf.sprintf "%s of %s: unbound variable %s" what buf.Buffer.name v.Var.name }
+            :: !violations)
+      (Texpr.vars_of index);
+    match bounds_with_guards ctx index with
+    | None ->
+      violations :=
+        { v_rule = "bounds";
+          v_detail = Printf.sprintf "%s of %s: index not analyzable" what buf.Buffer.name }
+        :: !violations
+    | Some (lo, hi) ->
+      if lo < 0 || hi >= buf.Buffer.size then
+        violations :=
+          { v_rule = "bounds";
+            v_detail =
+              Printf.sprintf "%s of %s: index range [%d, %d] outside [0, %d)" what
+                buf.Buffer.name lo hi buf.Buffer.size }
+          :: !violations
+  end
+
+let check_expr ctx violations (e : Texpr.t) =
+  List.iter
+    (fun v ->
+      if env_of ctx v = None then
+        violations :=
+          { v_rule = "scope"; v_detail = "unbound variable " ^ v.Var.name } :: !violations)
+    (Texpr.vars_of e);
+  List.iter (fun (buf, index) -> check_access ctx ~what:"load" buf index violations)
+    (Texpr.loads_of e)
+
+let check_tile ctx violations ~intrin_name ~axes (tile : Stmt.tile) =
+  List.iter
+    (fun (axis, _) ->
+      if not (List.mem_assoc axis axes) then
+        violations :=
+          { v_rule = "tile";
+            v_detail =
+              Printf.sprintf "tile on %s: axis %s is not an axis of %s"
+                tile.Stmt.tile_buf.Buffer.name axis intrin_name }
+          :: !violations)
+    tile.Stmt.tile_strides;
+  (* the whole register window must stay inside the buffer *)
+  match bounds_with_guards ctx tile.Stmt.tile_base with
+  | None ->
+    violations :=
+      { v_rule = "tile";
+        v_detail = Printf.sprintf "tile on %s: base not analyzable" tile.Stmt.tile_buf.Buffer.name }
+      :: !violations
+  | Some (lo, hi) ->
+    let span =
+      List.fold_left
+        (fun acc (axis, stride) ->
+          let extent = try List.assoc axis axes with Not_found -> 1 in
+          let step = stride * (extent - 1) in
+          (Stdlib.min (fst acc) (fst acc + Stdlib.min 0 step),
+           snd acc + Stdlib.max 0 step))
+        (0, 0) tile.Stmt.tile_strides
+    in
+    let lo = lo + fst span and hi = hi + snd span in
+    if lo < 0 || hi >= tile.Stmt.tile_buf.Buffer.size then
+      violations :=
+        { v_rule = "tile";
+          v_detail =
+            Printf.sprintf "tile on %s: window [%d, %d] outside [0, %d)"
+              tile.Stmt.tile_buf.Buffer.name lo hi tile.Stmt.tile_buf.Buffer.size }
+        :: !violations
+
+let rec check ctx violations (s : Stmt.t) =
+  match s with
+  | Stmt.Nop -> ()
+  | Stmt.Seq stmts -> List.iter (check ctx violations) stmts
+  | Stmt.Store (buf, index, value) ->
+    check_expr ctx violations value;
+    check_access ctx ~what:"store" buf index violations
+  | Stmt.For { var; extent; body; _ } ->
+    if extent <= 0 then
+      violations :=
+        { v_rule = "canonical"; v_detail = Printf.sprintf "loop %s has extent %d" var.Var.name extent }
+        :: !violations;
+    if env_of ctx var <> None then
+      violations :=
+        { v_rule = "canonical"; v_detail = "loop variable " ^ var.Var.name ^ " rebound" }
+        :: !violations;
+    check { ctx with vars = (var, (0, Stdlib.max 0 (extent - 1))) :: ctx.vars } violations body
+  | Stmt.If { cond; then_; else_; _ } ->
+    check_expr ctx violations cond;
+    let refined =
+      match cond with
+      | Texpr.Cmp (Texpr.Lt, e, bound) ->
+        (match Texpr.as_const_int bound with
+         | Some c -> { ctx with guards = (e, c) :: ctx.guards }
+         | None -> ctx)
+      | Texpr.Cmp (Texpr.Le, e, bound) ->
+        (match Texpr.as_const_int bound with
+         | Some c -> { ctx with guards = (e, c + 1) :: ctx.guards }
+         | None -> ctx)
+      | _ -> ctx
+    in
+    check refined violations then_;
+    Option.iter (check ctx violations) else_
+  | Stmt.Let (v, e, body) ->
+    check_expr ctx violations e;
+    let range =
+      match bounds_with_guards ctx e with Some r -> r | None -> (min_int / 2, max_int / 2)
+    in
+    check { ctx with vars = (v, range) :: ctx.vars } violations body
+  | Stmt.Alloc (buf, body) -> check { ctx with buffers = buf :: ctx.buffers } violations body
+  | Stmt.Intrin_call { intrin; output; inputs } ->
+    (match ctx.intrin_axes intrin with
+     | None ->
+       violations :=
+         { v_rule = "tile"; v_detail = "unknown instruction " ^ intrin } :: !violations
+     | Some axes ->
+       List.iter
+         (fun tile ->
+           if not (List.exists (Buffer.equal tile.Stmt.tile_buf) ctx.buffers) then
+             violations :=
+               { v_rule = "scope";
+                 v_detail = "tile buffer " ^ tile.Stmt.tile_buf.Buffer.name ^ " not in scope" }
+               :: !violations
+           else check_tile ctx violations ~intrin_name:intrin ~axes tile)
+         (output :: List.map snd inputs))
+
+let default_intrin_axes _ = None
+
+let run ~params ~intrin_axes stmt =
+  let violations = ref [] in
+  check { vars = []; buffers = params; guards = []; intrin_axes } violations stmt;
+  List.rev !violations
+
+let check_stmt ?(intrin_axes = default_intrin_axes) ~params stmt =
+  run ~params ~intrin_axes stmt
+
+let check_func ?(intrin_axes = default_intrin_axes) (func : Lower.func) =
+  run ~params:(List.map snd func.Lower.fn_tensors) ~intrin_axes func.Lower.fn_body

@@ -1,0 +1,46 @@
+(** Static validation of tensor-IR programs.
+
+    The tensor IR's restricted form (Section II-C.3) is what licenses the
+    Inspector's and Rewriter's strong assumptions, so passes should be able
+    to {e check} it rather than trust it.  [check_func] verifies:
+
+    - {b canonical loops}: every loop variable is bound once, extents are
+      positive;
+    - {b scoping}: every variable read is bound by an enclosing loop or
+      let; every buffer accessed is a function tensor or an enclosing
+      [Alloc];
+    - {b bounds}: every load/store index provably stays within its buffer,
+      by interval analysis over the loop bounds (guard conditions of
+      enclosing [If]s are used to refine variable ranges where they are
+      simple [x < c] / [x <= c] comparisons — which covers the
+      split-residue guards lowering emits);
+    - {b tiles}: every [Intrin_call] names a registered instruction,
+      supplies every input operand, references only that instruction's
+      axes, and its tiles stay in bounds across the whole register
+      window.
+
+    The interpreter would catch most of these dynamically; the validator
+    catches them per-program instead of per-element, so it runs after
+    every pass in tests and in [unitc compile]. *)
+
+type violation = {
+  v_rule : string;  (** short rule id, e.g. ["bounds"], ["scope"] *)
+  v_detail : string;
+}
+
+val check_func :
+  ?intrin_axes:(string -> (string * int) list option) -> Lower.func -> violation list
+(** Empty = valid.  Never raises.  [intrin_axes] resolves an instruction
+    name to its axis (name, extent) list — pass a registry-backed lookup
+    when the program contains [Intrin_call]s (the default knows no
+    instructions, so every call is flagged); keeping the lookup a
+    parameter keeps this library free of an ISA dependency. *)
+
+val check_stmt :
+  ?intrin_axes:(string -> (string * int) list option) ->
+  params:Buffer.t list ->
+  Stmt.t ->
+  violation list
+(** Validate a bare statement whose free buffers are [params]. *)
+
+val pp_violation : Format.formatter -> violation -> unit

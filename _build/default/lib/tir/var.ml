@@ -1,0 +1,15 @@
+type t = {
+  id : int;
+  name : string;
+  dtype : Unit_dtype.Dtype.t;
+}
+
+let counter = ref 0
+
+let create ?(dtype = Unit_dtype.Dtype.I32) name =
+  incr counter;
+  { id = !counter; name; dtype }
+
+let equal a b = a.id = b.id
+let compare a b = Stdlib.compare a.id b.id
+let pp fmt t = Format.pp_print_string fmt t.name

@@ -1,0 +1,14 @@
+(** Scalar variables of the tensor IR (loop counters and let-bindings). *)
+
+type t = private {
+  id : int;
+  name : string;
+  dtype : Unit_dtype.Dtype.t;
+}
+
+val create : ?dtype:Unit_dtype.Dtype.t -> string -> t
+(** Fresh variable; [I32] by default (loop counters). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

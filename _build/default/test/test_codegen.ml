@@ -1,0 +1,173 @@
+(* Tests for the codegen substrate: ndarrays and the reference interpreter
+   on hand-built tensor-IR programs (not just lowered ones). *)
+
+open Unit_dtype
+open Unit_tir
+open Unit_codegen
+
+let check_bool = Alcotest.(check bool)
+let check_int64 = Alcotest.(check int64)
+
+(* ---------- ndarray ---------- *)
+
+let test_ndarray_indexing () =
+  let a = Ndarray.init ~dtype:Dtype.I32 ~shape:[ 2; 3; 4 ] (fun ix ->
+      Value.of_int Dtype.I32 ((ix.(0) * 100) + (ix.(1) * 10) + ix.(2)))
+  in
+  check_int64 "get [1;2;3]" 123L (Value.to_int64 (Ndarray.get a [| 1; 2; 3 |]));
+  (* flat index of [1;2;3] = 12 + 8 + 3 = 23 *)
+  check_int64 "flat 23" 123L (Value.to_int64 (Ndarray.get_flat a 23));
+  Ndarray.set a [| 0; 0; 0 |] (Value.of_int Dtype.I32 7);
+  check_int64 "set" 7L (Value.to_int64 (Ndarray.get_flat a 0))
+
+let test_ndarray_bounds () =
+  let a = Ndarray.zeros ~dtype:Dtype.I32 ~shape:[ 2; 2 ] in
+  (match Ndarray.get a [| 2; 0 |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "oob get accepted");
+  match Ndarray.get a [| 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rank mismatch accepted"
+
+let test_ndarray_equal_and_approx () =
+  let mk v = Ndarray.init ~dtype:Dtype.F32 ~shape:[ 3 ] (fun _ -> Value.of_float Dtype.F32 v) in
+  check_bool "equal" true (Ndarray.equal (mk 1.5) (mk 1.5));
+  check_bool "not equal" false (Ndarray.equal (mk 1.5) (mk 1.6));
+  check_bool "approx" true (Ndarray.approx_equal ~tol:0.1 (mk 1.5) (mk 1.55));
+  check_bool "approx fails" false (Ndarray.approx_equal ~tol:0.01 (mk 1.5) (mk 1.6))
+
+let test_random_fill_ranges () =
+  let t = Unit_dsl.Tensor.create ~name:"r" ~shape:[ 64 ] Dtype.I8 in
+  let a = Ndarray.random_for_tensor ~seed:1 t in
+  check_bool "i8 fills within [-4,4]" true
+    (Ndarray.fold
+       (fun ok v -> ok && Int64.abs (Value.to_int64 v) <= 4L)
+       true a);
+  let b = Ndarray.random_for_tensor ~seed:1 t in
+  check_bool "deterministic" true (Ndarray.equal a b);
+  let c = Ndarray.random_for_tensor ~seed:2 t in
+  check_bool "seed changes data" false (Ndarray.equal a c)
+
+(* ---------- interpreter on hand-built IR ---------- *)
+
+let test_let_and_select () =
+  (* out[i] = let t = i * 2 in select(t < 4, t, 100 + t)  for i in 0..3 *)
+  let tensor = Unit_dsl.Tensor.create ~name:"o" ~shape:[ 4 ] Dtype.I32 in
+  let buf = Buffer.of_tensor tensor in
+  let i = Var.create "i" in
+  let t = Var.create "t" in
+  let body =
+    Stmt.for_ i ~extent:4
+      (Stmt.Let
+         ( t,
+           Texpr.mul (Texpr.var i) (Texpr.int_imm 2),
+           Stmt.Store
+             ( buf,
+               Texpr.var i,
+               Texpr.select
+                 (Texpr.cmp Texpr.Lt (Texpr.var t) (Texpr.int_imm 4))
+                 (Texpr.var t)
+                 (Texpr.add (Texpr.int_imm 100) (Texpr.var t)) ) ))
+  in
+  let func =
+    { Lower.fn_name = "hand"; fn_tensors = [ (tensor, buf) ]; fn_output = buf;
+      fn_iter_vars = []; fn_body = body }
+  in
+  let out = Ndarray.zeros ~dtype:Dtype.I32 ~shape:[ 4 ] in
+  Interp.run func ~bindings:[ (tensor, out) ];
+  check_int64 "i=1 -> 2" 2L (Value.to_int64 (Ndarray.get_flat out 1));
+  check_int64 "i=3 -> 106" 106L (Value.to_int64 (Ndarray.get_flat out 3))
+
+let test_alloc_scratch_is_zeroed_and_scoped () =
+  (* scratch[0] accumulates inside the loop body; since Alloc re-enters
+     each iteration, out[i] sees a fresh zeroed scratch every time *)
+  let t = Unit_dsl.Tensor.create ~name:"o" ~shape:[ 3 ] Dtype.I32 in
+  let buf = Buffer.of_tensor t in
+  let scratch = Buffer.create ~name:"s" ~dtype:Dtype.I32 ~size:1 () in
+  let i = Var.create "i" in
+  let body =
+    Stmt.for_ i ~extent:3
+      (Stmt.Alloc
+         ( scratch,
+           Stmt.seq
+             [ Stmt.Store
+                 ( scratch,
+                   Texpr.int_imm 0,
+                   Texpr.add
+                     (Texpr.load scratch (Texpr.int_imm 0))
+                     (Texpr.add (Texpr.var i) (Texpr.int_imm 1)) );
+               Stmt.Store (buf, Texpr.var i, Texpr.load scratch (Texpr.int_imm 0))
+             ] ))
+  in
+  let func =
+    { Lower.fn_name = "scratch"; fn_tensors = [ (t, buf) ]; fn_output = buf;
+      fn_iter_vars = []; fn_body = body }
+  in
+  let out = Ndarray.zeros ~dtype:Dtype.I32 ~shape:[ 3 ] in
+  Interp.run func ~bindings:[ (t, out) ];
+  check_int64 "fresh scratch each iter: out[2] = 3" 3L
+    (Value.to_int64 (Ndarray.get_flat out 2))
+
+let test_unregistered_intrinsic_rejected () =
+  let t = Unit_dsl.Tensor.create ~name:"o" ~shape:[ 4 ] Dtype.I32 in
+  let buf = Buffer.of_tensor t in
+  let tile = { Stmt.tile_buf = buf; tile_base = Texpr.int_imm 0; tile_strides = [] } in
+  let func =
+    { Lower.fn_name = "bad"; fn_tensors = [ (t, buf) ]; fn_output = buf;
+      fn_iter_vars = [];
+      fn_body = Stmt.Intrin_call { intrin = "no.such.intrin"; output = tile; inputs = [] }
+    }
+  in
+  let out = Ndarray.zeros ~dtype:Dtype.I32 ~shape:[ 4 ] in
+  match Interp.run func ~bindings:[ (t, out) ] with
+  | exception Interp.Runtime_error _ -> ()
+  | () -> Alcotest.fail "unknown intrinsic accepted"
+
+let test_dtype_mismatch_binding_rejected () =
+  let t = Unit_dsl.Tensor.create ~name:"o" ~shape:[ 4 ] Dtype.I32 in
+  let buf = Buffer.of_tensor t in
+  let func =
+    { Lower.fn_name = "m"; fn_tensors = [ (t, buf) ]; fn_output = buf;
+      fn_iter_vars = []; fn_body = Stmt.Nop }
+  in
+  let wrong = Ndarray.zeros ~dtype:Dtype.F32 ~shape:[ 4 ] in
+  match Interp.run func ~bindings:[ (t, wrong) ] with
+  | exception Interp.Runtime_error _ -> ()
+  | () -> Alcotest.fail "dtype mismatch accepted"
+
+(* property: integer expression evaluation agrees with OCaml arithmetic *)
+let prop_expr_eval_matches_native =
+  QCheck.Test.make ~name:"Texpr evaluation matches native arithmetic" ~count:300
+    QCheck.(triple (int_range (-1000) 1000) (int_range (-1000) 1000) (int_range 1 50))
+    (fun (x, y, d) ->
+      let env = Interp.env_empty () in
+      let vx = Var.create "x" and vy = Var.create "y" in
+      Interp.env_bind_var env vx x;
+      Interp.env_bind_var env vy y;
+      let e =
+        Texpr.add
+          (Texpr.mul (Texpr.var vx) (Texpr.int_imm 3))
+          (Texpr.div (Texpr.var vy) (Texpr.int_imm d))
+      in
+      let expected = (x * 3) + (y / d) in
+      Value.to_int64 (Interp.eval_expr env e) = Int64.of_int expected)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "codegen"
+    [ ( "ndarray",
+        [ Alcotest.test_case "indexing" `Quick test_ndarray_indexing;
+          Alcotest.test_case "bounds" `Quick test_ndarray_bounds;
+          Alcotest.test_case "equality" `Quick test_ndarray_equal_and_approx;
+          Alcotest.test_case "random fills" `Quick test_random_fill_ranges
+        ] );
+      ( "interpreter",
+        [ Alcotest.test_case "let and select" `Quick test_let_and_select;
+          Alcotest.test_case "alloc scoping" `Quick test_alloc_scratch_is_zeroed_and_scoped;
+          Alcotest.test_case "unknown intrinsic" `Quick test_unregistered_intrinsic_rejected;
+          Alcotest.test_case "binding dtype mismatch" `Quick
+            test_dtype_mismatch_binding_rejected
+        ]
+        @ qcheck [ prop_expr_eval_matches_native ] )
+    ]

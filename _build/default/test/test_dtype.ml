@@ -1,0 +1,205 @@
+(* Unit and property tests for the data-type substrate: scalar type
+   metadata, fp16 software emulation, and runtime value arithmetic. *)
+
+open Unit_dtype
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Dtype ---------- *)
+
+let test_bits_bytes () =
+  check_int "u8 bits" 8 (Dtype.bits Dtype.U8);
+  check_int "i16 bits" 16 (Dtype.bits Dtype.I16);
+  check_int "fp16 bits" 16 (Dtype.bits Dtype.F16);
+  check_int "i32 bytes" 4 (Dtype.bytes Dtype.I32);
+  check_int "fp64 bytes" 8 (Dtype.bytes Dtype.F64)
+
+let test_signedness () =
+  check_bool "u8 unsigned" false (Dtype.is_signed Dtype.U8);
+  check_bool "i8 signed" true (Dtype.is_signed Dtype.I8);
+  check_bool "fp16 signed" true (Dtype.is_signed Dtype.F16);
+  check_bool "u8 integer" true (Dtype.is_integer Dtype.U8);
+  check_bool "fp32 not integer" false (Dtype.is_integer Dtype.F32)
+
+let test_int_ranges () =
+  Alcotest.(check int64) "u8 max" 255L (Dtype.max_int_value Dtype.U8);
+  Alcotest.(check int64) "i8 min" (-128L) (Dtype.min_int_value Dtype.I8);
+  Alcotest.(check int64) "i16 max" 32767L (Dtype.max_int_value Dtype.I16);
+  Alcotest.check_raises "float has no int range"
+    (Invalid_argument "Dtype.min_int_value: float type 32-bit") (fun () ->
+      ignore (Dtype.min_int_value Dtype.F32))
+
+let test_string_round_trip () =
+  List.iter
+    (fun dt ->
+      match Dtype.of_string (Dtype.to_string dt) with
+      | Some dt' -> check_bool (Dtype.to_string dt) true (Dtype.equal dt dt')
+      | None -> Alcotest.failf "of_string failed for %s" (Dtype.to_string dt))
+    Dtype.all;
+  check_bool "unknown" true (Dtype.of_string "i128" = None)
+
+let test_promote () =
+  let same a b = match Dtype.promote a b with Some d -> Dtype.equal d b | None -> false in
+  check_bool "u8->i32" true (same Dtype.U8 Dtype.I32);
+  check_bool "i8->f32" true (same Dtype.I8 Dtype.F32);
+  check_bool "f16->f32" true (same Dtype.F16 Dtype.F32);
+  check_bool "u8/i8 -> i16" true
+    (match Dtype.promote Dtype.U8 Dtype.I8 with
+     | Some d -> Dtype.equal d Dtype.I16
+     | None -> false);
+  check_bool "i64/f32 no promotion" true (Dtype.promote Dtype.I64 Dtype.F32 = None)
+
+let test_lossless_casts () =
+  check_bool "u8 -> i16" true (Dtype.can_cast_losslessly ~src:Dtype.U8 ~dst:Dtype.I16);
+  check_bool "i32 -> f32 lossy" false
+    (Dtype.can_cast_losslessly ~src:Dtype.I32 ~dst:Dtype.F32);
+  check_bool "i16 -> f32" true (Dtype.can_cast_losslessly ~src:Dtype.I16 ~dst:Dtype.F32);
+  check_bool "i8 -> u8 lossy" false (Dtype.can_cast_losslessly ~src:Dtype.I8 ~dst:Dtype.U8)
+
+(* ---------- F16 ---------- *)
+
+let test_f16_known_values () =
+  let cases = [ (0.0, 0x0000); (1.0, 0x3c00); (-2.0, 0xc000); (0.5, 0x3800);
+                (65504.0, 0x7bff); (1.0 /. 16777216.0, 0x0001) ] in
+  List.iter
+    (fun (f, bits) ->
+      check_int (Printf.sprintf "of_float %g" f) bits (F16.to_bits (F16.of_float f)))
+    cases
+
+let test_f16_overflow_and_nan () =
+  check_int "overflow -> inf" (F16.to_bits F16.infinity) (F16.to_bits (F16.of_float 1e6));
+  check_bool "nan preserved" true (F16.is_nan (F16.of_float Float.nan));
+  check_bool "inf not nan" false (F16.is_nan F16.infinity);
+  Alcotest.(check @@ float 0.0) "to_float inf" Float.infinity (F16.to_float F16.infinity)
+
+let test_f16_round_to_nearest_even () =
+  (* 2049 is exactly between representable 2048 and 2050; ties to even
+     mantissa gives 2048 *)
+  Alcotest.(check @@ float 0.0) "tie to even" 2048.0 (F16.round_float 2049.0);
+  Alcotest.(check @@ float 0.0) "above tie" 2052.0 (F16.round_float 2051.0)
+
+let test_f16_subnormals () =
+  let smallest = 0x1p-24 in
+  Alcotest.(check @@ float 0.0) "smallest subnormal" smallest
+    (F16.to_float (F16.of_float smallest));
+  Alcotest.(check @@ float 0.0) "underflow to zero" 0.0
+    (F16.to_float (F16.of_float 1e-9))
+
+let prop_f16_round_trip =
+  QCheck.Test.make ~name:"f16 to_float/of_float round-trips on representables"
+    ~count:500
+    QCheck.(int_range 0 0x7bff)
+    (fun bits ->
+      let f = F16.to_float (F16.of_bits bits) in
+      F16.to_bits (F16.of_float f) = bits)
+
+let prop_f16_monotone =
+  QCheck.Test.make ~name:"f16 rounding is monotone" ~count:500
+    QCheck.(pair (float_range (-100.0) 100.0) (float_range (-100.0) 100.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      F16.round_float lo <= F16.round_float hi)
+
+(* ---------- Value ---------- *)
+
+let test_wrap_semantics () =
+  let v = Value.of_int Dtype.I8 130 in
+  Alcotest.(check int64) "i8 wraps" (-126L) (Value.to_int64 v);
+  let v = Value.of_int Dtype.U8 260 in
+  Alcotest.(check int64) "u8 wraps" 4L (Value.to_int64 v);
+  let v = Value.add (Value.of_int Dtype.I16 32767) (Value.one Dtype.I16) in
+  Alcotest.(check int64) "i16 add wraps" (-32768L) (Value.to_int64 v)
+
+let test_saturating_cast () =
+  let v = Value.cast_saturating Dtype.I8 (Value.of_int Dtype.I32 1000) in
+  Alcotest.(check int64) "clamp high" 127L (Value.to_int64 v);
+  let v = Value.cast_saturating Dtype.U8 (Value.of_int Dtype.I32 (-5)) in
+  Alcotest.(check int64) "clamp low" 0L (Value.to_int64 v)
+
+let test_float_to_int_cast () =
+  Alcotest.(check int64) "truncates toward zero" 3L
+    (Value.to_int64 (Value.cast Dtype.I32 (Value.of_float Dtype.F32 3.9)));
+  Alcotest.(check int64) "negative truncates" (-3L)
+    (Value.to_int64 (Value.cast Dtype.I32 (Value.of_float Dtype.F32 (-3.9))));
+  Alcotest.(check int64) "saturates" 127L
+    (Value.to_int64 (Value.cast Dtype.I8 (Value.of_float Dtype.F32 300.0)))
+
+let test_f16_value_arithmetic () =
+  (* fp16 arithmetic must round after every operation *)
+  let a = Value.of_float Dtype.F16 2048.0 in
+  let b = Value.of_float Dtype.F16 1.0 in
+  Alcotest.(check @@ float 0.0) "2048 + 1 rounds to 2048" 2048.0
+    (Value.to_float (Value.add a b))
+
+let test_mismatched_dtype_raises () =
+  Alcotest.check_raises "add i32 + i8"
+    (Invalid_argument "Value.add: dtype mismatch (i32 vs i8)") (fun () ->
+      ignore (Value.add (Value.of_int Dtype.I32 1) (Value.of_int Dtype.I8 1)))
+
+let test_shift_right_rounding () =
+  let v x = Value.of_int Dtype.I32 x in
+  Alcotest.(check int64) "6 >> 1 rounds to 3" 3L
+    (Value.to_int64 (Value.shift_right_rounding (v 6) 1));
+  Alcotest.(check int64) "7 >> 1 rounds to 4" 4L
+    (Value.to_int64 (Value.shift_right_rounding (v 7) 1));
+  Alcotest.(check int64) "5 >> 1 ties away" 3L
+    (Value.to_int64 (Value.shift_right_rounding (v 5) 1));
+  Alcotest.(check int64) "shift 0 is identity" 5L
+    (Value.to_int64 (Value.shift_right_rounding (v 5) 0))
+
+let test_division_by_zero () =
+  Alcotest.(check int64) "int div by zero is zero" 0L
+    (Value.to_int64 (Value.div (Value.of_int Dtype.I32 5) (Value.zero Dtype.I32)));
+  Alcotest.(check int64) "int rem by zero is zero" 0L
+    (Value.to_int64 (Value.rem (Value.of_int Dtype.I32 5) (Value.zero Dtype.I32)))
+
+let prop_wrap_idempotent =
+  QCheck.Test.make ~name:"re-wrapping an in-range value is identity" ~count:500
+    QCheck.(pair (int_range (-128) 127) unit)
+    (fun (x, ()) ->
+      Value.equal (Value.of_int Dtype.I8 x)
+        (Value.of_int64 Dtype.I8 (Value.to_int64 (Value.of_int Dtype.I8 x))))
+
+let prop_u8_i8_products_fit_i16 =
+  (* the VNNI premise: u8*i8 products and 4-way sums fit in i32 without
+     wrapping; check the elementary product bound *)
+  QCheck.Test.make ~name:"u8*i8 in i32 never wraps" ~count:1000
+    QCheck.(pair (int_range 0 255) (int_range (-128) 127))
+    (fun (a, b) ->
+      let va = Value.cast Dtype.I32 (Value.of_int Dtype.U8 a) in
+      let vb = Value.cast Dtype.I32 (Value.of_int Dtype.I8 b) in
+      Value.to_int64 (Value.mul va vb) = Int64.of_int (a * b))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dtype"
+    [ ( "dtype",
+        [ Alcotest.test_case "bits and bytes" `Quick test_bits_bytes;
+          Alcotest.test_case "signedness" `Quick test_signedness;
+          Alcotest.test_case "integer ranges" `Quick test_int_ranges;
+          Alcotest.test_case "to_string/of_string round-trip" `Quick
+            test_string_round_trip;
+          Alcotest.test_case "promote" `Quick test_promote;
+          Alcotest.test_case "lossless casts" `Quick test_lossless_casts
+        ] );
+      ( "f16",
+        [ Alcotest.test_case "known encodings" `Quick test_f16_known_values;
+          Alcotest.test_case "overflow and nan" `Quick test_f16_overflow_and_nan;
+          Alcotest.test_case "round to nearest even" `Quick
+            test_f16_round_to_nearest_even;
+          Alcotest.test_case "subnormals" `Quick test_f16_subnormals
+        ]
+        @ qcheck [ prop_f16_round_trip; prop_f16_monotone ] );
+      ( "value",
+        [ Alcotest.test_case "wrap semantics" `Quick test_wrap_semantics;
+          Alcotest.test_case "saturating casts" `Quick test_saturating_cast;
+          Alcotest.test_case "float to int casts" `Quick test_float_to_int_cast;
+          Alcotest.test_case "fp16 arithmetic rounds" `Quick test_f16_value_arithmetic;
+          Alcotest.test_case "dtype mismatch raises" `Quick test_mismatched_dtype_raises;
+          Alcotest.test_case "rounding right shift" `Quick test_shift_right_rounding;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero
+        ]
+        @ qcheck [ prop_wrap_idempotent; prop_u8_i8_products_fit_i16 ] )
+    ]

@@ -1,0 +1,209 @@
+(* Tests for the graph substrate: construction/inference, the numeric
+   executor, and the quantization and fusion passes (quantized inference
+   must track fp32 within quantization error). *)
+
+open Unit_dtype
+open Unit_graph
+module B = Graph.Builder
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A miniature CNN with every structural feature the zoo uses: conv+bias+
+   relu, residual add, pooling, concat, GAP, dense, softmax. *)
+let tiny_cnn () =
+  let b = B.create () in
+  let data = B.input b ~shape:[ 3; 16; 16 ] Dtype.F32 in
+  let c1 = B.relu b (B.bias_add b (B.conv2d b ~channels:8 ~kernel:3 ~padding:1 data)) in
+  let c2 = B.relu b (B.bias_add b (B.conv2d b ~channels:8 ~kernel:3 ~padding:1 c1)) in
+  let res = B.add b c1 c2 in
+  let p = B.max_pool b ~window:2 ~stride:2 res in
+  let br1 = B.relu b (B.conv2d b ~channels:8 ~kernel:1 p) in
+  let br2 = B.relu b (B.conv2d b ~channels:8 ~kernel:3 ~padding:1 p) in
+  let cat = B.concat b [ br1; br2 ] in
+  let gap = B.global_avg_pool b cat in
+  let fc = B.bias_add b (B.dense b ~units:10 gap) in
+  B.finish b (B.softmax b fc)
+
+let test_shapes () =
+  let g = tiny_cnn () in
+  Alcotest.(check (list int)) "output" [ 10 ] (Graph.shape_of g (Graph.output g));
+  check_bool "output f32" true (Dtype.equal (Graph.dtype_of g (Graph.output g)) Dtype.F32)
+
+let test_builder_validation () =
+  let b = B.create () in
+  let x = B.input b ~shape:[ 3; 8; 8 ] Dtype.F32 in
+  let y = B.conv2d b ~channels:4 ~kernel:3 ~padding:1 x in
+  (* mismatched residual shapes *)
+  match B.add b x y with
+  | exception Graph.Graph_error _ -> ()
+  | _ -> Alcotest.fail "shape mismatch accepted"
+
+let test_conv_out_dim () =
+  check_int "56 k3 s2 p1" 28 (Graph.conv_out_dim ~size:56 ~kernel:3 ~stride:2 ~padding:1);
+  check_int "7 k1 s1 p0" 7 (Graph.conv_out_dim ~size:7 ~kernel:1 ~stride:1 ~padding:0)
+
+let test_fp32_execution_deterministic () =
+  let g = tiny_cnn () in
+  let input = Executor.default_input g ~seed:1 in
+  let a = Executor.run_to_floats g ~input in
+  let b = Executor.run_to_floats g ~input in
+  check_bool "deterministic" true (a = b);
+  let total = Array.fold_left ( +. ) 0.0 a in
+  check_bool "softmax sums to 1" true (Float.abs (total -. 1.0) < 1e-6)
+
+let relative_error a b =
+  let err = ref 0.0 in
+  Array.iteri
+    (fun i x -> err := Float.max !err (Float.abs (x -. b.(i))))
+    a;
+  !err
+
+let test_quantized_tracks_fp32 () =
+  let g = tiny_cnn () in
+  let input = Executor.default_input g ~seed:2 in
+  let fp32 = Executor.run_to_floats g ~input in
+  let q = Passes.quantize ~act_dtype:Dtype.U8 ~calibration_seed:2 g in
+  let qout = Executor.run_to_floats q ~input in
+  check_int "same output size" (Array.length fp32) (Array.length qout);
+  check_bool
+    (Printf.sprintf "quantized close to fp32 (err %f)" (relative_error qout fp32))
+    true
+    (relative_error qout fp32 < 0.08)
+
+let test_quantize_structure () =
+  let g = tiny_cnn () in
+  let q = Passes.quantize ~act_dtype:Dtype.U8 ~calibration_seed:1 g in
+  let count pred = Passes.count_kind q pred in
+  check_bool "has quantize nodes" true
+    (count (function Graph.Quantize _ -> true | _ -> false) > 0);
+  check_bool "has dequantize nodes" true
+    (count (function Graph.Dequantize _ -> true | _ -> false) > 0);
+  (* every conv weight is now i8 *)
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.kind with
+      | Graph.Conv2d _ | Graph.Dense _ ->
+        (match n.Graph.inputs with
+         | [ _; w ] ->
+           check_bool "weight is i8" true
+             (Dtype.equal (Graph.dtype_of q w) Dtype.I8)
+         | _ -> Alcotest.fail "compute node arity")
+      | _ -> ())
+    (Graph.nodes q);
+  (* double quantization is rejected *)
+  match Passes.quantize ~act_dtype:Dtype.U8 ~calibration_seed:1 q with
+  | exception Passes.Pass_error _ -> ()
+  | _ -> Alcotest.fail "double quantization accepted"
+
+let test_quantize_arm_i8 () =
+  let g = tiny_cnn () in
+  let q = Passes.quantize ~act_dtype:Dtype.I8 ~calibration_seed:2 g in
+  let input = Executor.default_input g ~seed:2 in
+  let fp32 = Executor.run_to_floats g ~input in
+  let qout = Executor.run_to_floats q ~input in
+  check_bool "i8 activations also track fp32" true (relative_error qout fp32 < 0.1)
+
+let test_fusion_preserves_numerics () =
+  let g = tiny_cnn () in
+  let q = Passes.quantize ~act_dtype:Dtype.U8 ~calibration_seed:3 g in
+  let fused = Passes.fuse q in
+  check_bool "fusion shrinks the graph" true (Graph.arity fused < Graph.arity q);
+  let input = Executor.default_input g ~seed:3 in
+  let before = Executor.run_to_floats q ~input in
+  let after = Executor.run_to_floats fused ~input in
+  check_bool "identical results" true (before = after)
+
+let test_fusion_folds_epilogues () =
+  let g = tiny_cnn () in
+  let fused = Passes.fuse g in
+  (* no standalone relu/bias directly consuming a conv remains *)
+  let standalone_epilogues =
+    Passes.count_kind fused (function
+      | Graph.Bias_add | Graph.Relu -> true
+      | _ -> false)
+  in
+  (* the residual add's relu consumers etc. may survive; but each conv's
+     own bias+relu must be folded: tiny_cnn has 4 convs + 1 dense with
+     epilogues, so at most the post-add ops remain *)
+  check_bool "epilogues folded" true (standalone_epilogues = 0);
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.kind with
+      | Graph.Conv2d _
+        when List.exists (function Graph.Bias_add -> true | _ -> false) n.Graph.fused ->
+        (* a folded bias brings its weight along as an extra input *)
+        check_bool "fused bias keeps extra input" true (List.length n.Graph.inputs > 2)
+      | _ -> ())
+    (Graph.nodes fused)
+
+let test_workload_extraction () =
+  let g = tiny_cnn () in
+  let workloads = Workload.of_graph g in
+  (* c3->8 3x3, c8->8 3x3 at 16x16, c8->8 1x1 and c8->8 3x3 at 8x8 *)
+  let convs =
+    List.filter (fun (w, _) -> match w with Workload.Conv _ -> true | _ -> false)
+      workloads
+  in
+  let denses =
+    List.filter (fun (w, _) -> match w with Workload.Fc _ -> true | _ -> false) workloads
+  in
+  check_int "4 distinct convs" 4 (List.length convs);
+  check_int "1 dense" 1 (List.length denses);
+  (* duplicates are counted: reusing the same shape twice bumps the count *)
+  let b = B.create () in
+  let x = B.input b ~shape:[ 8; 8; 8 ] Dtype.F32 in
+  let y = B.conv2d b ~channels:8 ~kernel:3 ~padding:1 x in
+  let z = B.conv2d b ~channels:8 ~kernel:3 ~padding:1 y in
+  let dup_graph = B.finish b z in
+  (match Workload.of_graph dup_graph with
+   | [ (Workload.Conv _, 2) ] -> ()
+   | _ -> Alcotest.fail "expected one workload counted twice")
+
+let test_workload_padding () =
+  let wl =
+    { Workload.c = 3; h = 224; w = 224; k = 62; kernel = 7; stride = 2; padding = 3;
+      groups = 1 }
+  in
+  let spec = Workload.conv_spec ~lanes:16 ~reduce_width:4 wl in
+  check_int "channels padded to 4" 4 spec.Unit_dsl.Op_library.in_channels;
+  check_int "out channels padded to 16" 64 spec.Unit_dsl.Op_library.out_channels;
+  check_int "spatial padding applied" 230 spec.Unit_dsl.Op_library.in_height;
+  check_int "macs unpadded" (112 * 112 * 62 * 3 * 49) (Workload.macs (Workload.Conv wl))
+
+let test_depthwise_workload_rejected_for_tensorization () =
+  let wl =
+    { Workload.c = 32; h = 14; w = 14; k = 32; kernel = 3; stride = 1; padding = 1;
+      groups = 32 }
+  in
+  match Workload.conv_spec ~lanes:16 ~reduce_width:4 wl with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "depthwise accepted"
+
+let () =
+  Alcotest.run "graph"
+    [ ( "construction",
+        [ Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "validation" `Quick test_builder_validation;
+          Alcotest.test_case "conv_out_dim" `Quick test_conv_out_dim
+        ] );
+      ( "executor",
+        [ Alcotest.test_case "deterministic fp32" `Quick
+            test_fp32_execution_deterministic
+        ] );
+      ( "quantization",
+        [ Alcotest.test_case "tracks fp32" `Quick test_quantized_tracks_fp32;
+          Alcotest.test_case "structure" `Quick test_quantize_structure;
+          Alcotest.test_case "arm i8 variant" `Quick test_quantize_arm_i8
+        ] );
+      ( "fusion",
+        [ Alcotest.test_case "numerics preserved" `Quick test_fusion_preserves_numerics;
+          Alcotest.test_case "epilogues folded" `Quick test_fusion_folds_epilogues
+        ] );
+      ( "workloads",
+        [ Alcotest.test_case "extraction" `Quick test_workload_extraction;
+          Alcotest.test_case "padding" `Quick test_workload_padding;
+          Alcotest.test_case "depthwise rejected" `Quick
+            test_depthwise_workload_rejected_for_tensorization
+        ] )
+    ]

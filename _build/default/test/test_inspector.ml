@@ -1,0 +1,288 @@
+(* Tests for the Inspector: Algorithm 1 (compute isomorphism) and the
+   array-access isomorphism over enumerated loop mappings, including the
+   paper's Fig. 5 walk-through (conv2d x Intel VNNI). *)
+
+open Unit_dtype
+open Unit_dsl
+open Unit_isa
+module Inspector = Unit_inspector.Inspector
+
+let () = Defs.ensure_registered ()
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let conv_nhwc ?(c = 8) ?(k = 16) ?(hw = 8) ?(kernel = 3) ?(stride = 1) () =
+  Op_library.conv2d_nhwc ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8
+    ~acc_dtype:Dtype.I32
+    { Op_library.in_channels = c; in_height = hw; in_width = hw; out_channels = k;
+      kernel; stride }
+
+let conv_nchwc ?(c = 8) ?(k = 16) ?(hw = 8) ?(kernel = 3) ?(stride = 1) () =
+  Op_library.conv2d_nchwc ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8
+    ~acc_dtype:Dtype.I32 ~lanes:16 ~reduce_width:4
+    { Op_library.in_channels = c; in_height = hw; in_width = hw; out_channels = k;
+      kernel; stride }
+
+(* ---------- step 1: Algorithm 1 ---------- *)
+
+let test_fig5_isomorphism () =
+  (* the conv of Fig. 5 and vpdpbusd have isomorphic expression trees *)
+  check_bool "conv ~ vnni" true
+    (Inspector.trees_isomorphic (conv_nhwc ()) Defs.vnni_vpdpbusd)
+
+let test_dtype_blocks_isomorphism () =
+  (* signed-by-signed conv cannot use the unsigned-by-signed vpdpbusd ... *)
+  let signed_conv =
+    Op_library.conv2d_nhwc ~data_dtype:Dtype.I8 ~weight_dtype:Dtype.I8
+      ~acc_dtype:Dtype.I32
+      { Op_library.in_channels = 8; in_height = 8; in_width = 8; out_channels = 16;
+        kernel = 3; stride = 1 }
+  in
+  check_bool "i8 conv !~ vnni" false
+    (Inspector.trees_isomorphic signed_conv Defs.vnni_vpdpbusd);
+  (* ... but it is exactly what ARM sdot accepts *)
+  check_bool "i8 conv ~ sdot" true (Inspector.trees_isomorphic signed_conv Defs.arm_sdot)
+
+let test_opcode_blocks_isomorphism () =
+  (* a max-pool-style reduction body is not a multiply *)
+  let a = Tensor.create ~name:"a" ~shape:[ 16; 4 ] Dtype.I32 in
+  let out = Tensor.create ~name:"o" ~shape:[ 16 ] Dtype.I32 in
+  let i = Axis.data_parallel ~name:"i" 16 in
+  let j = Axis.reduction ~name:"j" 4 in
+  let op =
+    Op.create ~name:"rowmax" ~output:out ~spatial:[ i ] ~reduce:[ j ]
+      (Expr.max_
+         (Expr.access a [ Expr.axis i; Expr.axis j ])
+         (Expr.access a [ Expr.axis i; Expr.axis j ]))
+  in
+  check_bool "max body !~ vnni" false (Inspector.trees_isomorphic op Defs.vnni_vpdpbusd)
+
+let test_commutative_matching () =
+  (* the same conv with the two multiplicands swapped still matches *)
+  let spec =
+    { Op_library.in_channels = 8; in_height = 8; in_width = 8; out_channels = 16;
+      kernel = 3; stride = 1 }
+  in
+  let oh = Op_library.out_height spec and ow = Op_library.out_width spec in
+  let a = Tensor.create ~name:"a" ~shape:[ 8; 8; 8 ] Dtype.U8 in
+  let b = Tensor.create ~name:"b" ~shape:[ 3; 3; 16; 8 ] Dtype.I8 in
+  let c = Tensor.create ~name:"c" ~shape:[ oh; ow; 16 ] Dtype.I32 in
+  let x = Axis.data_parallel ~name:"x" oh in
+  let y = Axis.data_parallel ~name:"y" ow in
+  let k = Axis.data_parallel ~name:"k" 16 in
+  let r = Axis.reduction ~name:"r" 3 in
+  let s = Axis.reduction ~name:"s" 3 in
+  let rc = Axis.reduction ~name:"rc" 8 in
+  let body =
+    Expr.mul
+      (* weights first this time *)
+      (Expr.cast Dtype.I32 (Expr.access b [ Expr.axis r; Expr.axis s; Expr.axis k; Expr.axis rc ]))
+      (Expr.cast Dtype.I32
+         (Expr.access a
+            [ Expr.add (Expr.axis x) (Expr.axis r);
+              Expr.add (Expr.axis y) (Expr.axis s);
+              Expr.axis rc
+            ]))
+  in
+  let op = Op.create ~name:"conv_swapped" ~output:c ~spatial:[ x; y; k ] ~reduce:[ r; s; rc ] body in
+  check_bool "swapped conv ~ vnni" true (Inspector.trees_isomorphic op Defs.vnni_vpdpbusd)
+
+let test_constant_operand_skipped () =
+  (* scaling by a constant: the register operand binds to a literal *)
+  let a = Tensor.create ~name:"a" ~shape:[ 64 ] Dtype.U8 in
+  let c = Tensor.create ~name:"c" ~shape:[ 16 ] Dtype.I32 in
+  let i = Axis.data_parallel ~name:"i" 16 in
+  let j = Axis.reduction ~name:"j" 4 in
+  let ix = Expr.add (Expr.mul (Expr.axis i) (Expr.int_imm 4)) (Expr.axis j) in
+  let op =
+    Op.create ~name:"scale_sum" ~output:c ~spatial:[ i ] ~reduce:[ j ]
+      (Expr.mul
+         (Expr.cast Dtype.I32 (Expr.access a [ ix ]))
+         (Expr.int_imm ~dtype:Dtype.I32 3))
+  in
+  match Inspector.inspect op Defs.vnni_vpdpbusd with
+  | Ok ap ->
+    let constants =
+      List.filter
+        (fun (_, src) -> match src with Inspector.From_constant _ -> true | _ -> false)
+        ap.Inspector.ap_operands
+    in
+    check_int "one constant operand" 1 (List.length constants)
+  | Error r -> Alcotest.failf "rejected: %s" (Inspector.rejection_to_string r)
+
+(* ---------- step 2: mappings ---------- *)
+
+let mapping_names mapping =
+  List.map
+    (fun ((a : Axis.t), (b : Axis.t)) -> (a.name, b.name))
+    mapping
+
+let test_fig5_mapping () =
+  (* NCHWc conv: the greedy mapping must pick the innermost dims: ok->i
+     (output channel block) and ci->j (reduction block) *)
+  match Inspector.inspect (conv_nchwc ()) Defs.vnni_vpdpbusd with
+  | Ok ap ->
+    check_bool "has mappings" true (ap.Inspector.ap_mappings <> []);
+    let best = mapping_names (List.hd ap.Inspector.ap_mappings) in
+    check_bool "ok -> i" true (List.mem ("ok", "i") best);
+    check_bool "ci -> j" true (List.mem ("ci", "j") best)
+  | Error r -> Alcotest.failf "rejected: %s" (Inspector.rejection_to_string r)
+
+let test_nhwc_conv_mapping () =
+  (* plain NHWC conv (Fig. 5): k -> i and rc -> j is the only sensible
+     mapping: k has extent 16 and rc % 4 == 0 *)
+  match Inspector.inspect (conv_nhwc ()) Defs.vnni_vpdpbusd with
+  | Ok ap ->
+    let best = mapping_names (List.hd ap.Inspector.ap_mappings) in
+    check_bool "k -> i" true (List.mem ("k", "i") best);
+    check_bool "rc -> j" true (List.mem ("rc", "j") best)
+  | Error r -> Alcotest.failf "rejected: %s" (Inspector.rejection_to_string r)
+
+let test_divisibility_required () =
+  (* out_channels = 12 is not divisible by the 16 lanes, and in_channels 6
+     not by 4: no feasible mapping *)
+  let op = conv_nhwc ~k:12 ~c:6 () in
+  match Inspector.inspect op Defs.vnni_vpdpbusd with
+  | Error (Inspector.No_feasible_mapping _) -> ()
+  | Error (Inspector.Not_isomorphic _) -> Alcotest.fail "wrong rejection"
+  | Ok _ -> Alcotest.fail "non-dividing extents accepted"
+
+let test_kind_matching () =
+  (* a matmul where only the reduction has extent >= 4: the dp axis of the
+     instruction cannot map onto a reduction axis *)
+  let op =
+    Op_library.matmul ~n:2 ~m:2 ~k:64 ~a_dtype:Dtype.U8 ~b_dtype:Dtype.I8
+      ~acc_dtype:Dtype.I32 ()
+  in
+  match Inspector.inspect op Defs.vnni_vpdpbusd with
+  | Error (Inspector.No_feasible_mapping _) -> ()
+  | Error (Inspector.Not_isomorphic _) -> Alcotest.fail "wrong rejection"
+  | Ok _ -> Alcotest.fail "kind mismatch accepted"
+
+let test_matmul_wmma () =
+  let op =
+    Op_library.matmul ~n:64 ~m:64 ~k:64 ~a_dtype:Dtype.F16 ~b_dtype:Dtype.F16
+      ~acc_dtype:Dtype.F32 ()
+  in
+  match Inspector.inspect op Defs.wmma_f16 with
+  | Ok ap ->
+    let best = mapping_names (List.hd ap.Inspector.ap_mappings) in
+    check_int "3 axes mapped" 3 (List.length best);
+    check_bool "k -> k" true (List.mem ("k", "k") best)
+  | Error r -> Alcotest.failf "rejected: %s" (Inspector.rejection_to_string r)
+
+let test_mla_elementwise_mapping () =
+  (* the NEON MLA has no reduction axis: only the dp axis is tensorized and
+     the conv reductions stay as outer loops *)
+  let op =
+    Op_library.conv2d_nchwc ~data_dtype:Dtype.I16 ~weight_dtype:Dtype.I16
+      ~acc_dtype:Dtype.I32 ~lanes:4 ~reduce_width:4
+      { Op_library.in_channels = 8; in_height = 8; in_width = 8; out_channels = 16;
+        kernel = 3; stride = 1 }
+  in
+  match Inspector.inspect op Defs.neon_mla_i16 with
+  | Ok ap ->
+    check_int "single-axis mapping" 1 (List.length (List.hd ap.Inspector.ap_mappings))
+  | Error r -> Alcotest.failf "rejected: %s" (Inspector.rejection_to_string r)
+
+let test_multiple_mappings_are_tuning_space () =
+  (* a square u8/i8 matmul where both n and m can play the lane axis: at
+     least two feasible mappings must be reported *)
+  let op =
+    Op_library.matmul ~n:32 ~m:32 ~k:32 ~a_dtype:Dtype.I8 ~b_dtype:Dtype.I8
+      ~acc_dtype:Dtype.I32 ()
+  in
+  match Inspector.inspect op Defs.arm_sdot with
+  | Ok ap -> check_bool ">= 2 mappings" true (List.length ap.Inspector.ap_mappings >= 2)
+  | Error r -> Alcotest.failf "rejected: %s" (Inspector.rejection_to_string r)
+
+let test_locality_prefers_contiguous () =
+  (* in the b[j,k] (transposed) matmul layout, mapping the instruction's
+     reduction onto k (stride 1 in both operands) must beat any other; the
+     greedy first mapping reflects it *)
+  let op =
+    Op_library.matmul ~n:32 ~m:32 ~k:32 ~a_dtype:Dtype.U8 ~b_dtype:Dtype.I8
+      ~acc_dtype:Dtype.I32 ()
+  in
+  match Inspector.inspect op Defs.vnni_vpdpbusd with
+  | Ok ap ->
+    let best = mapping_names (List.hd ap.Inspector.ap_mappings) in
+    check_bool "k -> j (contiguous reduction)" true (List.mem ("k", "j") best);
+    (* and scores are non-decreasing down the list *)
+    let scores =
+      List.map
+        (fun m -> Inspector.mapping_locality_score op Defs.vnni_vpdpbusd m)
+        ap.Inspector.ap_mappings
+    in
+    check_bool "sorted by score" true
+      (List.sort compare scores = scores)
+  | Error r -> Alcotest.failf "rejected: %s" (Inspector.rejection_to_string r)
+
+(* ---------- axis_coefficient ---------- *)
+
+let test_axis_coefficient () =
+  let i = Axis.data_parallel ~name:"i" 8 in
+  let j = Axis.reduction ~name:"j" 4 in
+  let e = Expr.add (Expr.mul (Expr.axis i) (Expr.int_imm 4)) (Expr.axis j) in
+  check_bool "coeff i = 4" true (Inspector.axis_coefficient e i = Some 4);
+  check_bool "coeff j = 1" true (Inspector.axis_coefficient e j = Some 1);
+  let nonlinear = Expr.mul (Expr.axis i) (Expr.axis j) in
+  check_bool "i*j nonlinear" true (Inspector.axis_coefficient nonlinear i = None)
+
+(* Property: isomorphism of an op with itself wrapped as an instruction
+   pattern is reflexive under operand renaming — the dot-product family
+   matches itself for any lane/width decomposition. *)
+let prop_dot_family_self_match =
+  QCheck.Test.make ~name:"dot-product ops match same-shape instructions" ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (lanes_pow, width) ->
+      let lanes = lanes_pow * 4 in
+      (* an op shaped exactly like a dot-product instruction *)
+      let a = Tensor.create ~name:"pa" ~shape:[ lanes * width ] Dtype.U8 in
+      let b = Tensor.create ~name:"pb" ~shape:[ lanes * width ] Dtype.I8 in
+      let d = Tensor.create ~name:"pd" ~shape:[ lanes ] Dtype.I32 in
+      let i = Axis.data_parallel ~name:"pi" lanes in
+      let j = Axis.reduction ~name:"pj" width in
+      let ix = Expr.add (Expr.mul (Expr.axis i) (Expr.int_imm width)) (Expr.axis j) in
+      let op =
+        Op.create ~name:"selfdot" ~output:d ~spatial:[ i ] ~reduce:[ j ]
+          (Expr.mul
+             (Expr.cast Dtype.I32 (Expr.access a [ ix ]))
+             (Expr.cast Dtype.I32 (Expr.access b [ ix ])))
+      in
+      (* vpdpbusd applies iff lanes divisible by 16 and width by 4 *)
+      let applies = lanes mod 16 = 0 && width mod 4 = 0 in
+      match Inspector.inspect op Defs.vnni_vpdpbusd with
+      | Ok _ -> applies
+      | Error (Inspector.No_feasible_mapping _) -> not applies
+      | Error (Inspector.Not_isomorphic _) -> false)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "inspector"
+    [ ( "isomorphism",
+        [ Alcotest.test_case "fig5 conv ~ vnni" `Quick test_fig5_isomorphism;
+          Alcotest.test_case "dtype blocks" `Quick test_dtype_blocks_isomorphism;
+          Alcotest.test_case "opcode blocks" `Quick test_opcode_blocks_isomorphism;
+          Alcotest.test_case "commutative matching" `Quick test_commutative_matching;
+          Alcotest.test_case "constant operand skipped" `Quick
+            test_constant_operand_skipped
+        ] );
+      ( "mappings",
+        [ Alcotest.test_case "fig5 nchwc mapping" `Quick test_fig5_mapping;
+          Alcotest.test_case "nhwc conv mapping" `Quick test_nhwc_conv_mapping;
+          Alcotest.test_case "divisibility required" `Quick test_divisibility_required;
+          Alcotest.test_case "kind matching" `Quick test_kind_matching;
+          Alcotest.test_case "matmul x wmma" `Quick test_matmul_wmma;
+          Alcotest.test_case "elementwise mla mapping" `Quick
+            test_mla_elementwise_mapping;
+          Alcotest.test_case "multiple mappings" `Quick
+            test_multiple_mappings_are_tuning_space;
+          Alcotest.test_case "locality greedy" `Quick test_locality_prefers_contiguous
+        ]
+        @ qcheck [ prop_dot_family_self_match ] );
+      ( "coefficients",
+        [ Alcotest.test_case "axis coefficient" `Quick test_axis_coefficient ] )
+    ]

@@ -1,0 +1,228 @@
+(* Tests for the ISA layer: instruction descriptions, the registry, and
+   direct execution of instruction semantics against hand-computed
+   results. *)
+
+open Unit_dtype
+open Unit_dsl
+open Unit_tir
+open Unit_isa
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let () = Defs.ensure_registered ()
+
+(* ---------- descriptions ---------- *)
+
+let test_builtin_shapes () =
+  check_int "vnni lanes" 16 (Intrin.output_lanes Defs.vnni_vpdpbusd);
+  check_int "vnni reduction" 4 (Intrin.reduction_width Defs.vnni_vpdpbusd);
+  check_int "sdot lanes" 4 (Intrin.output_lanes Defs.arm_sdot);
+  check_int "sdot reduction" 4 (Intrin.reduction_width Defs.arm_sdot);
+  check_int "wmma lanes" 256 (Intrin.output_lanes Defs.wmma_f16);
+  check_int "wmma reduction" 16 (Intrin.reduction_width Defs.wmma_f16);
+  check_int "mla reduction" 1 (Intrin.reduction_width Defs.neon_mla_i16);
+  check_int "amx lanes" 256 (Intrin.output_lanes Defs.amx_tdpbusd);
+  check_int "amx reduction" 64 (Intrin.reduction_width Defs.amx_tdpbusd);
+  check_int "sve lanes" 8 (Intrin.output_lanes Defs.sve256_udot)
+
+let test_registry () =
+  check_bool "vnni registered" true (Registry.find "vnni.vpdpbusd" <> None);
+  check_bool "unknown not found" true (Registry.find "made.up" = None);
+  check_int "9 builtins" 9 (List.length (Registry.all ()));
+  check_int "x86 intrins" 3 (List.length (Registry.of_platform Intrin.X86));
+  check_int "gpu intrins" 2 (List.length (Registry.of_platform Intrin.Gpu))
+
+let test_duplicate_registration_rejected () =
+  match Registry.register Defs.vnni_vpdpbusd with
+  | exception Registry.Duplicate_intrin _ -> ()
+  | () -> Alcotest.fail "duplicate registration accepted"
+
+let test_custom_registration_and_reset () =
+  let op =
+    let a = Tensor.create ~name:"a" ~shape:[ 4 ] Dtype.I8 in
+    let b = Tensor.create ~name:"b" ~shape:[ 4 ] Dtype.I8 in
+    let c = Tensor.create ~name:"c" ~shape:[ 2 ] Dtype.I32 in
+    let d = Tensor.create ~name:"d" ~shape:[ 2 ] Dtype.I32 in
+    let i = Axis.data_parallel ~name:"i" 2 in
+    let j = Axis.reduction ~name:"j" 2 in
+    let ix = Expr.add (Expr.mul (Expr.axis i) (Expr.int_imm 2)) (Expr.axis j) in
+    Op.create ~name:"toy" ~output:d ~spatial:[ i ] ~reduce:[ j ]
+      ~init:(Op.Init_tensor c)
+      (Expr.mul
+         (Expr.cast Dtype.I32 (Expr.access a [ ix ]))
+         (Expr.cast Dtype.I32 (Expr.access b [ ix ])))
+  in
+  let toy =
+    Intrin.create ~name:"toy.dot2" ~llvm_name:"llvm.toy.dot2" ~platform:Intrin.X86
+      ~cost:{ latency = 2; throughput = 1.0; macs = 4 }
+      op
+  in
+  Registry.register toy;
+  check_bool "toy registered" true (Registry.find "toy.dot2" <> None);
+  Registry.reset_for_testing ();
+  check_bool "toy gone after reset" true (Registry.find "toy.dot2" = None);
+  check_bool "builtins survive reset" true (Registry.find "vnni.vpdpbusd" <> None)
+
+let test_intrin_validation () =
+  (* an instruction that overwrites (Zero init) is rejected *)
+  let a = Tensor.create ~name:"a" ~shape:[ 4 ] Dtype.I8 in
+  let d = Tensor.create ~name:"d" ~shape:[ 4 ] Dtype.I32 in
+  let i = Axis.data_parallel ~name:"i" 4 in
+  let op =
+    Op.create ~name:"bad" ~output:d ~spatial:[ i ]
+      (Expr.cast Dtype.I32 (Expr.access a [ Expr.axis i ]))
+  in
+  match
+    Intrin.create ~name:"bad.zero" ~llvm_name:"x" ~platform:Intrin.X86
+      ~cost:{ latency = 1; throughput = 1.0; macs = 1 }
+      op
+  with
+  | exception Intrin.Invalid_intrin _ -> ()
+  | _ -> Alcotest.fail "Zero-init instruction accepted"
+
+(* ---------- direct semantics execution ---------- *)
+
+let const_index e =
+  match Texpr.as_const_int e with Some x -> x | None -> Alcotest.fail "base"
+
+(* Execute vpdpbusd with dense tiles over small arrays and compare with a
+   hand-rolled dot product. *)
+let test_vpdpbusd_execution () =
+  let mem : (int, Unit_codegen.Ndarray.t) Hashtbl.t = Hashtbl.create 4 in
+  let buf_a = Buffer.create ~name:"ma" ~dtype:Dtype.U8 ~size:64 () in
+  let buf_b = Buffer.create ~name:"mb" ~dtype:Dtype.I8 ~size:64 () in
+  let buf_c = Buffer.create ~name:"mc" ~dtype:Dtype.I32 ~size:16 () in
+  let arr dtype size f =
+    Unit_codegen.Ndarray.init ~dtype ~shape:[ size ] (fun ix -> f ix.(0))
+  in
+  Hashtbl.replace mem buf_a.Buffer.id
+    (arr Dtype.U8 64 (fun i -> Value.of_int Dtype.U8 (i mod 7)));
+  Hashtbl.replace mem buf_b.Buffer.id
+    (arr Dtype.I8 64 (fun i -> Value.of_int Dtype.I8 ((i mod 9) - 4)));
+  Hashtbl.replace mem buf_c.Buffer.id
+    (arr Dtype.I32 16 (fun i -> Value.of_int Dtype.I32 (1000 * i)));
+  let read b addr = Unit_codegen.Ndarray.get_flat (Hashtbl.find mem b.Buffer.id) addr in
+  let write b addr v =
+    Unit_codegen.Ndarray.set_flat (Hashtbl.find mem b.Buffer.id) addr v
+  in
+  let dense buf =
+    { Stmt.tile_buf = buf; tile_base = Texpr.int_imm 0;
+      tile_strides = [ ("i", 4); ("j", 1) ] }
+  in
+  let out_tile =
+    { Stmt.tile_buf = buf_c; tile_base = Texpr.int_imm 0; tile_strides = [ ("i", 1) ] }
+  in
+  Semantics.execute Defs.vnni_vpdpbusd ~output:out_tile
+    ~inputs:[ ("a", dense buf_a); ("b", dense buf_b); ("c", out_tile) ]
+    ~read ~write ~eval_index:const_index;
+  (* expected: c[i] = 1000*i + sum_j a[4i+j]*b[4i+j] *)
+  for lane = 0 to 15 do
+    let expected = ref (1000 * lane) in
+    for j = 0 to 3 do
+      let idx = (4 * lane) + j in
+      expected := !expected + (idx mod 7 * ((idx mod 9) - 4))
+    done;
+    Alcotest.(check int64)
+      (Printf.sprintf "lane %d" lane)
+      (Int64.of_int !expected)
+      (Value.to_int64 (read buf_c lane))
+  done
+
+(* Broadcast: stride 0 along i means all lanes read the same 4 bytes. *)
+let test_broadcast_tile () =
+  let mem : (int, Unit_codegen.Ndarray.t) Hashtbl.t = Hashtbl.create 4 in
+  let buf_a = Buffer.create ~name:"ma" ~dtype:Dtype.U8 ~size:4 () in
+  let buf_b = Buffer.create ~name:"mb" ~dtype:Dtype.I8 ~size:64 () in
+  let buf_c = Buffer.create ~name:"mc" ~dtype:Dtype.I32 ~size:16 () in
+  Hashtbl.replace mem buf_a.Buffer.id
+    (Unit_codegen.Ndarray.init ~dtype:Dtype.U8 ~shape:[ 4 ] (fun ix ->
+         Value.of_int Dtype.U8 (ix.(0) + 1)));
+  Hashtbl.replace mem buf_b.Buffer.id
+    (Unit_codegen.Ndarray.init ~dtype:Dtype.I8 ~shape:[ 64 ] (fun ix ->
+         Value.of_int Dtype.I8 (ix.(0) / 4)));
+  Hashtbl.replace mem buf_c.Buffer.id
+    (Unit_codegen.Ndarray.zeros ~dtype:Dtype.I32 ~shape:[ 16 ]);
+  let read b addr = Unit_codegen.Ndarray.get_flat (Hashtbl.find mem b.Buffer.id) addr in
+  let write b addr v =
+    Unit_codegen.Ndarray.set_flat (Hashtbl.find mem b.Buffer.id) addr v
+  in
+  let broadcast_a =
+    { Stmt.tile_buf = buf_a; tile_base = Texpr.int_imm 0; tile_strides = [ ("j", 1) ] }
+  in
+  let dense_b =
+    { Stmt.tile_buf = buf_b; tile_base = Texpr.int_imm 0;
+      tile_strides = [ ("i", 4); ("j", 1) ] }
+  in
+  let out_tile =
+    { Stmt.tile_buf = buf_c; tile_base = Texpr.int_imm 0; tile_strides = [ ("i", 1) ] }
+  in
+  Semantics.execute Defs.vnni_vpdpbusd ~output:out_tile
+    ~inputs:[ ("a", broadcast_a); ("b", dense_b); ("c", out_tile) ]
+    ~read ~write ~eval_index:const_index;
+  (* c[i] = sum_j (j+1) * i = 10 * i   (b[4i+j] = i) *)
+  for lane = 0 to 15 do
+    Alcotest.(check int64)
+      (Printf.sprintf "lane %d" lane)
+      (Int64.of_int (10 * lane))
+      (Value.to_int64 (read buf_c lane))
+  done
+
+let test_missing_operand_rejected () =
+  let buf_c = Buffer.create ~name:"mc" ~dtype:Dtype.I32 ~size:16 () in
+  let out_tile =
+    { Stmt.tile_buf = buf_c; tile_base = Texpr.int_imm 0; tile_strides = [ ("i", 1) ] }
+  in
+  match
+    Semantics.execute Defs.vnni_vpdpbusd ~output:out_tile ~inputs:[]
+      ~read:(fun _ _ -> Value.zero Dtype.I32)
+      ~write:(fun _ _ _ -> ())
+      ~eval_index:(fun _ -> 0)
+  with
+  | exception Semantics.Execution_error _ -> ()
+  | () -> Alcotest.fail "missing operands accepted"
+
+let test_unknown_tile_axis_rejected () =
+  let buf_c = Buffer.create ~name:"mc" ~dtype:Dtype.I32 ~size:16 () in
+  let out_tile =
+    { Stmt.tile_buf = buf_c; tile_base = Texpr.int_imm 0;
+      tile_strides = [ ("nope", 1) ] }
+  in
+  match
+    Semantics.execute Defs.vnni_vpdpbusd ~output:out_tile ~inputs:[]
+      ~read:(fun _ _ -> Value.zero Dtype.I32)
+      ~write:(fun _ _ _ -> ())
+      ~eval_index:(fun _ -> 0)
+  with
+  | exception Semantics.Execution_error _ -> ()
+  | () -> Alcotest.fail "unknown axis accepted"
+
+let test_tile_address () =
+  let buf = Buffer.create ~name:"m" ~dtype:Dtype.I8 ~size:256 () in
+  let tile =
+    { Stmt.tile_buf = buf; tile_base = Texpr.int_imm 10;
+      tile_strides = [ ("i", 16); ("j", 1) ] }
+  in
+  let env = function "i" -> 3 | "j" -> 2 | _ -> Alcotest.fail "axis" in
+  check_int "base + 3*16 + 2" 60
+    (Semantics.tile_address tile ~env ~eval_index:const_index)
+
+let () =
+  Alcotest.run "isa"
+    [ ( "descriptions",
+        [ Alcotest.test_case "builtin shapes" `Quick test_builtin_shapes;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_duplicate_registration_rejected;
+          Alcotest.test_case "custom registration + reset" `Quick
+            test_custom_registration_and_reset;
+          Alcotest.test_case "validation" `Quick test_intrin_validation
+        ] );
+      ( "semantics",
+        [ Alcotest.test_case "vpdpbusd dense tiles" `Quick test_vpdpbusd_execution;
+          Alcotest.test_case "broadcast tile" `Quick test_broadcast_tile;
+          Alcotest.test_case "missing operand" `Quick test_missing_operand_rejected;
+          Alcotest.test_case "unknown tile axis" `Quick test_unknown_tile_axis_rejected;
+          Alcotest.test_case "tile addressing" `Quick test_tile_address
+        ] )
+    ]

@@ -1,0 +1,179 @@
+(* Tests for the machine models: the analytical CPU model's qualitative
+   behaviours (the mechanisms the tuner exploits must point the right way)
+   and the GPU model's Fig. 6/11 trade-offs. *)
+
+open Unit_dtype
+open Unit_dsl
+module Inspector = Unit_inspector.Inspector
+module Reorganize = Unit_rewriter.Reorganize
+module Cpu_tuner = Unit_rewriter.Cpu_tuner
+module Spec = Unit_machine.Spec
+module Cpu_model = Unit_machine.Cpu_model
+module Gpu_model = Unit_machine.Gpu_model
+
+let () = Unit_isa.Defs.ensure_registered ()
+
+let check_bool = Alcotest.(check bool)
+
+let conv ?(c = 128) ?(hw = 16) ?(k = 128) ?(kernel = 3) ?(stride = 1) () =
+  Op_library.conv2d_nchwc ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8
+    ~acc_dtype:Dtype.I32 ~lanes:16 ~reduce_width:4
+    { Op_library.in_channels = c; in_height = hw; in_width = hw; out_channels = k;
+      kernel; stride }
+
+let reorganized op =
+  match Inspector.inspect op (Unit_isa.Registry.find_exn "vnni.vpdpbusd") with
+  | Ok ap -> Reorganize.apply op ap ()
+  | Error _ -> Alcotest.fail "inspect failed"
+
+let cycles_of op config =
+  let func = Cpu_tuner.compile (reorganized op) config in
+  (Cpu_model.estimate Spec.cascadelake func).Cpu_model.est_cycles
+
+(* ---------- CPU model ---------- *)
+
+let test_monotone_in_size () =
+  let small = cycles_of (conv ~k:64 ()) Cpu_tuner.default_config in
+  let large = cycles_of (conv ~k:256 ()) Cpu_tuner.default_config in
+  check_bool "4x the channels costs more" true (large > small *. 2.0)
+
+let test_unroll_hides_latency () =
+  let no_unroll = cycles_of (conv ()) Cpu_tuner.parallel_only in
+  let unrolled = cycles_of (conv ()) Cpu_tuner.default_config in
+  check_bool "unrolling below the reduction is faster" true
+    (unrolled < no_unroll *. 0.7)
+
+let test_latency_bound_without_unroll () =
+  (* without independent chains, each VNNI call costs >= its latency *)
+  let op = conv () in
+  let func = Cpu_tuner.compile (reorganized op) Cpu_tuner.parallel_only in
+  let est = Cpu_model.estimate Spec.cascadelake func in
+  let calls = Float.of_int (Op.macs op) /. 64.0 in
+  check_bool "serial accumulation is latency bound" true
+    (est.Cpu_model.est_compute_cycles >= calls *. 5.0)
+
+let test_parallel_grains () =
+  let op = conv () in
+  let fine = Cpu_tuner.compile (reorganized op) { Cpu_tuner.parallel_grain = 4; unroll_budget = 8 } in
+  let wide = Cpu_tuner.compile (reorganized op) Cpu_tuner.default_config in
+  let est_fine = Cpu_model.estimate Spec.cascadelake fine in
+  let est_wide = Cpu_model.estimate Spec.cascadelake wide in
+  check_bool "4 grains underuse 24 cores" true
+    (est_fine.Cpu_model.est_cycles > est_wide.Cpu_model.est_cycles *. 2.0);
+  check_bool "grain counts reported" true
+    (est_fine.Cpu_model.est_parallel_grains <= 4
+     && est_wide.Cpu_model.est_parallel_grains > 100)
+
+let test_guard_costs () =
+  (* a shape whose output width has no small divisor pays for residues /
+     lost unrolling: efficiency is well below a friendly shape's *)
+  let friendly = conv ~hw:16 () in
+  let prime = conv ~hw:19 () in
+  (* ow 17: prime *)
+  let eff op =
+    let tuned = Cpu_tuner.tune Spec.cascadelake (reorganized op) in
+    Float.of_int (Op.macs op)
+    /. tuned.Cpu_tuner.t_estimate.Cpu_model.est_compute_cycles
+  in
+  check_bool "prime output width hurts efficiency" true (eff prime < eff friendly *. 0.7)
+
+let test_threads_scale () =
+  let op = conv () in
+  let func = Cpu_tuner.compile (reorganized op) Cpu_tuner.default_config in
+  let t1 = (Cpu_model.estimate Spec.cascadelake ~threads:1 func).Cpu_model.est_cycles in
+  let t24 = (Cpu_model.estimate Spec.cascadelake ~threads:24 func).Cpu_model.est_cycles in
+  check_bool "24 threads at least 8x faster than 1" true (t1 > t24 *. 8.0)
+
+let test_tuner_beats_fixed_configs () =
+  let op = conv ~c:256 ~hw:14 ~k:256 ~kernel:1 () in
+  let tuned = Cpu_tuner.tune Spec.cascadelake (reorganized op) in
+  let fixed = cycles_of op Cpu_tuner.default_config in
+  check_bool "tune <= first pair" true
+    (tuned.Cpu_tuner.t_estimate.Cpu_model.est_cycles <= fixed +. 1e-6)
+
+(* ---------- GPU model ---------- *)
+
+let gemm_of ?(c = 1024) ?(hw = 14) ?(k = 512) ?(kernel = 1) ?(stride = 1) () =
+  Gpu_model.gemm_of_conv
+    { Op_library.in_channels = c; in_height = hw; in_width = hw; out_channels = k;
+      kernel; stride }
+
+let gpu_cycles gemm config = (Gpu_model.estimate Spec.v100 gemm config).Gpu_model.g_cycles
+
+let test_splitk_helps_small_grids () =
+  let gemm = gemm_of () in
+  let base = gpu_cycles gemm { Gpu_model.p = 2; fuse_dim = false; split_k = 1 } in
+  let split = gpu_cycles gemm { Gpu_model.p = 2; fuse_dim = false; split_k = 8 } in
+  check_bool "split-k much faster on a deep-channel layer" true (split < base *. 0.5)
+
+let test_spill_penalty () =
+  let gemm = gemm_of () in
+  let p2 = gpu_cycles gemm { Gpu_model.p = 2; fuse_dim = false; split_k = 1 } in
+  let p4 = gpu_cycles gemm { Gpu_model.p = 4; fuse_dim = false; split_k = 1 } in
+  check_bool "p=4 spills registers" true (p4 > p2)
+
+let test_fusion_reduces_padding_work () =
+  (* 7x7 output: unfused pads each 7-wide row of tiles to 16, so fusing H
+     and W cuts the padded tensor-core work nearly in half.  Whether that
+     wins end-to-end depends on the memory/latency balance (the paper pairs
+     it with split-K); the tuner must never pick it at a loss. *)
+  let gemm = gemm_of ~hw:7 ~c:512 ~k:2048 () in
+  let cfg fuse = { Gpu_model.p = 2; fuse_dim = fuse; split_k = 8 } in
+  let unfused = Gpu_model.estimate Spec.v100 gemm (cfg false) in
+  let fused = Gpu_model.estimate Spec.v100 gemm (cfg true) in
+  check_bool "fusion cuts padded compute" true
+    (fused.Gpu_model.g_compute_cycles < unfused.Gpu_model.g_compute_cycles *. 0.7);
+  let best, tuned = Gpu_model.tune Spec.v100 gemm in
+  ignore best;
+  check_bool "tuner never loses to either" true
+    (tuned.Gpu_model.g_cycles <= Float.min fused.Gpu_model.g_cycles unfused.Gpu_model.g_cycles)
+
+let test_strided_penalty_and_library_waiver () =
+  let strided = gemm_of ~c:64 ~hw:56 ~k:128 ~kernel:1 ~stride:2 () in
+  let _, unit_est = Gpu_model.tune Spec.v100 strided in
+  let lib = Gpu_model.library_estimate Spec.v100 strided in
+  check_bool "dedicated strided kernels win (paper #15)" true
+    (lib.Gpu_model.g_seconds < unit_est.Gpu_model.g_seconds)
+
+let test_library_loses_on_friendly_shapes () =
+  let gemm = gemm_of () in
+  let _, unit_est = Gpu_model.tune Spec.v100 gemm in
+  let lib = Gpu_model.library_estimate Spec.v100 gemm in
+  check_bool "tuned UNIT beats the library baseline" true
+    (unit_est.Gpu_model.g_seconds < lib.Gpu_model.g_seconds)
+
+let test_fig1_effect () =
+  let t32 = Gpu_model.cuda_core_seconds Spec.v100 ~macs:100_000_000 ~dtype:Dtype.F32 in
+  let t16 = Gpu_model.cuda_core_seconds Spec.v100 ~macs:100_000_000 ~dtype:Dtype.F16 in
+  check_bool "fp16 without tensor cores is slower" true (t16 > t32 *. 1.3)
+
+let test_gemm_of_conv_dims () =
+  let gemm = gemm_of ~c:288 ~hw:35 ~k:384 ~kernel:3 ~stride:2 () in
+  Alcotest.(check int) "M = OH*OW" (17 * 17) gemm.Gpu_model.g_m;
+  Alcotest.(check int) "N = K" 384 gemm.Gpu_model.g_n;
+  Alcotest.(check int) "K = R*S*C" (9 * 288) gemm.Gpu_model.g_k
+
+let () =
+  Alcotest.run "machine"
+    [ ( "cpu",
+        [ Alcotest.test_case "monotone in size" `Quick test_monotone_in_size;
+          Alcotest.test_case "unroll hides latency" `Quick test_unroll_hides_latency;
+          Alcotest.test_case "latency bound without unroll" `Quick
+            test_latency_bound_without_unroll;
+          Alcotest.test_case "parallel grains" `Quick test_parallel_grains;
+          Alcotest.test_case "prime widths hurt" `Quick test_guard_costs;
+          Alcotest.test_case "threads scale" `Quick test_threads_scale;
+          Alcotest.test_case "tuner beats fixed" `Quick test_tuner_beats_fixed_configs
+        ] );
+      ( "gpu",
+        [ Alcotest.test_case "split-k on small grids" `Quick test_splitk_helps_small_grids;
+          Alcotest.test_case "register spill" `Quick test_spill_penalty;
+          Alcotest.test_case "dimension fusion" `Quick test_fusion_reduces_padding_work;
+          Alcotest.test_case "strided kernels" `Quick
+            test_strided_penalty_and_library_waiver;
+          Alcotest.test_case "library loses when tuning matters" `Quick
+            test_library_loses_on_friendly_shapes;
+          Alcotest.test_case "fig1 cast overhead" `Quick test_fig1_effect;
+          Alcotest.test_case "implicit gemm dims" `Quick test_gemm_of_conv_dims
+        ] )
+    ]

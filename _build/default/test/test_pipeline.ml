@@ -1,0 +1,189 @@
+(* Integration tests across the top of the stack: the cached kernel-time
+   pipeline, the simulated baselines, and the end-to-end latency model —
+   the qualitative relationships the paper's figures depend on. *)
+
+open Unit_dtype
+module Workload = Unit_graph.Workload
+module Pipeline = Unit_core.Pipeline
+module Latency = Unit_core.Latency
+module Baselines = Unit_baselines.Baselines
+module Engines = Unit_baselines.Engines
+module Cpu_tuner = Unit_rewriter.Cpu_tuner
+
+let () = Unit_isa.Defs.ensure_registered ()
+
+let check_bool = Alcotest.(check bool)
+
+let wl ?(c = 128) ?(hw = 16) ?(k = 128) ?(kernel = 3) ?(stride = 1) ?(padding = 0) () =
+  { Workload.c; h = hw; w = hw; k; kernel; stride; padding; groups = 1 }
+
+(* ---------- pipeline ---------- *)
+
+let test_conv_time_positive_and_cached () =
+  let w = wl () in
+  let t1 = Pipeline.conv_time_x86 w in
+  let t2 = Pipeline.conv_time_x86 w in
+  check_bool "positive" true (t1 > 0.0);
+  check_bool "deterministic/cached" true (t1 = t2)
+
+let test_tensorize_rejects_inapplicable () =
+  (* fp32 conv cannot use the integer instruction *)
+  let op =
+    Unit_dsl.Op_library.matmul ~n:16 ~m:16 ~k:16 ~a_dtype:Dtype.F32 ~b_dtype:Dtype.F32
+      ~acc_dtype:Dtype.F32 ()
+  in
+  match
+    Pipeline.tensorize ~spec:Unit_machine.Spec.cascadelake op
+      (Unit_isa.Registry.find_exn "vnni.vpdpbusd")
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fp32 op accepted by VNNI"
+
+let test_channel_padding_costs () =
+  (* 60 in-channels pad to 64, 120 out-channels pad to 128: the padded
+     kernel does more work than the exactly-fitting one *)
+  let exact = Pipeline.conv_time_x86 (wl ~c:64 ~k:128 ()) in
+  let padded = Pipeline.conv_time_x86 (wl ~c:60 ~k:120 ()) in
+  check_bool "padding is not free" true (padded >= exact *. 0.9)
+
+let test_arm_dot_beats_neon_mla () =
+  let w = wl ~c:64 ~k:64 () in
+  let dot = Pipeline.conv_time_arm w in
+  let neon = Pipeline.conv_time_arm ~intrin:"neon.mla.i16" w in
+  check_bool "DOT kernels beat widening MLA" true (dot < neon)
+
+let test_gpu_conv_time () =
+  let t = Pipeline.conv_time_gpu (wl ~c:1024 ~hw:14 ~k:512 ~kernel:1 ()) in
+  check_bool "positive and sub-millisecond" true (t > 0.0 && t < 1e-3)
+
+let test_depthwise_never_tensorizes_but_costs () =
+  let dw = { (wl ~c:64 ~k:64 ()) with Workload.groups = 64 } in
+  let t = Pipeline.depthwise_time_cpu Unit_machine.Spec.cascadelake dw in
+  check_bool "depthwise time positive" true (t > 0.0)
+
+let test_conv3d_time () =
+  let w3 =
+    { Workload.w3_c = 64; w3_d = 4; w3_h = 14; w3_w = 14; w3_k = 64; w3_kernel = 3;
+      w3_stride = 1; w3_padding = 1 }
+  in
+  check_bool "conv3d compiles and costs" true (Pipeline.conv3d_time_x86 w3 > 0.0)
+
+(* ---------- baselines ---------- *)
+
+let test_tuned_beats_onednn_on_friendly_shape () =
+  let w = wl ~c:128 ~hw:16 ~k:128 () in
+  check_bool "UNIT < oneDNN on a friendly kernel" true
+    (Pipeline.conv_time_x86 w < Baselines.onednn_conv_time w)
+
+let test_onednn_robust_on_adversarial_shape () =
+  (* Table I #4: OHW 71 (prime) — nothing unrolls; the library floor wins *)
+  let w = Unit_models.Table1.workloads.(3) in
+  check_bool "oneDNN < UNIT on workload #4 (paper Section VI-B)" true
+    (Baselines.onednn_conv_time w < Pipeline.conv_time_x86 w)
+
+let test_onednn_hot_shapes () =
+  check_bool "resnet50 conv is a hot shape" true
+    (Baselines.is_onednn_hot_shape
+       { Workload.c = 64; h = 56; w = 56; k = 64; kernel = 1; stride = 1; padding = 0;
+         groups = 1 });
+  check_bool "table1 #3 is not" false (Baselines.is_onednn_hot_shape Unit_models.Table1.workloads.(2))
+
+let test_tvm_manual_between () =
+  (* on most shapes: UNIT <= TVM-Manual (same codegen, no search) *)
+  let w = wl ~c:256 ~hw:16 ~k:256 () in
+  let unit_t = Pipeline.conv_time_x86 w in
+  let tvm_t = Baselines.tvm_manual_x86_conv_time w in
+  check_bool "UNIT <= TVM-Manual" true (unit_t <= tvm_t +. 1e-12)
+
+let test_cudnn_strided_advantage () =
+  (* Table I #15 *)
+  let w = Unit_models.Table1.workloads.(14) in
+  check_bool "cuDNN wins the strided workload (paper #15)" true
+    (Baselines.cudnn_conv_time w < Pipeline.conv_time_gpu w)
+
+let test_unit_gpu_beats_cudnn_on_deep_channels () =
+  let w = Unit_models.Table1.workloads.(2) in
+  check_bool "UNIT beats cuDNN on the deep-channel 1x1 (paper #3)" true
+    (Pipeline.conv_time_gpu w < Baselines.cudnn_conv_time w)
+
+(* ---------- latency model ---------- *)
+
+let tiny_model () =
+  let module B = Unit_graph.Graph.Builder in
+  let b = B.create () in
+  let x = B.input b ~shape:[ 16; 16; 16 ] Dtype.F32 in
+  let y = B.relu b (B.bias_add b (B.conv2d b ~channels:32 ~kernel:3 ~padding:1 x)) in
+  let z = B.global_avg_pool b y in
+  B.finish b (B.softmax b (B.bias_add b (B.dense b ~units:10 z)))
+
+let test_latency_breakdown_sums () =
+  let g =
+    Unit_graph.Passes.fuse
+      (Unit_graph.Passes.quantize_structural ~act_dtype:Dtype.U8 (tiny_model ()))
+  in
+  let b = Latency.latency_breakdown Engines.x86_unit g in
+  let total = Latency.breakdown_total b in
+  check_bool "total = latency" true
+    (Float.abs (total -. Latency.latency Engines.x86_unit g) < 1e-12);
+  check_bool "conv dominates this model" true (b.Latency.b_conv > 0.0);
+  check_bool "overhead counted" true (b.Latency.b_overhead > 0.0)
+
+let test_fusion_reduces_latency () =
+  let q = Unit_graph.Passes.quantize_structural ~act_dtype:Dtype.U8 (tiny_model ()) in
+  let fused = Unit_graph.Passes.fuse q in
+  check_bool "fusion reduces modelled latency" true
+    (Latency.latency Engines.x86_unit fused < Latency.latency Engines.x86_unit q)
+
+let test_engine_ordering_resnet18 () =
+  let g =
+    Unit_graph.Passes.fuse
+      (Unit_graph.Passes.quantize_structural ~act_dtype:Dtype.U8
+         (Unit_models.Resnet.resnet18 ()))
+  in
+  let unit_t = Latency.latency Engines.x86_unit g in
+  let tvm_t = Latency.latency Engines.x86_tvm_manual g in
+  let mxnet_t = Latency.latency Engines.x86_mxnet_onednn g in
+  check_bool "UNIT fastest" true (unit_t <= tvm_t && unit_t <= mxnet_t);
+  check_bool "speedup vs MXNet within the paper's ballpark (1.05x..2.5x)" true
+    (let s = mxnet_t /. unit_t in
+     s > 1.05 && s < 2.5)
+
+let test_structural_quantization_matches_calibrated_shapes () =
+  let g = tiny_model () in
+  let a = Unit_graph.Passes.quantize_structural ~act_dtype:Dtype.U8 g in
+  let b = Unit_graph.Passes.quantize ~act_dtype:Dtype.U8 ~calibration_seed:1 g in
+  check_bool "same node count" true (Unit_graph.Graph.arity a = Unit_graph.Graph.arity b);
+  check_bool "same workloads" true
+    (Workload.of_graph a = Workload.of_graph b)
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "kernels",
+        [ Alcotest.test_case "cached conv times" `Quick test_conv_time_positive_and_cached;
+          Alcotest.test_case "inapplicable rejected" `Quick
+            test_tensorize_rejects_inapplicable;
+          Alcotest.test_case "channel padding" `Quick test_channel_padding_costs;
+          Alcotest.test_case "dot vs mla" `Quick test_arm_dot_beats_neon_mla;
+          Alcotest.test_case "gpu conv" `Quick test_gpu_conv_time;
+          Alcotest.test_case "depthwise" `Quick test_depthwise_never_tensorizes_but_costs;
+          Alcotest.test_case "conv3d" `Quick test_conv3d_time
+        ] );
+      ( "baselines",
+        [ Alcotest.test_case "onednn loses on friendly shapes" `Quick
+            test_tuned_beats_onednn_on_friendly_shape;
+          Alcotest.test_case "onednn robust on #4" `Quick
+            test_onednn_robust_on_adversarial_shape;
+          Alcotest.test_case "hot shapes" `Quick test_onednn_hot_shapes;
+          Alcotest.test_case "tvm manual" `Quick test_tvm_manual_between;
+          Alcotest.test_case "cudnn strided #15" `Quick test_cudnn_strided_advantage;
+          Alcotest.test_case "unit gpu deep channels #3" `Quick
+            test_unit_gpu_beats_cudnn_on_deep_channels
+        ] );
+      ( "latency",
+        [ Alcotest.test_case "breakdown sums" `Quick test_latency_breakdown_sums;
+          Alcotest.test_case "fusion reduces latency" `Quick test_fusion_reduces_latency;
+          Alcotest.test_case "engine ordering" `Quick test_engine_ordering_resnet18;
+          Alcotest.test_case "structural quantization" `Quick
+            test_structural_quantization_matches_calibrated_shapes
+        ] )
+    ]

@@ -1,0 +1,223 @@
+(* Tests for the tensor-IR validator: well-formed programs from every stage
+   of the pipeline must pass; hand-broken programs must be flagged with the
+   right rule. *)
+
+open Unit_dtype
+open Unit_dsl
+open Unit_tir
+module Inspector = Unit_inspector.Inspector
+module Reorganize = Unit_rewriter.Reorganize
+module Replace = Unit_rewriter.Replace
+
+let () = Unit_isa.Defs.ensure_registered ()
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let registry_axes name =
+  Option.map
+    (fun intrin ->
+      List.map
+        (fun (a : Axis.t) -> (a.Axis.name, a.Axis.extent))
+        (Op.all_axes intrin.Unit_isa.Intrin.op))
+    (Unit_isa.Registry.find name)
+
+let assert_clean ?(what = "program") func =
+  let violations = Validate.check_func ~intrin_axes:registry_axes func in
+  if violations <> [] then
+    Alcotest.failf "%s: %s" what
+      (String.concat "; "
+         (List.map (fun v -> Format.asprintf "%a" Validate.pp_violation v) violations))
+
+let conv () =
+  Op_library.conv2d_nchwc ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8
+    ~acc_dtype:Dtype.I32 ~lanes:16 ~reduce_width:4
+    { Op_library.in_channels = 8; in_height = 8; in_width = 8; out_channels = 16;
+      kernel = 3; stride = 1 }
+
+let test_scalar_reference_valid () =
+  assert_clean ~what:"scalar conv" (Lower.scalar_reference (conv ()));
+  let mm =
+    Op_library.matmul ~n:4 ~m:8 ~k:16 ~a_dtype:Dtype.U8 ~b_dtype:Dtype.I8
+      ~acc_dtype:Dtype.I32 ()
+  in
+  assert_clean ~what:"scalar matmul" (Lower.scalar_reference mm)
+
+let test_guarded_schedule_valid () =
+  (* a non-exact split: the residue guard must satisfy the bounds check *)
+  let op =
+    Op_library.matmul ~n:7 ~m:8 ~k:16 ~a_dtype:Dtype.U8 ~b_dtype:Dtype.I8
+      ~acc_dtype:Dtype.I32 ()
+  in
+  let s = Schedule.create op in
+  let i = List.hd (Schedule.leaves s) in
+  let s, _, _ = Schedule.split s i ~factor:3 in
+  assert_clean ~what:"guarded split" (Lower.lower s)
+
+let test_without_guard_refinement_out_of_bounds () =
+  (* the same program must fail if guards were ignored: prove the
+     refinement is load-bearing by checking the raw loop ranges overflow *)
+  let op =
+    Op_library.matmul ~n:7 ~m:8 ~k:16 ~a_dtype:Dtype.U8 ~b_dtype:Dtype.I8
+      ~acc_dtype:Dtype.I32 ()
+  in
+  let s = Schedule.create op in
+  let i = List.hd (Schedule.leaves s) in
+  let s, _, _ = Schedule.split s i ~factor:3 in
+  let func = Lower.lower s in
+  (* strip the likely guards *)
+  let rec strip stmt =
+    match stmt with
+    | Stmt.If { likely = true; then_; _ } -> strip then_
+    | _ -> Stmt.map_children strip stmt
+  in
+  let stripped = { func with Lower.fn_body = strip func.Lower.fn_body } in
+  let violations = Validate.check_func ~intrin_axes:registry_axes stripped in
+  check_bool "stripped guards overflow" true
+    (List.exists (fun v -> v.Validate.v_rule = "bounds") violations)
+
+let test_tensorized_valid () =
+  let op = conv () in
+  match Inspector.inspect op (Unit_isa.Registry.find_exn "vnni.vpdpbusd") with
+  | Error _ -> Alcotest.fail "inspect failed"
+  | Ok ap ->
+    let r = Reorganize.apply op ap () in
+    assert_clean ~what:"tensorized conv" (Replace.run (Lower.lower r.Reorganize.schedule));
+    (* and with outer tuning applied *)
+    let tuned =
+      Unit_rewriter.Cpu_tuner.compile r Unit_rewriter.Cpu_tuner.default_config
+    in
+    assert_clean ~what:"tuned tensorized conv" tuned
+
+let test_unbound_variable_flagged () =
+  let buf = Buffer.create ~name:"b" ~dtype:Dtype.I32 ~size:8 () in
+  let stray = Var.create "stray" in
+  let body = Stmt.Store (buf, Texpr.var stray, Texpr.int_imm ~dtype:Dtype.I32 0) in
+  let violations = Validate.check_stmt ~params:[ buf ] body in
+  check_bool "scope violation" true
+    (List.exists (fun v -> v.Validate.v_rule = "scope") violations)
+
+let test_out_of_bounds_store_flagged () =
+  let buf = Buffer.create ~name:"b" ~dtype:Dtype.I32 ~size:8 () in
+  let v = Var.create "i" in
+  let body =
+    Stmt.for_ v ~extent:10 (Stmt.Store (buf, Texpr.var v, Texpr.int_imm ~dtype:Dtype.I32 0))
+  in
+  let violations = Validate.check_stmt ~params:[ buf ] body in
+  check_int "one violation" 1 (List.length violations);
+  check_bool "bounds rule" true ((List.hd violations).Validate.v_rule = "bounds")
+
+let test_buffer_not_in_scope_flagged () =
+  let buf = Buffer.create ~name:"b" ~dtype:Dtype.I32 ~size:8 () in
+  let other = Buffer.create ~name:"other" ~dtype:Dtype.I32 ~size:8 () in
+  let v = Var.create "i" in
+  let body =
+    Stmt.for_ v ~extent:4 (Stmt.Store (other, Texpr.var v, Texpr.int_imm ~dtype:Dtype.I32 0))
+  in
+  let violations = Validate.check_stmt ~params:[ buf ] body in
+  check_bool "scope violation" true
+    (List.exists (fun v -> v.Validate.v_rule = "scope") violations)
+
+let test_alloc_brings_buffer_into_scope () =
+  let scratch = Buffer.create ~name:"scratch" ~dtype:Dtype.I32 ~size:4 () in
+  let v = Var.create "i" in
+  let body =
+    Stmt.Alloc
+      (scratch,
+       Stmt.for_ v ~extent:4
+         (Stmt.Store (scratch, Texpr.var v, Texpr.int_imm ~dtype:Dtype.I32 0)))
+  in
+  check_int "clean" 0 (List.length (Validate.check_stmt ~params:[] body))
+
+let test_rebound_loop_variable_flagged () =
+  let buf = Buffer.create ~name:"b" ~dtype:Dtype.I32 ~size:8 () in
+  let v = Var.create "i" in
+  let body =
+    Stmt.for_ v ~extent:4
+      (Stmt.for_ v ~extent:2
+         (Stmt.Store (buf, Texpr.var v, Texpr.int_imm ~dtype:Dtype.I32 0)))
+  in
+  let violations = Validate.check_stmt ~params:[ buf ] body in
+  check_bool "canonical violation" true
+    (List.exists (fun v -> v.Validate.v_rule = "canonical") violations)
+
+let test_bad_tile_flagged () =
+  let op = conv () in
+  match Inspector.inspect op (Unit_isa.Registry.find_exn "vnni.vpdpbusd") with
+  | Error _ -> Alcotest.fail "inspect failed"
+  | Ok ap ->
+    let r = Reorganize.apply op ap () in
+    let func = Replace.run (Lower.lower r.Reorganize.schedule) in
+    (* corrupt: inflate every tile stride so windows overflow *)
+    let rec corrupt stmt =
+      match stmt with
+      | Stmt.Intrin_call { intrin; output; inputs } ->
+        let blow tile =
+          { tile with
+            Stmt.tile_strides =
+              List.map (fun (a, s) -> (a, s * 1000)) tile.Stmt.tile_strides
+          }
+        in
+        Stmt.Intrin_call
+          { intrin; output = blow output; inputs = List.map (fun (n, t) -> (n, blow t)) inputs }
+      | _ -> Stmt.map_children corrupt stmt
+    in
+    let broken = { func with Lower.fn_body = corrupt func.Lower.fn_body } in
+    let violations = Validate.check_func ~intrin_axes:registry_axes broken in
+    check_bool "tile violation" true
+      (List.exists (fun v -> v.Validate.v_rule = "tile") violations)
+
+let test_unknown_instruction_flagged () =
+  let op = conv () in
+  match Inspector.inspect op (Unit_isa.Registry.find_exn "vnni.vpdpbusd") with
+  | Error _ -> Alcotest.fail "inspect failed"
+  | Ok ap ->
+    let r = Reorganize.apply op ap () in
+    let func = Replace.run (Lower.lower r.Reorganize.schedule) in
+    (* without the registry lookup, calls cannot be validated *)
+    let violations = Validate.check_func func in
+    check_bool "unknown instruction" true
+      (List.exists (fun v -> v.Validate.v_rule = "tile") violations)
+
+(* property: every random schedule of a matmul lowers to a valid program *)
+let prop_random_schedules_validate =
+  QCheck.Test.make ~name:"random schedules always lower to valid IR" ~count:60
+    QCheck.(list_of_size (Gen.int_range 0 3) (pair (int_range 0 2) (int_range 2 5)))
+    (fun splits ->
+      let op =
+        Op_library.matmul ~n:6 ~m:10 ~k:12 ~a_dtype:Dtype.U8 ~b_dtype:Dtype.I8
+          ~acc_dtype:Dtype.I32 ()
+      in
+      let s =
+        List.fold_left
+          (fun s (leaf_choice, factor) ->
+            let leaves = Schedule.leaves s in
+            let target = List.nth leaves (leaf_choice mod List.length leaves) in
+            let s, _, _ = Schedule.split s target ~factor in
+            s)
+          (Schedule.create op) splits
+      in
+      Validate.check_func ~intrin_axes:registry_axes (Lower.lower s) = [])
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "validate"
+    [ ( "valid programs",
+        [ Alcotest.test_case "scalar references" `Quick test_scalar_reference_valid;
+          Alcotest.test_case "guarded splits" `Quick test_guarded_schedule_valid;
+          Alcotest.test_case "tensorized + tuned" `Quick test_tensorized_valid;
+          Alcotest.test_case "alloc scoping" `Quick test_alloc_brings_buffer_into_scope
+        ]
+        @ qcheck [ prop_random_schedules_validate ] );
+      ( "violations",
+        [ Alcotest.test_case "guards are load-bearing" `Quick
+            test_without_guard_refinement_out_of_bounds;
+          Alcotest.test_case "unbound variable" `Quick test_unbound_variable_flagged;
+          Alcotest.test_case "out of bounds store" `Quick test_out_of_bounds_store_flagged;
+          Alcotest.test_case "buffer scope" `Quick test_buffer_not_in_scope_flagged;
+          Alcotest.test_case "rebound loop var" `Quick test_rebound_loop_variable_flagged;
+          Alcotest.test_case "corrupted tiles" `Quick test_bad_tile_flagged;
+          Alcotest.test_case "unknown instruction" `Quick test_unknown_instruction_flagged
+        ] )
+    ]
