@@ -257,6 +257,177 @@ let models () =
 
 let table1 () = Format.printf "%a@." Unit_models.Table1.pp_table ()
 
+(* ---------- check (schedule legality / overflow lint) ---------- *)
+
+module Analysis = Unit_analysis.Analysis
+module Workload = Unit_graph.Workload
+
+(* Hand-built illegal programs the analyzer must reject; each pairs a
+   description with the rule expected to fire. *)
+let counterexamples () =
+  let open Unit_tir in
+  let buf name size dtype = Buffer.create ~name ~dtype ~size () in
+  let racy_write =
+    (* two parallel iterations share each element of out *)
+    let out = buf "out" 64 Dtype.I32 in
+    let p = Var.create "p" in
+    Stmt.for_ p ~extent:8 ~kind:Stmt.Parallel
+      (Stmt.Store (out, Texpr.div (Texpr.var p) (Texpr.int_imm 2), Texpr.int_imm 1))
+  in
+  let parallel_reduction =
+    (* a carried accumulation scheduled parallel *)
+    let acc = buf "acc" 4 Dtype.I32 in
+    let x = buf "x" 8 Dtype.I32 in
+    let p = Var.create "p" in
+    Stmt.for_ p ~extent:8 ~kind:Stmt.Parallel
+      (Stmt.Store
+         ( acc,
+           Texpr.int_imm 0,
+           Texpr.add
+             (Texpr.load acc (Texpr.int_imm 0))
+             (Texpr.load x (Texpr.var p)) ))
+  in
+  let vectorized_carried =
+    (* every SIMD lane writes the same element, and it is no reduction *)
+    let out = buf "out" 4 Dtype.I32 in
+    let x = buf "x" 8 Dtype.I32 in
+    let i = Var.create "i" in
+    Stmt.for_ i ~extent:8 ~kind:Stmt.Vectorized
+      (Stmt.Store (out, Texpr.int_imm 0, Texpr.load x (Texpr.var i)))
+  in
+  let u8_overflow =
+    (* u8 x u8 products do not fit an i16 accumulator *)
+    let out = buf "out16" 16 Dtype.I16 in
+    let a = buf "a8" 16 Dtype.U8 in
+    let b = buf "b8" 16 Dtype.U8 in
+    let i = Var.create "i" in
+    let product =
+      Texpr.mul
+        (Texpr.cast Dtype.I16 (Texpr.load a (Texpr.var i)))
+        (Texpr.cast Dtype.I16 (Texpr.load b (Texpr.var i)))
+    in
+    Stmt.for_ i ~extent:16
+      (Stmt.Store (out, Texpr.var i, Texpr.add (Texpr.load out (Texpr.var i)) product))
+  in
+  let broadcast_tile =
+    (* an output tile broadcasting along a spatial axis: lanes collide *)
+    let out = buf "out" 64 Dtype.I32 in
+    Stmt.Intrin_call
+      { intrin = "fake.mac";
+        output =
+          { Stmt.tile_buf = out; tile_base = Texpr.int_imm 0; tile_strides = [ ("x", 0) ] };
+        inputs = []
+      }
+  in
+  [ ("parallel loop with overlapping writes", racy_write, Diag.Race);
+    ("carried accumulation marked parallel", parallel_reduction, Diag.Race);
+    ("vectorized loop with a non-reduction carried dep", vectorized_carried,
+     Diag.Carried_dep);
+    ("u8*u8 accumulation into i16", u8_overflow, Diag.Overflow);
+    ("output tile broadcasting a spatial axis", broadcast_tile,
+     Diag.Tensorize_footprint)
+  ]
+
+let fake_intrin_meta = function
+  | "fake.mac" ->
+    Some
+      { Analysis.im_spatial = [ ("x", 16) ];
+        im_reduce = [ ("r", 4) ];
+        im_operands = [ Dtype.U8; Dtype.I8 ];
+        im_accumulates = true
+      }
+  | _ -> None
+
+let run_counterexamples () =
+  let missed = ref 0 in
+  List.iter
+    (fun (what, stmt, rule) ->
+      Printf.printf "counterexample: %s\n" what;
+      let diags = Analysis.check_stmt ~intrin:fake_intrin_meta stmt in
+      List.iter
+        (fun d -> Printf.printf "  %s\n" (Unit_tir.Diag.to_string d))
+        diags;
+      if
+        List.exists
+          (fun (d : Unit_tir.Diag.t) ->
+            Unit_tir.Diag.is_error d && d.Unit_tir.Diag.rule = rule)
+          diags
+      then Printf.printf "  -> rejected, as it must be\n"
+      else begin
+        incr missed;
+        Printf.printf "  -> MISSED (expected a [%s] error)\n"
+          (Unit_tir.Diag.rule_id rule)
+      end)
+    (counterexamples ());
+  if !missed > 0 then begin
+    Printf.printf "%d counterexample(s) slipped through the analyzer\n" !missed;
+    exit 2
+  end
+  else begin
+    Printf.printf "all counterexamples rejected; exiting non-zero (they are illegal)\n";
+    exit 1
+  end
+
+let check target counterexamples_only =
+  if counterexamples_only then run_counterexamples ()
+  else begin
+    let spec = or_die (lookup_spec target) in
+    let intrin_name =
+      match target with "graviton2" -> "arm.udot" | _ -> "vnni.vpdpbusd"
+    in
+    let intrin = or_die (lookup_intrin intrin_name) in
+    let lanes = Unit_isa.Intrin.output_lanes intrin in
+    let reduce_width = Stdlib.max 1 (Unit_isa.Intrin.reduction_width intrin) in
+    let kernels = ref 0 and errors = ref 0 and warnings = ref 0 in
+    let seen = Hashtbl.create 64 in
+    let check_op label op =
+      if not (Hashtbl.mem seen label) then begin
+        Hashtbl.add seen label ();
+        match Inspector.inspect op intrin with
+        | Error r ->
+          Printf.printf "%-40s skipped (%s)\n" label (Inspector.rejection_to_string r)
+        | Ok ap ->
+          incr kernels;
+          let reorganized = Reorganize.apply op ap () in
+          let tuned = Cpu_tuner.tune spec reorganized in
+          let diags = Unit_core.Pipeline.analyze tuned in
+          errors := !errors + List.length (Unit_tir.Diag.errors diags);
+          warnings := !warnings + List.length (Unit_tir.Diag.warnings diags);
+          List.iter
+            (fun d -> Printf.printf "%-40s %s\n" label (Unit_tir.Diag.to_string d))
+            diags
+      end
+    in
+    Array.iteri
+      (fun i wl ->
+        check_op
+          (Printf.sprintf "table1[%d] %s" (i + 1) (Workload.name (Workload.Conv wl)))
+          (Workload.conv_op ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8 ~lanes
+             ~reduce_width wl))
+      Unit_models.Table1.workloads;
+    List.iter
+      (fun (name, build) ->
+        let g = build () in
+        List.iter
+          (fun (wl, _) ->
+            check_op
+              (Printf.sprintf "%s %s" name (Workload.name (Workload.Conv wl)))
+              (Workload.conv_op ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8 ~lanes
+                 ~reduce_width wl))
+          (Unit_models.Zoo.conv_workloads g);
+        List.iter
+          (fun (wl, _) ->
+            check_op
+              (Printf.sprintf "%s %s" name (Workload.name (Workload.Fc wl)))
+              (Workload.dense_op ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8 ~lanes
+                 ~reduce_width wl))
+          (Unit_models.Zoo.dense_workloads g))
+      Unit_models.Zoo.all;
+    Printf.printf "checked %d tensorized kernels on %s: %d error(s), %d warning(s)\n"
+      !kernels target !errors !warnings;
+    if !errors > 0 then exit 1
+  end
+
 (* ---------- command wiring ---------- *)
 
 let conv_args f =
@@ -313,6 +484,27 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Print the paper's Table I.")
     Term.(const table1 $ const ())
 
+let counterexamples_flag =
+  Arg.(
+    value & flag
+    & info [ "counterexamples" ]
+        ~doc:
+          "Instead of the zoo, run hand-built racy/overflowing programs through \
+           the analyzer and verify each is rejected (exits non-zero).")
+
+let check_term = Term.(const check $ spec_arg $ counterexamples_flag)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Static schedule-legality check (races, carried dependences, tensorize \
+          footprints, overflow) over every tensorized kernel of Table I and the \
+          model zoo; exits non-zero on any error.")
+    check_term
+
+let lint_cmd = Cmd.v (Cmd.info "lint" ~doc:"Alias of check.") check_term
+
 let () =
   let info =
     Cmd.info "unitc" ~version:"1.0.0"
@@ -322,5 +514,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_isa_cmd; show_isa_cmd; inspect_cmd; compile_cmd; run_cmd; e2e_cmd;
-            models_cmd; table1_cmd
+            models_cmd; table1_cmd; check_cmd; lint_cmd
           ]))

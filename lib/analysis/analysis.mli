@@ -1,0 +1,57 @@
+(** Static dependence analysis and schedule-legality checking.
+
+    [Validate] proves a program well-formed (scoping, bounds, tile
+    windows); this module proves the {e schedule annotations} safe to
+    honour:
+
+    - {b races}: a [For {kind = Parallel}] loop is flagged when two of
+      its iterations can touch the same buffer element with at least one
+      write.  Iteration footprints are compared with the interval
+      machinery of {!Unit_tir.Linear}; fused loop variables appearing
+      under [Div]/[Mod] are first split back into their coordinates so
+      the footprints become linear again.
+    - {b carried dependences}: [Vectorized] and [Unrolled] loops whose
+      iterations conflict through memory, excepting recognizable
+      reduction patterns ([out\[i\] = out\[i\] + _] and accumulating
+      instruction tiles), which the scalar and SIMD semantics both
+      tolerate.
+    - {b tensorize legality}: each [Intrin_call]'s output tile must form
+      an injective map from the instruction's spatial lanes to buffer
+      elements, must not stride along reduction axes, and a
+      non-accumulating instruction must not be re-issued over the same
+      output tile by an enclosing reduction loop.
+    - {b overflow lint}: narrowing integer casts and accumulation chains
+      are interval-checked against their dtype; a single arithmetic node
+      that provably wraps its own dtype is an error, a whole-loop
+      accumulation that may exceed the accumulator range is a warning.
+
+    Provable violations are {!Unit_tir.Diag.Error}s (the pipeline rejects
+    the schedule); conflicts that merely cannot be ruled out are
+    {!Unit_tir.Diag.Warning}s, so a sound-but-unanalyzable schedule is
+    surfaced without being rejected. *)
+
+(** What the analyzer needs to know about one tensorized instruction.
+    Like [Validate]'s [intrin_axes] parameter, this keeps the library
+    free of an ISA dependency: callers with a registry supply a lookup
+    (see [Unit_core.Pipeline.intrin_meta]). *)
+type intrin_meta = {
+  im_spatial : (string * int) list;  (** spatial axis name -> extent *)
+  im_reduce : (string * int) list;  (** reduce axis name -> extent *)
+  im_operands : Unit_dtype.Dtype.t list;
+      (** dtypes of the multiplicand inputs (accumulator excluded) *)
+  im_accumulates : bool;
+      (** the instruction adds into its output tile rather than
+          overwriting it *)
+}
+
+val check_stmt :
+  ?intrin:(string -> intrin_meta option) -> Unit_tir.Stmt.t -> Unit_tir.Diag.t list
+(** Analyze a bare statement.  The default [intrin] lookup knows no
+    instructions; calls it cannot resolve are skipped here because
+    {!Unit_tir.Validate} already rejects them. *)
+
+val check_func :
+  ?intrin:(string -> intrin_meta option) -> Unit_tir.Lower.func -> Unit_tir.Diag.t list
+(** Analyze a lowered function body.  Returned diagnostics preserve
+    program order; split with {!Unit_tir.Diag.errors} /
+    {!Unit_tir.Diag.warnings}. *)

@@ -16,13 +16,52 @@ type compiled = {
   c_tuned : Cpu_tuner.tuned;
 }
 
+(* Registry-backed instruction metadata for the dependence analyzer
+   (Unit_analysis stays ISA-free; this is its view of the registry). *)
+let intrin_meta name =
+  Option.map
+    (fun (i : Unit_isa.Intrin.t) ->
+      let op = i.Unit_isa.Intrin.op in
+      let axes = List.map (fun (a : Axis.t) -> (a.Axis.name, a.Axis.extent)) in
+      let accumulator =
+        match op.Op.init with Op.Init_tensor t -> Some t | _ -> None
+      in
+      let multiplicands =
+        List.filter
+          (fun (t : Tensor.t) ->
+            match accumulator with Some a -> not (Tensor.equal a t) | None -> true)
+          (Op.inputs op)
+      in
+      { Unit_analysis.Analysis.im_spatial = axes op.Op.spatial;
+        im_reduce = axes op.Op.reduce;
+        im_operands = List.map (fun (t : Tensor.t) -> t.Tensor.dtype) multiplicands;
+        im_accumulates = op.Op.init <> Op.Zero
+      })
+    (Unit_isa.Registry.find name)
+
+let analyze (tuned : Cpu_tuner.tuned) =
+  Unit_analysis.Analysis.check_func ~intrin:intrin_meta tuned.Cpu_tuner.t_func
+
 let tensorize ?mapping_index ?configs ~spec op intrin =
   match Inspector.inspect op intrin with
   | Error r -> Error (Inspector.rejection_to_string r)
   | Ok ap ->
     let reorganized = Reorganize.apply op ap ?mapping_index () in
     let tuned = Cpu_tuner.tune spec ?configs reorganized in
-    Ok { c_op = op; c_intrin = intrin; c_tuned = tuned }
+    let diags = analyze tuned in
+    (match Unit_tir.Diag.errors diags with
+     | _ :: _ as errs ->
+       Error
+         ("illegal schedule: "
+          ^ String.concat "; " (List.map Unit_tir.Diag.to_string errs))
+     | [] ->
+       List.iter
+         (fun d ->
+           Logs.warn (fun m ->
+             m "%s with %s: %s" op.Op.name intrin.Unit_isa.Intrin.name
+               (Unit_tir.Diag.to_string d)))
+         (Unit_tir.Diag.warnings diags);
+       Ok { c_op = op; c_intrin = intrin; c_tuned = tuned })
 
 let seconds compiled = compiled.c_tuned.Cpu_tuner.t_estimate.Cpu_model.est_seconds
 

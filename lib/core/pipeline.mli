@@ -26,7 +26,18 @@ val tensorize :
   (compiled, string) result
 (** Inspect, reorganize, tune (over [configs], default the full candidate
     grid), lower and replace.  [Error reason] when the instruction does not
-    apply. *)
+    apply — or when the dependence analyzer proves the tuned schedule
+    illegal (race, carried dependence, tensorize footprint, overflow);
+    analyzer warnings are reported through {!Logs.warn}. *)
+
+val intrin_meta : string -> Unit_analysis.Analysis.intrin_meta option
+(** Registry-backed instruction metadata for the dependence analyzer:
+    axis extents, multiplicand dtypes and the accumulation flag of a
+    registered instruction. *)
+
+val analyze : Cpu_tuner.tuned -> Unit_tir.Diag.t list
+(** Run the schedule-legality analyzer on a tuned kernel with
+    {!intrin_meta} resolution; what {!tensorize} gates on. *)
 
 val seconds : compiled -> float
 

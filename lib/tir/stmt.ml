@@ -54,10 +54,28 @@ let rec iter_stmts f t =
   | Let (_, _, body) | Alloc (_, body) -> iter_stmts f body
   | Seq stmts -> List.iter (iter_stmts f) stmts
 
-let exists pred t =
-  let found = ref false in
-  iter_stmts (fun s -> if pred s then found := true) t;
-  !found
+let rec exists pred t =
+  pred t
+  ||
+  match t with
+  | Nop | Store _ | Intrin_call _ -> false
+  | For { body; _ } -> exists pred body
+  | If { then_; else_; _ } ->
+    exists pred then_
+    || (match else_ with Some e -> exists pred e | None -> false)
+  | Let (_, _, body) | Alloc (_, body) -> exists pred body
+  | Seq stmts -> List.exists (exists pred) stmts
+
+let rec fold_stmts f acc t =
+  let acc = f acc t in
+  match t with
+  | Nop | Store _ | Intrin_call _ -> acc
+  | For { body; _ } -> fold_stmts f acc body
+  | If { then_; else_; _ } ->
+    let acc = fold_stmts f acc then_ in
+    (match else_ with Some e -> fold_stmts f acc e | None -> acc)
+  | Let (_, _, body) | Alloc (_, body) -> fold_stmts f acc body
+  | Seq stmts -> List.fold_left (fold_stmts f) acc stmts
 
 let substitute_tile bindings tile =
   { tile with tile_base = Texpr.substitute bindings tile.tile_base }

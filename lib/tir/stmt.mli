@@ -54,6 +54,12 @@ val iter_stmts : (t -> unit) -> t -> unit
 (** Pre-order traversal over every statement. *)
 
 val exists : (t -> bool) -> t -> bool
+(** Pre-order search with a genuine early exit: traversal stops at the
+    first statement satisfying the predicate. *)
+
+val fold_stmts : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over every statement (the accumulator-threading
+    counterpart of {!iter_stmts}). *)
 
 val substitute : (Var.t * Texpr.t) list -> t -> t
 (** Substitute variables in every contained expression (including tile

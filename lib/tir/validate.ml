@@ -1,9 +1,6 @@
-type violation = {
-  v_rule : string;
-  v_detail : string;
-}
+type violation = Diag.t
 
-let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.v_rule v.v_detail
+let pp_violation = Diag.pp
 
 type ctx = {
   (* loop/let variables in scope with their inclusive value intervals *)
@@ -54,11 +51,16 @@ let rec replace_subtree ~target ~replacement e =
 (* Interval of [e], refining with the branch's guard constraints: each
    guarded subexpression is replaced by a fresh variable whose range is
    the guard's bound intersected with the subexpression's own range. *)
-let bounds_with_guards ctx e =
-  let refined =
+let refined_bounds ~env ~guards e =
+  let lookup extra v =
+    match List.find_map (fun (w, r) -> if Var.equal v w then Some r else None) extra with
+    | Some r -> Some r
+    | None -> env v
+  in
+  let expr, extra =
     List.fold_left
       (fun (expr, extra) (guarded, upper) ->
-        let own = Linear.bounds ~env:(fun v -> env_of { ctx with vars = ctx.vars @ extra } v) guarded in
+        let own = Linear.bounds ~env:(lookup extra) guarded in
         let lo = match own with Some (l, _) -> Stdlib.max 0 l | None -> 0 in
         let hi =
           match own with
@@ -68,15 +70,17 @@ let bounds_with_guards ctx e =
         let placeholder = Var.create "guard_bound" in
         ( replace_subtree ~target:guarded ~replacement:(Texpr.var placeholder) expr,
           (placeholder, (lo, hi)) :: extra ))
-      (e, []) ctx.guards
+      (e, []) guards
   in
-  let expr, extra = refined in
-  Linear.bounds ~env:(fun v -> env_of { ctx with vars = extra @ ctx.vars } v) expr
+  Linear.bounds ~env:(lookup extra) expr
+
+let bounds_with_guards ctx e =
+  refined_bounds ~env:(fun v -> env_of ctx v) ~guards:ctx.guards e
 
 let check_access ctx ~what (buf : Buffer.t) index violations =
   if not (List.exists (Buffer.equal buf) ctx.buffers) then
     violations :=
-      { v_rule = "scope"; v_detail = Printf.sprintf "%s of %s: buffer not in scope" what buf.Buffer.name }
+      Diag.errorf Diag.Scope "%s of %s: buffer not in scope" what buf.Buffer.name
       :: !violations
   else begin
     (* every variable in the index must be bound *)
@@ -84,23 +88,20 @@ let check_access ctx ~what (buf : Buffer.t) index violations =
       (fun v ->
         if env_of ctx v = None then
           violations :=
-            { v_rule = "scope";
-              v_detail = Printf.sprintf "%s of %s: unbound variable %s" what buf.Buffer.name v.Var.name }
+            Diag.errorf Diag.Scope "%s of %s: unbound variable %s" what
+              buf.Buffer.name v.Var.name
             :: !violations)
       (Texpr.vars_of index);
     match bounds_with_guards ctx index with
     | None ->
       violations :=
-        { v_rule = "bounds";
-          v_detail = Printf.sprintf "%s of %s: index not analyzable" what buf.Buffer.name }
+        Diag.errorf Diag.Bounds "%s of %s: index not analyzable" what buf.Buffer.name
         :: !violations
     | Some (lo, hi) ->
       if lo < 0 || hi >= buf.Buffer.size then
         violations :=
-          { v_rule = "bounds";
-            v_detail =
-              Printf.sprintf "%s of %s: index range [%d, %d] outside [0, %d)" what
-                buf.Buffer.name lo hi buf.Buffer.size }
+          Diag.errorf Diag.Bounds "%s of %s: index range [%d, %d] outside [0, %d)"
+            what buf.Buffer.name lo hi buf.Buffer.size
           :: !violations
   end
 
@@ -109,7 +110,7 @@ let check_expr ctx violations (e : Texpr.t) =
     (fun v ->
       if env_of ctx v = None then
         violations :=
-          { v_rule = "scope"; v_detail = "unbound variable " ^ v.Var.name } :: !violations)
+          Diag.errorf Diag.Scope "unbound variable %s" v.Var.name :: !violations)
     (Texpr.vars_of e);
   List.iter (fun (buf, index) -> check_access ctx ~what:"load" buf index violations)
     (Texpr.loads_of e)
@@ -119,18 +120,16 @@ let check_tile ctx violations ~intrin_name ~axes (tile : Stmt.tile) =
     (fun (axis, _) ->
       if not (List.mem_assoc axis axes) then
         violations :=
-          { v_rule = "tile";
-            v_detail =
-              Printf.sprintf "tile on %s: axis %s is not an axis of %s"
-                tile.Stmt.tile_buf.Buffer.name axis intrin_name }
+          Diag.errorf Diag.Tile "tile on %s: axis %s is not an axis of %s"
+            tile.Stmt.tile_buf.Buffer.name axis intrin_name
           :: !violations)
     tile.Stmt.tile_strides;
   (* the whole register window must stay inside the buffer *)
   match bounds_with_guards ctx tile.Stmt.tile_base with
   | None ->
     violations :=
-      { v_rule = "tile";
-        v_detail = Printf.sprintf "tile on %s: base not analyzable" tile.Stmt.tile_buf.Buffer.name }
+      Diag.errorf Diag.Tile "tile on %s: base not analyzable"
+        tile.Stmt.tile_buf.Buffer.name
       :: !violations
   | Some (lo, hi) ->
     let span =
@@ -145,10 +144,8 @@ let check_tile ctx violations ~intrin_name ~axes (tile : Stmt.tile) =
     let lo = lo + fst span and hi = hi + snd span in
     if lo < 0 || hi >= tile.Stmt.tile_buf.Buffer.size then
       violations :=
-        { v_rule = "tile";
-          v_detail =
-            Printf.sprintf "tile on %s: window [%d, %d] outside [0, %d)"
-              tile.Stmt.tile_buf.Buffer.name lo hi tile.Stmt.tile_buf.Buffer.size }
+        Diag.errorf Diag.Tile "tile on %s: window [%d, %d] outside [0, %d)"
+          tile.Stmt.tile_buf.Buffer.name lo hi tile.Stmt.tile_buf.Buffer.size
         :: !violations
 
 let rec check ctx violations (s : Stmt.t) =
@@ -161,11 +158,11 @@ let rec check ctx violations (s : Stmt.t) =
   | Stmt.For { var; extent; body; _ } ->
     if extent <= 0 then
       violations :=
-        { v_rule = "canonical"; v_detail = Printf.sprintf "loop %s has extent %d" var.Var.name extent }
+        Diag.errorf Diag.Canonical "loop %s has extent %d" var.Var.name extent
         :: !violations;
     if env_of ctx var <> None then
       violations :=
-        { v_rule = "canonical"; v_detail = "loop variable " ^ var.Var.name ^ " rebound" }
+        Diag.errorf Diag.Canonical "loop variable %s rebound" var.Var.name
         :: !violations;
     check { ctx with vars = (var, (0, Stdlib.max 0 (extent - 1))) :: ctx.vars } violations body
   | Stmt.If { cond; then_; else_; _ } ->
@@ -195,14 +192,14 @@ let rec check ctx violations (s : Stmt.t) =
     (match ctx.intrin_axes intrin with
      | None ->
        violations :=
-         { v_rule = "tile"; v_detail = "unknown instruction " ^ intrin } :: !violations
+         Diag.errorf Diag.Tile "unknown instruction %s" intrin :: !violations
      | Some axes ->
        List.iter
          (fun tile ->
            if not (List.exists (Buffer.equal tile.Stmt.tile_buf) ctx.buffers) then
              violations :=
-               { v_rule = "scope";
-                 v_detail = "tile buffer " ^ tile.Stmt.tile_buf.Buffer.name ^ " not in scope" }
+               Diag.errorf Diag.Scope "tile buffer %s not in scope"
+                 tile.Stmt.tile_buf.Buffer.name
                :: !violations
            else check_tile ctx violations ~intrin_name:intrin ~axes tile)
          (output :: List.map snd inputs))

@@ -19,14 +19,13 @@
       axes, and its tiles stay in bounds across the whole register
       window.
 
+    Diagnostics are {!Diag.t} values (all with [Error] severity); the
+    dependence analyzer in [Unit_analysis] reports through the same type.
     The interpreter would catch most of these dynamically; the validator
     catches them per-program instead of per-element, so it runs after
     every pass in tests and in [unitc compile]. *)
 
-type violation = {
-  v_rule : string;  (** short rule id, e.g. ["bounds"], ["scope"] *)
-  v_detail : string;
-}
+type violation = Diag.t
 
 val check_func :
   ?intrin_axes:(string -> (string * int) list option) -> Lower.func -> violation list
@@ -44,3 +43,14 @@ val check_stmt :
 (** Validate a bare statement whose free buffers are [params]. *)
 
 val pp_violation : Format.formatter -> violation -> unit
+
+val refined_bounds :
+  env:(Var.t -> (int * int) option) ->
+  guards:(Texpr.t * int) list ->
+  Texpr.t ->
+  (int * int) option
+(** {!Linear.bounds} refined by guard constraints: each [(e, upper)] in
+    [guards] asserts [e < upper] in the current branch, and every subtree
+    structurally equal to [e] is re-bounded accordingly before interval
+    analysis.  Shared with the dependence analyzer so footprints under
+    split-residue guards stay tight. *)

@@ -8,6 +8,7 @@ open Unit_tir
 open Unit_codegen
 
 let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
 
 (* ---------- Texpr folding ---------- *)
 
@@ -259,6 +260,44 @@ let prop_random_schedules_match =
       let s = if do_reverse then Schedule.reorder s (List.rev (Schedule.leaves s)) else s in
       differential op s)
 
+let test_fold_stmts_counts_nodes () =
+  let op = mk_matmul () in
+  let func = Lower.scalar_reference op in
+  let count p = Stmt.fold_stmts (fun n s -> if p s then n + 1 else n) 0 func.Lower.fn_body in
+  check_bool "at least the three iteration loops" true
+    (count (function Stmt.For _ -> true | _ -> false) >= 3);
+  check_bool "fold and exists agree on stores" true
+    (Stmt.exists (function Stmt.Store _ -> true | _ -> false) func.Lower.fn_body
+    = (count (function Stmt.Store _ -> true | _ -> false) > 0))
+
+let test_exists_early_exit () =
+  (* exists must stop walking once the predicate holds: a predicate that
+     counts invocations and matches the root sees exactly one node *)
+  let op = mk_matmul () in
+  let func = Lower.scalar_reference op in
+  let visited = ref 0 in
+  let found =
+    Stmt.exists
+      (fun _ ->
+        incr visited;
+        true)
+      func.Lower.fn_body
+  in
+  check_bool "found at root" true found;
+  check_int "stopped after one node" 1 !visited;
+  (* and a never-true predicate visits every node, same count as fold *)
+  let all = Stmt.fold_stmts (fun n _ -> n + 1) 0 func.Lower.fn_body in
+  let walked = ref 0 in
+  let none =
+    Stmt.exists
+      (fun _ ->
+        incr walked;
+        false)
+      func.Lower.fn_body
+  in
+  check_bool "nothing found" false none;
+  check_int "visited all nodes" all !walked
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -287,7 +326,9 @@ let () =
             test_strided_conv_differential;
           Alcotest.test_case "init tensor semantics" `Quick test_init_tensor_semantics;
           Alcotest.test_case "out-of-bounds detected" `Quick test_out_of_bounds_detected;
-          Alcotest.test_case "printer" `Quick test_pretty_printer_mentions_loops
+          Alcotest.test_case "printer" `Quick test_pretty_printer_mentions_loops;
+          Alcotest.test_case "fold_stmts" `Quick test_fold_stmts_counts_nodes;
+          Alcotest.test_case "exists early-exit" `Quick test_exists_early_exit
         ]
         @ qcheck [ prop_random_schedules_match ] )
     ]

@@ -22,6 +22,9 @@ let registry_axes name =
         (Op.all_axes intrin.Unit_isa.Intrin.op))
     (Unit_isa.Registry.find name)
 
+let has_rule rule violations =
+  List.exists (fun (v : Diag.t) -> v.Diag.rule = rule) violations
+
 let assert_clean ?(what = "program") func =
   let violations = Validate.check_func ~intrin_axes:registry_axes func in
   if violations <> [] then
@@ -73,8 +76,7 @@ let test_without_guard_refinement_out_of_bounds () =
   in
   let stripped = { func with Lower.fn_body = strip func.Lower.fn_body } in
   let violations = Validate.check_func ~intrin_axes:registry_axes stripped in
-  check_bool "stripped guards overflow" true
-    (List.exists (fun v -> v.Validate.v_rule = "bounds") violations)
+  check_bool "stripped guards overflow" true (has_rule Diag.Bounds violations)
 
 let test_tensorized_valid () =
   let op = conv () in
@@ -94,8 +96,7 @@ let test_unbound_variable_flagged () =
   let stray = Var.create "stray" in
   let body = Stmt.Store (buf, Texpr.var stray, Texpr.int_imm ~dtype:Dtype.I32 0) in
   let violations = Validate.check_stmt ~params:[ buf ] body in
-  check_bool "scope violation" true
-    (List.exists (fun v -> v.Validate.v_rule = "scope") violations)
+  check_bool "scope violation" true (has_rule Diag.Scope violations)
 
 let test_out_of_bounds_store_flagged () =
   let buf = Buffer.create ~name:"b" ~dtype:Dtype.I32 ~size:8 () in
@@ -105,7 +106,7 @@ let test_out_of_bounds_store_flagged () =
   in
   let violations = Validate.check_stmt ~params:[ buf ] body in
   check_int "one violation" 1 (List.length violations);
-  check_bool "bounds rule" true ((List.hd violations).Validate.v_rule = "bounds")
+  check_bool "bounds rule" true ((List.hd violations).Diag.rule = Diag.Bounds)
 
 let test_buffer_not_in_scope_flagged () =
   let buf = Buffer.create ~name:"b" ~dtype:Dtype.I32 ~size:8 () in
@@ -115,8 +116,7 @@ let test_buffer_not_in_scope_flagged () =
     Stmt.for_ v ~extent:4 (Stmt.Store (other, Texpr.var v, Texpr.int_imm ~dtype:Dtype.I32 0))
   in
   let violations = Validate.check_stmt ~params:[ buf ] body in
-  check_bool "scope violation" true
-    (List.exists (fun v -> v.Validate.v_rule = "scope") violations)
+  check_bool "scope violation" true (has_rule Diag.Scope violations)
 
 let test_alloc_brings_buffer_into_scope () =
   let scratch = Buffer.create ~name:"scratch" ~dtype:Dtype.I32 ~size:4 () in
@@ -138,8 +138,7 @@ let test_rebound_loop_variable_flagged () =
          (Stmt.Store (buf, Texpr.var v, Texpr.int_imm ~dtype:Dtype.I32 0)))
   in
   let violations = Validate.check_stmt ~params:[ buf ] body in
-  check_bool "canonical violation" true
-    (List.exists (fun v -> v.Validate.v_rule = "canonical") violations)
+  check_bool "canonical violation" true (has_rule Diag.Canonical violations)
 
 let test_bad_tile_flagged () =
   let op = conv () in
@@ -164,8 +163,7 @@ let test_bad_tile_flagged () =
     in
     let broken = { func with Lower.fn_body = corrupt func.Lower.fn_body } in
     let violations = Validate.check_func ~intrin_axes:registry_axes broken in
-    check_bool "tile violation" true
-      (List.exists (fun v -> v.Validate.v_rule = "tile") violations)
+    check_bool "tile violation" true (has_rule Diag.Tile violations)
 
 let test_unknown_instruction_flagged () =
   let op = conv () in
@@ -176,8 +174,49 @@ let test_unknown_instruction_flagged () =
     let func = Replace.run (Lower.lower r.Reorganize.schedule) in
     (* without the registry lookup, calls cannot be validated *)
     let violations = Validate.check_func func in
-    check_bool "unknown instruction" true
-      (List.exists (fun v -> v.Validate.v_rule = "tile") violations)
+    check_bool "unknown instruction" true (has_rule Diag.Tile violations)
+
+let test_if_guard_keeps_access_in_bounds () =
+  (* buf has 5 elements but the loop runs to 8: only the [i < 5] guard
+     makes the store legal, so this passes iff refinement is applied *)
+  let buf = Buffer.create ~name:"b" ~dtype:Dtype.I32 ~size:5 () in
+  let i = Var.create "i" in
+  let store = Stmt.Store (buf, Texpr.var i, Texpr.int_imm ~dtype:Dtype.I32 0) in
+  let guarded =
+    Stmt.for_ i ~extent:8
+      (Stmt.If
+         { cond = Texpr.cmp Texpr.Lt (Texpr.var i) (Texpr.int_imm 5);
+           likely = false;
+           then_ = store;
+           else_ = None
+         })
+  in
+  check_int "guarded store is clean" 0
+    (List.length (Validate.check_stmt ~params:[ buf ] guarded));
+  let unguarded = Stmt.for_ i ~extent:8 store in
+  check_bool "same store without the guard overflows" true
+    (has_rule Diag.Bounds (Validate.check_stmt ~params:[ buf ] unguarded))
+
+let test_tile_window_escape_flagged () =
+  (* base is in range, but base + stride * (extent - 1) walks past the
+     end of the buffer: the whole register window must be checked *)
+  let buf = Buffer.create ~name:"b" ~dtype:Dtype.I32 ~size:10 () in
+  let call =
+    Stmt.Intrin_call
+      { intrin = "vnni.vpdpbusd";
+        output =
+          { Stmt.tile_buf = buf;
+            tile_base = Texpr.int_imm 0;
+            (* the i axis has extent 16: window [0, 15] over a 10-element buffer *)
+            tile_strides = [ ("i", 1) ]
+          };
+        inputs = []
+      }
+  in
+  let violations =
+    Validate.check_stmt ~intrin_axes:registry_axes ~params:[ buf ] call
+  in
+  check_bool "escaping tile window" true (has_rule Diag.Tile violations)
 
 (* property: every random schedule of a matmul lowers to a valid program *)
 let prop_random_schedules_validate =
@@ -218,6 +257,9 @@ let () =
           Alcotest.test_case "buffer scope" `Quick test_buffer_not_in_scope_flagged;
           Alcotest.test_case "rebound loop var" `Quick test_rebound_loop_variable_flagged;
           Alcotest.test_case "corrupted tiles" `Quick test_bad_tile_flagged;
-          Alcotest.test_case "unknown instruction" `Quick test_unknown_instruction_flagged
+          Alcotest.test_case "unknown instruction" `Quick test_unknown_instruction_flagged;
+          Alcotest.test_case "if-guard refinement" `Quick
+            test_if_guard_keeps_access_in_bounds;
+          Alcotest.test_case "tile window escape" `Quick test_tile_window_escape_flagged
         ] )
     ]
