@@ -377,13 +377,108 @@ let ablation_isa_generations () =
   { o_id = "abl-isa"; o_metric = "AMX speedup over AVX512 pmaddwd"; o_paper = 4.0;
     o_measured = t_avx /. t_amx }
 
+(* ---------- interpreter engines: tree-walker vs compiled ---------- *)
+
+(* Execute one real convolution layer (resnet18 basic-block shape, 64->64
+   3x3 on a 14x14 output) under both interpreter engines and record the
+   wall-clock ratio, plus the domain-scaling of replicated compiled runs
+   through the parallel oracle.  Results go to BENCH_interp.json. *)
+let interp_bench () =
+  header "Interpreter engines — tree-walker vs compiled (resnet18 conv 64->64 3x3)";
+  let module Inspector = Unit_inspector.Inspector in
+  let module Reorganize = Unit_rewriter.Reorganize in
+  let module Replace = Unit_rewriter.Replace in
+  let module Ndarray = Unit_codegen.Ndarray in
+  let op =
+    Unit_dsl.Op_library.conv2d_nchwc ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8
+      ~acc_dtype:Dtype.I32 ~lanes:16 ~reduce_width:4
+      { Unit_dsl.Op_library.in_channels = 64; in_height = 16; in_width = 16;
+        out_channels = 64; kernel = 3; stride = 1 }
+  in
+  let workload = "conv2d nchw16c 64x16x16 -> 64x14x14, 3x3 s1 (resnet18 block)" in
+  let macs = Unit_dsl.Op.macs op in
+  let scalar = Unit_tir.Lower.scalar_reference op in
+  let tensorized =
+    match Inspector.inspect op (Unit_isa.Registry.find_exn "vnni.vpdpbusd") with
+    | Ok ap ->
+      let r = Reorganize.apply op ap () in
+      Replace.run (Unit_tir.Lower.lower r.Reorganize.schedule)
+    | Error _ -> failwith "vnni inapplicable to the bench conv"
+  in
+  let inputs =
+    List.map
+      (fun t -> (t, Ndarray.random_for_tensor ~seed:1 t))
+      (Unit_dsl.Op.inputs op)
+  in
+  let output = op.Unit_dsl.Op.output in
+  let fresh_out () = Ndarray.of_tensor_zeros output in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let best_of n f = List.fold_left Float.min infinity (List.init n (fun _ -> time f)) in
+  (* the tree-walker is slow enough that one run is a stable measurement *)
+  let out_tw = fresh_out () in
+  let tree_walker_s =
+    time (fun () ->
+        Unit_codegen.Interp.run scalar ~bindings:((output, out_tw) :: inputs))
+  in
+  let cfunc = Unit_codegen.Compile.compile scalar in
+  let out_c = fresh_out () in
+  let compiled_s =
+    best_of 5 (fun () ->
+        Unit_codegen.Compile.run_compiled cfunc ~bindings:((output, out_c) :: inputs))
+  in
+  if not (Ndarray.equal out_tw out_c) then failwith "engines disagree on the bench conv";
+  let ctens = Unit_codegen.Compile.compile tensorized in
+  let out_t = fresh_out () in
+  let compiled_tensorized_s =
+    best_of 5 (fun () ->
+        Unit_codegen.Compile.run_compiled ctens ~bindings:((output, out_t) :: inputs))
+  in
+  if not (Ndarray.equal out_tw out_t) then failwith "tensorized compiled run disagrees";
+  (* domain scaling: d replicated compiled runs, each on its own output *)
+  let domains = Unit_codegen.Parallel_oracle.default_domains () in
+  let outs = List.init domains (fun _ -> fresh_out ()) in
+  let parallel_s =
+    time (fun () ->
+        Unit_codegen.Parallel_oracle.iter ~domains
+          (fun out ->
+            Unit_codegen.Compile.run_compiled cfunc ~bindings:((output, out) :: inputs))
+          outs)
+  in
+  let speedup = tree_walker_s /. compiled_s in
+  let scaling = Float.of_int domains *. compiled_s /. parallel_s in
+  let gmacs t = Float.of_int macs /. t /. 1e9 in
+  Printf.printf "%-28s %10.4f s  (%6.3f GMACs)\n" "tree-walker (scalar ref)"
+    tree_walker_s (gmacs tree_walker_s);
+  Printf.printf "%-28s %10.4f s  (%6.3f GMACs)  %.1fx\n" "compiled (scalar ref)"
+    compiled_s (gmacs compiled_s) speedup;
+  Printf.printf "%-28s %10.4f s  (%6.3f GMACs)\n" "compiled (tensorized)"
+    compiled_tensorized_s (gmacs compiled_tensorized_s);
+  Printf.printf "%-28s %10.4f s  (%d domains, %.2fx scaling)\n"
+    "parallel oracle (replicated)" parallel_s domains scaling;
+  let oc = open_out "BENCH_interp.json" in
+  Printf.fprintf oc
+    "{\n  \"workload\": \"%s\",\n  \"macs\": %d,\n  \"tree_walker_s\": %.6f,\n\
+    \  \"compiled_s\": %.6f,\n  \"speedup\": %.2f,\n\
+    \  \"compiled_tensorized_s\": %.6f,\n  \"domains\": %d,\n\
+    \  \"parallel_scaling\": %.2f\n}\n"
+    workload macs tree_walker_s compiled_s speedup compiled_tensorized_s domains
+    scaling;
+  close_out oc;
+  Printf.printf "-> BENCH_interp.json written\n";
+  { o_id = "interp"; o_metric = "compiled engine speedup over tree-walker";
+    o_paper = 10.0; o_measured = speedup }
+
 (* ---------- driver ---------- *)
 
 let all : (string * (unit -> outcome)) list =
   [ ("table1", table1); ("fig1", fig1); ("fig8", fig8); ("fig9", fig9);
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
     ("ablation-mapping", ablation_mapping); ("ablation-unroll", ablation_unroll);
-    ("ablation-isa", ablation_isa_generations)
+    ("ablation-isa", ablation_isa_generations); ("interp", interp_bench)
   ]
 
 let summary outcomes =

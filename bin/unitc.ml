@@ -163,7 +163,7 @@ let compile kind isa target c hw k kernel stride n m kdim show_ir =
 
 (* ---------- run (differential execution) ---------- *)
 
-let run kind isa c hw k kernel stride n m kdim =
+let run kind isa engine c hw k kernel stride n m kdim =
   let intrin = or_die (lookup_intrin isa) in
   let op = or_die (build_op ~kind ~intrin ~c ~hw ~k ~kernel ~stride ~n ~m ~kdim) in
   match Inspector.inspect op intrin with
@@ -180,11 +180,19 @@ let run kind isa c hw k kernel stride n m kdim =
     in
     let out_ref = Unit_codegen.Ndarray.of_tensor_zeros op.Op.output in
     let out_t = Unit_codegen.Ndarray.of_tensor_zeros op.Op.output in
-    Unit_codegen.Interp.run (Unit_tir.Lower.scalar_reference op)
+    let exec =
+      match engine with
+      | "reference" -> Unit_codegen.Interp.run
+      | "compiled" -> Unit_codegen.Compile.run
+      | other ->
+        prerr_endline ("unitc: unknown engine " ^ other ^ " (reference|compiled)");
+        exit 1
+    in
+    exec (Unit_tir.Lower.scalar_reference op)
       ~bindings:((op.Op.output, out_ref) :: inputs);
-    Unit_codegen.Interp.run func ~bindings:((op.Op.output, out_t) :: inputs);
+    exec func ~bindings:((op.Op.output, out_t) :: inputs);
     let ok = Unit_codegen.Ndarray.equal out_ref out_t in
-    Format.printf "tensorized vs scalar reference: %s@."
+    Format.printf "tensorized vs scalar reference (%s engine): %s@." engine
       (if ok then "IDENTICAL" else "MISMATCH");
     if not ok then exit 1
 
@@ -461,10 +469,20 @@ let compile_cmd =
       $ out_channels_arg $ kernel_arg $ stride_arg $ n_arg $ m_arg $ kdim_arg $ show_ir)
 
 let run_cmd =
+  let engine_arg =
+    Arg.(value & opt string "compiled"
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Interpreter engine: 'compiled' (closure-compiled fast path) \
+                   or 'reference' (tree-walker). Both are bit-identical; the \
+                   reference engine exists as the oracle the compiled one is \
+                   differentially tested against.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute the tensorized kernel and the scalar oracle; compare.")
-    (conv_args run)
+    Term.(
+      const run $ op_kind_arg $ isa_arg $ engine_arg $ channels_arg $ hw_arg
+      $ out_channels_arg $ kernel_arg $ stride_arg $ n_arg $ m_arg $ kdim_arg)
 
 let e2e_cmd =
   let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in

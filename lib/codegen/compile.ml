@@ -1,0 +1,862 @@
+open Unit_dtype
+open Unit_tir
+
+(* One-pass compiler from lowered TIR to nested OCaml closures.
+
+   The tree-walking interpreter ({!Interp}) pays a hashtable lookup per
+   variable reference and boxes a [Value.t] per scalar operation.  Here the
+   whole function is translated once: loop variables become slots in a
+   preallocated [int array] frame, loads and stores become direct flat
+   accesses into the dtype-specialized unboxed {!Ndarray} storage, and
+   arithmetic specializes on the operand dtype at compile time.  The
+   numeric results are bit-identical to the tree-walker — every
+   specialization replicates {!Unit_dtype.Value}'s canonicalization rules
+   on raw payloads (see the qcheck differential property in the tests).
+
+   Execution state lives in a [ctx] allocated per {!run_compiled} call, so
+   one compiled function may run concurrently on several domains.
+
+   Divergences from the tree-walker, all confined to programs that
+   {!Unit_tir.Validate} rejects: a loop variable read after its loop (the
+   slot keeps its last value instead of erroring), a buffer referenced only
+   in dead code (reported as unbound at bind time rather than ignored), and
+   intrinsic resolution (performed at compile time, so re-registering an
+   instruction after {!compile} does not affect the compiled function). *)
+
+let error fmt = Printf.ksprintf (fun s -> raise (Interp.Runtime_error s)) fmt
+
+type storage_kind = KF | KI | KL
+
+(* Compile-time facts about one buffer: which kind-specific cell array it
+   lives in, and whether an [Alloc] provides it. *)
+type binfo = {
+  b_buf : Buffer.t;
+  b_kind : storage_kind;
+  b_cell : int;
+  mutable b_alloc : bool;
+}
+
+type ctx = {
+  frame : int array;
+  fcells : float array array;
+  icells : int array array;
+  lcells : int64 array array;
+}
+
+(* A compiled expression, represented by the unboxed carrier its dtype
+   affords: [EI] for integer dtypes that fit a native int (canonically
+   wrapped values), [EF] for float dtypes (values rounded to the dtype's
+   precision), [EV] boxed for [I64] and the error-reproducing edge cases. *)
+type exp =
+  | EI of (ctx -> int)
+  | EF of (ctx -> float)
+  | EV of (ctx -> Value.t)
+
+type compiled = {
+  cp_nslots : int;
+  cp_nf : int;
+  cp_ni : int;
+  cp_nl : int;
+  cp_bind : (Unit_dsl.Tensor.t * binfo) list;
+  cp_required : binfo list;
+  cp_body : ctx -> unit;
+}
+
+let kind_of_dtype dt =
+  if Dtype.is_float dt then KF
+  else if Dtype.equal dt Dtype.I64 then KL
+  else KI
+
+let is_narrow dt = Dtype.is_integer dt && Dtype.bits dt <= 32
+
+(* Specialized wrap-to-dtype on native ints; same rules as
+   [Value.wrap_native] with the dtype dispatch paid once at compile. *)
+let mk_wrap dt =
+  let b = Dtype.bits dt in
+  let mask = (1 lsl b) - 1 in
+  if Dtype.is_signed dt then begin
+    let sign = 1 lsl (b - 1) in
+    let offset = 1 lsl b in
+    fun x ->
+      let m = x land mask in
+      if m land sign <> 0 then m - offset else m
+  end
+  else if Dtype.equal dt Dtype.Bool then fun x -> if x land mask = 0 then 0 else 1
+  else fun x -> x land mask
+
+let mk_round dt = if Dtype.equal dt Dtype.F64 then Fun.id else Value.round_float dt
+
+let compile (func : Lower.func) =
+  let binfos : (int, binfo) Hashtbl.t = Hashtbl.create 16 in
+  let nf = ref 0 and ni = ref 0 and nl = ref 0 in
+  let get_binfo (b : Buffer.t) =
+    match Hashtbl.find_opt binfos b.Buffer.id with
+    | Some bi -> bi
+    | None ->
+      let k = kind_of_dtype b.Buffer.dtype in
+      let counter = match k with KF -> nf | KI -> ni | KL -> nl in
+      let bi = { b_buf = b; b_kind = k; b_cell = !counter; b_alloc = false } in
+      incr counter;
+      Hashtbl.add binfos b.Buffer.id bi;
+      bi
+  in
+  (* Register the function's own buffers first so binding reports a missing
+     tensor in declaration order, like the tree-walker. *)
+  let bind = List.map (fun (t, b) -> (t, get_binfo b)) func.Lower.fn_tensors in
+  let slots : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let nslots = ref 0 in
+  let slot_of (v : Var.t) =
+    match Hashtbl.find_opt slots v.Var.id with
+    | Some s -> s
+    | None ->
+      let s = !nslots in
+      incr nslots;
+      Hashtbl.add slots v.Var.id s;
+      s
+  in
+  let var_slot (v : Var.t) =
+    match Hashtbl.find_opt slots v.Var.id with
+    | Some s -> s
+    | None -> error "variable %s unbound" v.Var.name
+  in
+  (* ---- interval analysis: proves loads/stores in bounds at compile time
+     so the explicit checks vanish from inner loops.  Every tracked
+     interval fits both the magnitude cap (no native overflow in the
+     arithmetic below) and its node's dtype (so runtime wrapping is the
+     identity and the mathematical bounds are the value bounds). *)
+  let ienv : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let cap = 1 lsl 30 in
+  let norm ((lo, hi) as iv) =
+    if lo >= -cap && hi <= cap && lo <= hi then Some iv else None
+  in
+  let fits dt (lo, hi) =
+    Dtype.is_integer dt
+    && Int64.compare (Int64.of_int lo) (Dtype.min_int_value dt) >= 0
+    && Int64.compare (Int64.of_int hi) (Dtype.max_int_value dt) <= 0
+  in
+  let rec interval (e : Texpr.t) =
+    match e with
+    | Texpr.Imm (Value.Int (_, x)) ->
+      if Int64.compare (Int64.abs x) (Int64.of_int cap) <= 0 then begin
+        let xi = Int64.to_int x in
+        Some (xi, xi)
+      end
+      else None
+    | Texpr.Imm (Value.Float _) -> None
+    | Texpr.Var v -> Hashtbl.find_opt ienv v.Var.id
+    | Texpr.Load (b, _) ->
+      let dt = b.Buffer.dtype in
+      if is_narrow dt then
+        norm (Int64.to_int (Dtype.min_int_value dt), Int64.to_int (Dtype.max_int_value dt))
+      else None
+    | Texpr.Cmp _ | Texpr.And _ | Texpr.Or _ | Texpr.Not _ -> Some (0, 1)
+    | Texpr.Cast (dt, a) ->
+      (match interval a with Some iv when fits dt iv -> Some iv | _ -> None)
+    | Texpr.Select (_, a, b) ->
+      (match interval a, interval b with
+       | Some (la, ha), Some (lb, hb) ->
+         let iv = (Stdlib.min la lb, Stdlib.max ha hb) in
+         if fits (Texpr.dtype_of e) iv then norm iv else None
+       | _ -> None)
+    | Texpr.Binop (op, a, b) ->
+      (match interval a, interval b with
+       | Some (la, ha), Some (lb, hb) ->
+         let dt = Texpr.dtype_of e in
+         let mk iv = if fits dt iv then norm iv else None in
+         (match op with
+          | Texpr.Add -> mk (la + lb, ha + hb)
+          | Texpr.Sub -> mk (la - hb, ha - lb)
+          | Texpr.Mul ->
+            let p1 = la * lb and p2 = la * hb and p3 = ha * lb and p4 = ha * hb in
+            mk
+              ( Stdlib.min (Stdlib.min p1 p2) (Stdlib.min p3 p4),
+                Stdlib.max (Stdlib.max p1 p2) (Stdlib.max p3 p4) )
+          | Texpr.Div ->
+            (* truncating division is monotone for a constant positive
+               divisor *)
+            if lb = hb && lb > 0 then mk (la / lb, ha / lb) else None
+          | Texpr.Mod ->
+            if lb = hb && lb > 0 && la >= 0 then mk (0, Stdlib.min ha (lb - 1))
+            else None
+          | Texpr.Min -> mk (Stdlib.min la lb, Stdlib.min ha hb)
+          | Texpr.Max -> mk (Stdlib.max la lb, Stdlib.max ha hb))
+       | _ -> None)
+  in
+  (* ---- affine flattening: an integer expression whose every node has a
+     proven interval (so wrapping is the identity throughout and native
+     arithmetic cannot overflow — node magnitudes are capped at 2^30, so
+     partial sums of the flattened form stay far below the native range)
+     collapses to [c0 + sum_i coeff_i * frame_i].  This replaces the deep
+     per-access closure tree for typical loop-nest addresses with a single
+     multiply-add closure. *)
+  let merge_terms ta tb =
+    let add acc (s, k) =
+      let rec go = function
+        | [] -> [ (s, k) ]
+        | (s', k') :: rest ->
+          if s = s' then (s', k' + k) :: rest else (s', k') :: go rest
+      in
+      go acc
+    in
+    List.filter (fun (_, k) -> k <> 0) (List.fold_left add ta tb)
+  in
+  let rec affine (e : Texpr.t) : (int * (int * int) list) option =
+    match interval e with
+    | None -> None
+    | Some _ ->
+      (match e with
+       | Texpr.Imm (Value.Int (_, x)) -> Some (Int64.to_int x, [])
+       | Texpr.Var v ->
+         (* interval presence implies the var was bound in scope with a
+            range that fits its dtype, so the per-reference wrap is the
+            identity *)
+         (match Hashtbl.find_opt slots v.Var.id with
+          | Some s -> Some (0, [ (s, 1) ])
+          | None -> None)
+       | Texpr.Cast (_, a) -> affine a
+       | Texpr.Binop (Texpr.Add, a, b) ->
+         (match affine a, affine b with
+          | Some (ca, ta), Some (cb, tb) -> Some (ca + cb, merge_terms ta tb)
+          | _ -> None)
+       | Texpr.Binop (Texpr.Sub, a, b) ->
+         (match affine a, affine b with
+          | Some (ca, ta), Some (cb, tb) ->
+            Some (ca - cb, merge_terms ta (List.map (fun (s, k) -> (s, -k)) tb))
+          | _ -> None)
+       | Texpr.Binop (Texpr.Mul, a, b) ->
+         (match affine a, affine b with
+          | Some (ca, []), Some (cb, tb) ->
+            Some (ca * cb, List.map (fun (s, k) -> (s, ca * k)) tb)
+          | Some (ca, ta), Some (cb, []) ->
+            Some (ca * cb, List.map (fun (s, k) -> (s, cb * k)) ta)
+          | _ -> None)
+       | _ -> None)
+  in
+  let affine_closure (c0, terms) =
+    match terms with
+    | [] -> fun _ -> c0
+    | [ (s1, k1) ] -> fun ctx -> c0 + (k1 * ctx.frame.(s1))
+    | [ (s1, k1); (s2, k2) ] ->
+      fun ctx ->
+        let fr = ctx.frame in
+        c0 + (k1 * fr.(s1)) + (k2 * fr.(s2))
+    | [ (s1, k1); (s2, k2); (s3, k3) ] ->
+      fun ctx ->
+        let fr = ctx.frame in
+        c0 + (k1 * fr.(s1)) + (k2 * fr.(s2)) + (k3 * fr.(s3))
+    | [ (s1, k1); (s2, k2); (s3, k3); (s4, k4) ] ->
+      fun ctx ->
+        let fr = ctx.frame in
+        c0 + (k1 * fr.(s1)) + (k2 * fr.(s2)) + (k3 * fr.(s3)) + (k4 * fr.(s4))
+    | terms ->
+      let ss = Array.of_list (List.map fst terms) in
+      let ks = Array.of_list (List.map snd terms) in
+      let n = Array.length ss in
+      fun ctx ->
+        let fr = ctx.frame in
+        let acc = ref c0 in
+        for i = 0 to n - 1 do
+          acc := !acc + (ks.(i) * fr.(ss.(i)))
+        done;
+        !acc
+  in
+  (* ---- generic (boxed) buffer access, used by intrinsic callbacks *)
+  let find_binfo (b : Buffer.t) =
+    match Hashtbl.find_opt binfos b.Buffer.id with
+    | Some bi -> bi
+    | None -> error "buffer %s unbound" b.Buffer.name
+  in
+  let check_bounds what (b : Buffer.t) addr =
+    if addr < 0 || addr >= b.Buffer.size then
+      error "%s %s[%d]: out of bounds (size %d)" what b.Buffer.name addr b.Buffer.size
+  in
+  let cb_read ctx (b : Buffer.t) addr =
+    let bi = find_binfo b in
+    match bi.b_kind with
+    | KF ->
+      let cell = ctx.fcells.(bi.b_cell) in
+      if Array.length cell = 0 then error "buffer %s unbound" b.Buffer.name;
+      check_bounds "load" b addr;
+      Value.of_float b.Buffer.dtype cell.(addr)
+    | KI ->
+      let cell = ctx.icells.(bi.b_cell) in
+      if Array.length cell = 0 then error "buffer %s unbound" b.Buffer.name;
+      check_bounds "load" b addr;
+      Value.of_int b.Buffer.dtype cell.(addr)
+    | KL ->
+      let cell = ctx.lcells.(bi.b_cell) in
+      if Array.length cell = 0 then error "buffer %s unbound" b.Buffer.name;
+      check_bounds "load" b addr;
+      Value.of_int64 b.Buffer.dtype cell.(addr)
+  in
+  let cb_write ctx (b : Buffer.t) addr v =
+    let bi = find_binfo b in
+    let dt = b.Buffer.dtype in
+    match bi.b_kind with
+    | KF ->
+      let cell = ctx.fcells.(bi.b_cell) in
+      if Array.length cell = 0 then error "buffer %s unbound" b.Buffer.name;
+      check_bounds "store" b addr;
+      cell.(addr) <- Value.round_float dt (Value.to_float v)
+    | KI ->
+      let cell = ctx.icells.(bi.b_cell) in
+      if Array.length cell = 0 then error "buffer %s unbound" b.Buffer.name;
+      check_bounds "store" b addr;
+      cell.(addr) <- Value.wrap_native dt (Int64.to_int (Value.to_int64 v))
+    | KL ->
+      let cell = ctx.lcells.(bi.b_cell) in
+      if Array.length cell = 0 then error "buffer %s unbound" b.Buffer.name;
+      check_bounds "store" b addr;
+      cell.(addr) <- Value.to_int64 v
+  in
+  (* ---- expressions *)
+  let rec comp_e (e : Texpr.t) : exp =
+    match e with
+    | Texpr.Imm v ->
+      (match v with
+       | Value.Int (dt, x) when is_narrow dt ->
+         let c = Int64.to_int x in
+         EI (fun _ -> c)
+       | Value.Int _ -> EV (fun _ -> v)
+       | Value.Float (_, f) -> EF (fun _ -> f))
+    | Texpr.Var v ->
+      let s = var_slot v in
+      let dt = v.Var.dtype in
+      if is_narrow dt then
+        if Hashtbl.mem ienv v.Var.id then
+          (* the binding's interval fits the dtype, so the per-reference
+             wrap is the identity *)
+          EI (fun ctx -> ctx.frame.(s))
+        else begin
+          (* the frame holds the raw bound int; references wrap to the
+             variable's dtype, like [Value.of_int] did per lookup *)
+          let w = mk_wrap dt in
+          EI (fun ctx -> w (ctx.frame.(s)))
+        end
+      else EV (fun ctx -> Value.of_int dt ctx.frame.(s))
+    | Texpr.Load (b, ix) ->
+      let bi = get_binfo b in
+      let addr = comp_addr ~what:"load" bi ix in
+      let dt = b.Buffer.dtype in
+      let cell = bi.b_cell in
+      (match bi.b_kind with
+       | KF -> EF (fun ctx -> ctx.fcells.(cell).(addr ctx))
+       | KI -> EI (fun ctx -> ctx.icells.(cell).(addr ctx))
+       | KL -> EV (fun ctx -> Value.of_int64 dt ctx.lcells.(cell).(addr ctx)))
+    | Texpr.Binop (op, a, b) -> comp_binop e op a b
+    | Texpr.Cmp (c, a, b) -> comp_cmp c a b
+    | Texpr.And (a, b) ->
+      let ta = truth a in
+      let tb = truth b in
+      EI (fun ctx -> if ta ctx && tb ctx then 1 else 0)
+    | Texpr.Or (a, b) ->
+      let ta = truth a in
+      let tb = truth b in
+      EI (fun ctx -> if ta ctx || tb ctx then 1 else 0)
+    | Texpr.Not a ->
+      let t = truth a in
+      EI (fun ctx -> if t ctx then 0 else 1)
+    | Texpr.Cast (dt, a) -> comp_cast dt a
+    | Texpr.Select (c, a, b) -> comp_select e c a b
+
+  and comp_addr ~what bi ix =
+    let ic = eval_int_c ix in
+    let size = bi.b_buf.Buffer.size in
+    let proven =
+      match interval ix with Some (lo, hi) -> lo >= 0 && hi < size | None -> false
+    in
+    if proven then ic
+    else begin
+      let name = bi.b_buf.Buffer.name in
+      fun ctx ->
+        let a = ic ctx in
+        if a < 0 || a >= size then
+          error "%s %s[%d]: out of bounds (size %d)" what name a size;
+        a
+    end
+
+  and eval_int_c e =
+    match affine e with
+    | Some af -> affine_closure af
+    | None ->
+      (match comp_e e with
+       | EI f -> f
+       | EF f -> fun ctx -> Value.trunc_int_of_float (f ctx)
+       | EV f -> fun ctx -> Int64.to_int (Value.to_int64 (f ctx)))
+
+  and truth e =
+    match comp_e e with
+    | EI f -> fun ctx -> f ctx <> 0
+    | EF f -> fun ctx -> Value.trunc_int_of_float (f ctx) <> 0
+    | EV f -> fun ctx -> Value.to_int64 (f ctx) <> 0L
+
+  and to_value dt = function
+    | EI f -> fun ctx -> Value.of_int dt (f ctx)
+    | EF f -> fun ctx -> Value.of_float dt (f ctx)
+    | EV f -> f
+
+  and comp_binop e op a b =
+    let dt = Texpr.dtype_of e in
+    (* a proven interval means the result fits [dt], so the canonicalizing
+       wrap is the identity and is dropped *)
+    let exact = interval e <> None in
+    match comp_e a, comp_e b with
+    | EI fa, EI fb when is_narrow dt ->
+      let w = mk_wrap dt in
+      (match op with
+       | Texpr.Add when exact ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             x + y)
+       | Texpr.Add ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             w (x + y))
+       | Texpr.Sub when exact ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             x - y)
+       | Texpr.Sub ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             w (x - y))
+       | Texpr.Mul when exact ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             x * y)
+       | Texpr.Mul ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             w (x * y))
+       | Texpr.Div ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             if y = 0 then 0 else w (x / y))
+       | Texpr.Mod ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             if y = 0 then 0 else w (x mod y))
+       | Texpr.Min ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             if x <= y then x else y)
+       | Texpr.Max ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             if x >= y then x else y))
+    | EF fa, EF fb when Dtype.is_float dt ->
+      let r = mk_round dt in
+      (match op with
+       | Texpr.Add ->
+         EF
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             r (x +. y))
+       | Texpr.Sub ->
+         EF
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             r (x -. y))
+       | Texpr.Mul ->
+         EF
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             r (x *. y))
+       | Texpr.Div ->
+         EF
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             r (x /. y))
+       | Texpr.Mod ->
+         EF
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             r (Float.rem x y))
+       | Texpr.Min ->
+         (* min/max of canonical values is canonical; skip the re-round *)
+         EF
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             Float.min x y)
+       | Texpr.Max ->
+         EF
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             Float.max x y))
+    | ea, eb ->
+      let va = to_value (Texpr.dtype_of a) ea in
+      let vb = to_value (Texpr.dtype_of b) eb in
+      let f =
+        match op with
+        | Texpr.Add -> Value.add
+        | Texpr.Sub -> Value.sub
+        | Texpr.Mul -> Value.mul
+        | Texpr.Div -> Value.div
+        | Texpr.Mod -> Value.rem
+        | Texpr.Min -> Value.min
+        | Texpr.Max -> Value.max
+      in
+      EV
+        (fun ctx ->
+          let x = va ctx in
+          let y = vb ctx in
+          f x y)
+
+  and comp_cmp c a b =
+    match comp_e a, comp_e b with
+    | EI fa, EI fb ->
+      (* integer payloads compare natively, like [Value.compare_num] *)
+      (match c with
+       | Texpr.Lt ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             if x < y then 1 else 0)
+       | Texpr.Le ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             if x <= y then 1 else 0)
+       | Texpr.Eq ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             if x = y then 1 else 0)
+       | Texpr.Ne ->
+         EI
+           (fun ctx ->
+             let x = fa ctx in
+             let y = fb ctx in
+             if x <> y then 1 else 0))
+    | ea, eb ->
+      (* any float or boxed operand goes through [Float.compare] /
+         [Value.compare_num] so NaN ordering matches the tree-walker *)
+      let as_float = function
+        | EI f -> Some (fun ctx -> float_of_int (f ctx))
+        | EF f -> Some f
+        | EV _ -> None
+      in
+      let test =
+        match as_float ea, as_float eb with
+        | Some fa, Some fb ->
+          fun ctx ->
+            let x = fa ctx in
+            let y = fb ctx in
+            Float.compare x y
+        | _ ->
+          let va = to_value (Texpr.dtype_of a) ea in
+          let vb = to_value (Texpr.dtype_of b) eb in
+          fun ctx ->
+            let x = va ctx in
+            let y = vb ctx in
+            Value.compare_num x y
+      in
+      (match c with
+       | Texpr.Lt -> EI (fun ctx -> if test ctx < 0 then 1 else 0)
+       | Texpr.Le -> EI (fun ctx -> if test ctx <= 0 then 1 else 0)
+       | Texpr.Eq -> EI (fun ctx -> if test ctx = 0 then 1 else 0)
+       | Texpr.Ne -> EI (fun ctx -> if test ctx <> 0 then 1 else 0))
+
+  and comp_cast dt a =
+    let src = Texpr.dtype_of a in
+    match comp_e a with
+    | EI f ->
+      if is_narrow dt then
+        if
+          Dtype.equal dt src
+          || (match interval a with Some iv -> fits dt iv | None -> false)
+        then EI f
+        else begin
+          let w = mk_wrap dt in
+          EI (fun ctx -> w (f ctx))
+        end
+      else if Dtype.is_float dt then begin
+        let r = mk_round dt in
+        EF (fun ctx -> r (float_of_int (f ctx)))
+      end
+      else EV (fun ctx -> Value.of_int dt (f ctx))
+    | EF f ->
+      if Dtype.is_float dt then
+        if Dtype.equal dt Dtype.F64 || Dtype.equal dt src then EF f
+        else begin
+          let r = mk_round dt in
+          EF (fun ctx -> r (f ctx))
+        end
+      else if is_narrow dt then EI (fun ctx -> Value.sat_int_of_float dt (f ctx))
+      else EV (fun ctx -> Value.cast dt (Value.of_float src (f ctx)))
+    | EV f ->
+      let g ctx = Value.cast dt (f ctx) in
+      if is_narrow dt then EI (fun ctx -> Int64.to_int (Value.to_int64 (g ctx)))
+      else if Dtype.is_float dt then EF (fun ctx -> Value.to_float (g ctx))
+      else EV g
+
+  and comp_select node c a b =
+    let t = truth c in
+    let dt = Texpr.dtype_of node in
+    let da = Texpr.dtype_of a in
+    let db = Texpr.dtype_of b in
+    match comp_e a, comp_e b with
+    | EI fa, EI fb when is_narrow dt && Dtype.equal da db ->
+      EI (fun ctx -> if t ctx then fa ctx else fb ctx)
+    | EF fa, EF fb when Dtype.equal da db ->
+      EF (fun ctx -> if t ctx then fa ctx else fb ctx)
+    | ea, eb ->
+      let va = to_value da ea in
+      let vb = to_value db eb in
+      EV (fun ctx -> if t ctx then va ctx else vb ctx)
+  in
+  (* ---- statements *)
+  let rec comp_s (s : Stmt.t) : ctx -> unit =
+    match s with
+    | Stmt.Nop -> fun _ -> ()
+    | Stmt.Seq stmts ->
+      let cs = Array.of_list (List.map comp_s stmts) in
+      let n = Array.length cs in
+      fun ctx ->
+        for i = 0 to n - 1 do
+          cs.(i) ctx
+        done
+    | Stmt.Store (b, ix, v) ->
+      let bi = get_binfo b in
+      let vc = comp_e v in
+      let addr = comp_addr ~what:"store" bi ix in
+      let dt = b.Buffer.dtype in
+      let dv = Texpr.dtype_of v in
+      let cell = bi.b_cell in
+      (* the tree-walker evaluates the stored value before the index
+         (OCaml right-to-left application); keep that order so error
+         behaviour is identical *)
+      (match bi.b_kind with
+       | KF ->
+         let payload =
+           match vc with
+           | EF f ->
+             if Dtype.equal dt dv || Dtype.equal dt Dtype.F64 then f
+             else begin
+               let r = mk_round dt in
+               fun ctx -> r (f ctx)
+             end
+           | EI f ->
+             let r = mk_round dt in
+             fun ctx -> r (float_of_int (f ctx))
+           | EV f ->
+             let r = mk_round dt in
+             fun ctx -> r (Value.to_float (f ctx))
+         in
+         fun ctx ->
+           let x = payload ctx in
+           let a = addr ctx in
+           ctx.fcells.(cell).(a) <- x
+       | KI ->
+         let payload =
+           match vc with
+           | EI f ->
+             if Dtype.equal dt dv then f
+             else begin
+               let w = mk_wrap dt in
+               fun ctx -> w (f ctx)
+             end
+           | EF f ->
+             let w = mk_wrap dt in
+             fun ctx -> w (Value.trunc_int_of_float (f ctx))
+           | EV f ->
+             let w = mk_wrap dt in
+             fun ctx -> w (Int64.to_int (Value.to_int64 (f ctx)))
+         in
+         fun ctx ->
+           let x = payload ctx in
+           let a = addr ctx in
+           ctx.icells.(cell).(a) <- x
+       | KL ->
+         let payload =
+           match vc with
+           | EI f -> fun ctx -> Int64.of_int (f ctx)
+           | EF f -> fun ctx -> Value.trunc_int64_of_float (f ctx)
+           | EV f -> fun ctx -> Value.to_int64 (f ctx)
+         in
+         fun ctx ->
+           let x = payload ctx in
+           let a = addr ctx in
+           ctx.lcells.(cell).(a) <- x)
+    | Stmt.For { var; extent; body; _ } ->
+      (* every loop kind executes serially in the oracle *)
+      let s = slot_of var in
+      let saved = Hashtbl.find_opt ienv var.Var.id in
+      (match norm (0, extent - 1) with
+       | Some iv when fits var.Var.dtype iv -> Hashtbl.replace ienv var.Var.id iv
+       | _ -> Hashtbl.remove ienv var.Var.id);
+      let bc = comp_s body in
+      (match saved with
+       | Some iv -> Hashtbl.replace ienv var.Var.id iv
+       | None -> Hashtbl.remove ienv var.Var.id);
+      fun ctx ->
+        let fr = ctx.frame in
+        for i = 0 to extent - 1 do
+          fr.(s) <- i;
+          bc ctx
+        done
+    | Stmt.Let (v, e, body) ->
+      let ec = eval_int_c e in
+      let iv = interval e in
+      let s = slot_of v in
+      let saved = Hashtbl.find_opt ienv v.Var.id in
+      (match iv with
+       | Some iv when fits v.Var.dtype iv -> Hashtbl.replace ienv v.Var.id iv
+       | _ -> Hashtbl.remove ienv v.Var.id);
+      let bc = comp_s body in
+      (match saved with
+       | Some iv -> Hashtbl.replace ienv v.Var.id iv
+       | None -> Hashtbl.remove ienv v.Var.id);
+      fun ctx ->
+        ctx.frame.(s) <- ec ctx;
+        bc ctx
+    | Stmt.If { cond; then_; else_; _ } ->
+      let t = truth cond in
+      let tc = comp_s then_ in
+      (match else_ with
+       | None -> fun ctx -> if t ctx then tc ctx
+       | Some e ->
+         let ec = comp_s e in
+         fun ctx -> if t ctx then tc ctx else ec ctx)
+    | Stmt.Alloc (b, body) ->
+      let bi = get_binfo b in
+      bi.b_alloc <- true;
+      let bc = comp_s body in
+      let size = b.Buffer.size in
+      let cell = bi.b_cell in
+      (match bi.b_kind with
+       | KF ->
+         fun ctx ->
+           ctx.fcells.(cell) <- Array.make size 0.0;
+           bc ctx
+       | KI ->
+         fun ctx ->
+           ctx.icells.(cell) <- Array.make size 0;
+           bc ctx
+       | KL ->
+         fun ctx ->
+           ctx.lcells.(cell) <- Array.make size 0L;
+           bc ctx)
+    | Stmt.Intrin_call { intrin; output; inputs } ->
+      let all_tiles = output :: List.map snd inputs in
+      List.iter (fun (t : Stmt.tile) -> ignore (get_binfo t.Stmt.tile_buf)) all_tiles;
+      let bases =
+        List.map (fun (t : Stmt.tile) -> (t, eval_int_c t.Stmt.tile_base)) all_tiles
+      in
+      (match Unit_isa.Registry.find intrin with
+       | None -> fun _ -> error "intrinsic %s is not registered" intrin
+       | Some ins ->
+         let cins = Unit_isa.Semantics.compile ins in
+         fun ctx ->
+           let tile_base t =
+             let rec go = function
+               | [] -> error "intrinsic %s: unknown tile" intrin
+               | (tl, f) :: rest -> if tl == t then f ctx else go rest
+             in
+             go bases
+           in
+           Unit_isa.Semantics.run cins ~output ~inputs ~read:(cb_read ctx)
+             ~write:(cb_write ctx) ~tile_base)
+  in
+  let body_c = comp_s func.Lower.fn_body in
+  let fn_ids =
+    List.fold_left
+      (fun acc ((_ : Unit_dsl.Tensor.t), bi) -> bi.b_buf.Buffer.id :: acc)
+      [] bind
+  in
+  let required =
+    Hashtbl.fold
+      (fun id bi acc ->
+        if bi.b_alloc || List.mem id fn_ids then acc else bi :: acc)
+      binfos []
+  in
+  {
+    cp_nslots = !nslots;
+    cp_nf = !nf;
+    cp_ni = !ni;
+    cp_nl = !nl;
+    cp_bind = bind;
+    cp_required = required;
+    cp_body = body_c;
+  }
+
+let bind_cell ctx bi (arr : Ndarray.t) =
+  let b = bi.b_buf in
+  if not (Dtype.equal arr.Ndarray.dtype b.Buffer.dtype) then
+    error "buffer %s: dtype mismatch (%s vs %s)" b.Buffer.name
+      (Dtype.to_string arr.Ndarray.dtype)
+      (Dtype.to_string b.Buffer.dtype);
+  if Ndarray.num_elements arr <> b.Buffer.size then
+    error "buffer %s: %d elements bound, %d expected" b.Buffer.name
+      (Ndarray.num_elements arr) b.Buffer.size;
+  match bi.b_kind, arr.Ndarray.storage with
+  | KF, Ndarray.Float_data a -> ctx.fcells.(bi.b_cell) <- a
+  | KI, Ndarray.Int_data a -> ctx.icells.(bi.b_cell) <- a
+  | KL, Ndarray.Int64_data a -> ctx.lcells.(bi.b_cell) <- a
+  | _ -> error "buffer %s: storage kind mismatch" b.Buffer.name
+
+let run_compiled c ~bindings =
+  let ctx =
+    {
+      frame = Array.make (Stdlib.max c.cp_nslots 1) 0;
+      fcells = Array.make (Stdlib.max c.cp_nf 1) [||];
+      icells = Array.make (Stdlib.max c.cp_ni 1) [||];
+      lcells = Array.make (Stdlib.max c.cp_nl 1) [||];
+    }
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ((t : Unit_dsl.Tensor.t), arr) ->
+      if not (Hashtbl.mem tbl t.Unit_dsl.Tensor.id) then
+        Hashtbl.add tbl t.Unit_dsl.Tensor.id arr)
+    bindings;
+  List.iter
+    (fun ((t : Unit_dsl.Tensor.t), bi) ->
+      match Hashtbl.find_opt tbl t.Unit_dsl.Tensor.id with
+      | Some arr -> bind_cell ctx bi arr
+      | None -> error "tensor %s not bound" t.Unit_dsl.Tensor.name)
+    c.cp_bind;
+  List.iter
+    (fun bi ->
+      let empty =
+        match bi.b_kind with
+        | KF -> Array.length ctx.fcells.(bi.b_cell) = 0
+        | KI -> Array.length ctx.icells.(bi.b_cell) = 0
+        | KL -> Array.length ctx.lcells.(bi.b_cell) = 0
+      in
+      if empty then error "buffer %s unbound" bi.b_buf.Buffer.name)
+    c.cp_required;
+  c.cp_body ctx
+
+let run func ~bindings = run_compiled (compile func) ~bindings
+let run_op op ~bindings = run (Lower.scalar_reference op) ~bindings

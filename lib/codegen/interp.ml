@@ -118,12 +118,17 @@ let rec exec env (s : Stmt.t) =
 
 let run (func : Lower.func) ~bindings =
   let env = env_empty () in
+  (* index the bindings once (first occurrence wins, as List.find_opt did)
+     instead of scanning the list per function tensor *)
+  let by_id = Hashtbl.create (List.length bindings) in
+  List.iter
+    (fun ((t : Unit_dsl.Tensor.t), arr) ->
+      if not (Hashtbl.mem by_id t.id) then Hashtbl.add by_id t.id arr)
+    bindings;
   List.iter
     (fun ((tensor : Unit_dsl.Tensor.t), buffer) ->
-      match
-        List.find_opt (fun (t, _) -> Unit_dsl.Tensor.equal t tensor) bindings
-      with
-      | Some (_, arr) -> env_bind_buffer env buffer arr
+      match Hashtbl.find_opt by_id tensor.id with
+      | Some arr -> env_bind_buffer env buffer arr
       | None -> error "tensor %s not bound" tensor.name)
     func.Lower.fn_tensors;
   exec env func.Lower.fn_body

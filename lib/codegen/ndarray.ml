@@ -1,9 +1,19 @@
 open Unit_dtype
 
+(* Storage is specialized per dtype so the interpreters read and write
+   unboxed payloads: floats keep their dtype's rounding applied at store
+   time, narrow integers live canonically wrapped in native ints, and I64
+   keeps full-width int64 semantics. *)
+type storage =
+  | Float_data of float array
+  | Int_data of int array
+  | Int64_data of int64 array
+
 type t = {
   dtype : Dtype.t;
   shape : int array;
-  data : Value.t array;
+  strides : int array;
+  storage : storage;
 }
 
 let num_elements_of_shape shape = Array.fold_left ( * ) 1 shape
@@ -16,20 +26,116 @@ let strides_of_shape shape =
   done;
   strides
 
-let zeros ~dtype ~shape =
-  let shape = Array.of_list shape in
-  { dtype; shape; data = Array.make (num_elements_of_shape shape) (Value.zero dtype) }
+let storage_zeros dtype n =
+  if Dtype.is_float dtype then Float_data (Array.make n 0.0)
+  else if Dtype.equal dtype Dtype.I64 then Int64_data (Array.make n 0L)
+  else Int_data (Array.make n 0)
 
-let flat_to_multi shape flat =
-  let strides = strides_of_shape shape in
-  Array.mapi (fun d stride -> flat / stride mod shape.(d)) strides
+let make_of_shape dtype shape =
+  { dtype; shape; strides = strides_of_shape shape;
+    storage = storage_zeros dtype (num_elements_of_shape shape) }
+
+let zeros ~dtype ~shape = make_of_shape dtype (Array.of_list shape)
+
+let num_elements t =
+  match t.storage with
+  | Float_data a -> Array.length a
+  | Int_data a -> Array.length a
+  | Int64_data a -> Array.length a
+
+(* ---------- the Value.t boundary ---------- *)
+
+let get_flat t i =
+  match t.storage with
+  | Float_data a -> Value.of_float t.dtype a.(i)
+  | Int_data a -> Value.of_int t.dtype a.(i)
+  | Int64_data a -> Value.of_int64 t.dtype a.(i)
+
+let set_flat t i v =
+  match t.storage with
+  | Float_data a -> a.(i) <- Value.round_float t.dtype (Value.to_float v)
+  | Int_data a -> a.(i) <- Value.wrap_native t.dtype (Int64.to_int (Value.to_int64 v))
+  | Int64_data a -> a.(i) <- Value.to_int64 v
+
+(* ---------- raw (unboxed) accessors ---------- *)
+
+let get_float_flat t i =
+  match t.storage with
+  | Float_data a -> a.(i)
+  | Int_data a -> float_of_int a.(i)
+  | Int64_data a -> Int64.to_float a.(i)
+
+let get_int_flat t i =
+  match t.storage with
+  | Int_data a -> a.(i)
+  | Int64_data a -> Int64.to_int a.(i)
+  | Float_data a -> Value.trunc_int_of_float a.(i)
+
+(* ---------- multi-index access ---------- *)
+
+let flat_index t idx =
+  if Array.length idx <> Array.length t.shape then
+    invalid_arg "Ndarray: index rank mismatch";
+  Array.iteri
+    (fun d i ->
+      if i < 0 || i >= t.shape.(d) then
+        invalid_arg
+          (Printf.sprintf "Ndarray: index %d out of bounds for dim %d (size %d)" i d
+             t.shape.(d)))
+    idx;
+  let flat = ref 0 in
+  Array.iteri (fun d i -> flat := !flat + (i * t.strides.(d))) idx;
+  !flat
+
+let get t idx = get_flat t (flat_index t idx)
+let set t idx v = set_flat t (flat_index t idx) v
+
+(* ---------- construction ---------- *)
+
+(* Iterate multi-indices row-major, reusing one index buffer.  [f] must
+   not retain the array it is handed. *)
+let iter_multi shape f =
+  let n = num_elements_of_shape shape in
+  let rank = Array.length shape in
+  let idx = Array.make rank 0 in
+  for flat = 0 to n - 1 do
+    f flat idx;
+    (* increment with carry, rightmost fastest *)
+    let d = ref (rank - 1) in
+    let carrying = ref true in
+    while !carrying && !d >= 0 do
+      idx.(!d) <- idx.(!d) + 1;
+      if idx.(!d) = shape.(!d) then begin
+        idx.(!d) <- 0;
+        decr d
+      end
+      else carrying := false
+    done
+  done
 
 let init ~dtype ~shape f =
-  let shape = Array.of_list shape in
-  { dtype;
-    shape;
-    data = Array.init (num_elements_of_shape shape) (fun i -> f (flat_to_multi shape i))
-  }
+  let t = make_of_shape dtype (Array.of_list shape) in
+  iter_multi t.shape (fun flat idx -> set_flat t flat (f idx));
+  t
+
+(* Requantization-style conversion of a real number into [dtype]: floats
+   round to the dtype's precision, integers round to nearest and saturate
+   at the dtype's bounds. *)
+let init_float ~dtype ~shape f =
+  let t = make_of_shape dtype (Array.of_list shape) in
+  (match t.storage with
+   | Float_data a ->
+     let round = if Dtype.equal dtype Dtype.F64 then Fun.id else Value.round_float dtype in
+     iter_multi t.shape (fun flat idx -> a.(flat) <- round (f idx))
+   | Int_data a ->
+     let lo = Dtype.min_int_value dtype and hi = Dtype.max_int_value dtype in
+     iter_multi t.shape (fun flat idx ->
+         let x = Int64.of_float (Float.round (f idx)) in
+         let x = if Int64.compare x lo < 0 then lo else if Int64.compare x hi > 0 then hi else x in
+         a.(flat) <- Int64.to_int x)
+   | Int64_data a ->
+     iter_multi t.shape (fun flat idx -> a.(flat) <- Int64.of_float (Float.round (f idx))));
+  t
 
 let of_tensor_zeros (tensor : Unit_dsl.Tensor.t) =
   zeros ~dtype:tensor.dtype ~shape:(Array.to_list tensor.shape)
@@ -53,47 +159,45 @@ let random_for_tensor ~seed (tensor : Unit_dsl.Tensor.t) =
   in
   init ~dtype ~shape:(Array.to_list tensor.Unit_dsl.Tensor.shape) value
 
-let num_elements t = Array.length t.data
+(* ---------- comparison / traversal ---------- *)
 
-let flat_index t idx =
-  let strides = strides_of_shape t.shape in
-  if Array.length idx <> Array.length t.shape then
-    invalid_arg "Ndarray: index rank mismatch";
-  Array.iteri
-    (fun d i ->
-      if i < 0 || i >= t.shape.(d) then
-        invalid_arg
-          (Printf.sprintf "Ndarray: index %d out of bounds for dim %d (size %d)" i d
-             t.shape.(d)))
-    idx;
-  let flat = ref 0 in
-  Array.iteri (fun d i -> flat := !flat + (i * strides.(d))) idx;
-  !flat
-
-let get t idx = t.data.(flat_index t idx)
-let set t idx v = t.data.(flat_index t idx) <- v
-let get_flat t i = t.data.(i)
-let set_flat t i v = t.data.(i) <- v
+let float_eq x y = x = y || (Float.is_nan x && Float.is_nan y)
 
 let equal a b =
   Dtype.equal a.dtype b.dtype && a.shape = b.shape
-  && Array.for_all2 Value.equal a.data b.data
+  &&
+  match a.storage, b.storage with
+  | Float_data x, Float_data y -> Array.for_all2 float_eq x y
+  | Int_data x, Int_data y -> x = y
+  | Int64_data x, Int64_data y -> x = y
+  | _ -> false
 
 let approx_equal ~tol a b =
   Dtype.equal a.dtype b.dtype && a.shape = b.shape
-  && Array.for_all2
-       (fun x y ->
-         let fx = Value.to_float x and fy = Value.to_float y in
-         Float.abs (fx -. fy) <= tol *. Float.max 1.0 (Float.abs fy))
-       a.data b.data
+  &&
+  let n = num_elements a in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let fx = get_float_flat a !i and fy = get_float_flat b !i in
+    if not (Float.abs (fx -. fy) <= tol *. Float.max 1.0 (Float.abs fy)) then ok := false;
+    incr i
+  done;
+  !ok
 
-let fold f acc t = Array.fold_left f acc t.data
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to num_elements t - 1 do
+    acc := f !acc (get_flat t i)
+  done;
+  !acc
 
 let pp fmt t =
   Format.fprintf fmt "ndarray %s[%s]:" (Dtype.to_string t.dtype)
     (String.concat "x" (Array.to_list (Array.map string_of_int t.shape)));
-  let n = Stdlib.min 16 (Array.length t.data) in
+  let total = num_elements t in
+  let n = Stdlib.min 16 total in
   for i = 0 to n - 1 do
-    Format.fprintf fmt " %a" Value.pp t.data.(i)
+    Format.fprintf fmt " %a" Value.pp (get_flat t i)
   done;
-  if Array.length t.data > n then Format.pp_print_string fmt " ..."
+  if total > n then Format.pp_print_string fmt " ..."

@@ -1,21 +1,38 @@
-(** Dense host-side arrays for the reference interpreter and the tests.
+(** Dense host-side arrays for the interpreters and the tests.
 
-    Values are stored boxed ({!Unit_dtype.Value.t}) — this is a semantics
-    oracle, not a fast runtime; the performance story lives in
-    [Unit_machine]. *)
+    Storage is unboxed and dtype-specialized: float dtypes back onto a
+    [float array] (flat storage, values already rounded to the dtype's
+    precision), integer dtypes up to 32 bits onto an [int array] holding
+    canonically wrapped values, and [I64] onto an [int64 array].  The boxed
+    {!Unit_dtype.Value.t} [get]/[set] interface remains the boundary API —
+    every value returned by [get]/[get_flat] is canonical for the array's
+    dtype, and [set]/[set_flat] re-canonicalize on the way in — while the
+    compiled interpreter reaches the raw payloads through {!storage}. *)
 
 open Unit_dtype
+
+type storage =
+  | Float_data of float array
+  | Int_data of int array  (** canonically wrapped per the array dtype *)
+  | Int64_data of int64 array
 
 type t = private {
   dtype : Dtype.t;
   shape : int array;
-  data : Value.t array;  (** row-major *)
+  strides : int array;  (** row-major, cached at construction *)
+  storage : storage;
 }
 
 val zeros : dtype:Dtype.t -> shape:int list -> t
 
 val init : dtype:Dtype.t -> shape:int list -> (int array -> Value.t) -> t
-(** Element at each multi-index. *)
+(** Element at each multi-index, row-major.  The index array is reused
+    between calls; the callback must not retain it. *)
+
+val init_float : dtype:Dtype.t -> shape:int list -> (int array -> float) -> t
+(** Requantization-style construction from real numbers: float dtypes round
+    to the dtype's precision; integer dtypes round to nearest and saturate
+    at the dtype bounds.  Same index-array reuse caveat as {!init}. *)
 
 val of_tensor_zeros : Unit_dsl.Tensor.t -> t
 
@@ -30,8 +47,19 @@ val set : t -> int array -> Value.t -> unit
 val get_flat : t -> int -> Value.t
 val set_flat : t -> int -> Value.t -> unit
 
+val get_float_flat : t -> int -> float
+(** Raw payload as a float ([float_of_int] / [Int64.to_float] for integer
+    storage — the same conversion as {!Unit_dtype.Value.to_float}). *)
+
+val get_int_flat : t -> int -> int
+(** Raw payload as a native int; float storage truncates toward zero. *)
+
+val flat_index : t -> int array -> int
+(** Row-major flat offset of a multi-index, with bounds validation.
+    @raise Invalid_argument on rank mismatch or out-of-range index. *)
+
 val equal : t -> t -> bool
-(** Same dtype, shape, and element-wise {!Unit_dtype.Value.equal}. *)
+(** Same dtype, shape, and bit-identical elements (NaN equals NaN). *)
 
 val approx_equal : tol:float -> t -> t -> bool
 (** Element-wise [|a - b| <= tol * max(1, |b|)]; for float comparisons. *)

@@ -1,0 +1,19 @@
+(** Domain pool for embarrassingly-parallel oracle work.
+
+    Fans independent checks — per-(op, ISA) differential comparisons,
+    per-operator graph execution, replicated compiled runs — across OCaml 5
+    domains.  [f] must be safe to run concurrently on distinct items; the
+    compiled interpreter qualifies as long as the items do not share output
+    arrays. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], overridable with the
+    [UNIT_DOMAINS] environment variable (a positive integer). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map.  Runs sequentially when [domains <= 1]
+    or the list has at most one element.  If any application raises, the
+    first exception is re-raised on the caller after all domains joined;
+    remaining items may be skipped. *)
+
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

@@ -12,19 +12,19 @@ let error fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
 
 let is_quantized v = Dtype.is_integer v.arr.Ndarray.dtype
 
-(* real-domain element access *)
-let real v idx = Value.to_float (Ndarray.get v.arr idx) *. v.scale
-let real_flat v i = Value.to_float (Ndarray.get_flat v.arr i) *. v.scale
+(* real-domain element access; raw unboxed reads *)
+let real_flat v i = Ndarray.get_float_flat v.arr i *. v.scale
+let real v idx = real_flat v (Ndarray.flat_index v.arr idx)
 
 let qmax dtype = Int64.to_float (Dtype.max_int_value dtype)
 
-(* represent a real number in a quantized (or float) signature *)
-let represent dtype scale x =
-  if Dtype.is_float dtype then Value.of_float dtype x
-  else Value.cast_saturating dtype (Value.of_int64 Dtype.I64 (Int64.of_float (Float.round (x /. scale))))
-
+(* Represent real numbers in a quantized (or float) signature:
+   [Ndarray.init_float] rounds floats to the dtype's precision and rounds
+   integers to nearest saturating at the dtype bounds, which is exactly
+   [Value.cast_saturating] of the rounded real divided by the scale. *)
 let represent_arr ~dtype ~scale ~shape f =
-  { arr = Ndarray.init ~dtype ~shape (fun idx -> represent dtype scale (f idx));
+  let g = if Dtype.is_float dtype then f else fun idx -> f idx /. scale in
+  { arr = Ndarray.init_float ~dtype ~shape g;
     scale = (if Dtype.is_float dtype then 1.0 else scale)
   }
 
@@ -82,28 +82,37 @@ let conv2d (attrs : Graph.conv2d_attrs) data weights =
   let k = attrs.Graph.out_channels in
   let cg = c / attrs.Graph.groups in
   let kg = k / attrs.Graph.groups in
-  let oh = Graph.conv_out_dim ~size:h ~kernel:attrs.Graph.kernel ~stride:attrs.Graph.stride ~padding:attrs.Graph.padding in
-  let ow = Graph.conv_out_dim ~size:w ~kernel:attrs.Graph.kernel ~stride:attrs.Graph.stride ~padding:attrs.Graph.padding in
+  let kern = attrs.Graph.kernel in
+  let stride = attrs.Graph.stride in
+  let padding = attrs.Graph.padding in
+  let oh = Graph.conv_out_dim ~size:h ~kernel:kern ~stride ~padding in
+  let ow = Graph.conv_out_dim ~size:w ~kernel:kern ~stride ~padding in
   let quantized = is_quantized data in
   let out_dtype = if quantized then Dtype.I32 else Dtype.F32 in
   let out_scale = if quantized then data.scale *. weights.scale else 1.0 in
-  let get_int v idx = Int64.to_int (Value.to_int64 (Ndarray.get v.arr idx)) in
+  let darr = data.arr and warr = weights.arr in
+  let dscale = data.scale and wscale = weights.scale in
+  (* data is [c; h; w], weights [k; c/g; kern; kern]; flat indices computed
+     in the loop so no index array is allocated per access *)
   let compute idx =
     let ko = idx.(0) and y = idx.(1) and x = idx.(2) in
     let group = ko / kg in
     if quantized then begin
       let acc = ref 0 in
       for ci = 0 to cg - 1 do
-        for r = 0 to attrs.Graph.kernel - 1 do
-          for s = 0 to attrs.Graph.kernel - 1 do
-            let iy = (y * attrs.Graph.stride) + r - attrs.Graph.padding in
-            let ix = (x * attrs.Graph.stride) + s - attrs.Graph.padding in
-            if iy >= 0 && iy < h && ix >= 0 && ix < w then
-              acc :=
-                !acc
-                + get_int data [| (group * cg) + ci; iy; ix |]
-                  * get_int weights [| ko; ci; r; s |]
-          done
+        let ch = (group * cg) + ci in
+        for r = 0 to kern - 1 do
+          let iy = (y * stride) + r - padding in
+          if iy >= 0 && iy < h then
+            for s = 0 to kern - 1 do
+              let ix = (x * stride) + s - padding in
+              if ix >= 0 && ix < w then
+                acc :=
+                  !acc
+                  + Ndarray.get_int_flat darr ((((ch * h) + iy) * w) + ix)
+                    * Ndarray.get_int_flat warr
+                        ((((((ko * cg) + ci) * kern) + r) * kern) + s)
+            done
         done
       done;
       Float.of_int !acc *. out_scale
@@ -111,16 +120,21 @@ let conv2d (attrs : Graph.conv2d_attrs) data weights =
     else begin
       let acc = ref 0.0 in
       for ci = 0 to cg - 1 do
-        for r = 0 to attrs.Graph.kernel - 1 do
-          for s = 0 to attrs.Graph.kernel - 1 do
-            let iy = (y * attrs.Graph.stride) + r - attrs.Graph.padding in
-            let ix = (x * attrs.Graph.stride) + s - attrs.Graph.padding in
-            if iy >= 0 && iy < h && ix >= 0 && ix < w then
-              acc :=
-                !acc
-                +. real data [| (group * cg) + ci; iy; ix |]
-                   *. real weights [| ko; ci; r; s |]
-          done
+        let ch = (group * cg) + ci in
+        for r = 0 to kern - 1 do
+          let iy = (y * stride) + r - padding in
+          if iy >= 0 && iy < h then
+            for s = 0 to kern - 1 do
+              let ix = (x * stride) + s - padding in
+              if ix >= 0 && ix < w then
+                acc :=
+                  !acc
+                  +. Ndarray.get_float_flat darr ((((ch * h) + iy) * w) + ix)
+                     *. dscale
+                     *. (Ndarray.get_float_flat warr
+                           ((((((ko * cg) + ci) * kern) + r) * kern) + s)
+                        *. wscale)
+            done
         done
       done;
       !acc
@@ -142,22 +156,35 @@ let conv3d (attrs : Graph.conv3d_attrs) data weights =
   let quantized = is_quantized data in
   let out_dtype = if quantized then Dtype.I32 else Dtype.F32 in
   let out_scale = if quantized then data.scale *. weights.scale else 1.0 in
+  let darr = data.arr and warr = weights.arr in
+  let dscale = data.scale and wscale = weights.scale in
+  let kern = attrs.Graph.c3_kernel in
+  let stride = attrs.Graph.c3_stride in
+  let padding = attrs.Graph.c3_padding in
+  (* data is [c; d; h; w], weights [k; c; kern; kern; kern] *)
   let compute idx =
     let ko = idx.(0) and z = idx.(1) and y = idx.(2) and x = idx.(3) in
     let acc = ref 0.0 in
     for ci = 0 to c - 1 do
-      for q = 0 to attrs.Graph.c3_kernel - 1 do
-        for r = 0 to attrs.Graph.c3_kernel - 1 do
-          for s = 0 to attrs.Graph.c3_kernel - 1 do
-            let iz = (z * attrs.Graph.c3_stride) + q - attrs.Graph.c3_padding in
-            let iy = (y * attrs.Graph.c3_stride) + r - attrs.Graph.c3_padding in
-            let ix = (x * attrs.Graph.c3_stride) + s - attrs.Graph.c3_padding in
-            if iz >= 0 && iz < d && iy >= 0 && iy < h && ix >= 0 && ix < w then
-              acc :=
-                !acc
-                +. real data [| ci; iz; iy; ix |] *. real weights [| ko; ci; q; r; s |]
+      for q = 0 to kern - 1 do
+        let iz = (z * stride) + q - padding in
+        if iz >= 0 && iz < d then
+          for r = 0 to kern - 1 do
+            let iy = (y * stride) + r - padding in
+            if iy >= 0 && iy < h then
+              for s = 0 to kern - 1 do
+                let ix = (x * stride) + s - padding in
+                if ix >= 0 && ix < w then
+                  acc :=
+                    !acc
+                    +. Ndarray.get_float_flat darr
+                         ((((((ci * d) + iz) * h) + iy) * w) + ix)
+                       *. dscale
+                       *. (Ndarray.get_float_flat warr
+                             ((((((((ko * c) + ci) * kern) + q) * kern) + r) * kern) + s)
+                          *. wscale)
+              done
           done
-        done
       done
     done;
     !acc
@@ -174,11 +201,16 @@ let dense units data weights =
   let quantized = is_quantized data in
   let out_dtype = if quantized then Dtype.I32 else Dtype.F32 in
   let out_scale = if quantized then data.scale *. weights.scale else 1.0 in
+  let darr = data.arr and warr = weights.arr in
+  let dscale = data.scale and wscale = weights.scale in
   let compute idx =
     let u = idx.(0) in
     let acc = ref 0.0 in
     for i = 0 to k - 1 do
-      acc := !acc +. (real data [| i |] *. real weights [| u; i |])
+      acc :=
+        !acc
+        +. Ndarray.get_float_flat darr i *. dscale
+           *. (Ndarray.get_float_flat warr ((u * k) + i) *. wscale)
     done;
     !acc
   in
@@ -215,7 +247,7 @@ let pool pool_kind ~window ~stride ~padding data =
           let iy = (y * stride) + r - padding in
           let ix = (x * stride) + s - padding in
           if iy >= 0 && iy < h && ix >= 0 && ix < w then begin
-            let v = real data [| ch; iy; ix |] in
+            let v = real_flat data ((((ch * h) + iy) * w) + ix) in
             incr count;
             match pool_kind with
             | Graph.Max_pool -> acc := Float.max !acc v
@@ -235,7 +267,7 @@ let global_avg_pool data =
       let acc = ref 0.0 in
       for y = 0 to h - 1 do
         for x = 0 to w - 1 do
-          acc := !acc +. real data [| ch; y; x |]
+          acc := !acc +. real_flat data ((((ch * h) + y) * w) + x)
         done
       done;
       !acc /. Float.of_int (h * w))
@@ -344,6 +376,32 @@ let apply_kind kind args =
   | (Graph.Input _ | Graph.Weight _), _ -> error "input/weight evaluated as op"
   | _ -> error "arity mismatch during execution"
 
+(* Bucket nodes by dependency level (1 + max input level); nodes within a
+   level are independent and evaluate in parallel across domains. *)
+let level_buckets g =
+  let level : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let buckets : (int, Graph.node list) Hashtbl.t = Hashtbl.create 16 in
+  let maxl = ref 0 in
+  List.iter
+    (fun (n : Graph.node) ->
+      let l =
+        1
+        + List.fold_left
+            (fun acc i ->
+              Stdlib.max acc
+                (match Hashtbl.find_opt level i with Some l -> l | None -> 0))
+            0 n.Graph.inputs
+      in
+      Hashtbl.replace level n.Graph.id l;
+      maxl := Stdlib.max !maxl l;
+      let prev = match Hashtbl.find_opt buckets l with Some ns -> ns | None -> [] in
+      Hashtbl.replace buckets l (n :: prev))
+    (Graph.nodes g);
+  List.init !maxl (fun i ->
+      match Hashtbl.find_opt buckets (i + 1) with
+      | Some ns -> List.rev ns
+      | None -> [])
+
 let run g ~input =
   let results : (int, value) Hashtbl.t = Hashtbl.create 64 in
   let eval_node (n : Graph.node) =
@@ -394,9 +452,15 @@ let run g ~input =
         if leftover <> [] then error "%s: unconsumed inputs" n.Graph.name;
         v
     in
-    Hashtbl.replace results n.Graph.id v
+    (n.Graph.id, v)
   in
-  List.iter eval_node (Graph.nodes g);
+  (* within a level the results table is read-only, so workers may share
+     it; writes happen after the level joins *)
+  List.iter
+    (fun nodes ->
+      let vs = Parallel_oracle.map eval_node nodes in
+      List.iter (fun (id, v) -> Hashtbl.replace results id v) vs)
+    (level_buckets g);
   Hashtbl.find results (Graph.output g)
 
 let run_to_floats g ~input =
@@ -406,23 +470,33 @@ let run_to_floats g ~input =
 let calibrate g ~input =
   let results : (int, value) Hashtbl.t = Hashtbl.create 64 in
   let maxima : (int, float) Hashtbl.t = Hashtbl.create 64 in
-  let record id v =
+  let abs_max v =
     let m = ref 1e-6 in
     for i = 0 to Ndarray.num_elements v.arr - 1 do
       m := Float.max !m (Float.abs (real_flat v i))
     done;
-    Hashtbl.replace maxima id !m
+    !m
   in
   List.iter
-    (fun (n : Graph.node) ->
-      let v =
-        match n.Graph.kind with
-        | Graph.Input _ -> { arr = input; scale = 1.0 }
-        | Graph.Weight { shape; dtype } -> weight_value n shape dtype
-        | kind ->
-          apply_kind kind (List.map (fun i -> Hashtbl.find results i) n.Graph.inputs)
+    (fun nodes ->
+      let vs =
+        Parallel_oracle.map
+          (fun (n : Graph.node) ->
+            let v =
+              match n.Graph.kind with
+              | Graph.Input _ -> { arr = input; scale = 1.0 }
+              | Graph.Weight { shape; dtype } -> weight_value n shape dtype
+              | kind ->
+                apply_kind kind
+                  (List.map (fun i -> Hashtbl.find results i) n.Graph.inputs)
+            in
+            (n.Graph.id, v, abs_max v))
+          nodes
       in
-      Hashtbl.replace results n.Graph.id v;
-      record n.Graph.id v)
-    (Graph.nodes g);
+      List.iter
+        (fun (id, v, m) ->
+          Hashtbl.replace results id v;
+          Hashtbl.replace maxima id m)
+        vs)
+    (level_buckets g);
   fun id -> match Hashtbl.find_opt maxima id with Some m -> m | None -> 1.0

@@ -11,56 +11,212 @@ let tile_address (tile : Stmt.tile) ~env ~eval_index =
     (eval_index tile.Stmt.tile_base)
     tile.Stmt.tile_strides
 
-(* Iterate a list of axes, calling [f] with the environment extended by
-   each combination of axis values. *)
-let rec iterate_axes axes env f =
-  match axes with
-  | [] -> f env
-  | (a : Axis.t) :: rest ->
-    for v = 0 to a.extent - 1 do
-      iterate_axes rest ((a.name, v) :: env) f
-    done
+(* A compiled intrinsic: the DSL description is translated once into
+   closures — axis references become slots into a per-call [int array] of
+   current axis values, tensor accesses become slots into a per-call array
+   of tile readers — and the loop nest over the intrinsic's axes runs
+   without any environment lookups.  The description is still the only
+   source of semantics, so a freshly registered instruction executes with
+   zero extra code. *)
+type compiled = {
+  c_intrin : Intrin.t;
+  c_run :
+    output:Stmt.tile ->
+    inputs:(string * Stmt.tile) list ->
+    read:(Buffer.t -> int -> Unit_dtype.Value.t) ->
+    write:(Buffer.t -> int -> Unit_dtype.Value.t -> unit) ->
+    tile_base:(Stmt.tile -> int) ->
+    unit;
+}
+
+let compile_uncached (intrin : Intrin.t) =
+  let module Value = Unit_dtype.Value in
+  let op = intrin.Intrin.op in
+  let axes = Array.of_list (op.Op.spatial @ op.Op.reduce) in
+  let n_axes = Array.length axes in
+  let n_spatial = List.length op.Op.spatial in
+  (* Name -> slot; the last declaration wins on a name collision, matching
+     the innermost-shadowing of the old association-list environment. *)
+  let axis_slot name =
+    let found = ref (-1) in
+    for j = 0 to n_axes - 1 do
+      if String.equal axes.(j).Axis.name name then found := j
+    done;
+    if !found < 0 then None else Some !found
+  in
+  (* Operand slots: the init operand first so a missing one is reported
+     before missing body operands, as the old evaluation order did. *)
+  let operands =
+    let init_tensors =
+      match op.Op.init with Op.Init_tensor c -> [ c ] | Op.Zero | Op.In_place -> []
+    in
+    let names =
+      List.fold_left
+        (fun acc (t : Tensor.t) ->
+          if List.mem t.Tensor.name acc then acc else acc @ [ t.Tensor.name ])
+        []
+        (init_tensors @ Expr.tensors_of op.Op.body)
+    in
+    Array.of_list names
+  in
+  let operand_slot name =
+    let n = Array.length operands in
+    let rec go i =
+      if i = n then error "%s: operand %s not supplied" intrin.Intrin.name name
+      else if String.equal operands.(i) name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* The body compiles to a closure over (axis values, tile readers).
+     Access indices are ignored: register operands are addressed by their
+     tile, exactly as the tree-walking executor did. *)
+  let rec comp (e : Expr.t) : int array -> (unit -> Value.t) array -> Value.t =
+    match e with
+    | Expr.Imm v -> fun _ _ -> v
+    | Expr.Axis_ref a ->
+      let j =
+        match axis_slot a.Axis.name with
+        | Some j -> j
+        | None -> error "%s: axis %s unbound" intrin.Intrin.name a.Axis.name
+      in
+      fun idx _ -> Value.of_int Unit_dtype.Dtype.I32 idx.(j)
+    | Expr.Access (t, _) ->
+      let s = operand_slot t.Tensor.name in
+      fun _ readers -> readers.(s) ()
+    | Expr.Cast (dt, e) ->
+      let c = comp e in
+      fun idx readers -> Value.cast dt (c idx readers)
+    | Expr.Neg e ->
+      let c = comp e in
+      fun idx readers -> Value.neg (c idx readers)
+    | Expr.Binop (o, a, b) ->
+      let ca = comp a and cb = comp b in
+      let f =
+        match o with
+        | Expr.Add -> Value.add
+        | Expr.Sub -> Value.sub
+        | Expr.Mul -> Value.mul
+        | Expr.Div -> Value.div
+        | Expr.Mod -> Value.rem
+        | Expr.Min -> Value.min
+        | Expr.Max -> Value.max
+      in
+      fun idx readers -> f (ca idx readers) (cb idx readers)
+  in
+  let body_c = comp op.Op.body in
+  let out_dtype = op.Op.output.Tensor.dtype in
+  let zero = Value.zero out_dtype in
+  let c_run ~output ~inputs ~read ~write ~tile_base =
+    let check_tile_axes (tile : Stmt.tile) =
+      List.iter
+        (fun (axis_name, _) ->
+          if axis_slot axis_name = None then
+            error "%s: tile references unknown axis %s" intrin.Intrin.name axis_name)
+        tile.Stmt.tile_strides
+    in
+    check_tile_axes output;
+    List.iter (fun (_, tile) -> check_tile_axes tile) inputs;
+    (* Tiles addressed outside the reduce loops (output, init operand) may
+       only stride over spatial axes; reduce axes are unbound there. *)
+    let check_spatial_only (tile : Stmt.tile) =
+      List.iter
+        (fun (name, _) ->
+          match axis_slot name with
+          | Some j when j >= n_spatial ->
+            error "%s: axis %s unbound" intrin.Intrin.name name
+          | Some _ | None -> ())
+        tile.Stmt.tile_strides
+    in
+    check_spatial_only output;
+    let idx = Array.make (Stdlib.max n_axes 1) 0 in
+    let resolve_tile (tile : Stmt.tile) =
+      let strides = Array.make (Stdlib.max n_axes 1) 0 in
+      List.iter
+        (fun (name, s) ->
+          match axis_slot name with
+          | Some j -> strides.(j) <- strides.(j) + s
+          | None -> ())
+        tile.Stmt.tile_strides;
+      (tile.Stmt.tile_buf, tile_base tile, strides)
+    in
+    let addr_of base strides () =
+      let a = ref base in
+      for k = 0 to n_axes - 1 do
+        a := !a + (strides.(k) * idx.(k))
+      done;
+      !a
+    in
+    let input_tile name =
+      match List.assoc_opt name inputs with
+      | Some tile -> tile
+      | None -> error "%s: operand %s not supplied" intrin.Intrin.name name
+    in
+    let readers =
+      Array.map
+        (fun name ->
+          let buf, base, strides = resolve_tile (input_tile name) in
+          let addr = addr_of base strides in
+          fun () -> read buf (addr ()))
+        operands
+    in
+    let out_buf, out_base, out_strides = resolve_tile output in
+    let out_addr = addr_of out_base out_strides in
+    let init_f =
+      match op.Op.init with
+      | Op.Zero -> fun _ -> zero
+      | Op.In_place -> fun addr -> read out_buf addr
+      | Op.Init_tensor c ->
+        check_spatial_only (input_tile c.Tensor.name);
+        let slot = operand_slot c.Tensor.name in
+        fun _ -> readers.(slot) ()
+    in
+    let rec spatial_loop d =
+      if d = n_spatial then begin
+        let addr = out_addr () in
+        let acc = ref (init_f addr) in
+        let rec reduce_loop d =
+          if d = n_axes then acc := Value.add !acc (body_c idx readers)
+          else
+            for v = 0 to axes.(d).Axis.extent - 1 do
+              idx.(d) <- v;
+              reduce_loop (d + 1)
+            done
+        in
+        reduce_loop n_spatial;
+        write out_buf addr !acc
+      end
+      else
+        for v = 0 to axes.(d).Axis.extent - 1 do
+          idx.(d) <- v;
+          spatial_loop (d + 1)
+        done
+    in
+    spatial_loop 0
+  in
+  { c_intrin = intrin; c_run }
+
+(* Compilation is memoized per intrinsic name; a re-registered intrinsic
+   (tests reset the registry) is detected by physical inequality and
+   recompiled.  Guarded by a mutex so parallel oracles can share it. *)
+let cache : (string, compiled) Hashtbl.t = Hashtbl.create 16
+let cache_lock = Mutex.create ()
+
+let compile (intrin : Intrin.t) =
+  Mutex.lock cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_lock)
+    (fun () ->
+      match Hashtbl.find_opt cache intrin.Intrin.name with
+      | Some c when c.c_intrin == intrin -> c
+      | _ ->
+        let c = compile_uncached intrin in
+        Hashtbl.replace cache intrin.Intrin.name c;
+        c)
+
+let run c ~output ~inputs ~read ~write ~tile_base =
+  c.c_run ~output ~inputs ~read ~write ~tile_base
 
 let execute intrin ~output ~inputs ~read ~write ~eval_index =
-  let op = intrin.Intrin.op in
-  let input_tile name =
-    match List.assoc_opt name inputs with
-    | Some tile -> tile
-    | None -> error "%s: operand %s not supplied" intrin.Intrin.name name
-  in
-  let check_tile_axes (tile : Stmt.tile) =
-    List.iter
-      (fun (axis_name, _) ->
-        if Intrin.axis_by_name intrin axis_name = None then
-          error "%s: tile references unknown axis %s" intrin.Intrin.name axis_name)
-      tile.Stmt.tile_strides
-  in
-  check_tile_axes output;
-  List.iter (fun (_, tile) -> check_tile_axes tile) inputs;
-  let lookup env name =
-    match List.assoc_opt name env with
-    | Some v -> v
-    | None -> error "%s: axis %s unbound" intrin.Intrin.name name
-  in
-  let load_operand env (tensor : Tensor.t) =
-    let tile = input_tile tensor.name in
-    read tile.Stmt.tile_buf (tile_address tile ~env:(lookup env) ~eval_index)
-  in
-  let out_dtype = op.Op.output.Tensor.dtype in
-  iterate_axes op.Op.spatial []
-    (fun dp_env ->
-      let out_addr = tile_address output ~env:(lookup dp_env) ~eval_index in
-      let init =
-        match op.Op.init with
-        | Op.Zero -> Unit_dtype.Value.zero out_dtype
-        | Op.Init_tensor c -> load_operand dp_env c
-        | Op.In_place -> read output.Stmt.tile_buf out_addr
-      in
-      let acc = ref init in
-      iterate_axes op.Op.reduce dp_env
-        (fun env ->
-          let axis_env (a : Axis.t) = lookup env a.name in
-          let load tensor _indices = load_operand env tensor in
-          let term = Expr.eval ~env:axis_env ~load op.Op.body in
-          acc := Unit_dtype.Value.add !acc term);
-      write output.Stmt.tile_buf out_addr !acc)
+  run (compile intrin) ~output ~inputs ~read ~write
+    ~tile_base:(fun t -> eval_index t.Stmt.tile_base)

@@ -5,11 +5,38 @@
     register operand backed by a memory {e tile} (base element index plus
     one stride per intrinsic axis; stride 0 = broadcast).  Because the
     description {e is} the semantics, a newly registered instruction is
-    executable with zero extra code. *)
+    executable with zero extra code.
+
+    The description is translated once per instruction into closures
+    ({!compile}, memoized) — axis references and operand accesses resolve
+    to array slots instead of association lists — and both the tree-walking
+    and the compiled interpreter run intrinsic calls through that
+    translation. *)
 
 open Unit_tir
 
 exception Execution_error of string
+
+type compiled
+(** An instruction's DSL description translated to closures; safe to share
+    across domains (each call allocates its own axis state). *)
+
+val compile : Intrin.t -> compiled
+(** Memoized per instruction name; a re-registered instruction of the same
+    name is recompiled.
+    @raise Execution_error if the body references an undeclared axis. *)
+
+val run :
+  compiled ->
+  output:Stmt.tile ->
+  inputs:(string * Stmt.tile) list ->
+  read:(Buffer.t -> int -> Unit_dtype.Value.t) ->
+  write:(Buffer.t -> int -> Unit_dtype.Value.t -> unit) ->
+  tile_base:(Stmt.tile -> int) ->
+  unit
+(** Like {!execute}, but taking tile base addresses from [tile_base]
+    (evaluated once per call — the base is loop-invariant across the
+    intrinsic's axes). *)
 
 val execute :
   Intrin.t ->

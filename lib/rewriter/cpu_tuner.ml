@@ -8,11 +8,32 @@ type config = {
 let default_config = { parallel_grain = 3000; unroll_budget = 8 }
 let parallel_only = { default_config with unroll_budget = 1 }
 
+(* Divisors in ascending order, enumerated in O(sqrt n) pairs and memoized:
+   the tuner asks for the same handful of extents once per split decision
+   in every candidate. *)
+let divisors_cache : (int, int list) Hashtbl.t = Hashtbl.create 64
+let divisors_lock = Mutex.create ()
+
 let divisors n =
-  let rec go d acc = if d > n then List.rev acc
-    else go (d + 1) (if n mod d = 0 then d :: acc else acc)
-  in
-  go 1 []
+  Mutex.lock divisors_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock divisors_lock)
+    (fun () ->
+      match Hashtbl.find_opt divisors_cache n with
+      | Some ds -> ds
+      | None ->
+        let small = ref [] and large = ref [] in
+        let d = ref 1 in
+        while !d * !d <= n do
+          if n mod !d = 0 then begin
+            small := !d :: !small;
+            if !d <> n / !d then large := (n / !d) :: !large
+          end;
+          incr d
+        done;
+        let ds = List.rev_append !small !large in
+        Hashtbl.add divisors_cache n ds;
+        ds)
 
 (* The largest divisor of [extent] that is <= [budget]. *)
 let best_divisor extent budget =

@@ -2,8 +2,15 @@
    on hand-built tensor-IR programs (not just lowered ones). *)
 
 open Unit_dtype
+open Unit_dsl
 open Unit_tir
+open Unit_isa
 open Unit_codegen
+module Inspector = Unit_inspector.Inspector
+module Reorganize = Unit_rewriter.Reorganize
+module Replace = Unit_rewriter.Replace
+
+let () = Defs.ensure_registered ()
 
 let check_bool = Alcotest.(check bool)
 let check_int64 = Alcotest.(check int64)
@@ -135,6 +142,181 @@ let test_dtype_mismatch_binding_rejected () =
   | exception Interp.Runtime_error _ -> ()
   | () -> Alcotest.fail "dtype mismatch accepted"
 
+(* ---------- compiled fast path vs tree-walker ---------- *)
+
+(* Run [func] under both engines on identical inputs; the outputs must be
+   bit-identical, not merely close. *)
+let engines_agree op func =
+  let inputs =
+    List.map (fun t -> (t, Ndarray.random_for_tensor ~seed:17 t)) (Op.inputs op)
+  in
+  let out_interp = Ndarray.of_tensor_zeros op.Op.output in
+  let out_compiled = Ndarray.of_tensor_zeros op.Op.output in
+  Interp.run func ~bindings:((op.Op.output, out_interp) :: inputs);
+  Compile.run func ~bindings:((op.Op.output, out_compiled) :: inputs);
+  Ndarray.equal out_interp out_compiled
+
+(* property: on random split matmuls (non-divisor factors produce guarded
+   residue bodies) the compiled interpreter is bit-identical to the
+   tree-walker *)
+let prop_compiled_matches_tree_walker =
+  QCheck.Test.make ~name:"compiled engine matches tree-walker on split matmuls"
+    ~count:25
+    QCheck.(
+      quad (int_range 1 5) (* n *)
+        (int_range 1 8) (* m *)
+        (int_range 2 12) (* k *)
+        (pair (int_range 0 7) (int_range 0 2)) (* split factor seed, leaf *))
+    (fun (n, m, k, (fseed, leaf)) ->
+      let op =
+        Op_library.matmul ~n ~m ~k ~a_dtype:Dtype.U8 ~b_dtype:Dtype.I8
+          ~acc_dtype:Dtype.I32 ()
+      in
+      let s = Schedule.create op in
+      let it = List.nth (Schedule.leaves s) leaf in
+      let s =
+        if it.Schedule.Iter.extent >= 2 then begin
+          (* factor in 2..extent; frequently a non-divisor *)
+          let factor = 2 + (fseed mod (it.Schedule.Iter.extent - 1)) in
+          let s, _, _ = Schedule.split s it ~factor in
+          s
+        end
+        else s
+      in
+      engines_agree op (Lower.lower s))
+
+(* property: same bit-identity through the full tensorize pipeline, so the
+   compiled path executes Intrin_calls (and residue guards around them)
+   exactly like the tree-walker *)
+let prop_compiled_matches_tree_walker_tensorized =
+  QCheck.Test.make
+    ~name:"compiled engine matches tree-walker on tensorized convs" ~count:10
+    QCheck.(
+      quad (int_range 1 2) (* c_outer *)
+        (int_range 1 2) (* k_outer *)
+        (int_range 4 7) (* input hw *)
+        (pair (int_range 1 3) (int_range 1 2)) (* kernel, stride *))
+    (fun (co, ko, hw, (kernel, stride)) ->
+      QCheck.assume (hw >= kernel);
+      let op =
+        Op_library.conv2d_nchwc ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8
+          ~acc_dtype:Dtype.I32 ~lanes:16 ~reduce_width:4
+          { Op_library.in_channels = co * 4; in_height = hw; in_width = hw;
+            out_channels = ko * 16; kernel; stride }
+      in
+      match Inspector.inspect op Defs.vnni_vpdpbusd with
+      | Error _ -> false
+      | Ok ap ->
+        let r = Reorganize.apply op ap () in
+        let s = r.Reorganize.schedule in
+        (* split an outer loop by a (possibly non-dividing) factor so residue
+           guards appear around the intrinsic call *)
+        let s =
+          match
+            List.find_opt
+              (fun (it : Schedule.Iter.t) -> it.extent >= 3)
+              r.Reorganize.outer
+          with
+          | Some it ->
+            let s, _, _ = Schedule.split s it ~factor:2 in
+            s
+          | None -> s
+        in
+        engines_agree op (Replace.run (Lower.lower s)))
+
+(* A freshly registered ISA runs through the compiled engine with no code
+   added anywhere: Intrin_call execution is driven by the DSL description. *)
+let test_fresh_isa_runs_compiled () =
+  let intrin_op =
+    let a = Tensor.create ~name:"a" ~shape:[ 4 ] Dtype.I8 in
+    let b = Tensor.create ~name:"b" ~shape:[ 4 ] Dtype.I8 in
+    let c = Tensor.create ~name:"c" ~shape:[ 2 ] Dtype.I32 in
+    let d = Tensor.create ~name:"d" ~shape:[ 2 ] Dtype.I32 in
+    let i = Axis.data_parallel ~name:"i" 2 in
+    let j = Axis.reduction ~name:"j" 2 in
+    let ix = Expr.add (Expr.mul (Expr.axis i) (Expr.int_imm 2)) (Expr.axis j) in
+    Op.create ~name:"toy" ~output:d ~spatial:[ i ] ~reduce:[ j ]
+      ~init:(Op.Init_tensor c)
+      (Expr.mul
+         (Expr.cast Dtype.I32 (Expr.access a [ ix ]))
+         (Expr.cast Dtype.I32 (Expr.access b [ ix ])))
+  in
+  let toy =
+    Intrin.create ~name:"toy.compiled.dot2" ~llvm_name:"llvm.toy.dot2"
+      ~platform:Intrin.X86
+      ~cost:{ latency = 2; throughput = 1.0; macs = 4 }
+      intrin_op
+  in
+  Registry.register toy;
+  Fun.protect
+    ~finally:(fun () -> Registry.reset_for_testing ())
+    (fun () ->
+      let ta = Tensor.create ~name:"ra" ~shape:[ 4 ] Dtype.I8 in
+      let tb = Tensor.create ~name:"rb" ~shape:[ 4 ] Dtype.I8 in
+      let tc = Tensor.create ~name:"rc" ~shape:[ 2 ] Dtype.I32 in
+      let td = Tensor.create ~name:"rd" ~shape:[ 2 ] Dtype.I32 in
+      let ba = Buffer.of_tensor ta and bb = Buffer.of_tensor tb in
+      let bc = Buffer.of_tensor tc and bd = Buffer.of_tensor td in
+      let dense buf =
+        { Stmt.tile_buf = buf; tile_base = Texpr.int_imm 0;
+          tile_strides = [ ("i", 2); ("j", 1) ] }
+      in
+      let lane buf =
+        { Stmt.tile_buf = buf; tile_base = Texpr.int_imm 0;
+          tile_strides = [ ("i", 1) ] }
+      in
+      let func =
+        { Lower.fn_name = "fresh_isa";
+          fn_tensors = [ (ta, ba); (tb, bb); (tc, bc); (td, bd) ];
+          fn_output = bd; fn_iter_vars = [];
+          fn_body =
+            Stmt.Intrin_call
+              { intrin = "toy.compiled.dot2"; output = lane bd;
+                inputs = [ ("a", dense ba); ("b", dense bb); ("c", lane bc) ]
+              }
+        }
+      in
+      let arr_a =
+        Ndarray.init ~dtype:Dtype.I8 ~shape:[ 4 ] (fun ix ->
+            Value.of_int Dtype.I8 (ix.(0) + 1))
+      in
+      let arr_b =
+        Ndarray.init ~dtype:Dtype.I8 ~shape:[ 4 ] (fun ix ->
+            Value.of_int Dtype.I8 (ix.(0) + 2))
+      in
+      let arr_c =
+        Ndarray.init ~dtype:Dtype.I32 ~shape:[ 2 ] (fun ix ->
+            Value.of_int Dtype.I32 (100 * (ix.(0) + 1)))
+      in
+      let bindings out = [ (ta, arr_a); (tb, arr_b); (tc, arr_c); (td, out) ] in
+      let out_compiled = Ndarray.zeros ~dtype:Dtype.I32 ~shape:[ 2 ] in
+      Compile.run func ~bindings:(bindings out_compiled);
+      (* d[i] = c[i] + a[2i]*b[2i] + a[2i+1]*b[2i+1] *)
+      check_int64 "d[0]" (Int64.of_int ((100 + (1 * 2)) + (2 * 3)))
+        (Value.to_int64 (Ndarray.get_flat out_compiled 0));
+      check_int64 "d[1]" (Int64.of_int ((200 + (3 * 4)) + (4 * 5)))
+        (Value.to_int64 (Ndarray.get_flat out_compiled 1));
+      let out_interp = Ndarray.zeros ~dtype:Dtype.I32 ~shape:[ 2 ] in
+      Interp.run func ~bindings:(bindings out_interp);
+      check_bool "engines agree on fresh ISA" true
+        (Ndarray.equal out_interp out_compiled))
+
+(* compiled-path error reporting stays faithful to the tree-walker *)
+let test_compiled_rejects_bad_bindings () =
+  let t = Tensor.create ~name:"o" ~shape:[ 4 ] Dtype.I32 in
+  let buf = Buffer.of_tensor t in
+  let func =
+    { Lower.fn_name = "m"; fn_tensors = [ (t, buf) ]; fn_output = buf;
+      fn_iter_vars = []; fn_body = Stmt.Nop }
+  in
+  (match Compile.run func ~bindings:[] with
+   | exception Interp.Runtime_error _ -> ()
+   | () -> Alcotest.fail "missing binding accepted");
+  let wrong = Ndarray.zeros ~dtype:Dtype.F32 ~shape:[ 4 ] in
+  match Compile.run func ~bindings:[ (t, wrong) ] with
+  | exception Interp.Runtime_error _ -> ()
+  | () -> Alcotest.fail "dtype mismatch accepted"
+
 (* property: integer expression evaluation agrees with OCaml arithmetic *)
 let prop_expr_eval_matches_native =
   QCheck.Test.make ~name:"Texpr evaluation matches native arithmetic" ~count:300
@@ -169,5 +351,15 @@ let () =
           Alcotest.test_case "binding dtype mismatch" `Quick
             test_dtype_mismatch_binding_rejected
         ]
-        @ qcheck [ prop_expr_eval_matches_native ] )
+        @ qcheck [ prop_expr_eval_matches_native ] );
+      ( "compiled",
+        [ Alcotest.test_case "fresh ISA runs compiled" `Quick
+            test_fresh_isa_runs_compiled;
+          Alcotest.test_case "bad bindings rejected" `Quick
+            test_compiled_rejects_bad_bindings
+        ]
+        @ qcheck
+            [ prop_compiled_matches_tree_walker;
+              prop_compiled_matches_tree_walker_tensorized
+            ] )
     ]

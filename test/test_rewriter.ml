@@ -39,8 +39,8 @@ let tensorize_and_compare ?(mapping_index = 0) ?(tol = None) op intrin =
   let inputs = List.map (fun t -> (t, Ndarray.random_for_tensor ~seed:11 t)) (Op.inputs op) in
   let out_ref = Ndarray.of_tensor_zeros op.Op.output in
   let out_tensorized = Ndarray.of_tensor_zeros op.Op.output in
-  Interp.run (Lower.scalar_reference op) ~bindings:((op.Op.output, out_ref) :: inputs);
-  Interp.run func ~bindings:((op.Op.output, out_tensorized) :: inputs);
+  Compile.run (Lower.scalar_reference op) ~bindings:((op.Op.output, out_ref) :: inputs);
+  Compile.run func ~bindings:((op.Op.output, out_tensorized) :: inputs);
   match tol with
   | None -> check_bool "bit-identical to scalar reference" true (Ndarray.equal out_ref out_tensorized)
   | Some tol ->
@@ -206,8 +206,8 @@ let test_outer_schedule_after_tensorize () =
   let inputs = List.map (fun t -> (t, Ndarray.random_for_tensor ~seed:3 t)) (Op.inputs op) in
   let out_ref = Ndarray.of_tensor_zeros op.Op.output in
   let out_tuned = Ndarray.of_tensor_zeros op.Op.output in
-  Interp.run (Lower.scalar_reference op) ~bindings:((op.Op.output, out_ref) :: inputs);
-  Interp.run func ~bindings:((op.Op.output, out_tuned) :: inputs);
+  Compile.run (Lower.scalar_reference op) ~bindings:((op.Op.output, out_ref) :: inputs);
+  Compile.run func ~bindings:((op.Op.output, out_tuned) :: inputs);
   check_bool "tuned tensorized conv matches" true (Ndarray.equal out_ref out_tuned)
 
 (* residue guards outside the tensorized region are hoisted correctly *)
@@ -231,9 +231,39 @@ let test_guard_hoisting () =
   let inputs = List.map (fun t -> (t, Ndarray.random_for_tensor ~seed:5 t)) (Op.inputs op) in
   let out_ref = Ndarray.of_tensor_zeros op.Op.output in
   let out_t = Ndarray.of_tensor_zeros op.Op.output in
-  Interp.run (Lower.scalar_reference op) ~bindings:((op.Op.output, out_ref) :: inputs);
-  Interp.run func ~bindings:((op.Op.output, out_t) :: inputs);
+  Compile.run (Lower.scalar_reference op) ~bindings:((op.Op.output, out_ref) :: inputs);
+  Compile.run func ~bindings:((op.Op.output, out_t) :: inputs);
   check_bool "guarded tensorized conv matches" true (Ndarray.equal out_ref out_t)
+
+(* the per-(op, ISA) differential checks are independent: fan them across
+   domains through the parallel oracle and require every pair to match *)
+let test_parallel_oracle_differentials () =
+  let differential (op, intrin) =
+    match Inspector.inspect op intrin with
+    | Error _ -> false
+    | Ok ap ->
+      let r = Reorganize.apply op ap () in
+      let func = Replace.run (Lower.lower r.Reorganize.schedule) in
+      let inputs =
+        List.map (fun t -> (t, Ndarray.random_for_tensor ~seed:13 t)) (Op.inputs op)
+      in
+      let out_ref = Ndarray.of_tensor_zeros op.Op.output in
+      let out_t = Ndarray.of_tensor_zeros op.Op.output in
+      Compile.run (Lower.scalar_reference op)
+        ~bindings:((op.Op.output, out_ref) :: inputs);
+      Compile.run func ~bindings:((op.Op.output, out_t) :: inputs);
+      Ndarray.equal out_ref out_t
+  in
+  let pairs =
+    [ (conv_nchwc (), Defs.vnni_vpdpbusd);
+      (conv_nchwc ~hw:9 ~stride:2 (), Defs.vnni_vpdpbusd);
+      (conv_nchwc ~lanes:4 (), Defs.arm_udot);
+      (conv_nchwc ~data:Dtype.I8 ~lanes:4 (), Defs.arm_sdot)
+    ]
+  in
+  let results = Parallel_oracle.map differential pairs in
+  check_bool "all (op, ISA) pairs match under the parallel oracle" true
+    (List.for_all Fun.id results)
 
 (* property: random valid conv shapes tensorized with VNNI always match *)
 let prop_random_convs_match =
@@ -258,9 +288,9 @@ let prop_random_convs_match =
         in
         let out_ref = Ndarray.of_tensor_zeros op.Op.output in
         let out_t = Ndarray.of_tensor_zeros op.Op.output in
-        Interp.run (Lower.scalar_reference op)
+        Compile.run (Lower.scalar_reference op)
           ~bindings:((op.Op.output, out_ref) :: inputs);
-        Interp.run func ~bindings:((op.Op.output, out_t) :: inputs);
+        Compile.run func ~bindings:((op.Op.output, out_t) :: inputs);
         Ndarray.equal out_ref out_t)
 
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
@@ -290,7 +320,8 @@ let () =
           Alcotest.test_case "alternative mappings" `Quick
             test_alternative_mapping_also_correct;
           Alcotest.test_case "outer schedule" `Quick test_outer_schedule_after_tensorize;
-          Alcotest.test_case "guard hoisting" `Quick test_guard_hoisting
+          Alcotest.test_case "guard hoisting" `Quick test_guard_hoisting;
+          Alcotest.test_case "parallel oracle" `Quick test_parallel_oracle_differentials
         ]
         @ qcheck [ prop_random_convs_match ] )
     ]
