@@ -488,3 +488,59 @@ let summary outcomes =
     (fun o ->
       Printf.printf "%-8s %-44s %9.2f %9.2f\n" o.o_id o.o_metric o.o_paper o.o_measured)
     outcomes
+
+(* The observability snapshot of a whole bench run: every outcome next to
+   the pipeline's span aggregates, counters and histograms, written to
+   BENCH_obs.json so the perf trajectory is self-documenting (see
+   EXPERIMENTS.md).  Expects tracing to have been enabled for the run. *)
+let write_obs_json outcomes =
+  let module Obs = Unit_obs.Obs in
+  let module Json = Unit_obs.Json in
+  let num x = Json.Num x in
+  let int_num i = Json.Num (float_of_int i) in
+  let outcomes_json =
+    Json.Arr
+      (List.map
+         (fun o ->
+           Json.Obj
+             [ ("id", Json.Str o.o_id); ("metric", Json.Str o.o_metric);
+               ("paper", num o.o_paper); ("measured", num o.o_measured)
+             ])
+         outcomes)
+  in
+  let spans_json =
+    Json.Arr
+      (List.map
+         (fun (a : Obs.agg) ->
+           Json.Obj
+             [ ("name", Json.Str a.Obs.agg_name); ("count", int_num a.Obs.agg_count);
+               ("total_s", num a.Obs.agg_total); ("min_s", num a.Obs.agg_min);
+               ("max_s", num a.Obs.agg_max)
+             ])
+         (Obs.aggregate_spans (Obs.spans ())))
+  in
+  let counters_json =
+    Json.Obj (List.map (fun (k, v) -> (k, int_num v)) (Obs.counters ()))
+  in
+  let hists_json =
+    Json.Obj
+      (List.map
+         (fun (k, (s : Obs.hist_stats)) ->
+           ( k,
+             Json.Obj
+               [ ("count", int_num s.Obs.h_count); ("sum", num s.Obs.h_sum);
+                 ("min", num s.Obs.h_min); ("max", num s.Obs.h_max)
+               ] ))
+         (Obs.histograms ()))
+  in
+  let j =
+    Json.Obj
+      [ ("outcomes", outcomes_json); ("spans", spans_json);
+        ("counters", counters_json); ("histograms", hists_json)
+      ]
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Json.to_string j);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "-> BENCH_obs.json written\n"

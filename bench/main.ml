@@ -155,6 +155,11 @@ let () =
             exit 1)
         names
   in
+  (* trace the whole run so BENCH_obs.json captures where compilation and
+     execution time went alongside the headline numbers *)
+  Unit_obs.Obs.set_enabled true;
   let outcomes = List.map (fun (_, f) -> f ()) chosen in
+  Unit_obs.Obs.set_enabled false;
   Experiments.summary outcomes;
+  Experiments.write_obs_json outcomes;
   if want_bechamel then run_bechamel ()

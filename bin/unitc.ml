@@ -14,8 +14,24 @@ module Replace = Unit_rewriter.Replace
 module Cpu_tuner = Unit_rewriter.Cpu_tuner
 module Spec = Unit_machine.Spec
 module Cpu_model = Unit_machine.Cpu_model
+module Obs = Unit_obs.Obs
+module Json = Unit_obs.Json
 
 let () = Unit_isa.Defs.ensure_registered ()
+
+(* Tracing is flushed through [at_exit] so the summary and the Chrome
+   trace are emitted even on the error-exit paths (check --trace with
+   analysis errors exits 1 but still reports where the time went). *)
+let enable_tracing ?trace_out () =
+  Obs.set_enabled true;
+  at_exit (fun () ->
+      Obs.set_enabled false;
+      Format.printf "%a@?" Obs.pp_summary ();
+      Option.iter
+        (fun path ->
+          Obs.write_chrome_trace path;
+          Printf.printf "chrome trace written to %s\n%!" path)
+        trace_out)
 
 (* ---------- shared arguments ---------- *)
 
@@ -163,7 +179,8 @@ let compile kind isa target c hw k kernel stride n m kdim show_ir =
 
 (* ---------- run (differential execution) ---------- *)
 
-let run kind isa engine c hw k kernel stride n m kdim =
+let run kind isa engine trace c hw k kernel stride n m kdim =
+  if trace then enable_tracing ();
   let intrin = or_die (lookup_intrin isa) in
   let op = or_die (build_op ~kind ~intrin ~c ~hw ~k ~kernel ~stride ~n ~m ~kdim) in
   match Inspector.inspect op intrin with
@@ -376,7 +393,8 @@ let run_counterexamples () =
     exit 1
   end
 
-let check target counterexamples_only =
+let check target counterexamples_only trace =
+  if trace then enable_tracing ();
   if counterexamples_only then run_counterexamples ()
   else begin
     let spec = or_die (lookup_spec target) in
@@ -436,6 +454,122 @@ let check target counterexamples_only =
     if !errors > 0 then exit 1
   end
 
+(* ---------- profile ---------- *)
+
+(* Profile one model (or one Table I kernel, "table1:N") under tracing:
+   tensorize every distinct workload through the cached pipeline, then run
+   the graph executor numerically for per-operator wall times.  The span /
+   counter summary prints at exit; --trace-out adds a Chrome trace. *)
+let profile model target trace_out no_exec =
+  (match lookup_spec target with Ok _ -> () | Error m -> or_die (Error m));
+  enable_tracing ?trace_out ();
+  let conv_time wl =
+    match target with
+    | "graviton2" -> Unit_core.Pipeline.conv_time_arm wl
+    | _ -> Unit_core.Pipeline.conv_time_x86 wl
+  in
+  let dense_time wl =
+    match target with
+    | "graviton2" -> Unit_core.Pipeline.dense_time_arm wl
+    | _ -> Unit_core.Pipeline.dense_time_x86 wl
+  in
+  let table1_index =
+    if String.length model > 7 && String.sub model 0 7 = "table1:" then
+      int_of_string_opt (String.sub model 7 (String.length model - 7))
+    else None
+  in
+  match table1_index with
+  | Some i ->
+    let workloads = Unit_models.Table1.workloads in
+    if i < 1 || i > Array.length workloads then
+      or_die
+        (Error (Printf.sprintf "table1 index %d out of range 1..%d" i
+                  (Array.length workloads)));
+    let wl = workloads.(i - 1) in
+    let t = conv_time wl in
+    Printf.printf "table1[%d] %s on %s: modelled %.3f us\n" i
+      (Workload.name (Workload.Conv wl)) target (t *. 1e6)
+  | None ->
+    (match Unit_models.Zoo.find model with
+     | None ->
+       or_die
+         (Error (model ^ ": not a model (see unitc models) nor table1:N"))
+     | Some build ->
+       let g = build () in
+       let tensorized = ref 0 and skipped = ref 0 in
+       let modelled = ref 0.0 in
+       let try_workload label f =
+         match f () with
+         | t ->
+           incr tensorized;
+           modelled := !modelled +. t
+         | exception Invalid_argument reason ->
+           incr skipped;
+           Printf.printf "  %-40s skipped (%s)\n" label reason
+       in
+       List.iter
+         (fun (wl, count) ->
+           try_workload (Workload.name (Workload.Conv wl)) (fun () ->
+               float_of_int count *. conv_time wl))
+         (Unit_models.Zoo.conv_workloads g);
+       List.iter
+         (fun (wl, count) ->
+           try_workload (Workload.name (Workload.Fc wl)) (fun () ->
+               float_of_int count *. dense_time wl))
+         (Unit_models.Zoo.dense_workloads g);
+       Printf.printf
+         "%s on %s: %d workload(s) tensorized, %d skipped, modelled conv+fc time %.3f ms\n%!"
+         model target !tensorized !skipped (!modelled *. 1e3);
+       if not no_exec then begin
+         let g = Unit_graph.Passes.fuse g in
+         let input = Unit_graph.Executor.default_input g ~seed:1 in
+         let out = Unit_graph.Executor.run g ~input in
+         Printf.printf "executor: ran %s numerically (%d output elements)\n%!" model
+           (Unit_codegen.Ndarray.num_elements out.Unit_graph.Executor.arr)
+       end)
+
+(* ---------- trace-lint ---------- *)
+
+(* Validate a Chrome trace emitted by --trace-out / profile: it must
+   parse as JSON, carry a traceEvents array covering all five tensorize
+   stage spans, and report a positive tuner candidate count. *)
+let trace_lint file =
+  let contents =
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse contents with
+  | Error m -> or_die (Error (Printf.sprintf "%s does not parse as JSON: %s" file m))
+  | Ok j ->
+    let events =
+      match Option.bind (Json.member "traceEvents" j) Json.to_list with
+      | Some evs -> evs
+      | None -> or_die (Error (file ^ ": no traceEvents array"))
+    in
+    let names =
+      List.filter_map (fun e -> Option.bind (Json.member "name" e) Json.to_str) events
+    in
+    let missing =
+      List.filter (fun stage -> not (List.mem stage names)) Obs.tensorize_stages
+    in
+    if missing <> [] then
+      or_die
+        (Error
+           (Printf.sprintf "%s: missing pipeline stage span(s): %s" file
+              (String.concat ", " missing)));
+    let candidates =
+      Option.bind (Json.member "counters" j) (fun c ->
+          Option.bind (Json.member "tuner.candidates" c) Json.to_num)
+    in
+    (match candidates with
+     | Some n when n > 0.0 -> ()
+     | _ -> or_die (Error (file ^ ": no positive tuner.candidates counter")));
+    Printf.printf "trace-lint: %s OK (%d events, all %d stage spans present)\n" file
+      (List.length events)
+      (List.length Obs.tensorize_stages)
+
 (* ---------- command wiring ---------- *)
 
 let conv_args f =
@@ -468,6 +602,14 @@ let compile_cmd =
       const compile $ op_kind_arg $ isa_arg $ spec_arg $ channels_arg $ hw_arg
       $ out_channels_arg $ kernel_arg $ stride_arg $ n_arg $ m_arg $ kdim_arg $ show_ir)
 
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Enable the observability layer: print the span/counter summary \
+           table on exit.")
+
 let run_cmd =
   let engine_arg =
     Arg.(value & opt string "compiled"
@@ -481,8 +623,9 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Execute the tensorized kernel and the scalar oracle; compare.")
     Term.(
-      const run $ op_kind_arg $ isa_arg $ engine_arg $ channels_arg $ hw_arg
-      $ out_channels_arg $ kernel_arg $ stride_arg $ n_arg $ m_arg $ kdim_arg)
+      const run $ op_kind_arg $ isa_arg $ engine_arg $ trace_flag $ channels_arg
+      $ hw_arg $ out_channels_arg $ kernel_arg $ stride_arg $ n_arg $ m_arg
+      $ kdim_arg)
 
 let e2e_cmd =
   let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
@@ -510,7 +653,7 @@ let counterexamples_flag =
           "Instead of the zoo, run hand-built racy/overflowing programs through \
            the analyzer and verify each is rejected (exits non-zero).")
 
-let check_term = Term.(const check $ spec_arg $ counterexamples_flag)
+let check_term = Term.(const check $ spec_arg $ counterexamples_flag $ trace_flag)
 
 let check_cmd =
   Cmd.v
@@ -523,6 +666,42 @@ let check_cmd =
 
 let lint_cmd = Cmd.v (Cmd.info "lint" ~doc:"Alias of check.") check_term
 
+let profile_cmd =
+  let model =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"MODEL"
+             ~doc:"A zoo model (see unitc models) or table1:N for one Table I \
+                   kernel.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Also write a Chrome trace_event JSON file (load it in \
+                   chrome://tracing or Perfetto).")
+  in
+  let no_exec =
+    Arg.(value & flag
+         & info [ "no-exec" ]
+             ~doc:"Skip the numeric executor run; profile only the \
+                   tensorization pipeline.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a model through the tensorization pipeline and the numeric \
+          executor with tracing on; print per-stage spans, counters and \
+          histograms.")
+    Term.(const profile $ model $ spec_arg $ trace_out $ no_exec)
+
+let trace_lint_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "trace-lint"
+       ~doc:
+         "Validate a Chrome trace written by profile --trace-out: JSON parses, \
+          all five tensorize stage spans present, tuner candidates counted.")
+    Term.(const trace_lint $ file)
+
 let () =
   let info =
     Cmd.info "unitc" ~version:"1.0.0"
@@ -532,5 +711,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_isa_cmd; show_isa_cmd; inspect_cmd; compile_cmd; run_cmd; e2e_cmd;
-            models_cmd; table1_cmd; check_cmd; lint_cmd
+            models_cmd; table1_cmd; check_cmd; lint_cmd; profile_cmd;
+            trace_lint_cmd
           ]))

@@ -25,6 +25,16 @@ open Unit_tir
 
 let error fmt = Printf.ksprintf (fun s -> raise (Interp.Runtime_error s)) fmt
 
+module Obs = Unit_obs.Obs
+
+(* Static compilation counters: each records a compile-time decision
+   (never a per-element runtime event), so they cost nothing on the
+   compiled closures' hot path. *)
+let c_bounds_hoisted = Obs.counter "codegen.bounds_hoisted"
+let c_bounds_emitted = Obs.counter "codegen.bounds_emitted"
+let c_wraps_elided = Obs.counter "codegen.wraps_elided"
+let c_affine_flattened = Obs.counter "codegen.affine_flattened"
+
 type storage_kind = KF | KI | KL
 
 (* Compile-time facts about one buffer: which kind-specific cell array it
@@ -87,6 +97,8 @@ let mk_wrap dt =
 let mk_round dt = if Dtype.equal dt Dtype.F64 then Fun.id else Value.round_float dt
 
 let compile (func : Lower.func) =
+  let obs_tok = Obs.start "codegen.compile" in
+  Fun.protect ~finally:(fun () -> Obs.stop obs_tok) @@ fun () ->
   let binfos : (int, binfo) Hashtbl.t = Hashtbl.create 16 in
   let nf = ref 0 and ni = ref 0 and nl = ref 0 in
   let get_binfo (b : Buffer.t) =
@@ -365,8 +377,12 @@ let compile (func : Lower.func) =
     let proven =
       match interval ix with Some (lo, hi) -> lo >= 0 && hi < size | None -> false
     in
-    if proven then ic
+    if proven then begin
+      Obs.incr c_bounds_hoisted;
+      ic
+    end
     else begin
+      Obs.incr c_bounds_emitted;
       let name = bi.b_buf.Buffer.name in
       fun ctx ->
         let a = ic ctx in
@@ -377,7 +393,9 @@ let compile (func : Lower.func) =
 
   and eval_int_c e =
     match affine e with
-    | Some af -> affine_closure af
+    | Some af ->
+      Obs.incr c_affine_flattened;
+      affine_closure af
     | None ->
       (match comp_e e with
        | EI f -> f
@@ -403,6 +421,10 @@ let compile (func : Lower.func) =
     match comp_e a, comp_e b with
     | EI fa, EI fb when is_narrow dt ->
       let w = mk_wrap dt in
+      (if exact then
+         match op with
+         | Texpr.Add | Texpr.Sub | Texpr.Mul -> Obs.incr c_wraps_elided
+         | _ -> ());
       (match op with
        | Texpr.Add when exact ->
          EI
@@ -592,10 +614,11 @@ let compile (func : Lower.func) =
     match comp_e a with
     | EI f ->
       if is_narrow dt then
-        if
-          Dtype.equal dt src
-          || (match interval a with Some iv -> fits dt iv | None -> false)
-        then EI f
+        if Dtype.equal dt src then EI f
+        else if match interval a with Some iv -> fits dt iv | None -> false then begin
+          Obs.incr c_wraps_elided;
+          EI f
+        end
         else begin
           let w = mk_wrap dt in
           EI (fun ctx -> w (f ctx))
@@ -826,6 +849,8 @@ let bind_cell ctx bi (arr : Ndarray.t) =
   | _ -> error "buffer %s: storage kind mismatch" b.Buffer.name
 
 let run_compiled c ~bindings =
+  let obs_tok = Obs.start "codegen.run" in
+  Fun.protect ~finally:(fun () -> Obs.stop obs_tok) @@ fun () ->
   let ctx =
     {
       frame = Array.make (Stdlib.max c.cp_nslots 1) 0;

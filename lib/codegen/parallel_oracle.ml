@@ -7,6 +7,12 @@
    wins and is re-raised (with its backtrace) on the calling domain after
    every worker has joined, so no work is left running. *)
 
+module Obs = Unit_obs.Obs
+
+(* Counted at submission, so the total is identical whatever the domain
+   count — the determinism tests rely on this. *)
+let c_tasks = Obs.counter "oracle.tasks"
+
 let default_domains () =
   match Sys.getenv_opt "UNIT_DOMAINS" with
   | Some s ->
@@ -18,6 +24,7 @@ let default_domains () =
 let map ?domains f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
+  Obs.add c_tasks n;
   let d = Stdlib.min (match domains with Some d -> d | None -> default_domains ()) n in
   if d <= 1 || n <= 1 then List.map f xs
   else begin

@@ -7,8 +7,12 @@ module Spec = Unit_machine.Spec
 module Cpu_model = Unit_machine.Cpu_model
 module Gpu_model = Unit_machine.Gpu_model
 module Workload = Unit_graph.Workload
+module Obs = Unit_obs.Obs
 
 let () = Unit_isa.Defs.ensure_registered ()
+
+let c_cache_hit = Obs.counter "pipeline.cache.hit"
+let c_cache_miss = Obs.counter "pipeline.cache.miss"
 
 type compiled = {
   c_op : Op.t;
@@ -43,12 +47,24 @@ let analyze (tuned : Cpu_tuner.tuned) =
   Unit_analysis.Analysis.check_func ~intrin:intrin_meta tuned.Cpu_tuner.t_func
 
 let tensorize ?mapping_index ?configs ~spec op intrin =
-  match Inspector.inspect op intrin with
+  let tok =
+    if Obs.enabled () then
+      Obs.start "tensorize"
+        ~detail:(op.Op.name ^ " @ " ^ intrin.Unit_isa.Intrin.name)
+    else Obs.null_span
+  in
+  Fun.protect ~finally:(fun () -> Obs.stop tok) @@ fun () ->
+  match Obs.with_span "tensorize.inspect" (fun () -> Inspector.inspect op intrin) with
   | Error r -> Error (Inspector.rejection_to_string r)
   | Ok ap ->
-    let reorganized = Reorganize.apply op ap ?mapping_index () in
+    let reorganized =
+      Obs.with_span "tensorize.reorganize" (fun () ->
+          Reorganize.apply op ap ?mapping_index ())
+    in
+    (* [Cpu_tuner.tune] opens the [tensorize.tune] span itself (with a
+       [tensorize.lower_replace] child per candidate). *)
     let tuned = Cpu_tuner.tune spec ?configs reorganized in
-    let diags = analyze tuned in
+    let diags = Obs.with_span "tensorize.analyze" (fun () -> analyze tuned) in
     (match Unit_tir.Diag.errors diags with
      | _ :: _ as errs ->
        Error
@@ -65,7 +81,7 @@ let tensorize ?mapping_index ?configs ~spec op intrin =
 
 let seconds compiled = compiled.c_tuned.Cpu_tuner.t_estimate.Cpu_model.est_seconds
 
-(* ---------- cached per-workload kernel times ---------- *)
+(* ---------- cached per-workload kernels ---------- *)
 
 type cache_key = {
   ck_tag : string;
@@ -73,44 +89,65 @@ type cache_key = {
   ck_config : string;
 }
 
-let cache : (cache_key, float) Hashtbl.t = Hashtbl.create 256
+(* CPU paths cache the whole compiled kernel (so repeat workloads reuse
+   the tuned schedule, not just its latency); paths without a [compiled]
+   (GPU model, analytic fallbacks) cache the bare time. *)
+type cache_entry =
+  | Kernel of compiled
+  | Time of float
+
+let cache : (cache_key, cache_entry) Hashtbl.t = Hashtbl.create 256
 
 let clear_cache () = Hashtbl.reset cache
 
 let memo ~tag ~workload ~config f =
   let key = { ck_tag = tag; ck_workload = workload; ck_config = config } in
   match Hashtbl.find_opt cache key with
-  | Some t -> t
+  | Some e ->
+    Obs.incr c_cache_hit;
+    e
   | None ->
-    let t = f () in
-    Hashtbl.add cache key t;
-    t
+    Obs.incr c_cache_miss;
+    let e = f () in
+    Hashtbl.add cache key e;
+    e
+
+let entry_seconds = function
+  | Kernel c -> seconds c
+  | Time t -> t
 
 let config_string = function
   | None -> "tuned"
   | Some (c : Cpu_tuner.config) ->
     Printf.sprintf "g%d-u%d" c.Cpu_tuner.parallel_grain c.Cpu_tuner.unroll_budget
 
-let cpu_conv_time ~tag ~spec ~intrin_name ~data_dtype ?config wl =
-  memo ~tag ~workload:(Workload.name (Workload.Conv wl)) ~config:(config_string config)
-    (fun () ->
-      let intrin = Unit_isa.Registry.find_exn intrin_name in
-      let lanes = Unit_isa.Intrin.output_lanes intrin in
-      let reduce_width = Unit_isa.Intrin.reduction_width intrin in
-      let op =
-        Workload.conv_op ~data_dtype ~weight_dtype:Dtype.I8 ~lanes ~reduce_width wl
-      in
-      let configs = Option.map (fun c -> [ c ]) config in
-      match tensorize ?configs ~spec op intrin with
-      | Ok compiled -> seconds compiled
-      | Error reason ->
-        invalid_arg
-          (Printf.sprintf "conv %s does not tensorize with %s: %s"
-             (Workload.name (Workload.Conv wl)) intrin_name reason))
+let cpu_conv_kernel ~tag ~spec ~intrin_name ~data_dtype ?config wl =
+  let entry =
+    memo ~tag ~workload:(Workload.name (Workload.Conv wl)) ~config:(config_string config)
+      (fun () ->
+        let intrin = Unit_isa.Registry.find_exn intrin_name in
+        let lanes = Unit_isa.Intrin.output_lanes intrin in
+        let reduce_width = Unit_isa.Intrin.reduction_width intrin in
+        let op =
+          Workload.conv_op ~data_dtype ~weight_dtype:Dtype.I8 ~lanes ~reduce_width wl
+        in
+        let configs = Option.map (fun c -> [ c ]) config in
+        match tensorize ?configs ~spec op intrin with
+        | Ok compiled -> Kernel compiled
+        | Error reason ->
+          invalid_arg
+            (Printf.sprintf "conv %s does not tensorize with %s: %s"
+               (Workload.name (Workload.Conv wl)) intrin_name reason))
+  in
+  match entry with
+  | Kernel c -> c
+  | Time _ -> assert false (* this key is only ever populated with [Kernel] *)
 
-let conv_time_x86 ?config wl =
-  cpu_conv_time ~tag:"x86-vnni" ~spec:Spec.cascadelake ~intrin_name:"vnni.vpdpbusd"
+let conv_compiled_x86 ?config wl =
+  cpu_conv_kernel ~tag:"x86-vnni" ~spec:Spec.cascadelake ~intrin_name:"vnni.vpdpbusd"
     ~data_dtype:Dtype.U8 ?config wl
+
+let conv_time_x86 ?config wl = seconds (conv_compiled_x86 ?config wl)
 
 let conv_time_arm ?(intrin = "arm.udot") ?config wl =
   let data_dtype =
@@ -118,46 +155,49 @@ let conv_time_arm ?(intrin = "arm.udot") ?config wl =
     if String.equal intrin "neon.mla.i16" then Dtype.I16 else Dtype.U8
   in
   let weight_dtype = if String.equal intrin "neon.mla.i16" then Dtype.I16 else Dtype.I8 in
-  memo ~tag:("arm-" ^ intrin)
-    ~workload:(Workload.name (Workload.Conv wl))
-    ~config:(config_string config)
-    (fun () ->
-      let intrin_def = Unit_isa.Registry.find_exn intrin in
-      let lanes = Unit_isa.Intrin.output_lanes intrin_def in
-      let reduce_width = Stdlib.max 1 (Unit_isa.Intrin.reduction_width intrin_def) in
-      let reduce_width = if reduce_width = 1 then 4 else reduce_width in
-      let op = Workload.conv_op ~data_dtype ~weight_dtype ~lanes ~reduce_width wl in
-      let configs = Option.map (fun c -> [ c ]) config in
-      match tensorize ?configs ~spec:Spec.graviton2 op intrin_def with
-      | Ok compiled -> seconds compiled
-      | Error reason ->
-        invalid_arg
-          (Printf.sprintf "conv %s does not tensorize with %s: %s"
-             (Workload.name (Workload.Conv wl)) intrin reason))
+  entry_seconds
+    (memo ~tag:("arm-" ^ intrin)
+       ~workload:(Workload.name (Workload.Conv wl))
+       ~config:(config_string config)
+       (fun () ->
+         let intrin_def = Unit_isa.Registry.find_exn intrin in
+         let lanes = Unit_isa.Intrin.output_lanes intrin_def in
+         let reduce_width = Stdlib.max 1 (Unit_isa.Intrin.reduction_width intrin_def) in
+         let reduce_width = if reduce_width = 1 then 4 else reduce_width in
+         let op = Workload.conv_op ~data_dtype ~weight_dtype ~lanes ~reduce_width wl in
+         let configs = Option.map (fun c -> [ c ]) config in
+         match tensorize ?configs ~spec:Spec.graviton2 op intrin_def with
+         | Ok compiled -> Kernel compiled
+         | Error reason ->
+           invalid_arg
+             (Printf.sprintf "conv %s does not tensorize with %s: %s"
+                (Workload.name (Workload.Conv wl)) intrin reason)))
 
 let conv3d_time_x86 wl =
-  memo ~tag:"x86-vnni-3d" ~workload:(Workload.name (Workload.Conv3 wl)) ~config:"tuned"
-    (fun () ->
-      let op =
-        Workload.conv3d_op ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8 ~lanes:16
-          ~reduce_width:4 wl
-      in
-      let intrin = Unit_isa.Registry.find_exn "vnni.vpdpbusd" in
-      match tensorize ~spec:Spec.cascadelake op intrin with
-      | Ok compiled -> seconds compiled
-      | Error reason -> invalid_arg ("conv3d does not tensorize: " ^ reason))
+  entry_seconds
+    (memo ~tag:"x86-vnni-3d" ~workload:(Workload.name (Workload.Conv3 wl)) ~config:"tuned"
+       (fun () ->
+         let op =
+           Workload.conv3d_op ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8 ~lanes:16
+             ~reduce_width:4 wl
+         in
+         let intrin = Unit_isa.Registry.find_exn "vnni.vpdpbusd" in
+         match tensorize ~spec:Spec.cascadelake op intrin with
+         | Ok compiled -> Kernel compiled
+         | Error reason -> invalid_arg ("conv3d does not tensorize: " ^ reason)))
 
 let cpu_dense_time ~tag ~spec ~intrin_name ~data_dtype wl =
-  memo ~tag ~workload:(Workload.name (Workload.Fc wl)) ~config:"tuned" (fun () ->
-      let intrin = Unit_isa.Registry.find_exn intrin_name in
-      let lanes = Unit_isa.Intrin.output_lanes intrin in
-      let reduce_width = Unit_isa.Intrin.reduction_width intrin in
-      let op =
-        Workload.dense_op ~data_dtype ~weight_dtype:Dtype.I8 ~lanes ~reduce_width wl
-      in
-      match tensorize ~spec op intrin with
-      | Ok compiled -> seconds compiled
-      | Error reason -> invalid_arg ("dense does not tensorize: " ^ reason))
+  entry_seconds
+    (memo ~tag ~workload:(Workload.name (Workload.Fc wl)) ~config:"tuned" (fun () ->
+         let intrin = Unit_isa.Registry.find_exn intrin_name in
+         let lanes = Unit_isa.Intrin.output_lanes intrin in
+         let reduce_width = Unit_isa.Intrin.reduction_width intrin in
+         let op =
+           Workload.dense_op ~data_dtype ~weight_dtype:Dtype.I8 ~lanes ~reduce_width wl
+         in
+         match tensorize ~spec op intrin with
+         | Ok compiled -> Kernel compiled
+         | Error reason -> invalid_arg ("dense does not tensorize: " ^ reason)))
 
 let dense_time_x86 wl =
   cpu_dense_time ~tag:"x86-dense" ~spec:Spec.cascadelake ~intrin_name:"vnni.vpdpbusd"
@@ -174,15 +214,16 @@ let conv_time_gpu ?config wl =
     | Some (c : Gpu_model.config) ->
       Printf.sprintf "p%d-f%b-k%d" c.Gpu_model.p c.Gpu_model.fuse_dim c.Gpu_model.split_k
   in
-  memo ~tag:"gpu-wmma" ~workload:(Workload.name (Workload.Conv wl)) ~config:config_str
-    (fun () ->
-      let spec = Workload.conv_spec ~lanes:1 ~reduce_width:1 wl in
-      let gemm = Gpu_model.gemm_of_conv spec in
-      match config with
-      | Some c -> (Gpu_model.estimate Spec.v100 gemm c).Gpu_model.g_seconds
-      | None ->
-        let _, est = Gpu_model.tune Spec.v100 gemm in
-        est.Gpu_model.g_seconds)
+  entry_seconds
+    (memo ~tag:"gpu-wmma" ~workload:(Workload.name (Workload.Conv wl)) ~config:config_str
+       (fun () ->
+         let spec = Workload.conv_spec ~lanes:1 ~reduce_width:1 wl in
+         let gemm = Gpu_model.gemm_of_conv spec in
+         match config with
+         | Some c -> Time (Gpu_model.estimate Spec.v100 gemm c).Gpu_model.g_seconds
+         | None ->
+           let _, est = Gpu_model.tune Spec.v100 gemm in
+           Time est.Gpu_model.g_seconds))
 
 (* Depthwise convolutions reduce one channel per group: no dot-product
    idiom to tensorize.  They run as vectorized elementwise MACs, bounded by

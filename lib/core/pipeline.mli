@@ -41,13 +41,23 @@ val analyze : Cpu_tuner.tuned -> Unit_tir.Diag.t list
 
 val seconds : compiled -> float
 
-(** Per-platform convolution kernel times, cached by workload.  Activations
-    are u8 on x86 (VNNI is unsigned-by-signed) and i8 on ARM. *)
+(** Per-platform convolution kernels, cached by
+    (platform tag, workload, config): a repeated workload returns the
+    {e same} compiled kernel — same tuned schedule, physically shared —
+    without re-running the pipeline.  Cache traffic is counted on the
+    [pipeline.cache.hit] / [pipeline.cache.miss] observability counters
+    when tracing is enabled.  Activations are u8 on x86 (VNNI is
+    unsigned-by-signed) and i8 on ARM. *)
+
+val conv_compiled_x86 :
+  ?config:Cpu_tuner.config -> Unit_graph.Workload.conv2d -> compiled
+(** UNIT on Cascade Lake with [vnni.vpdpbusd]; a fixed [config] skips the
+    search (used by the Fig. 10 ablation).  Cached: calling twice with an
+    equal workload returns the identical [compiled] value. *)
 
 val conv_time_x86 :
   ?config:Cpu_tuner.config -> Unit_graph.Workload.conv2d -> float
-(** UNIT on Cascade Lake with [vnni.vpdpbusd]; a fixed [config] skips the
-    search (used by the Fig. 10 ablation). *)
+(** [seconds (conv_compiled_x86 ?config wl)]. *)
 
 val conv_time_arm :
   ?intrin:string -> ?config:Cpu_tuner.config -> Unit_graph.Workload.conv2d -> float

@@ -1,5 +1,31 @@
 open Unit_dtype
 open Unit_codegen
+module Obs = Unit_obs.Obs
+
+let c_levels = Obs.counter "exec.levels"
+let c_nodes = Obs.counter "exec.nodes"
+let h_level_width = Obs.histogram "exec.level_width"
+
+(* Per-node span label, shared between graph and level execution.  The
+   full node name goes in the span detail (built only when tracing is
+   on), so labels stay low-cardinality for aggregation. *)
+let kind_label = function
+  | Graph.Input _ -> "exec.input"
+  | Graph.Weight _ -> "exec.weight"
+  | Graph.Conv2d _ -> "exec.conv2d"
+  | Graph.Conv3d _ -> "exec.conv3d"
+  | Graph.Dense _ -> "exec.dense"
+  | Graph.Bias_add -> "exec.bias_add"
+  | Graph.Relu -> "exec.relu"
+  | Graph.Clip _ -> "exec.clip"
+  | Graph.Add -> "exec.add"
+  | Graph.Pool _ -> "exec.pool"
+  | Graph.Global_avg_pool -> "exec.global_avg_pool"
+  | Graph.Flatten -> "exec.flatten"
+  | Graph.Concat -> "exec.concat"
+  | Graph.Softmax -> "exec.softmax"
+  | Graph.Quantize _ -> "exec.quantize"
+  | Graph.Dequantize _ -> "exec.dequantize"
 
 type value = {
   arr : Ndarray.t;
@@ -405,6 +431,13 @@ let level_buckets g =
 let run g ~input =
   let results : (int, value) Hashtbl.t = Hashtbl.create 64 in
   let eval_node (n : Graph.node) =
+    (* per-operator wall time; the string detail is only built when
+       tracing is live, so the disabled path allocates nothing *)
+    let tok =
+      if Obs.enabled () then Obs.start (kind_label n.Graph.kind) ~detail:n.Graph.name
+      else Obs.null_span
+    in
+    Fun.protect ~finally:(fun () -> Obs.stop tok) @@ fun () ->
     let all_inputs = List.map (fun i -> Hashtbl.find results i) n.Graph.inputs in
     let v =
       match n.Graph.kind with
@@ -458,7 +491,15 @@ let run g ~input =
      it; writes happen after the level joins *)
   List.iter
     (fun nodes ->
-      let vs = Parallel_oracle.map eval_node nodes in
+      Obs.incr c_levels;
+      Obs.add c_nodes (List.length nodes);
+      Obs.observe h_level_width (float_of_int (List.length nodes));
+      let tok = Obs.start "exec.level" in
+      let vs =
+        Fun.protect
+          ~finally:(fun () -> Obs.stop tok)
+          (fun () -> Parallel_oracle.map eval_node nodes)
+      in
       List.iter (fun (id, v) -> Hashtbl.replace results id v) vs)
     (level_buckets g);
   Hashtbl.find results (Graph.output g)

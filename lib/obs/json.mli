@@ -1,0 +1,23 @@
+(** Minimal JSON: value type, escaped printer, strict parser.
+    Exists so the observability sinks and [unitc trace-lint] need no
+    external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Strict: rejects trailing garbage; [\u] escapes are decoded to
+    UTF-8 (surrogate pairs unsupported — the emitter never produces
+    them). *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_str : t -> string option
+val to_num : t -> float option

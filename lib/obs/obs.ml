@@ -1,0 +1,403 @@
+(* Hierarchical trace spans + counters + histograms.
+
+   Concurrency design: spans are appended to a per-domain growable
+   buffer reached through [Domain.DLS], so recording never contends —
+   the only lock is taken when a domain registers its buffer (once per
+   domain) and when a snapshot walks the registry.  Counters are plain
+   [Atomic.t] ints.  Histograms take a tiny per-histogram mutex on
+   [observe]; they sit on warm paths (per tuner sweep, per executor
+   level), not hot ones.
+
+   The [enabled] flag is the single gate: when off, [start] returns
+   [null_span] before touching DLS, and [incr]/[add]/[observe] return
+   immediately.  [stop] deliberately does NOT check the flag so a span
+   opened just before tracing is switched off is still closed — the
+   well-formedness invariant (every recorded span closed, children
+   nested in parents) must hold whenever recording stops. *)
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let now () = Unix.gettimeofday ()
+
+(* ---------- spans ---------- *)
+
+type span = int
+
+let null_span = -1
+
+type rec_span = {
+  rs_name : string;
+  rs_detail : string;
+  rs_parent : int;
+  rs_begin : float;
+  mutable rs_end : float; (* -1.0 while open *)
+}
+
+let dummy_rec = { rs_name = ""; rs_detail = ""; rs_parent = -1; rs_begin = 0.; rs_end = 0. }
+
+type buffer = {
+  b_domain : int;
+  mutable b_spans : rec_span array;
+  mutable b_len : int;
+  mutable b_stack : int list; (* indices of open spans, innermost first *)
+}
+
+let registry : buffer list ref = ref []
+let registry_mu = Mutex.create ()
+
+let make_buffer () =
+  let b =
+    {
+      b_domain = (Domain.self () :> int);
+      b_spans = Array.make 64 dummy_rec;
+      b_len = 0;
+      b_stack = [];
+    }
+  in
+  Mutex.lock registry_mu;
+  registry := b :: !registry;
+  Mutex.unlock registry_mu;
+  b
+
+let buffer_key = Domain.DLS.new_key make_buffer
+
+let push b r =
+  if b.b_len = Array.length b.b_spans then begin
+    let bigger = Array.make (2 * b.b_len) dummy_rec in
+    Array.blit b.b_spans 0 bigger 0 b.b_len;
+    b.b_spans <- bigger
+  end;
+  b.b_spans.(b.b_len) <- r;
+  b.b_len <- b.b_len + 1;
+  b.b_len - 1
+
+let start ?(detail = "") name =
+  if not (Atomic.get enabled_flag) then null_span
+  else begin
+    let b = Domain.DLS.get buffer_key in
+    let parent = match b.b_stack with [] -> -1 | i :: _ -> i in
+    let i =
+      push b
+        { rs_name = name; rs_detail = detail; rs_parent = parent; rs_begin = now (); rs_end = -1.0 }
+    in
+    b.b_stack <- i :: b.b_stack;
+    i
+  end
+
+let stop tok =
+  if tok >= 0 then begin
+    let b = Domain.DLS.get buffer_key in
+    (* A [reset] between start and stop invalidates the token. *)
+    if tok < b.b_len && List.mem tok b.b_stack then begin
+      let t = now () in
+      (* Pop to [tok], force-closing any child left open so the
+         recorded tree stays well-formed even on sloppy call sites. *)
+      let rec pop = function
+        | [] -> []
+        | i :: rest ->
+          let r = b.b_spans.(i) in
+          if r.rs_end < r.rs_begin then r.rs_end <- t;
+          if i = tok then rest else pop rest
+      in
+      b.b_stack <- pop b.b_stack
+    end
+  end
+
+let with_span ?detail name f =
+  let tok = start ?detail name in
+  Fun.protect ~finally:(fun () -> stop tok) f
+
+(* ---------- counters ---------- *)
+
+type counter = {
+  c_name : string;
+  c_val : int Atomic.t;
+}
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+let counters_mu = Mutex.create ()
+
+let counter name =
+  Mutex.lock counters_mu;
+  let c =
+    match Hashtbl.find_opt counters_tbl name with
+    | Some c -> c
+    | None ->
+      let c = { c_name = name; c_val = Atomic.make 0 } in
+      Hashtbl.add counters_tbl name c;
+      c
+  in
+  Mutex.unlock counters_mu;
+  c
+
+let incr c = if Atomic.get enabled_flag then Atomic.incr c.c_val
+let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_val n)
+let value c = Atomic.get c.c_val
+
+(* ---------- histograms ---------- *)
+
+type hist_stats = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+type histogram = {
+  hg_name : string;
+  hg_mu : Mutex.t;
+  mutable hg_count : int;
+  mutable hg_sum : float;
+  mutable hg_min : float;
+  mutable hg_max : float;
+}
+
+let hists_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let hists_mu = Mutex.create ()
+
+let histogram name =
+  Mutex.lock hists_mu;
+  let h =
+    match Hashtbl.find_opt hists_tbl name with
+    | Some h -> h
+    | None ->
+      let h =
+        { hg_name = name; hg_mu = Mutex.create (); hg_count = 0; hg_sum = 0.; hg_min = 0.; hg_max = 0. }
+      in
+      Hashtbl.add hists_tbl name h;
+      h
+  in
+  Mutex.unlock hists_mu;
+  h
+
+let observe h x =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock h.hg_mu;
+    if h.hg_count = 0 then begin
+      h.hg_min <- x;
+      h.hg_max <- x
+    end
+    else begin
+      if x < h.hg_min then h.hg_min <- x;
+      if x > h.hg_max then h.hg_max <- x
+    end;
+    h.hg_count <- h.hg_count + 1;
+    h.hg_sum <- h.hg_sum +. x;
+    Mutex.unlock h.hg_mu
+  end
+
+let hist_stats h =
+  Mutex.lock h.hg_mu;
+  let s = { h_count = h.hg_count; h_sum = h.hg_sum; h_min = h.hg_min; h_max = h.hg_max } in
+  Mutex.unlock h.hg_mu;
+  s
+
+(* ---------- reset ---------- *)
+
+let reset () =
+  Mutex.lock registry_mu;
+  (* Truncate in place: the owning domains' DLS slots still reference
+     these buffers, so we must not drop them from under a live domain. *)
+  List.iter
+    (fun b ->
+      b.b_len <- 0;
+      b.b_stack <- [])
+    !registry;
+  Mutex.unlock registry_mu;
+  Mutex.lock counters_mu;
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_val 0) counters_tbl;
+  Mutex.unlock counters_mu;
+  Mutex.lock hists_mu;
+  Hashtbl.iter
+    (fun _ h ->
+      Mutex.lock h.hg_mu;
+      h.hg_count <- 0;
+      h.hg_sum <- 0.;
+      h.hg_min <- 0.;
+      h.hg_max <- 0.;
+      Mutex.unlock h.hg_mu)
+    hists_tbl;
+  Mutex.unlock hists_mu
+
+(* ---------- snapshots ---------- *)
+
+type span_record = {
+  sp_name : string;
+  sp_detail : string;
+  sp_domain : int;
+  sp_id : int;
+  sp_parent : int;
+  sp_begin : float;
+  sp_end : float;
+}
+
+let span_closed sp = sp.sp_end >= sp.sp_begin
+
+let spans () =
+  Mutex.lock registry_mu;
+  let bufs = !registry in
+  Mutex.unlock registry_mu;
+  let out =
+    List.concat_map
+      (fun b ->
+        List.init b.b_len (fun i ->
+            let r = b.b_spans.(i) in
+            {
+              sp_name = r.rs_name;
+              sp_detail = r.rs_detail;
+              sp_domain = b.b_domain;
+              sp_id = i;
+              sp_parent = r.rs_parent;
+              sp_begin = r.rs_begin;
+              sp_end = r.rs_end;
+            }))
+      bufs
+  in
+  List.sort (fun a b -> compare (a.sp_domain, a.sp_id) (b.sp_domain, b.sp_id)) out
+
+let counters () =
+  Mutex.lock counters_mu;
+  let out = Hashtbl.fold (fun _ c acc -> (c.c_name, Atomic.get c.c_val) :: acc) counters_tbl [] in
+  Mutex.unlock counters_mu;
+  List.sort compare out
+
+let histograms () =
+  Mutex.lock hists_mu;
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) hists_tbl [] in
+  Mutex.unlock hists_mu;
+  List.sort compare (List.map (fun h -> (h.hg_name, hist_stats h)) hs)
+
+(* ---------- aggregation & sinks ---------- *)
+
+type agg = {
+  agg_name : string;
+  agg_count : int;
+  agg_total : float;
+  agg_min : float;
+  agg_max : float;
+}
+
+let aggregate_spans sps =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun sp ->
+      let cur =
+        match Hashtbl.find_opt tbl sp.sp_name with
+        | Some a -> a
+        | None -> { agg_name = sp.sp_name; agg_count = 0; agg_total = 0.; agg_min = infinity; agg_max = 0. }
+      in
+      let a =
+        if span_closed sp then begin
+          let d = sp.sp_end -. sp.sp_begin in
+          {
+            cur with
+            agg_count = cur.agg_count + 1;
+            agg_total = cur.agg_total +. d;
+            agg_min = Float.min cur.agg_min d;
+            agg_max = Float.max cur.agg_max d;
+          }
+        end
+        else { cur with agg_count = cur.agg_count + 1 }
+      in
+      Hashtbl.replace tbl sp.sp_name a)
+    sps;
+  let out = Hashtbl.fold (fun _ a acc -> a :: acc) tbl [] in
+  let out = List.map (fun a -> if a.agg_min = infinity then { a with agg_min = 0. } else a) out in
+  List.sort (fun a b -> compare a.agg_name b.agg_name) out
+
+let pp_summary_aggs ppf aggs =
+  Format.fprintf ppf "%-34s %7s %12s %12s %12s@."
+    "span" "count" "total ms" "min ms" "max ms";
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "%-34s %7d %12.3f %12.3f %12.3f@."
+        a.agg_name a.agg_count (a.agg_total *. 1e3) (a.agg_min *. 1e3) (a.agg_max *. 1e3))
+    aggs
+
+let pp_counters ppf cs =
+  Format.fprintf ppf "%-34s %12s@." "counter" "value";
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-34s %12d@." name v) cs
+
+let pp_histograms ppf hs =
+  Format.fprintf ppf "%-34s %7s %12s %12s %12s@."
+    "histogram" "count" "min" "mean" "max";
+  List.iter
+    (fun (name, s) ->
+      let mean = if s.h_count = 0 then 0. else s.h_sum /. float_of_int s.h_count in
+      Format.fprintf ppf "%-34s %7d %12.3f %12.3f %12.3f@."
+        name s.h_count s.h_min mean s.h_max)
+    hs
+
+let pp_summary ppf () =
+  let aggs = aggregate_spans (spans ()) in
+  if aggs <> [] then Format.fprintf ppf "-- spans --@.%a" pp_summary_aggs aggs;
+  let cs = counters () in
+  if cs <> [] then Format.fprintf ppf "-- counters --@.%a" pp_counters cs;
+  let hs = List.filter (fun (_, s) -> s.h_count > 0) (histograms ()) in
+  if hs <> [] then Format.fprintf ppf "-- histograms --@.%a" pp_histograms hs
+
+let chrome_trace () =
+  let sps = spans () in
+  let t0 = List.fold_left (fun acc sp -> Float.min acc sp.sp_begin) infinity sps in
+  let t0 = if t0 = infinity then 0. else t0 in
+  let events =
+    List.filter_map
+      (fun sp ->
+        if not (span_closed sp) then None
+        else
+          let base =
+            [
+              ("name", Json.Str sp.sp_name);
+              ("cat", Json.Str "unit");
+              ("ph", Json.Str "X");
+              ("pid", Json.Num 1.);
+              ("tid", Json.Num (float_of_int sp.sp_domain));
+              ("ts", Json.Num ((sp.sp_begin -. t0) *. 1e6));
+              ("dur", Json.Num ((sp.sp_end -. sp.sp_begin) *. 1e6));
+            ]
+          in
+          let args =
+            if sp.sp_detail = "" then []
+            else [ ("args", Json.Obj [ ("detail", Json.Str sp.sp_detail) ]) ]
+          in
+          Some (Json.Obj (base @ args)))
+      sps
+  in
+  let counters_json = List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) (counters ()) in
+  let hists_json =
+    List.map
+      (fun (k, s) ->
+        ( k,
+          Json.Obj
+            [
+              ("count", Json.Num (float_of_int s.h_count));
+              ("sum", Json.Num s.h_sum);
+              ("min", Json.Num s.h_min);
+              ("max", Json.Num s.h_max);
+            ] ))
+      (histograms ())
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr events);
+      ("displayTimeUnit", Json.Str "ms");
+      ("counters", Json.Obj counters_json);
+      ("histograms", Json.Obj hists_json);
+    ]
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (chrome_trace ())))
+
+let tensorize_stages =
+  [
+    "tensorize.inspect";
+    "tensorize.reorganize";
+    "tensorize.tune";
+    "tensorize.lower_replace";
+    "tensorize.analyze";
+  ]

@@ -1,0 +1,148 @@
+(** Zero-dependency observability: hierarchical trace spans, named
+    counters and histograms, with human-table / JSON / Chrome
+    [trace_event] sinks.
+
+    Everything is gated on a single atomic [enabled] flag.  When tracing
+    is disabled every entry point is a no-op: [start] returns
+    [null_span] without touching any buffer, [incr]/[observe] return
+    immediately, and instrumented call sites are expected to guard any
+    string construction behind [enabled ()].  Span recording is
+    domain-safe: each domain appends to its own buffer (via
+    [Domain.DLS]), so [Parallel_oracle] workers can record without
+    contention; only buffer registration takes a lock.
+
+    Timing uses [Unix.gettimeofday] — the monotonic-clock stand-in
+    available without extra packages.  Spans are wall-clock intervals in
+    seconds. *)
+
+(** {1 Global switch} *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded spans and zero all counters/histograms.
+    Registered counter/histogram handles stay valid. *)
+
+(** {1 Spans} *)
+
+type span = int
+(** A token for an open span, private to the domain that started it.
+    [null_span] is returned when tracing is disabled. *)
+
+val null_span : span
+
+val start : ?detail:string -> string -> span
+(** [start name] opens a span named [name] in the current domain,
+    nested under the innermost open span of this domain.  O(1), no
+    allocation beyond the record itself; returns [null_span] (and
+    records nothing) when disabled. *)
+
+val stop : span -> unit
+(** Close a span returned by [start].  Must run in the same domain.
+    [stop null_span] is a no-op. *)
+
+val with_span : ?detail:string -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span, closing it even if
+    [f] raises.  Convenience wrapper — hot paths that must not allocate
+    a closure should use [start]/[stop] directly. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Intern a counter by name (idempotent: same name, same handle).
+    Register handles once at module init, not on hot paths. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Both are no-ops while disabled. *)
+
+val value : counter -> int
+
+(** {1 Histograms} *)
+
+type histogram
+
+type hist_stats = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+val histogram : string -> histogram
+(** Intern a histogram by name (idempotent). *)
+
+val observe : histogram -> float -> unit
+(** No-op while disabled. *)
+
+val hist_stats : histogram -> hist_stats
+
+(** {1 Snapshots} *)
+
+type span_record = {
+  sp_name : string;
+  sp_detail : string;  (** [""] when none *)
+  sp_domain : int;  (** id of the recording domain *)
+  sp_id : int;  (** unique within [sp_domain] *)
+  sp_parent : int;  (** [sp_id] of the enclosing span, [-1] for roots *)
+  sp_begin : float;  (** seconds, [Unix.gettimeofday] epoch *)
+  sp_end : float;  (** [< sp_begin] iff the span was never closed *)
+}
+
+val span_closed : span_record -> bool
+
+val spans : unit -> span_record list
+(** All recorded spans, sorted by (domain, id) — i.e. per-domain
+    program order. *)
+
+val counters : unit -> (string * int) list
+(** Name-sorted; zero-valued counters are included once registered. *)
+
+val histograms : unit -> (string * hist_stats) list
+(** Name-sorted; empty histograms are included once registered. *)
+
+(** {1 Aggregation and sinks} *)
+
+type agg = {
+  agg_name : string;
+  agg_count : int;
+  agg_total : float;  (** summed wall seconds *)
+  agg_min : float;
+  agg_max : float;
+}
+
+val aggregate_spans : span_record list -> agg list
+(** Group spans by name; name-sorted.  Unclosed spans count toward
+    [agg_count] but contribute no time. *)
+
+val pp_summary_aggs : Format.formatter -> agg list -> unit
+(** The fixed-width span table — pure, for golden tests. *)
+
+val pp_counters : Format.formatter -> (string * int) list -> unit
+(** The fixed-width counter table — pure, for golden tests. *)
+
+val pp_histograms : Format.formatter -> (string * hist_stats) list -> unit
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Live sink: spans aggregated + counters + histograms, via the pure
+    printers above. *)
+
+val chrome_trace : unit -> Json.t
+(** Chrome [trace_event] JSON: an object with a ["traceEvents"] array of
+    phase-["X"] complete events (one per closed span; [tid] = domain,
+    microsecond timestamps relative to the earliest span), plus
+    ["counters"] and ["histograms"] objects. *)
+
+val write_chrome_trace : string -> unit
+(** [write_chrome_trace path] writes [chrome_trace ()] to [path]. *)
+
+(** {1 Span taxonomy} *)
+
+val tensorize_stages : string list
+(** The five pipeline stage span names, in pipeline order:
+    [tensorize.inspect], [tensorize.reorganize], [tensorize.tune],
+    [tensorize.lower_replace], [tensorize.analyze].  Used by
+    [unitc trace-lint] and the [@obs-smoke] alias. *)

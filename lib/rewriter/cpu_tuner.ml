@@ -1,9 +1,16 @@
 open Unit_dsl
+module Obs = Unit_obs.Obs
 
 type config = {
   parallel_grain : int;
   unroll_budget : int;
 }
+
+(* Search telemetry (all no-ops unless tracing is enabled). *)
+let c_candidates = Obs.counter "tuner.candidates"
+let c_pruned = Obs.counter "tuner.pruned"
+let c_improvements = Obs.counter "tuner.improvements"
+let h_best = Obs.histogram "tuner.best_cycles"
 
 let default_config = { parallel_grain = 3000; unroll_budget = 8 }
 let parallel_only = { default_config with unroll_budget = 1 }
@@ -143,24 +150,77 @@ let candidate_configs (spec : Unit_machine.Spec.cpu) =
       List.map (fun unroll_budget -> { parallel_grain; unroll_budget }) unrolls)
     grains
 
+(* Both breaking points greedily accumulate whole dp loops while
+   [acc * extent <= budget], so any budget at or above the dp
+   iteration-space product behaves exactly like the product itself.
+   Clamping both budgets to that product therefore maps each config to a
+   behavioural equivalence class; we evaluate only the first config of
+   each class.  The strict [<] in the fold below means the first of a
+   class of equal candidates won either way, so pruning is
+   result-preserving (same winner, same [t_config]). *)
+let prune_configs (r : Reorganize.t) configs =
+  let dp_product =
+    List.fold_left
+      (fun acc (it : Schedule.Iter.t) -> if is_dp it then acc * it.extent else acc)
+      1 r.Reorganize.outer
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun c ->
+      let key = (min c.parallel_grain dp_product, min c.unroll_budget dp_product) in
+      if Hashtbl.mem seen key then begin
+        Obs.incr c_pruned;
+        false
+      end
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    configs
+
 let tune spec ?threads ?configs (r : Reorganize.t) =
   let configs =
     match configs with Some c -> c | None -> candidate_configs spec
   in
+  if configs = [] then invalid_arg "Cpu_tuner.tune: empty configuration list";
+  let tune_tok = Obs.start "tensorize.tune" in
+  Fun.protect ~finally:(fun () -> Obs.stop tune_tok) @@ fun () ->
   let evaluate config =
+    let tok =
+      if Obs.enabled () then
+        Obs.start "tuner.candidate"
+          ~detail:
+            (Printf.sprintf "grain=%d unroll=%d" config.parallel_grain
+               config.unroll_budget)
+      else Obs.null_span
+    in
+    Fun.protect ~finally:(fun () -> Obs.stop tok) @@ fun () ->
+    Obs.incr c_candidates;
     let schedule = apply r config in
-    let func = Replace.run (Unit_tir.Lower.lower schedule) in
+    let lr_tok = Obs.start "tensorize.lower_replace" in
+    let func =
+      Fun.protect
+        ~finally:(fun () -> Obs.stop lr_tok)
+        (fun () -> Replace.run (Unit_tir.Lower.lower schedule))
+    in
     let estimate = Unit_machine.Cpu_model.estimate spec ?threads func in
     { t_config = config; t_schedule = schedule; t_func = func; t_estimate = estimate }
   in
-  match List.map evaluate configs with
-  | [] -> invalid_arg "Cpu_tuner.tune: empty configuration list"
+  match prune_configs r configs with
+  | [] -> assert false (* the first config of a non-empty list is always kept *)
   | first :: rest ->
+    let first = evaluate first in
+    Obs.observe h_best first.t_estimate.Unit_machine.Cpu_model.est_cycles;
     List.fold_left
-      (fun best candidate ->
+      (fun best config ->
+        let candidate = evaluate config in
         if
           candidate.t_estimate.Unit_machine.Cpu_model.est_cycles
           < best.t_estimate.Unit_machine.Cpu_model.est_cycles
-        then candidate
+        then begin
+          Obs.incr c_improvements;
+          Obs.observe h_best candidate.t_estimate.Unit_machine.Cpu_model.est_cycles;
+          candidate
+        end
         else best)
       first rest

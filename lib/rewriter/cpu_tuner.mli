@@ -53,6 +53,16 @@ val candidate_configs : Unit_machine.Spec.cpu -> config list
 val compile : Reorganize.t -> config -> Unit_tir.Lower.func
 (** [apply], lower, and replace in one step. *)
 
+val prune_configs : Reorganize.t -> config list -> config list
+(** Drop configurations that are behaviourally identical on this
+    reorganized schedule: both budgets act through
+    [running product <= budget] over the data-parallel extents, so any
+    budget at or above the dp iteration-space product is equivalent to
+    the product itself.  Keeps the first config of each equivalence
+    class (order-preserving), which is exactly the one [tune]'s
+    strict-improvement fold would have selected anyway.  Bumps the
+    [tuner.pruned] counter when tracing is on. *)
+
 val tune :
   Unit_machine.Spec.cpu ->
   ?threads:int ->

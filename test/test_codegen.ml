@@ -224,6 +224,83 @@ let prop_compiled_matches_tree_walker_tensorized =
         in
         engines_agree op (Replace.run (Lower.lower s)))
 
+(* ---------- tracing transparency (lib/obs) ---------- *)
+
+module Obs = Unit_obs.Obs
+
+(* Recorded span trees must be well-formed: every span closed, and every
+   child's interval nested within its parent's (same domain). *)
+let spans_well_formed () =
+  let sps = Obs.spans () in
+  List.for_all
+    (fun (sp : Obs.span_record) ->
+      Obs.span_closed sp
+      && (sp.Obs.sp_parent < 0
+          || List.exists
+               (fun (p : Obs.span_record) ->
+                 p.Obs.sp_domain = sp.Obs.sp_domain
+                 && p.Obs.sp_id = sp.Obs.sp_parent
+                 && p.Obs.sp_begin <= sp.Obs.sp_begin
+                 && sp.Obs.sp_end <= p.Obs.sp_end)
+               sps))
+    sps
+
+(* property: enabling the tracing layer changes nothing about compiled
+   execution — outputs stay bit-identical to the untraced run and to the
+   tree-walker — and the spans it records form a well-formed tree *)
+let prop_tracing_transparent =
+  QCheck.Test.make
+    ~name:"tracing leaves compiled outputs bit-identical, spans well-formed"
+    ~count:15
+    QCheck.(
+      quad (int_range 1 5) (* n *)
+        (int_range 1 8) (* m *)
+        (int_range 2 12) (* k *)
+        (pair (int_range 0 7) (int_range 0 2)) (* split factor seed, leaf *))
+    (fun (n, m, k, (fseed, leaf)) ->
+      let op =
+        Op_library.matmul ~n ~m ~k ~a_dtype:Dtype.U8 ~b_dtype:Dtype.I8
+          ~acc_dtype:Dtype.I32 ()
+      in
+      let s = Schedule.create op in
+      let it = List.nth (Schedule.leaves s) leaf in
+      let s =
+        if it.Schedule.Iter.extent >= 2 then begin
+          let factor = 2 + (fseed mod (it.Schedule.Iter.extent - 1)) in
+          let s, _, _ = Schedule.split s it ~factor in
+          s
+        end
+        else s
+      in
+      let func = Lower.lower s in
+      let inputs =
+        List.map (fun t -> (t, Ndarray.random_for_tensor ~seed:23 t)) (Op.inputs op)
+      in
+      let run exec =
+        let out = Ndarray.of_tensor_zeros op.Op.output in
+        exec func ~bindings:((op.Op.output, out) :: inputs);
+        out
+      in
+      let out_plain = run Compile.run in
+      let out_interp = run Interp.run in
+      Obs.reset ();
+      Obs.set_enabled true;
+      let out_traced =
+        Fun.protect
+          ~finally:(fun () -> Obs.set_enabled false)
+          (fun () -> run Compile.run)
+      in
+      let wf = spans_well_formed () in
+      let recorded =
+        List.exists
+          (fun (sp : Obs.span_record) -> sp.Obs.sp_name = "codegen.compile")
+          (Obs.spans ())
+      in
+      Obs.reset ();
+      Ndarray.equal out_plain out_traced
+      && Ndarray.equal out_interp out_traced
+      && wf && recorded)
+
 (* A freshly registered ISA runs through the compiled engine with no code
    added anywhere: Intrin_call execution is driven by the DSL description. *)
 let test_fresh_isa_runs_compiled () =
@@ -360,6 +437,7 @@ let () =
         ]
         @ qcheck
             [ prop_compiled_matches_tree_walker;
-              prop_compiled_matches_tree_walker_tensorized
+              prop_compiled_matches_tree_walker_tensorized;
+              prop_tracing_transparent
             ] )
     ]

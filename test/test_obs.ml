@@ -1,0 +1,318 @@
+(* Tests for the observability layer (lib/obs): span recording and
+   nesting, the disabled-is-a-no-op contract, counter/histogram
+   snapshots, JSON printing/parsing round trips, Chrome trace emission,
+   Parallel_oracle determinism across domain counts, the tensorize
+   stage-span taxonomy, and golden output for the fixed-width summary
+   tables and the Unit_tir.Diag printer. *)
+
+open Unit_dtype
+module Obs = Unit_obs.Obs
+module Json = Unit_obs.Json
+module Pipeline = Unit_core.Pipeline
+module Parallel_oracle = Unit_codegen.Parallel_oracle
+
+let () = Unit_isa.Defs.ensure_registered ()
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Run [f] with tracing enabled, restoring the disabled state and
+   clearing recorded data afterwards even if [f] raises. *)
+let traced f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* ---------- spans ---------- *)
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  check_bool "disabled" false (Obs.enabled ());
+  let tok = Obs.start "never.recorded" in
+  check_bool "start returns null_span" true (tok = Obs.null_span);
+  Obs.stop tok;
+  let c = Obs.counter "test.disabled.counter" in
+  Obs.incr c;
+  Obs.add c 10;
+  check_int "counter did not move" 0 (Obs.value c);
+  let h = Obs.histogram "test.disabled.hist" in
+  Obs.observe h 1.0;
+  check_int "histogram did not record" 0 (Obs.hist_stats h).Obs.h_count;
+  check_bool "no spans recorded" true (Obs.spans () = [])
+
+let test_span_nesting_and_force_close () =
+  traced @@ fun () ->
+  let a = Obs.start "outer" in
+  let (_ : Obs.span) = Obs.start "inner" ~detail:"d" in
+  (* closing the parent force-closes the still-open child *)
+  Obs.stop a;
+  let sps = Obs.spans () in
+  check_int "two spans" 2 (List.length sps);
+  List.iter
+    (fun sp -> check_bool (sp.Obs.sp_name ^ " closed") true (Obs.span_closed sp))
+    sps;
+  let outer = List.find (fun sp -> sp.Obs.sp_name = "outer") sps in
+  let inner = List.find (fun sp -> sp.Obs.sp_name = "inner") sps in
+  check_int "inner's parent is outer" outer.Obs.sp_id inner.Obs.sp_parent;
+  check_int "outer is a root" (-1) outer.Obs.sp_parent;
+  check_bool "intervals nest" true
+    (outer.Obs.sp_begin <= inner.Obs.sp_begin && inner.Obs.sp_end <= outer.Obs.sp_end);
+  check_string "detail recorded" "d" inner.Obs.sp_detail
+
+let test_with_span_closes_on_raise () =
+  traced @@ fun () ->
+  (match Obs.with_span "boom" (fun () -> raise Exit) with
+   | exception Exit -> ()
+   | () -> Alcotest.fail "expected Exit");
+  match Obs.spans () with
+  | [ sp ] -> check_bool "closed despite raise" true (Obs.span_closed sp)
+  | sps -> Alcotest.failf "expected one span, got %d" (List.length sps)
+
+(* ---------- counters and histograms ---------- *)
+
+let test_counters_and_histograms () =
+  traced @@ fun () ->
+  let c = Obs.counter "test.counter" in
+  check_bool "interning is idempotent" true (c == Obs.counter "test.counter");
+  Obs.incr c;
+  Obs.add c 4;
+  check_int "value" 5 (Obs.value c);
+  check_int "snapshot agrees" 5 (List.assoc "test.counter" (Obs.counters ()));
+  let h = Obs.histogram "test.hist" in
+  Obs.observe h 2.0;
+  Obs.observe h 6.0;
+  Obs.observe h 4.0;
+  let s = Obs.hist_stats h in
+  check_int "count" 3 s.Obs.h_count;
+  check_bool "sum" true (s.Obs.h_sum = 12.0);
+  check_bool "min" true (s.Obs.h_min = 2.0);
+  check_bool "max" true (s.Obs.h_max = 6.0);
+  Obs.reset ();
+  check_int "reset zeroes counters" 0 (Obs.value c);
+  check_int "reset zeroes histograms" 0 (Obs.hist_stats h).Obs.h_count
+
+(* ---------- Parallel_oracle determinism (UNIT_DOMAINS=1 vs 4) ---------- *)
+
+let with_domains v f =
+  let old = Sys.getenv_opt "UNIT_DOMAINS" in
+  Unix.putenv "UNIT_DOMAINS" v;
+  Fun.protect
+    ~finally:(fun () ->
+      (* putenv cannot unset; "" falls back to the recommended count *)
+      Unix.putenv "UNIT_DOMAINS" (Option.value ~default:"" old))
+    f
+
+let oracle_run () =
+  Obs.reset ();
+  let items = List.init 37 Fun.id in
+  let results =
+    Parallel_oracle.map
+      (fun i -> Obs.with_span "oracle.item" (fun () -> (i * i) + 3))
+      items
+  in
+  let tasks = List.assoc "oracle.tasks" (Obs.counters ()) in
+  let sps = List.filter (fun sp -> sp.Obs.sp_name = "oracle.item") (Obs.spans ()) in
+  let per_domain = Hashtbl.create 8 in
+  List.iter
+    (fun sp ->
+      Hashtbl.replace per_domain sp.Obs.sp_domain
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_domain sp.Obs.sp_domain)))
+    sps;
+  let domain_sum = Hashtbl.fold (fun _ c acc -> c + acc) per_domain 0 in
+  (results, tasks, List.length sps, domain_sum)
+
+let test_parallel_oracle_determinism () =
+  traced @@ fun () ->
+  let r1, t1, n1, s1 = with_domains "1" oracle_run in
+  let r4, t4, n4, s4 = with_domains "4" oracle_run in
+  check_bool "results identical across domain counts" true (r1 = r4);
+  check_int "oracle.tasks identical" t1 t4;
+  check_int "one span per item (1 domain)" 37 n1;
+  check_int "one span per item (4 domains)" 37 n4;
+  check_int "per-domain counts sum to total (1)" n1 s1;
+  check_int "per-domain counts sum to total (4)" n4 s4
+
+(* ---------- tensorize stage taxonomy ---------- *)
+
+let test_tensorize_stage_spans () =
+  traced @@ fun () ->
+  let op =
+    Unit_dsl.Op_library.conv2d_nchwc ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8
+      ~acc_dtype:Dtype.I32 ~lanes:16 ~reduce_width:4
+      { Unit_dsl.Op_library.in_channels = 8; in_height = 6; in_width = 6;
+        out_channels = 16; kernel = 3; stride = 1 }
+  in
+  (match
+     Pipeline.tensorize ~spec:Unit_machine.Spec.cascadelake op
+       (Unit_isa.Registry.find_exn "vnni.vpdpbusd")
+   with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "tensorize failed on a VNNI-friendly conv");
+  let names = List.map (fun sp -> sp.Obs.sp_name) (Obs.spans ()) in
+  List.iter
+    (fun stage -> check_bool (stage ^ " present") true (List.mem stage names))
+    Obs.tensorize_stages;
+  check_bool "candidate sweep recorded" true
+    (List.assoc "tuner.candidates" (Obs.counters ()) > 0)
+
+(* ---------- JSON ---------- *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let finite_num =
+    oneof
+      [ map (fun n -> Json.Num (float_of_int n)) (int_range (-1000000) 1000000);
+        map
+          (fun (a, b) -> Json.Num (float_of_int a /. float_of_int b))
+          (pair (int_range (-1000) 1000) (int_range 1 97))
+      ]
+  in
+  let leaf =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        finite_num;
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_range 0 12))
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [ (3, leaf);
+          (1, map (fun xs -> Json.Arr xs) (list_size (int_range 0 4) (node (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair (string_size ~gen:printable (int_range 0 8)) (node (depth - 1)))) )
+        ]
+  in
+  node 3
+
+let prop_json_round_trip =
+  QCheck.Test.make ~name:"Json.parse inverts Json.to_string" ~count:200
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun j -> Json.parse (Json.to_string j) = Ok j)
+
+let test_json_parser_strictness () =
+  (match Json.parse "1 2" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  (match Json.parse "{\"a\":}" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "missing value accepted");
+  check_bool "unicode escape decodes" true
+    (Json.parse "\"\\u0041\"" = Ok (Json.Str "A"));
+  check_bool "nan prints as null" true (Json.to_string (Json.Num Float.nan) = "null")
+
+let test_chrome_trace_json () =
+  traced @@ fun () ->
+  Obs.with_span "a" (fun () -> Obs.with_span "b" ~detail:"x" (fun () -> ()));
+  Obs.incr (Obs.counter "test.trace.counter");
+  let j = Obs.chrome_trace () in
+  match Json.parse (Json.to_string j) with
+  | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
+  | Ok parsed ->
+    check_bool "round trip" true (parsed = j);
+    (match Option.bind (Json.member "traceEvents" parsed) Json.to_list with
+     | Some events -> check_int "one event per closed span" 2 (List.length events)
+     | None -> Alcotest.fail "no traceEvents array");
+    (match
+       Option.bind (Json.member "counters" parsed) (Json.member "test.trace.counter")
+     with
+     | Some (Json.Num 1.) -> ()
+     | _ -> Alcotest.fail "counter missing from trace")
+
+(* ---------- golden output: summary tables and Diag ---------- *)
+
+(* The profile summary tables are fixed-width; these literals pin the
+   column layout `unitc profile` prints. *)
+let test_golden_span_table () =
+  let aggs =
+    [ { Obs.agg_name = "tensorize"; agg_count = 2; agg_total = 0.00375;
+        agg_min = 0.0015; agg_max = 0.00225 };
+      { Obs.agg_name = "tensorize.tune"; agg_count = 2; agg_total = 0.0024;
+        agg_min = 0.001; agg_max = 0.0014 }
+    ]
+  in
+  let expected =
+    String.concat ""
+      [ "span"; String.make 30 ' ';
+        "   count     total ms       min ms       max ms\n";
+        "tensorize"; String.make 25 ' ';
+        "       2        3.750        1.500        2.250\n";
+        "tensorize.tune"; String.make 20 ' ';
+        "       2        2.400        1.000        1.400\n"
+      ]
+  in
+  check_string "span table" expected (Format.asprintf "%a" Obs.pp_summary_aggs aggs)
+
+let test_golden_counter_table () =
+  let expected =
+    String.concat ""
+      [ "counter"; String.make 27 ' '; "        value\n";
+        "pipeline.cache.hit"; String.make 16 ' '; "           42\n";
+        "pipeline.cache.miss"; String.make 15 ' '; "            7\n"
+      ]
+  in
+  check_string "counter table" expected
+    (Format.asprintf "%a" Obs.pp_counters
+       [ ("pipeline.cache.hit", 42); ("pipeline.cache.miss", 7) ])
+
+let test_golden_diag () =
+  let module Diag = Unit_tir.Diag in
+  let err = Diag.errorf Diag.Bounds "store to %s may escape (%d > %d)" "acc" 17 16 in
+  let warn = Diag.warnf Diag.Race "iterations of %s overlap" "ko" in
+  check_string "error format" "[bounds] store to acc may escape (17 > 16)"
+    (Diag.to_string err);
+  check_string "warning format" "[race] warning: iterations of ko overlap"
+    (Diag.to_string warn);
+  Alcotest.(check (list string))
+    "stable rule ids"
+    [ "scope"; "bounds"; "canonical"; "tile"; "race"; "dep-carried";
+      "tensorize-footprint"; "overflow" ]
+    (List.map Diag.rule_id
+       [ Diag.Scope; Diag.Bounds; Diag.Canonical; Diag.Tile; Diag.Race;
+         Diag.Carried_dep; Diag.Tensorize_footprint; Diag.Overflow ])
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "obs"
+    [ ( "spans",
+        [ Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "nesting and force-close" `Quick
+            test_span_nesting_and_force_close;
+          Alcotest.test_case "with_span closes on raise" `Quick
+            test_with_span_closes_on_raise
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters and histograms" `Quick
+            test_counters_and_histograms
+        ] );
+      ( "oracle",
+        [ Alcotest.test_case "determinism across domain counts" `Quick
+            test_parallel_oracle_determinism
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "tensorize stage spans" `Quick
+            test_tensorize_stage_spans
+        ] );
+      ( "json",
+        [ Alcotest.test_case "parser strictness" `Quick test_json_parser_strictness;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace_json
+        ]
+        @ qcheck [ prop_json_round_trip ] );
+      ( "golden",
+        [ Alcotest.test_case "span table" `Quick test_golden_span_table;
+          Alcotest.test_case "counter table" `Quick test_golden_counter_table;
+          Alcotest.test_case "diag printer" `Quick test_golden_diag
+        ] )
+    ]

@@ -26,6 +26,36 @@ let test_conv_time_positive_and_cached () =
   check_bool "positive" true (t1 > 0.0);
   check_bool "deterministic/cached" true (t1 = t2)
 
+(* The workload cache holds whole compiled kernels: a repeated conv2d
+   workload returns the physically identical [compiled] (hit counter
+   bumps), a distinct workload recompiles (miss counter bumps). *)
+let test_workload_kernel_cache () =
+  let module Obs = Unit_obs.Obs in
+  let check_int = Alcotest.(check int) in
+  Pipeline.clear_cache ();
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  let hits () = List.assoc "pipeline.cache.hit" (Obs.counters ()) in
+  let misses () = List.assoc "pipeline.cache.miss" (Obs.counters ()) in
+  let w = wl () in
+  let k1 = Pipeline.conv_compiled_x86 w in
+  check_int "first call misses" 1 (misses ());
+  check_int "no hit yet" 0 (hits ());
+  let k2 = Pipeline.conv_compiled_x86 w in
+  check_bool "same compiled kernel (physically shared)" true (k1 == k2);
+  check_bool "identical tuned config" true
+    (k1.Pipeline.c_tuned.Cpu_tuner.t_config = k2.Pipeline.c_tuned.Cpu_tuner.t_config);
+  check_int "second call hits" 1 (hits ());
+  check_int "still one miss" 1 (misses ());
+  check_bool "time helper shares the cached kernel" true
+    (Pipeline.conv_time_x86 w = Pipeline.seconds k1);
+  check_int "time helper hit the cache too" 2 (hits ());
+  ignore (Pipeline.conv_compiled_x86 (wl ~k:256 ()) : Pipeline.compiled);
+  check_int "distinct workload misses" 2 (misses ());
+  check_int "hits unchanged by distinct workload" 2 (hits ());
+  Pipeline.clear_cache ()
+
 let test_tensorize_rejects_inapplicable () =
   (* fp32 conv cannot use the integer instruction *)
   let op =
@@ -160,6 +190,7 @@ let () =
   Alcotest.run "pipeline"
     [ ( "kernels",
         [ Alcotest.test_case "cached conv times" `Quick test_conv_time_positive_and_cached;
+          Alcotest.test_case "workload kernel cache" `Quick test_workload_kernel_cache;
           Alcotest.test_case "inapplicable rejected" `Quick
             test_tensorize_rejects_inapplicable;
           Alcotest.test_case "channel padding" `Quick test_channel_padding_costs;
