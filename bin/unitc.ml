@@ -16,6 +16,9 @@ module Spec = Unit_machine.Spec
 module Cpu_model = Unit_machine.Cpu_model
 module Obs = Unit_obs.Obs
 module Json = Unit_obs.Json
+module Diag = Unit_tir.Diag
+module Store = Unit_store.Store
+module Warmup = Unit_store.Warmup
 
 let () = Unit_isa.Defs.ensure_registered ()
 
@@ -55,13 +58,52 @@ let m_arg = int_opt "m" 64 "Matmul M."
 let kdim_arg = int_opt "kdim" 64 "Matmul/dense reduction length."
 
 let spec_arg =
-  let doc = "Target CPU model: cascadelake or graviton2." in
+  let doc = "Target CPU model: cascadelake (alias x86) or graviton2 (alias arm)." in
   Arg.(value & opt string "cascadelake" & info [ "target" ] ~docv:"CPU" ~doc)
 
 let lookup_spec = function
-  | "cascadelake" -> Ok Spec.cascadelake
-  | "graviton2" -> Ok Spec.graviton2
+  | "cascadelake" | "x86" -> Ok Spec.cascadelake
+  | "graviton2" | "arm" -> Ok Spec.graviton2
   | other -> Error (Printf.sprintf "unknown target %s" other)
+
+let is_arm_target = function "graviton2" | "arm" -> true | _ -> false
+
+(* ---------- persistent tuning store plumbing ---------- *)
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"FILE"
+        ~doc:
+          "Persistent tuning store (JSONL).  Disk hits replay the stored \
+           config and skip the tuner sweep; fresh tunings are appended.")
+
+let print_store_diags diags =
+  List.iter (fun d -> Printf.printf "%s\n" (Diag.to_string d)) diags
+
+(* Install a store around [f] when a path was given.  Appends are durable
+   the moment they happen, so error-exit paths inside [f] lose nothing;
+   the final [save] only compacts, and the stats line reports the run's
+   disk traffic. *)
+let with_store store_path f =
+  match store_path with
+  | None -> f ()
+  | Some path ->
+    let store, diags = Store.open_ path in
+    print_store_diags diags;
+    Unit_core.Pipeline.set_tuning_store (Some (Store.pipeline_hooks store));
+    Fun.protect
+      ~finally:(fun () ->
+        Unit_core.Pipeline.set_tuning_store None;
+        Store.save store;
+        let st = Store.stats store in
+        Printf.printf
+          "store %s: %d record(s); this run: %d disk hit(s), %d miss(es), %d \
+           append(s)\n%!"
+          path st.Store.st_records st.Store.st_hits st.Store.st_misses
+          st.Store.st_appends)
+      f
 
 let lookup_intrin name =
   match Unit_isa.Registry.find name with
@@ -179,7 +221,7 @@ let compile kind isa target c hw k kernel stride n m kdim show_ir =
 
 (* ---------- run (differential execution) ---------- *)
 
-let run kind isa engine trace c hw k kernel stride n m kdim =
+let run kind isa engine trace store c hw k kernel stride n m kdim =
   if trace then enable_tracing ();
   let intrin = or_die (lookup_intrin isa) in
   let op = or_die (build_op ~kind ~intrin ~c ~hw ~k ~kernel ~stride ~n ~m ~kdim) in
@@ -188,8 +230,32 @@ let run kind isa engine trace c hw k kernel stride n m kdim =
     Format.printf "not applicable: %s@." (Inspector.rejection_to_string r);
     exit 1
   | Ok ap ->
+    with_store store @@ fun () ->
     let reorganized = Reorganize.apply op ap () in
-    let func = Replace.run (Unit_tir.Lower.lower reorganized.Reorganize.schedule) in
+    let func =
+      match store with
+      | None -> Replace.run (Unit_tir.Lower.lower reorganized.Reorganize.schedule)
+      | Some _ ->
+        (* with a store installed, execute the *tuned* kernel so what runs
+           is exactly the warm path: replay on a hit, sweep+persist on a
+           miss *)
+        let spec =
+          match intrin.Unit_isa.Intrin.platform with
+          | Unit_isa.Intrin.Arm -> Spec.graviton2
+          | _ -> Spec.cascadelake
+        in
+        let tuned, diags =
+          Unit_core.Pipeline.tune_analyzed ~use_store:true ~spec op intrin
+            reorganized
+        in
+        (match Diag.errors diags with
+         | [] -> tuned.Cpu_tuner.t_func
+         | errs ->
+           or_die
+             (Error
+                ("illegal schedule: "
+                ^ String.concat "; " (List.map Diag.to_string errs))))
+    in
     let inputs =
       List.map
         (fun t -> (t, Unit_codegen.Ndarray.random_for_tensor ~seed:1 t))
@@ -393,13 +459,14 @@ let run_counterexamples () =
     exit 1
   end
 
-let check target counterexamples_only trace =
+let check target counterexamples_only trace store =
   if trace then enable_tracing ();
   if counterexamples_only then run_counterexamples ()
   else begin
+    with_store store @@ fun () ->
     let spec = or_die (lookup_spec target) in
     let intrin_name =
-      match target with "graviton2" -> "arm.udot" | _ -> "vnni.vpdpbusd"
+      if is_arm_target target then "arm.udot" else "vnni.vpdpbusd"
     in
     let intrin = or_die (lookup_intrin intrin_name) in
     let lanes = Unit_isa.Intrin.output_lanes intrin in
@@ -415,8 +482,10 @@ let check target counterexamples_only trace =
         | Ok ap ->
           incr kernels;
           let reorganized = Reorganize.apply op ap () in
-          let tuned = Cpu_tuner.tune spec reorganized in
-          let diags = Unit_core.Pipeline.analyze tuned in
+          let _tuned, diags =
+            Unit_core.Pipeline.tune_analyzed ~use_store:true ~spec op intrin
+              reorganized
+          in
           errors := !errors + List.length (Unit_tir.Diag.errors diags);
           warnings := !warnings + List.length (Unit_tir.Diag.warnings diags);
           List.iter
@@ -460,18 +529,17 @@ let check target counterexamples_only trace =
    tensorize every distinct workload through the cached pipeline, then run
    the graph executor numerically for per-operator wall times.  The span /
    counter summary prints at exit; --trace-out adds a Chrome trace. *)
-let profile model target trace_out no_exec =
+let profile model target trace_out no_exec store =
   (match lookup_spec target with Ok _ -> () | Error m -> or_die (Error m));
   enable_tracing ?trace_out ();
+  with_store store @@ fun () ->
   let conv_time wl =
-    match target with
-    | "graviton2" -> Unit_core.Pipeline.conv_time_arm wl
-    | _ -> Unit_core.Pipeline.conv_time_x86 wl
+    if is_arm_target target then Unit_core.Pipeline.conv_time_arm wl
+    else Unit_core.Pipeline.conv_time_x86 wl
   in
   let dense_time wl =
-    match target with
-    | "graviton2" -> Unit_core.Pipeline.dense_time_arm wl
-    | _ -> Unit_core.Pipeline.dense_time_x86 wl
+    if is_arm_target target then Unit_core.Pipeline.dense_time_arm wl
+    else Unit_core.Pipeline.dense_time_x86 wl
   in
   let table1_index =
     if String.length model > 7 && String.sub model 0 7 = "table1:" then
@@ -527,6 +595,76 @@ let profile model target trace_out no_exec =
          Printf.printf "executor: ran %s numerically (%d output elements)\n%!" model
            (Unit_codegen.Ndarray.num_elements out.Unit_graph.Executor.arr)
        end)
+
+(* ---------- warmup / store-stats ---------- *)
+
+(* Pre-populate (or replay) the tuning store for a model, the whole zoo,
+   or Table I, fanning compilation across domains.  A cold store records
+   every tuned config; a warm re-run is pure disk hits — the tuner sweep
+   never runs (no tensorize.tune spans under --trace). *)
+let warmup model target store_path domains retries trace trace_out assert_hit =
+  if trace || trace_out <> None then enable_tracing ?trace_out ();
+  let tgt = or_die (Warmup.target_of_string target) in
+  let jobs =
+    let table1_index =
+      if String.length model > 7 && String.sub model 0 7 = "table1:" then
+        Some
+          (match int_of_string_opt (String.sub model 7 (String.length model - 7)) with
+           | Some i -> i
+           | None -> or_die (Error (model ^ ": malformed table1:N index")))
+      else None
+    in
+    match model, table1_index with
+    | _, Some i -> or_die (Warmup.jobs_of_table1 tgt ~index:i ())
+    | "table1", None -> or_die (Warmup.jobs_of_table1 tgt ())
+    | "zoo", None -> Warmup.jobs_of_zoo tgt
+    | name, None -> or_die (Warmup.jobs_of_model tgt name)
+  in
+  let store, diags = Store.open_ store_path in
+  print_store_diags diags;
+  Unit_core.Pipeline.set_tuning_store (Some (Store.pipeline_hooks store));
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Unit_core.Pipeline.set_tuning_store None)
+      (fun () -> Warmup.run ?domains ~retries jobs)
+  in
+  Store.save store;
+  Format.printf "%a@." Warmup.pp_report report;
+  let st = Store.stats store in
+  Printf.printf
+    "store %s: %d record(s) (%d loaded, %d corrupt, %d stale skipped); this \
+     run: %d disk hit(s), %d miss(es), %d append(s)\n%!"
+    store_path st.Store.st_records st.Store.st_loaded st.Store.st_corrupt
+    st.Store.st_stale st.Store.st_hits st.Store.st_misses st.Store.st_appends;
+  if assert_hit && st.Store.st_hits = 0 then
+    or_die (Error "--assert-hit: no disk hit (the store was cold)");
+  if report.Warmup.rp_failures <> [] then exit 1
+
+let store_stats file =
+  if not (Sys.file_exists file) then or_die (Error (file ^ ": no such store"));
+  let store, diags = Store.open_ file in
+  print_store_diags diags;
+  let st = Store.stats store in
+  Printf.printf "%s: %d live record(s) (%d line(s) loaded, %d corrupt, %d stale)\n"
+    file st.Store.st_records st.Store.st_loaded st.Store.st_corrupt
+    st.Store.st_stale;
+  let records = ref [] in
+  Store.iter store (fun r -> records := r :: !records);
+  let records =
+    List.sort
+      (fun (a : Store.record) (b : Store.record) ->
+        compare
+          (a.Store.r_target, a.Store.r_isa, a.Store.r_workload)
+          (b.Store.r_target, b.Store.r_isa, b.Store.r_workload))
+      !records
+  in
+  List.iter
+    (fun (r : Store.record) ->
+      Printf.printf "  %-12s %-16s %-40s grain=%-4d unroll=%-4d %12.0f cycles\n"
+        r.Store.r_target r.Store.r_isa r.Store.r_workload
+        r.Store.r_config.Cpu_tuner.parallel_grain
+        r.Store.r_config.Cpu_tuner.unroll_budget r.Store.r_cycles)
+    records
 
 (* ---------- trace-lint ---------- *)
 
@@ -623,9 +761,9 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Execute the tensorized kernel and the scalar oracle; compare.")
     Term.(
-      const run $ op_kind_arg $ isa_arg $ engine_arg $ trace_flag $ channels_arg
-      $ hw_arg $ out_channels_arg $ kernel_arg $ stride_arg $ n_arg $ m_arg
-      $ kdim_arg)
+      const run $ op_kind_arg $ isa_arg $ engine_arg $ trace_flag $ store_arg
+      $ channels_arg $ hw_arg $ out_channels_arg $ kernel_arg $ stride_arg
+      $ n_arg $ m_arg $ kdim_arg)
 
 let e2e_cmd =
   let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
@@ -653,7 +791,8 @@ let counterexamples_flag =
           "Instead of the zoo, run hand-built racy/overflowing programs through \
            the analyzer and verify each is rejected (exits non-zero).")
 
-let check_term = Term.(const check $ spec_arg $ counterexamples_flag $ trace_flag)
+let check_term =
+  Term.(const check $ spec_arg $ counterexamples_flag $ trace_flag $ store_arg)
 
 let check_cmd =
   Cmd.v
@@ -691,7 +830,62 @@ let profile_cmd =
          "Run a model through the tensorization pipeline and the numeric \
           executor with tracing on; print per-stage spans, counters and \
           histograms.")
-    Term.(const profile $ model $ spec_arg $ trace_out $ no_exec)
+    Term.(const profile $ model $ spec_arg $ trace_out $ no_exec $ store_arg)
+
+let warmup_cmd =
+  let model =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"MODEL"
+             ~doc:"A zoo model (see unitc models), 'zoo' for every model, \
+                   'table1' for all of Table I, or table1:N for one row.")
+  in
+  let store =
+    Arg.(required & opt (some string) None
+         & info [ "store" ] ~docv:"FILE"
+             ~doc:"The JSONL tuning store to populate (created if absent).")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains (default: the parallel oracle's).")
+  in
+  let retries =
+    Arg.(value & opt int 1
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Extra attempts per transiently-failing workload.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Also write a Chrome trace_event JSON file.")
+  in
+  let assert_hit =
+    Arg.(value & flag
+         & info [ "assert-hit" ]
+             ~doc:"Exit non-zero unless at least one workload warm-started \
+                   from the store (used by the warmup-smoke alias).")
+  in
+  Cmd.v
+    (Cmd.info "warmup"
+       ~doc:
+         "Concurrently compile every distinct workload of a model (or the \
+          zoo, or Table I) into a persistent tuning store: cold workloads \
+          are tuned and appended, warm ones replay the stored config and \
+          skip the tuner sweep.  Duplicate workloads are single-flighted; \
+          transient failures retried.")
+    Term.(
+      const warmup $ model $ spec_arg $ store $ domains $ retries $ trace_flag
+      $ trace_out $ assert_hit)
+
+let store_stats_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "store-stats"
+       ~doc:
+         "Summarize a tuning store: live records, corrupt/stale lines \
+          skipped on load, and every stored config with its estimated \
+          cycles.")
+    Term.(const store_stats $ file)
 
 let trace_lint_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -712,5 +906,5 @@ let () =
        (Cmd.group info
           [ list_isa_cmd; show_isa_cmd; inspect_cmd; compile_cmd; run_cmd; e2e_cmd;
             models_cmd; table1_cmd; check_cmd; lint_cmd; profile_cmd;
-            trace_lint_cmd
+            warmup_cmd; store_stats_cmd; trace_lint_cmd
           ]))

@@ -639,12 +639,45 @@ let check_intrin ~push ~loops ~env_other name meta (output : Stmt.tile) =
        let width = List.fold_left (fun acc (_, e) -> sat_mul acc e) 1 meta.im_reduce in
        let acc_dt = output.Stmt.tile_buf.Buffer.dtype in
        let single = r_hull0 (r_scale width per_mac) in
-       if not (fits_dtype single acc_dt) then
-         push
-           (Diag.errorf Diag.Overflow
-              "%s: one issue accumulates up to %d into %s (%s)" name
-              (Stdlib.max (abs (fst single)) (abs (snd single)))
-              out_buf (Dtype.to_string acc_dt))
+       (* Widening multiply-adds (operands strictly narrower than the
+          accumulator, e.g. i16 [vpmaddwd] pairs into i32) can exceed the
+          accumulator only at the symmetric corner where every operand is
+          the type's most-negative value: the ISA defines that one result
+          (saturation or wrap to INT_MIN), so erroring on it is a false
+          positive.  Re-check with the most-negative operand value carved
+          out; if that symmetric range fits, warn instead of reject. *)
+       let symmetric dt r =
+         match r with
+         | lo, hi when Dtype.is_signed dt && lo < -hi -> (-hi, hi)
+         | r -> r
+       in
+       let single_sym =
+         r_hull0 (r_scale width (r_mul (symmetric d1 r1) (symmetric d2 r2)))
+       in
+       let widening =
+         match dtype_range acc_dt with
+         | Some (alo, ahi) ->
+           (* both operand ranges strictly inside the accumulator's *)
+           List.for_all
+             (fun (lo, hi) -> lo > alo && hi < ahi)
+             [ r1; r2 ]
+         | None -> false
+       in
+       if not (fits_dtype single acc_dt) then begin
+         if widening && fits_dtype single_sym acc_dt then
+           push
+             (Diag.warnf Diag.Overflow
+                "%s: only the all-%d corner reaches %d in %s (%s) — defined by the widening idiom, not rejected"
+                name (fst r1)
+                (Stdlib.max (abs (fst single)) (abs (snd single)))
+                out_buf (Dtype.to_string acc_dt))
+         else
+           push
+             (Diag.errorf Diag.Overflow
+                "%s: one issue accumulates up to %d into %s (%s)" name
+                (Stdlib.max (abs (fst single)) (abs (snd single)))
+                out_buf (Dtype.to_string acc_dt))
+       end
        else begin
          let total = r_hull0 (r_scale revisits (r_scale width per_mac)) in
          if not (fits_dtype total acc_dt) then

@@ -64,3 +64,9 @@ let map ?domains f xs =
   end
 
 let iter ?domains f xs = ignore (map ?domains (fun x -> f x) xs : unit list)
+
+(* Per-item failure isolation: one poisoned workload must not sink a whole
+   warm-up batch, so each application's exception is captured in its slot
+   instead of aborting the pool. *)
+let try_map ?domains f xs =
+  map ?domains (fun x -> match f x with r -> Ok r | exception e -> Error e) xs

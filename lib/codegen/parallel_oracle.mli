@@ -17,3 +17,8 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     remaining items may be skipped. *)
 
 val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
+
+val try_map : ?domains:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Like {!map}, but an exception from [f] lands in that item's slot as
+    [Error] instead of aborting the whole pool — the warm-up scheduler
+    uses this so one failing workload cannot sink the batch. *)

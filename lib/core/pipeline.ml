@@ -13,12 +13,53 @@ let () = Unit_isa.Defs.ensure_registered ()
 
 let c_cache_hit = Obs.counter "pipeline.cache.hit"
 let c_cache_miss = Obs.counter "pipeline.cache.miss"
+let c_cache_evict = Obs.counter "pipeline.cache.evict"
 
 type compiled = {
   c_op : Op.t;
   c_intrin : Unit_isa.Intrin.t;
   c_tuned : Cpu_tuner.tuned;
 }
+
+(* ---------- canonical workload identity + persistent tuning store ---------- *)
+
+(* Everything a stored tuning config's validity depends on: the workload's
+   shapes and dtypes, the instruction, and the machine the sweep modelled.
+   The schema/tuner versions are folded in by the store when it hashes
+   this into a key (Unit_store.Store.key_of_signature). *)
+let workload_signature ~(spec : Spec.cpu) (op : Op.t) (intrin : Unit_isa.Intrin.t) =
+  let axes l =
+    String.concat "," (List.map (fun (a : Axis.t) -> string_of_int a.Axis.extent) l)
+  in
+  let tensor (t : Tensor.t) =
+    Printf.sprintf "%s[%s]"
+      (Dtype.to_string t.Tensor.dtype)
+      (String.concat "x" (List.map string_of_int (Array.to_list t.Tensor.shape)))
+  in
+  Printf.sprintf "op=%s|out=%s|in=%s|sp=%s|rd=%s|isa=%s|target=%s/%dc@%.2fGHz"
+    op.Op.name (tensor op.Op.output)
+    (String.concat ";" (List.map tensor (Op.inputs op)))
+    (axes op.Op.spatial) (axes op.Op.reduce) intrin.Unit_isa.Intrin.name
+    spec.Spec.cpu_name spec.Spec.cores spec.Spec.freq_ghz
+
+type tuning_store = {
+  ts_lookup : signature:string -> Cpu_tuner.config option;
+  ts_record :
+    signature:string ->
+    workload:string ->
+    isa:string ->
+    target:string ->
+    diags:Unit_tir.Diag.t list ->
+    Cpu_tuner.tuned ->
+    unit;
+}
+
+(* An [Atomic] rather than a plain ref: the warm-up scheduler installs the
+   store once and then fans compilation across domains that all read it. *)
+let current_store : tuning_store option Atomic.t = Atomic.make None
+
+let set_tuning_store s = Atomic.set current_store s
+let tuning_store () = Atomic.get current_store
 
 (* Registry-backed instruction metadata for the dependence analyzer
    (Unit_analysis stays ISA-free; this is its view of the registry). *)
@@ -46,6 +87,38 @@ let intrin_meta name =
 let analyze (tuned : Cpu_tuner.tuned) =
   Unit_analysis.Analysis.check_func ~intrin:intrin_meta tuned.Cpu_tuner.t_func
 
+(* Tune-or-replay + analyze + persist, the store-aware middle of the
+   pipeline.  [use_store = false] (or a pinned [configs] grid) bypasses
+   the store in both directions; analyzer-rejected kernels are never
+   persisted. *)
+let tune_analyzed ?configs ~use_store ~spec op (intrin : Unit_isa.Intrin.t)
+    reorganized =
+  let store =
+    match use_store, configs with
+    | true, None -> Atomic.get current_store
+    | _ -> None
+  in
+  let signature = lazy (workload_signature ~spec op intrin) in
+  (* [Cpu_tuner.tune] opens the [tensorize.tune] span itself (with a
+     [tensorize.lower_replace] child per candidate); a disk hit takes
+     [Cpu_tuner.of_config] instead, which opens [tensorize.from_config]
+     and no tune/candidate spans at all. *)
+  let tuned, freshly_tuned =
+    match store with
+    | None -> (Cpu_tuner.tune spec ?configs reorganized, false)
+    | Some s ->
+      (match s.ts_lookup ~signature:(Lazy.force signature) with
+       | Some config -> (Cpu_tuner.of_config spec reorganized config, false)
+       | None -> (Cpu_tuner.tune spec reorganized, true))
+  in
+  let diags = Obs.with_span "tensorize.analyze" (fun () -> analyze tuned) in
+  (match store with
+   | Some s when freshly_tuned && Unit_tir.Diag.errors diags = [] ->
+     s.ts_record ~signature:(Lazy.force signature) ~workload:op.Op.name
+       ~isa:intrin.Unit_isa.Intrin.name ~target:spec.Spec.cpu_name ~diags tuned
+   | _ -> ());
+  (tuned, diags)
+
 let tensorize ?mapping_index ?configs ~spec op intrin =
   let tok =
     if Obs.enabled () then
@@ -61,10 +134,13 @@ let tensorize ?mapping_index ?configs ~spec op intrin =
       Obs.with_span "tensorize.reorganize" (fun () ->
           Reorganize.apply op ap ?mapping_index ())
     in
-    (* [Cpu_tuner.tune] opens the [tensorize.tune] span itself (with a
-       [tensorize.lower_replace] child per candidate). *)
-    let tuned = Cpu_tuner.tune spec ?configs reorganized in
-    let diags = Obs.with_span "tensorize.analyze" (fun () -> analyze tuned) in
+    (* The persistent store only speaks for the default search on the
+       default mapping: an explicit [mapping_index] (and, inside
+       [tune_analyzed], a pinned [configs] grid) bypasses it. *)
+    let tuned, diags =
+      tune_analyzed ?configs ~use_store:(mapping_index = None) ~spec op intrin
+        reorganized
+    in
     (match Unit_tir.Diag.errors diags with
      | _ :: _ as errs ->
        Error
@@ -96,21 +172,63 @@ type cache_entry =
   | Kernel of compiled
   | Time of float
 
+(* The cache is bounded (FIFO eviction) so a long-lived serving process
+   replaying an unbounded stream of distinct shapes cannot grow it without
+   limit, and mutex-guarded so the warm-up scheduler can fan pipeline
+   calls across domains.  The lock is never held across a compile: a miss
+   compiles outside it and re-checks on insert, keeping the physical
+   sharing guarantee (the first insert wins; latecomers adopt it). *)
+let cache_lock = Mutex.create ()
 let cache : (cache_key, cache_entry) Hashtbl.t = Hashtbl.create 256
+let cache_order : cache_key Queue.t = Queue.create ()
+let cache_cap = ref 1024
 
-let clear_cache () = Hashtbl.reset cache
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let evict_over_cap_locked () =
+  while Hashtbl.length cache > !cache_cap do
+    match Queue.take_opt cache_order with
+    | None -> Hashtbl.reset cache (* unreachable: every insert is enqueued *)
+    | Some k ->
+      if Hashtbl.mem cache k then begin
+        Hashtbl.remove cache k;
+        Obs.incr c_cache_evict
+      end
+  done
+
+let set_cache_cap n =
+  if n < 1 then invalid_arg "Pipeline.set_cache_cap: cap must be >= 1";
+  with_lock cache_lock (fun () ->
+      cache_cap := n;
+      evict_over_cap_locked ())
+
+let cache_cap () = !cache_cap
+let cache_size () = with_lock cache_lock (fun () -> Hashtbl.length cache)
+
+let clear_cache () =
+  with_lock cache_lock (fun () ->
+      Hashtbl.reset cache;
+      Queue.clear cache_order)
 
 let memo ~tag ~workload ~config f =
   let key = { ck_tag = tag; ck_workload = workload; ck_config = config } in
-  match Hashtbl.find_opt cache key with
+  match with_lock cache_lock (fun () -> Hashtbl.find_opt cache key) with
   | Some e ->
     Obs.incr c_cache_hit;
     e
   | None ->
     Obs.incr c_cache_miss;
     let e = f () in
-    Hashtbl.add cache key e;
-    e
+    with_lock cache_lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some existing -> existing (* another domain compiled it first *)
+        | None ->
+          Hashtbl.add cache key e;
+          Queue.push key cache_order;
+          evict_over_cap_locked ();
+          e)
 
 let entry_seconds = function
   | Kernel c -> seconds c

@@ -30,6 +30,58 @@ val tensorize :
     illegal (race, carried dependence, tensorize footprint, overflow);
     analyzer warnings are reported through {!Logs.warn}. *)
 
+val workload_signature :
+  spec:Spec.cpu -> Op.t -> Unit_isa.Intrin.t -> string
+(** Canonical identity of one tensorization problem: op name, output and
+    input dtypes+shapes, spatial/reduce extents, instruction name and
+    target machine — everything a stored tuning config's validity depends
+    on.  [Unit_store.Store] hashes this (together with its schema version
+    and {!Cpu_tuner.version}) into the content address of a persisted
+    tuning record. *)
+
+(** {2 Persistent tuning store (dependency-inverted)}
+
+    [lib/store] owns the on-disk database; the pipeline only sees these
+    two hooks.  When a store is installed and {!tensorize} is called with
+    the default search (no pinned [configs], no [mapping_index]):
+    - a [ts_lookup] hit recompiles via {!Cpu_tuner.of_config} — the
+      expensive sweep is skipped entirely (no [tensorize.tune] span);
+    - a miss runs the sweep and hands the freshly tuned, analyzer-clean
+      result to [ts_record] for persistence. *)
+
+type tuning_store = {
+  ts_lookup : signature:string -> Cpu_tuner.config option;
+  ts_record :
+    signature:string ->
+    workload:string ->
+    isa:string ->
+    target:string ->
+    diags:Unit_tir.Diag.t list ->
+    Cpu_tuner.tuned ->
+    unit;
+}
+
+val set_tuning_store : tuning_store option -> unit
+(** Install (or clear) the process-wide store.  Domain-safe to read; the
+    hooks themselves must be safe for concurrent calls (the ones built by
+    [Unit_store.Store.pipeline_hooks] are). *)
+
+val tuning_store : unit -> tuning_store option
+
+val tune_analyzed :
+  ?configs:Cpu_tuner.config list ->
+  use_store:bool ->
+  spec:Spec.cpu ->
+  Op.t ->
+  Unit_isa.Intrin.t ->
+  Unit_rewriter.Reorganize.t ->
+  Cpu_tuner.tuned * Unit_tir.Diag.t list
+(** The store-aware middle of {!tensorize}, exposed for drivers that run
+    the tuner directly (e.g. [unitc check]): replay from the installed
+    store on a hit, otherwise sweep; analyze; persist fresh analyzer-clean
+    results.  [use_store:false] (or a pinned [configs] grid) bypasses the
+    store in both directions. *)
+
 val intrin_meta : string -> Unit_analysis.Analysis.intrin_meta option
 (** Registry-backed instruction metadata for the dependence analyzer:
     axis extents, multiplicand dtypes and the accumulation flag of a
@@ -79,3 +131,12 @@ val depthwise_time_cpu : Spec.cpu -> Unit_graph.Workload.conv2d -> float
     code. *)
 
 val clear_cache : unit -> unit
+
+val set_cache_cap : int -> unit
+(** Bound the in-memory kernel cache (default 1024 entries).  When an
+    insert pushes it over the cap, the oldest entries are evicted FIFO
+    and counted on [pipeline.cache.evict].  Raises [Invalid_argument]
+    below 1.  Shrinking the cap evicts immediately. *)
+
+val cache_cap : unit -> int
+val cache_size : unit -> int

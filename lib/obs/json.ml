@@ -254,3 +254,7 @@ let member key = function
 let to_list = function Arr xs -> Some xs | _ -> None
 let to_str = function Str s -> Some s | _ -> None
 let to_num = function Num x -> Some x | _ -> None
+
+let to_int = function
+  | Num x when Float.is_integer x && Float.abs x <= 2. ** 52. -> Some (int_of_float x)
+  | _ -> None

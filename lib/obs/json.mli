@@ -21,3 +21,8 @@ val member : string -> t -> t option
 val to_list : t -> t list option
 val to_str : t -> string option
 val to_num : t -> float option
+
+val to_int : t -> int option
+(** [Some n] only for numbers that are exact integers (within the f64
+    53-bit window); the tuning store's reader uses it to reject
+    fractional budgets as corrupt. *)

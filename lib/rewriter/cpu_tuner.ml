@@ -6,6 +6,29 @@ type config = {
   unroll_budget : int;
 }
 
+(* Bumped whenever the search space, [apply], or the machine model's view
+   of a config changes meaning: persisted tuning records carry it, so a
+   stale database re-tunes instead of resurrecting configs that no longer
+   mean what they did. *)
+let version = 1
+
+let config_to_json (c : config) =
+  Unit_obs.Json.Obj
+    [ ("grain", Unit_obs.Json.Num (float_of_int c.parallel_grain));
+      ("unroll", Unit_obs.Json.Num (float_of_int c.unroll_budget))
+    ]
+
+let config_of_json j =
+  let field name =
+    match Option.bind (Unit_obs.Json.member name j) Unit_obs.Json.to_int with
+    | Some v when v >= 1 -> Ok v
+    | Some v -> Error (Printf.sprintf "config field %s: %d is not positive" name v)
+    | None -> Error (Printf.sprintf "config field %s missing or not an integer" name)
+  in
+  match field "grain", field "unroll" with
+  | Ok parallel_grain, Ok unroll_budget -> Ok { parallel_grain; unroll_budget }
+  | Error e, _ | _, Error e -> Error e
+
 (* Search telemetry (all no-ops unless tracing is enabled). *)
 let c_candidates = Obs.counter "tuner.candidates"
 let c_pruned = Obs.counter "tuner.pruned"
@@ -177,6 +200,23 @@ let prune_configs (r : Reorganize.t) configs =
         true
       end)
     configs
+
+(* The warm path: realize one stored configuration without the sweep.
+   Deliberately opens no [tensorize.tune] / [tuner.candidate] spans — the
+   absence of those spans under tracing is how a warm start is audited
+   (see [unitc warmup] and the @warmup-smoke alias). *)
+let of_config spec ?threads (r : Reorganize.t) config =
+  let tok = Obs.start "tensorize.from_config" in
+  Fun.protect ~finally:(fun () -> Obs.stop tok) @@ fun () ->
+  let schedule = apply r config in
+  let lr_tok = Obs.start "tensorize.lower_replace" in
+  let func =
+    Fun.protect
+      ~finally:(fun () -> Obs.stop lr_tok)
+      (fun () -> Replace.run (Unit_tir.Lower.lower schedule))
+  in
+  let estimate = Unit_machine.Cpu_model.estimate spec ?threads func in
+  { t_config = config; t_schedule = schedule; t_func = func; t_estimate = estimate }
 
 let tune spec ?threads ?configs (r : Reorganize.t) =
   let configs =

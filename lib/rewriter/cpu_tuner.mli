@@ -27,6 +27,20 @@ type config = {
       (** unroll innermost dp loops while their product stays within this *)
 }
 
+val version : int
+(** Version of the tuning-config schema and search semantics.  Persisted
+    alongside stored configs (see [Unit_store.Store]); bump it whenever
+    [apply] or the candidate grid changes meaning so stale databases
+    re-tune instead of replaying configs that no longer mean the same. *)
+
+val config_to_json : config -> Unit_obs.Json.t
+(** [{"grain": g, "unroll": u}] — the serialized form persisted by the
+    tuning store. *)
+
+val config_of_json : Unit_obs.Json.t -> (config, string) result
+(** Inverse of {!config_to_json}; rejects missing fields and
+    non-positive budgets. *)
+
 val default_config : config
 (** The paper's first tuning pair: grain 3000, unroll 8 — which Fig. 10
     reports is already optimal for more than half the kernels. *)
@@ -52,6 +66,15 @@ val candidate_configs : Unit_machine.Spec.cpu -> config list
 
 val compile : Reorganize.t -> config -> Unit_tir.Lower.func
 (** [apply], lower, and replace in one step. *)
+
+val of_config :
+  Unit_machine.Spec.cpu -> ?threads:int -> Reorganize.t -> config -> tuned
+(** The warm path: realize one (stored) configuration — apply, lower,
+    replace, estimate — without running the sweep.  [apply] is
+    deterministic, so [of_config spec r (tune spec r).t_config] rebuilds
+    a bit-identical kernel.  Opens a [tensorize.from_config] span and no
+    [tensorize.tune] / [tuner.candidate] spans: a traced warm start is
+    recognizable by their absence. *)
 
 val prune_configs : Reorganize.t -> config list -> config list
 (** Drop configurations that are behaviourally identical on this

@@ -1,0 +1,299 @@
+(* The persistent tuning database: append-only JSONL, content-addressed
+   keys, skip-and-warn recovery.  See store.mli for the contract. *)
+
+module Cpu_tuner = Unit_rewriter.Cpu_tuner
+module Json = Unit_obs.Json
+module Obs = Unit_obs.Obs
+module Diag = Unit_tir.Diag
+
+let schema_version = 1
+
+(* Disk-traffic telemetry (no-ops unless tracing is enabled); the plain
+   [stats] below count unconditionally so the warm-up CLI can report hits
+   without tracing. *)
+let c_hit = Obs.counter "store.disk.hit"
+let c_miss = Obs.counter "store.disk.miss"
+let c_append = Obs.counter "store.append"
+let c_corrupt = Obs.counter "store.corrupt"
+let c_stale = Obs.counter "store.stale"
+
+type record = {
+  r_key : string;
+  r_signature : string;
+  r_workload : string;
+  r_isa : string;
+  r_target : string;
+  r_config : Cpu_tuner.config;
+  r_cycles : float;
+  r_diag_digest : string;
+}
+
+type stats = {
+  st_records : int;
+  st_loaded : int;
+  st_corrupt : int;
+  st_stale : int;
+  st_hits : int;
+  st_misses : int;
+  st_appends : int;
+}
+
+type t = {
+  t_path : string;
+  t_lock : Mutex.t;
+  t_records : (string, record) Hashtbl.t;  (* key -> latest record *)
+  mutable t_loaded : int;
+  mutable t_corrupt : int;
+  mutable t_stale : int;
+  mutable t_hits : int;
+  mutable t_misses : int;
+  mutable t_appends : int;
+}
+
+let with_lock t f =
+  Mutex.lock t.t_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.t_lock) f
+
+let key_of_signature signature =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "unit-store-v%d|tuner-v%d|%s" schema_version
+          Cpu_tuner.version signature))
+
+let diag_digest diags =
+  Digest.to_hex (Digest.string (String.concat "\n" (List.map Diag.to_string diags)))
+
+(* ---------- (de)serialization ---------- *)
+
+let record_to_json r =
+  Json.Obj
+    [ ("v", Json.Num (float_of_int schema_version));
+      ("tuner", Json.Num (float_of_int Cpu_tuner.version));
+      ("key", Json.Str r.r_key);
+      ("sig", Json.Str r.r_signature);
+      ("workload", Json.Str r.r_workload);
+      ("isa", Json.Str r.r_isa);
+      ("target", Json.Str r.r_target);
+      ("config", Cpu_tuner.config_to_json r.r_config);
+      ("cycles", Json.Num r.r_cycles);
+      ("diags", Json.Str r.r_diag_digest)
+    ]
+
+(* [Error (`Corrupt m)] for undecodable/invalid lines, [Error (`Stale m)]
+   for well-formed lines written under another schema or tuner version. *)
+let record_of_json j =
+  let str name =
+    match Option.bind (Json.member name j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "field %s missing or not a string" name)
+  in
+  let int name =
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "field %s missing or not an integer" name)
+  in
+  let ( let* ) r f = Result.bind r f in
+  match
+    let* v = int "v" in
+    let* tuner = int "tuner" in
+    Ok (v, tuner)
+  with
+  | Error m -> Error (`Corrupt m)
+  | Ok (v, tuner) ->
+    if v <> schema_version then
+      Error (`Stale (Printf.sprintf "schema v%d (want v%d)" v schema_version))
+    else if tuner <> Cpu_tuner.version then
+      Error (`Stale (Printf.sprintf "tuner v%d (want v%d)" tuner Cpu_tuner.version))
+    else begin
+      match
+        let* r_key = str "key" in
+        let* r_signature = str "sig" in
+        let* r_workload = str "workload" in
+        let* r_isa = str "isa" in
+        let* r_target = str "target" in
+        let* config_json =
+          match Json.member "config" j with
+          | Some c -> Ok c
+          | None -> Error "field config missing"
+        in
+        let* r_config = Cpu_tuner.config_of_json config_json in
+        let* r_cycles =
+          match Option.bind (Json.member "cycles" j) Json.to_num with
+          | Some c when c >= 0.0 -> Ok c
+          | Some _ -> Error "field cycles is negative"
+          | None -> Error "field cycles missing or not a number"
+        in
+        let* r_diag_digest = str "diags" in
+        Ok
+          { r_key; r_signature; r_workload; r_isa; r_target; r_config; r_cycles;
+            r_diag_digest
+          }
+      with
+      | Error m -> Error (`Corrupt m)
+      | Ok r ->
+        (* verify the content address: a record whose key does not hash
+           from its own signature has been tampered with or mis-spliced *)
+        if String.equal r.r_key (key_of_signature r.r_signature) then Ok r
+        else Error (`Corrupt "key does not match the signature's content hash")
+    end
+
+(* ---------- open / load ---------- *)
+
+let load_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        List.rev !lines)
+  end
+
+let open_ path =
+  (* create the file eagerly so an empty warm-up still leaves a store *)
+  if not (Sys.file_exists path) then begin
+    let oc = open_out_gen [ Open_creat; Open_append; Open_binary ] 0o644 path in
+    close_out oc
+  end;
+  let t =
+    { t_path = path;
+      t_lock = Mutex.create ();
+      t_records = Hashtbl.create 64;
+      t_loaded = 0;
+      t_corrupt = 0;
+      t_stale = 0;
+      t_hits = 0;
+      t_misses = 0;
+      t_appends = 0
+    }
+  in
+  let diags = ref [] in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then begin
+        let skip kind m =
+          (match kind with
+           | `Corrupt ->
+             t.t_corrupt <- t.t_corrupt + 1;
+             Obs.incr c_corrupt
+           | `Stale ->
+             t.t_stale <- t.t_stale + 1;
+             Obs.incr c_stale);
+          diags :=
+            Diag.warnf Diag.Store "%s:%d: skipped %s line (%s)" path (i + 1)
+              (match kind with `Corrupt -> "corrupt" | `Stale -> "stale")
+              m
+            :: !diags
+        in
+        match Json.parse line with
+        | Error m -> skip `Corrupt m
+        | Ok j ->
+          (match record_of_json j with
+           | Error (`Corrupt m) -> skip `Corrupt m
+           | Error (`Stale m) -> skip `Stale m
+           | Ok r ->
+             t.t_loaded <- t.t_loaded + 1;
+             Hashtbl.replace t.t_records r.r_key r)
+      end)
+    (load_lines path);
+  (t, List.rev !diags)
+
+let path t = t.t_path
+
+(* ---------- queries ---------- *)
+
+let lookup t ~signature =
+  let key = key_of_signature signature in
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.t_records key with
+      | Some r ->
+        t.t_hits <- t.t_hits + 1;
+        Obs.incr c_hit;
+        Some r
+      | None ->
+        t.t_misses <- t.t_misses + 1;
+        Obs.incr c_miss;
+        None)
+
+let size t = with_lock t (fun () -> Hashtbl.length t.t_records)
+
+let stats t =
+  with_lock t (fun () ->
+      { st_records = Hashtbl.length t.t_records;
+        st_loaded = t.t_loaded;
+        st_corrupt = t.t_corrupt;
+        st_stale = t.t_stale;
+        st_hits = t.t_hits;
+        st_misses = t.t_misses;
+        st_appends = t.t_appends
+      })
+
+let iter t f =
+  let snapshot =
+    with_lock t (fun () -> Hashtbl.fold (fun _ r acc -> r :: acc) t.t_records [])
+  in
+  List.iter f snapshot
+
+(* ---------- writes ---------- *)
+
+let append_line t line =
+  let oc = open_out_gen [ Open_creat; Open_append; Open_binary ] 0o644 t.t_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc line;
+      output_char oc '\n')
+
+let record t ~signature ~workload ~isa ~target ~config ~cycles ~diag_digest =
+  let r =
+    { r_key = key_of_signature signature;
+      r_signature = signature;
+      r_workload = workload;
+      r_isa = isa;
+      r_target = target;
+      r_config = config;
+      r_cycles = cycles;
+      r_diag_digest = diag_digest
+    }
+  in
+  with_lock t (fun () ->
+      Hashtbl.replace t.t_records r.r_key r;
+      t.t_appends <- t.t_appends + 1;
+      Obs.incr c_append;
+      append_line t (Json.to_string (record_to_json r)))
+
+let save t =
+  with_lock t (fun () ->
+      let tmp = Printf.sprintf "%s.tmp.%d" t.t_path (Unix.getpid ()) in
+      let oc = open_out_bin tmp in
+      (try
+         Hashtbl.iter
+           (fun _ r ->
+             output_string oc (Json.to_string (record_to_json r));
+             output_char oc '\n')
+           t.t_records;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      Sys.rename tmp t.t_path)
+
+(* ---------- the pipeline's view ---------- *)
+
+let pipeline_hooks t =
+  { Unit_core.Pipeline.ts_lookup =
+      (fun ~signature -> Option.map (fun r -> r.r_config) (lookup t ~signature));
+    ts_record =
+      (fun ~signature ~workload ~isa ~target ~diags tuned ->
+        record t ~signature ~workload ~isa ~target
+          ~config:tuned.Cpu_tuner.t_config
+          ~cycles:tuned.Cpu_tuner.t_estimate.Unit_machine.Cpu_model.est_cycles
+          ~diag_digest:(diag_digest diags))
+  }

@@ -1,0 +1,107 @@
+(** Persistent, content-addressed tuning database.
+
+    The expensive step of the pipeline is the tuner's exhaustive
+    breaking-point sweep (Section V, Fig. 7); everything after it —
+    realizing one config, lowering, replacing — is cheap and
+    deterministic.  So what persists across processes is the {e tuned
+    config}, not the compiled closure: an append-only JSONL file of
+    records keyed by a canonical content hash of (workload shapes+dtypes,
+    target spec, ISA name, tuner/schema version), in the AutoTVM /
+    LoopStack tuning-log tradition.  On warm start the pipeline
+    recompiles from the stored config via {!Unit_rewriter.Cpu_tuner.of_config},
+    skipping the sweep entirely.
+
+    Robustness contract: loading never raises on bad data.  Lines that do
+    not parse, fail field validation, or whose stored key does not match
+    the recomputed content hash are skipped and surfaced as
+    [Unit_tir.Diag.Store] warnings; lines whose schema or tuner version
+    differs are counted stale and skipped the same way (a version bump
+    re-tunes rather than replaying configs that changed meaning).
+
+    Durability: each {!record} appends one line under a mutex with a
+    single buffered write+flush (a torn trailing line is recovered as
+    corrupt on the next load); {!save} rewrites the whole file compacted
+    (one line per key, latest wins) via tmp + atomic rename.
+
+    All entry points are safe for concurrent calls from
+    {!Unit_codegen.Parallel_oracle} domains. *)
+
+module Cpu_tuner := Unit_rewriter.Cpu_tuner
+
+val schema_version : int
+(** Version of the on-disk record layout (this module); independent of
+    {!Unit_rewriter.Cpu_tuner.version}, which versions the meaning of the
+    stored configs.  Both are folded into the key and checked on load. *)
+
+type record = {
+  r_key : string;  (** content address: {!key_of_signature} of [r_signature] *)
+  r_signature : string;
+      (** the canonical {!Unit_core.Pipeline.workload_signature} *)
+  r_workload : string;  (** human-readable workload/op label *)
+  r_isa : string;
+  r_target : string;
+  r_config : Cpu_tuner.config;
+  r_cycles : float;  (** the machine model's estimate for the winner *)
+  r_diag_digest : string;
+      (** digest of the analyzer diagnostics the kernel was accepted with *)
+}
+
+type stats = {
+  st_records : int;  (** live records (deduped by key, latest wins) *)
+  st_loaded : int;  (** valid lines read by {!open_} *)
+  st_corrupt : int;  (** lines skipped: unparseable / invalid / key mismatch *)
+  st_stale : int;  (** lines skipped: schema or tuner version mismatch *)
+  st_hits : int;  (** successful {!lookup}s since open *)
+  st_misses : int;
+  st_appends : int;  (** {!record}s since open *)
+}
+
+type t
+
+val key_of_signature : string -> string
+(** Content address of a canonical workload signature: a hex digest
+    binding the signature to {!schema_version} and
+    {!Unit_rewriter.Cpu_tuner.version}. *)
+
+val diag_digest : Unit_tir.Diag.t list -> string
+(** Order-sensitive digest of a diagnostic list (the store's provenance
+    trail: which warnings the persisted kernel was accepted with). *)
+
+val open_ : string -> t * Unit_tir.Diag.t list
+(** Open (creating if absent) the JSONL store at a path and load every
+    live record.  Returns recovery warnings — one [Diag.Store] warning
+    per corrupt or stale line — and never raises on bad content.
+    @raise Sys_error only if the path itself cannot be read or created. *)
+
+val path : t -> string
+
+val lookup : t -> signature:string -> record option
+(** Content-addressed lookup; bumps [store.disk.hit] / [store.disk.miss]
+    (and {!stats}). *)
+
+val record :
+  t ->
+  signature:string ->
+  workload:string ->
+  isa:string ->
+  target:string ->
+  config:Cpu_tuner.config ->
+  cycles:float ->
+  diag_digest:string ->
+  unit
+(** Insert-or-replace in memory and append one JSONL line to disk. *)
+
+val size : t -> int
+val stats : t -> stats
+val iter : t -> (record -> unit) -> unit
+(** Live records in unspecified order. *)
+
+val save : t -> unit
+(** Compact the store: rewrite the file with one line per key (latest
+    wins), via tmp file + atomic rename. *)
+
+val pipeline_hooks : t -> Unit_core.Pipeline.tuning_store
+(** The store as the pipeline sees it: [ts_lookup] resolves a signature
+    to its stored config, [ts_record] persists a freshly tuned kernel
+    (config + estimated cycles + diagnostics digest).  Install with
+    {!Unit_core.Pipeline.set_tuning_store}. *)

@@ -1,0 +1,201 @@
+(* The concurrent warm-up scheduler: single-flight claims + bounded
+   retries over the Parallel_oracle domain pool.  See warmup.mli. *)
+
+module Pipeline = Unit_core.Pipeline
+module Parallel_oracle = Unit_codegen.Parallel_oracle
+module Workload = Unit_graph.Workload
+module Obs = Unit_obs.Obs
+
+let c_jobs = Obs.counter "warmup.jobs"
+let c_compiled = Obs.counter "warmup.compiled"
+let c_dedup = Obs.counter "warmup.dedup"
+let c_retry = Obs.counter "warmup.retry"
+let c_fail = Obs.counter "warmup.fail"
+
+type target =
+  | X86
+  | Arm
+
+let target_of_string = function
+  | "x86" | "cascadelake" -> Ok X86
+  | "arm" | "graviton2" -> Ok Arm
+  | other ->
+    Error (Printf.sprintf "unknown warm-up target %s (x86|cascadelake|arm|graviton2)" other)
+
+let target_to_string = function X86 -> "x86" | Arm -> "arm"
+
+type job = {
+  job_key : string;
+  job_compile : unit -> unit;
+}
+
+(* Job keys mirror the pipeline memo's (tag, workload) identity so the
+   single-flight table and the in-memory kernel cache agree on what "the
+   same workload" means. *)
+let conv_job target wl =
+  let name = Workload.name (Workload.Conv wl) in
+  match target with
+  | X86 ->
+    { job_key = "x86-vnni/" ^ name;
+      job_compile = (fun () -> ignore (Pipeline.conv_time_x86 wl : float))
+    }
+  | Arm ->
+    { job_key = "arm-arm.udot/" ^ name;
+      job_compile = (fun () -> ignore (Pipeline.conv_time_arm wl : float))
+    }
+
+let dense_job target wl =
+  let name = Workload.name (Workload.Fc wl) in
+  match target with
+  | X86 ->
+    { job_key = "x86-dense/" ^ name;
+      job_compile = (fun () -> ignore (Pipeline.dense_time_x86 wl : float))
+    }
+  | Arm ->
+    { job_key = "arm-dense/" ^ name;
+      job_compile = (fun () -> ignore (Pipeline.dense_time_arm wl : float))
+    }
+
+let jobs_of_graph target g =
+  List.map (fun (wl, _) -> conv_job target wl) (Unit_models.Zoo.conv_workloads g)
+  @ List.map (fun (wl, _) -> dense_job target wl) (Unit_models.Zoo.dense_workloads g)
+
+let jobs_of_model target name =
+  match Unit_models.Zoo.find name with
+  | None -> Error (Printf.sprintf "unknown model %s (see unitc models)" name)
+  | Some build -> Ok (jobs_of_graph target (build ()))
+
+let jobs_of_zoo target =
+  (* concatenated without pre-dedup: shared layers across models are the
+     single-flight table's job, and exercise its dedup counter *)
+  List.concat_map
+    (fun (_, build) -> jobs_of_graph target (build ()))
+    Unit_models.Zoo.all
+
+let jobs_of_table1 target ?index () =
+  let workloads = Unit_models.Table1.workloads in
+  match index with
+  | None -> Ok (Array.to_list (Array.map (conv_job target) workloads))
+  | Some i ->
+    if i < 1 || i > Array.length workloads then
+      Error
+        (Printf.sprintf "table1 index %d out of range 1..%d" i
+           (Array.length workloads))
+    else Ok [ conv_job target workloads.(i - 1) ]
+
+(* ---------- execution ---------- *)
+
+type failure = {
+  f_key : string;
+  f_error : string;
+  f_attempts : int;
+}
+
+type report = {
+  rp_jobs : int;
+  rp_compiled : int;
+  rp_deduped : int;
+  rp_skipped : (string * string) list;
+  rp_retries : int;
+  rp_failures : failure list;
+  rp_elapsed_s : float;
+}
+
+type outcome =
+  | Compiled
+  | Deduped
+  | Skipped of string
+  | Failed of failure
+
+let run ?domains ?(retries = 1) jobs =
+  if retries < 0 then invalid_arg "Warmup.run: retries must be >= 0";
+  let t0 = Unix.gettimeofday () in
+  Obs.add c_jobs (List.length jobs);
+  (* single-flight: the first claimant of a key compiles it; concurrent
+     and later duplicates observe the claim and stand down *)
+  let claimed : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let claim_lock = Mutex.create () in
+  let claim key =
+    Mutex.lock claim_lock;
+    let fresh = not (Hashtbl.mem claimed key) in
+    if fresh then Hashtbl.add claimed key ();
+    Mutex.unlock claim_lock;
+    fresh
+  in
+  let retries_spent = Atomic.make 0 in
+  let execute job =
+    if not (claim job.job_key) then begin
+      Obs.incr c_dedup;
+      Deduped
+    end
+    else begin
+      let tok =
+        if Obs.enabled () then Obs.start "warmup.workload" ~detail:job.job_key
+        else Obs.null_span
+      in
+      Fun.protect ~finally:(fun () -> Obs.stop tok) @@ fun () ->
+      let rec attempt n =
+        match job.job_compile () with
+        | () ->
+          Obs.incr c_compiled;
+          Compiled
+        | exception Invalid_argument reason ->
+          (* deterministic pipeline rejection (does not tensorize):
+             retrying cannot change the answer *)
+          Skipped reason
+        | exception e when n <= retries ->
+          ignore (e : exn);
+          Obs.incr c_retry;
+          Atomic.incr retries_spent;
+          attempt (n + 1)
+        | exception e ->
+          Obs.incr c_fail;
+          Failed
+            { f_key = job.job_key; f_error = Printexc.to_string e; f_attempts = n }
+      in
+      attempt 1
+    end
+  in
+  let outcomes =
+    List.map
+      (function
+        | Ok o -> o
+        | Error e ->
+          (* [execute] catches everything job-related; this arm only fires
+             if the harness itself throws (e.g. out of memory) *)
+          Obs.incr c_fail;
+          Failed { f_key = "<scheduler>"; f_error = Printexc.to_string e; f_attempts = 0 })
+      (Parallel_oracle.try_map ?domains execute jobs)
+  in
+  let count p = List.length (List.filter p outcomes) in
+  { rp_jobs = List.length jobs;
+    rp_compiled = count (function Compiled -> true | _ -> false);
+    rp_deduped = count (function Deduped -> true | _ -> false);
+    rp_skipped =
+      List.filter_map
+        (function
+          | (Skipped reason : outcome), key -> Some (key, reason)
+          | _ -> None)
+        (List.map2 (fun o j -> (o, j.job_key)) outcomes jobs);
+    rp_retries = Atomic.get retries_spent;
+    rp_failures =
+      List.filter_map (function Failed f -> Some f | _ -> None) outcomes;
+    rp_elapsed_s = Unix.gettimeofday () -. t0
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "warm-up: %d job(s) -> %d compiled, %d deduped (single-flight), %d skipped, %d failed in %.2f s"
+    r.rp_jobs r.rp_compiled r.rp_deduped
+    (List.length r.rp_skipped)
+    (List.length r.rp_failures) r.rp_elapsed_s;
+  if r.rp_retries > 0 then Format.fprintf fmt " (%d retr%s)" r.rp_retries
+      (if r.rp_retries = 1 then "y" else "ies");
+  List.iter
+    (fun (key, reason) -> Format.fprintf fmt "@.  skipped %s: %s" key reason)
+    r.rp_skipped;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "@.  FAILED %s after %d attempt(s): %s" f.f_key
+        f.f_attempts f.f_error)
+    r.rp_failures

@@ -1,0 +1,72 @@
+(** Concurrent warm-up scheduler.
+
+    Compiles every distinct tensorizable workload of a model (or the
+    whole zoo, or Table I) through the cached pipeline, fanned across
+    {!Unit_codegen.Parallel_oracle} domains.  With a tuning store
+    installed ({!Unit_core.Pipeline.set_tuning_store}), a warm start
+    turns into a stream of disk hits that recompile from stored configs
+    and skip the tuner sweep; a cold start populates the store.
+
+    Scheduling semantics:
+    - {e single-flight}: jobs are deduplicated by key at claim time, so
+      a key appearing in several models of a zoo batch (or enqueued
+      twice) compiles exactly once; the losers are counted on
+      [warmup.dedup] and reported as {!field-rp_deduped}.
+    - {e bounded retries}: a job failing with anything other than
+      [Invalid_argument] is retried up to [retries] extra times
+      ([warmup.retry]), then reported as failed.  [Invalid_argument] is
+      the pipeline's deterministic "does not tensorize" rejection — it
+      is never retried and lands in {!field-rp_skipped}, not failures.
+    - per-workload [warmup.workload] spans and [warmup.jobs] /
+      [warmup.compiled] / [warmup.dedup] / [warmup.retry] /
+      [warmup.fail] counters when tracing is enabled. *)
+
+type target =
+  | X86  (** Cascade Lake + VNNI ([Pipeline.conv_time_x86] et al.) *)
+  | Arm  (** Graviton2 + DOT *)
+
+val target_of_string : string -> (target, string) result
+(** Accepts ["x86"] / ["cascadelake"] and ["arm"] / ["graviton2"]. *)
+
+val target_to_string : target -> string
+
+type job = {
+  job_key : string;  (** single-flight identity, e.g. ["x86-vnni/conv_c64_..."] *)
+  job_compile : unit -> unit;
+}
+
+val conv_job : target -> Unit_graph.Workload.conv2d -> job
+val dense_job : target -> Unit_graph.Workload.dense -> job
+
+val jobs_of_model : target -> string -> (job list, string) result
+(** Every distinct conv + dense workload of one zoo model (by name). *)
+
+val jobs_of_zoo : target -> job list
+(** All nine models, concatenated {e without} pre-deduplication — shared
+    layers are deliberately left for the single-flight table to catch. *)
+
+val jobs_of_table1 : target -> ?index:int -> unit -> (job list, string) result
+(** Table I workloads; [index] (1-based) selects a single row. *)
+
+type failure = {
+  f_key : string;
+  f_error : string;
+  f_attempts : int;
+}
+
+type report = {
+  rp_jobs : int;  (** jobs submitted *)
+  rp_compiled : int;
+  rp_deduped : int;  (** single-flight skips *)
+  rp_skipped : (string * string) list;  (** (key, reason): not tensorizable *)
+  rp_retries : int;  (** extra attempts spent across all jobs *)
+  rp_failures : failure list;
+  rp_elapsed_s : float;
+}
+
+val run : ?domains:int -> ?retries:int -> job list -> report
+(** Execute a batch.  [domains] defaults to
+    {!Unit_codegen.Parallel_oracle.default_domains}; [retries] (extra
+    attempts per transiently-failing job) defaults to 1. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -7,6 +7,7 @@ type rule =
   | Carried_dep
   | Tensorize_footprint
   | Overflow
+  | Store
 
 type severity =
   | Error
@@ -27,6 +28,7 @@ let rule_id = function
   | Carried_dep -> "dep-carried"
   | Tensorize_footprint -> "tensorize-footprint"
   | Overflow -> "overflow"
+  | Store -> "store"
 
 let errorf rule fmt =
   Printf.ksprintf (fun detail -> { rule; severity = Error; detail }) fmt

@@ -14,6 +14,7 @@ type rule =
   | Carried_dep  (** vectorized/unrolled loop carries a non-reduction dep *)
   | Tensorize_footprint  (** instruction tile footprint / reduction shape *)
   | Overflow  (** narrowing cast or accumulator range overflow *)
+  | Store  (** tuning-store record skipped (corrupt or stale schema) *)
 
 type severity =
   | Error  (** the schedule is illegal; reject it *)
@@ -27,7 +28,8 @@ type t = {
 
 val rule_id : rule -> string
 (** Stable short id: ["scope"], ["bounds"], ["canonical"], ["tile"],
-    ["race"], ["dep-carried"], ["tensorize-footprint"], ["overflow"]. *)
+    ["race"], ["dep-carried"], ["tensorize-footprint"], ["overflow"],
+    ["store"]. *)
 
 val errorf : rule -> ('a, unit, string, t) format4 -> 'a
 val warnf : rule -> ('a, unit, string, t) format4 -> 'a
