@@ -708,6 +708,106 @@ let trace_lint file =
       (List.length events)
       (List.length Obs.tensorize_stages)
 
+(* ---------- explain ---------- *)
+
+(* Per-operator tensorization coverage: which instructions of the target
+   platform apply to each workload, and for the rejected ones the
+   structured reason (mismatching node path, failing access pair, or
+   mapping exhaustion) instead of a bare "no". *)
+let explain model target json =
+  let tgt =
+    match Unit_core.Explain.target_of_string target with
+    | Some t -> t
+    | None ->
+      or_die (Error (Printf.sprintf "unknown target %s (x86, arm or gpu)" target))
+  in
+  let workloads =
+    if String.length model > 7 && String.sub model 0 7 = "table1:" then begin
+      let i =
+        match int_of_string_opt (String.sub model 7 (String.length model - 7)) with
+        | Some i -> i
+        | None -> or_die (Error (model ^ ": malformed table1:N index"))
+      in
+      let all = Unit_models.Table1.workloads in
+      if i < 1 || i > Array.length all then
+        or_die
+          (Error (Printf.sprintf "table1 index %d out of range 1..%d" i
+                    (Array.length all)));
+      [ all.(i - 1) ]
+    end
+    else
+      match Unit_models.Zoo.find model with
+      | None ->
+        or_die (Error (model ^ ": not a model (see unitc models) nor table1:N"))
+      | Some build ->
+        List.map fst (Unit_models.Zoo.conv_workloads (build ()))
+  in
+  let reports = List.map (Unit_core.Explain.conv tgt) workloads in
+  if json then
+    let j =
+      match reports with
+      | [ r ] -> Unit_core.Explain.to_json r
+      | rs -> Json.Arr (List.map Unit_core.Explain.to_json rs)
+    in
+    print_endline (Json.to_string j)
+  else
+    List.iter (fun r -> Format.printf "%a@." Unit_core.Explain.pp r) reports
+
+(* ---------- bench-report / bench-diff / bench-lint ---------- *)
+
+module Perf_gate = Unit_core.Perf_gate
+
+let bench_report target out =
+  let tgt =
+    match Unit_core.Explain.target_of_string target with
+    | Some t -> t
+    | None ->
+      or_die (Error (Printf.sprintf "unknown target %s (x86, arm or gpu)" target))
+  in
+  let report = Perf_gate.generate tgt in
+  (match out with
+   | Some path ->
+     Perf_gate.write path report;
+     Printf.printf "perf report: %d kernel(s) on %s written to %s\n"
+       (List.length report.Perf_gate.pg_kernels)
+       report.Perf_gate.pg_target path
+   | None -> print_endline (Json.to_string (Perf_gate.to_json report)))
+
+(* Exit codes are the gate's contract: 0 = within tolerance, 1 =
+   regression, 2 = the inputs themselves are unusable. *)
+let bench_diff old_file new_file tolerance =
+  let load file =
+    match Perf_gate.read file with
+    | Ok r -> r
+    | Error m ->
+      prerr_endline (Printf.sprintf "unitc: %s: %s" file m);
+      exit 2
+  in
+  let old_report = load old_file in
+  let new_report = load new_file in
+  if not (String.equal old_report.Perf_gate.pg_target new_report.Perf_gate.pg_target)
+  then begin
+    prerr_endline
+      (Printf.sprintf "unitc: target mismatch: %s vs %s"
+         old_report.Perf_gate.pg_target new_report.Perf_gate.pg_target);
+    exit 2
+  end;
+  let df = Perf_gate.diff_reports ~tolerance ~old_report ~new_report in
+  Format.printf "%a@." (Perf_gate.pp_diff ~tolerance) df;
+  if df.Perf_gate.df_regressions <> [] then exit 1
+
+let bench_lint files =
+  let failed = ref false in
+  List.iter
+    (fun file ->
+      match Perf_gate.validate_file file with
+      | Ok desc -> Printf.printf "bench-lint: %s OK (%s)\n" file desc
+      | Error m ->
+        Printf.printf "bench-lint: %s FAILED (%s)\n" file m;
+        failed := true)
+    files;
+  if !failed then exit 1
+
 (* ---------- command wiring ---------- *)
 
 let conv_args f =
@@ -887,6 +987,79 @@ let store_stats_cmd =
           cycles.")
     Term.(const store_stats $ file)
 
+let explain_target_arg =
+  Arg.(value & opt string "x86"
+       & info [ "target" ] ~docv:"TARGET"
+           ~doc:"x86 (cascadelake), arm (graviton2) or gpu (v100).")
+
+let explain_cmd =
+  let model =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"MODEL"
+             ~doc:"A zoo model (see unitc models) or table1:N for one Table I \
+                   kernel.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report(s) as JSON instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Per-operator tensorization coverage: for every instruction of the \
+          target's platform, whether it applies to each workload — with the \
+          chosen kernel's cycle attribution — or the structured rejection \
+          reason (mismatching expression node, failing access pair, or \
+          mapping exhaustion).")
+    Term.(const explain $ model $ explain_target_arg $ json)
+
+let bench_report_cmd =
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the report to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "bench-report"
+       ~doc:
+         "Freeze the machine model's view of a target to JSON: chosen ISA, \
+          estimated cycles and cost attribution for every Table I workload.  \
+          Deterministic — the checked-in baseline the perf gate diffs \
+          against.")
+    Term.(const bench_report $ explain_target_arg $ out)
+
+let bench_diff_cmd =
+  let old_file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.json")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json")
+  in
+  let tolerance =
+    Arg.(value & opt float 2.0
+         & info [ "tolerance" ] ~docv:"PCT"
+             ~doc:"Allowed per-kernel cycle increase, percent.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two perf reports kernel-by-kernel.  Exits 1 if any kernel \
+          regressed beyond the tolerance (or vanished), 2 if an input is \
+          not a valid perf report.")
+    Term.(const bench_diff $ old_file $ new_file $ tolerance)
+
+let bench_lint_cmd =
+  let files =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "bench-lint"
+       ~doc:
+         "Validate checked-in benchmark JSON files against the shape each \
+          claims (perf report, paper outcomes, or interpreter benchmark); \
+          exits non-zero on any failure.")
+    Term.(const bench_lint $ files)
+
 let trace_lint_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   Cmd.v
@@ -906,5 +1079,6 @@ let () =
        (Cmd.group info
           [ list_isa_cmd; show_isa_cmd; inspect_cmd; compile_cmd; run_cmd; e2e_cmd;
             models_cmd; table1_cmd; check_cmd; lint_cmd; profile_cmd;
-            warmup_cmd; store_stats_cmd; trace_lint_cmd
+            warmup_cmd; store_stats_cmd; trace_lint_cmd; explain_cmd;
+            bench_report_cmd; bench_diff_cmd; bench_lint_cmd
           ]))

@@ -1,0 +1,105 @@
+module Inspector = Unit_inspector.Inspector
+module Json = Unit_obs.Json
+
+type outcome =
+  | Accepted of { ac_mappings : int; ac_cycles : float }
+  | Rejected of Inspector.rejection
+  | Illegal of string
+
+type entry = {
+  de_op : string;
+  de_isa : string;
+  de_target : string;
+  de_outcome : outcome;
+}
+
+(* Same shape as the tracing gate in [Unit_obs.Obs]: disabled by default
+   so long-lived serving processes do not accumulate entries, enabled by
+   the drivers that want the log ([unitc explain]).  The list is guarded
+   by a mutex because the pipeline fans across domains. *)
+let gate = Atomic.make false
+let set_enabled b = Atomic.set gate b
+let enabled () = Atomic.get gate
+
+let mu = Mutex.create ()
+let log : entry list ref = ref []
+
+let record e =
+  if Atomic.get gate then begin
+    Mutex.lock mu;
+    log := e :: !log;
+    Mutex.unlock mu
+  end
+
+let record_rejection ~op ~isa ~target r =
+  record { de_op = op; de_isa = isa; de_target = target; de_outcome = Rejected r }
+
+let record_accepted ~op ~isa ~target ~mappings ~cycles =
+  record
+    { de_op = op; de_isa = isa; de_target = target;
+      de_outcome = Accepted { ac_mappings = mappings; ac_cycles = cycles }
+    }
+
+let record_illegal ~op ~isa ~target reason =
+  record { de_op = op; de_isa = isa; de_target = target; de_outcome = Illegal reason }
+
+let entries () =
+  Mutex.lock mu;
+  let es = List.rev !log in
+  Mutex.unlock mu;
+  es
+
+let reset () =
+  Mutex.lock mu;
+  log := [];
+  Mutex.unlock mu
+
+(* ---------- JSON ---------- *)
+
+let rejection_to_json (r : Inspector.rejection) =
+  match r with
+  | Inspector.Not_isomorphic mm ->
+    Json.Obj
+      [ ("kind", Json.Str "not_isomorphic");
+        ("path", Json.Str mm.Inspector.mm_path);
+        ("instr_node", Json.Str mm.Inspector.mm_instr);
+        ("op_node", Json.Str mm.Inspector.mm_op)
+      ]
+  | Inspector.No_feasible_mapping
+      (Inspector.Exhausted { ex_axis; ex_kind; ex_extent }) ->
+    Json.Obj
+      [ ("kind", Json.Str "mapping_exhausted");
+        ("intrin_axis", Json.Str ex_axis);
+        ("axis_kind", Json.Str ex_kind);
+        ("axis_extent", Json.Num (float_of_int ex_extent))
+      ]
+  | Inspector.No_feasible_mapping
+      (Inspector.Access_violations { av_tried; av_witness = w }) ->
+    Json.Obj
+      [ ("kind", Json.Str "access_violation");
+        ("mappings_tried", Json.Num (float_of_int av_tried));
+        ("tensor", Json.Str w.Inspector.af_tensor);
+        ("op_axis", Json.Str w.Inspector.af_op_axis);
+        ("intrin_axis", Json.Str w.Inspector.af_intrin_axis)
+      ]
+
+let outcome_to_json = function
+  | Accepted a ->
+    Json.Obj
+      [ ("kind", Json.Str "accepted");
+        ("mappings", Json.Num (float_of_int a.ac_mappings));
+        ("cycles", Json.Num a.ac_cycles)
+      ]
+  | Rejected r -> rejection_to_json r
+  | Illegal reason ->
+    Json.Obj [ ("kind", Json.Str "illegal_schedule"); ("reason", Json.Str reason) ]
+
+let entry_to_json e =
+  Json.Obj
+    [ ("op", Json.Str e.de_op);
+      ("isa", Json.Str e.de_isa);
+      ("target", Json.Str e.de_target);
+      ("outcome", outcome_to_json e.de_outcome)
+    ]
+
+let to_json () = Json.Arr (List.map entry_to_json (entries ()))

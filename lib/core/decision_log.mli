@@ -1,0 +1,51 @@
+(** Tensorization decision log.
+
+    Every {!Pipeline.tensorize} call records, per (operation,
+    instruction) pair, whether the instruction was accepted (with how
+    many feasible mappings and the tuned cycle count), rejected by the
+    Inspector (with the structured {!Unit_inspector.Inspector.rejection}
+    reason), or proven illegal by the dependence analyzer.
+
+    Like tracing in [Unit_obs.Obs], the log is {e disabled by default}
+    so long-lived processes do not accumulate entries; [unitc explain]
+    enables it around a compilation and then reads it back. *)
+
+module Inspector = Unit_inspector.Inspector
+
+type outcome =
+  | Accepted of { ac_mappings : int; ac_cycles : float }
+  | Rejected of Inspector.rejection
+  | Illegal of string  (** analyzer-rejected schedule *)
+
+type entry = {
+  de_op : string;
+  de_isa : string;
+  de_target : string;  (** machine name, e.g. ["cascadelake"] *)
+  de_outcome : outcome;
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val record : entry -> unit
+(** No-op while disabled.  Safe to call from any domain. *)
+
+val record_rejection :
+  op:string -> isa:string -> target:string -> Inspector.rejection -> unit
+
+val record_accepted :
+  op:string -> isa:string -> target:string -> mappings:int -> cycles:float -> unit
+
+val record_illegal : op:string -> isa:string -> target:string -> string -> unit
+
+val entries : unit -> entry list
+(** In record order. *)
+
+val reset : unit -> unit
+
+val rejection_to_json : Inspector.rejection -> Unit_obs.Json.t
+(** Structured form: [{"kind": "not_isomorphic" | "mapping_exhausted" |
+    "access_violation", ...}] with the per-kind fields. *)
+
+val entry_to_json : entry -> Unit_obs.Json.t
+val to_json : unit -> Unit_obs.Json.t

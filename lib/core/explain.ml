@@ -1,0 +1,230 @@
+open Unit_dtype
+open Unit_dsl
+module Inspector = Unit_inspector.Inspector
+module Reorganize = Unit_rewriter.Reorganize
+module Cpu_tuner = Unit_rewriter.Cpu_tuner
+module Spec = Unit_machine.Spec
+module Cpu_model = Unit_machine.Cpu_model
+module Gpu_model = Unit_machine.Gpu_model
+module Cost_report = Unit_machine.Cost_report
+module Workload = Unit_graph.Workload
+module Json = Unit_obs.Json
+
+type target =
+  | X86
+  | Arm
+  | Gpu
+
+let target_to_string = function X86 -> "x86" | Arm -> "arm" | Gpu -> "gpu"
+
+let target_of_string = function
+  | "x86" | "cascadelake" -> Some X86
+  | "arm" | "graviton2" -> Some Arm
+  | "gpu" | "v100" -> Some Gpu
+  | _ -> None
+
+type verdict =
+  | Accepted of {
+      vd_mappings : int;
+      vd_config : string;
+      vd_cycles : float;
+      vd_report : Cost_report.t;
+    }
+  | Rejected of Inspector.rejection
+  | Errored of string
+
+type entry = {
+  ex_isa : string;
+  ex_verdict : verdict;
+}
+
+type report = {
+  ex_workload : string;
+  ex_target : string;
+  ex_entries : entry list;
+  ex_chosen : string option;
+}
+
+(* ---------- CPU targets: full Inspector coverage over the platform ISAs ---------- *)
+
+(* Mirrors the pipeline's quantization policy (activations u8, weights
+   i8 on both CPU targets): explain answers "which instruction applies
+   to the op the pipeline would actually build", so e.g. the i16
+   multiply-add baselines are reported rejected with the concrete dtype
+   mismatch rather than silently skipped. *)
+let conv_op_for ~is_arm (intrin : Unit_isa.Intrin.t) wl =
+  let lanes = Unit_isa.Intrin.output_lanes intrin in
+  let reduce_width = Unit_isa.Intrin.reduction_width intrin in
+  let reduce_width =
+    if is_arm then
+      let rw = Stdlib.max 1 reduce_width in
+      if rw = 1 then 4 else rw
+    else reduce_width
+  in
+  Workload.conv_op ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8 ~lanes ~reduce_width wl
+
+let cpu_config_string (c : Cpu_tuner.config) =
+  Printf.sprintf "grain=%d unroll=%d" c.Cpu_tuner.parallel_grain
+    c.Cpu_tuner.unroll_budget
+
+let cpu_verdict ~spec ~is_arm (intrin : Unit_isa.Intrin.t) wl =
+  try
+    let op = conv_op_for ~is_arm intrin wl in
+    match Inspector.inspect op intrin with
+    | Error r ->
+      Decision_log.record_rejection ~op:op.Op.name
+        ~isa:intrin.Unit_isa.Intrin.name ~target:spec.Spec.cpu_name r;
+      Rejected r
+    | Ok ap ->
+      let reorganized = Reorganize.apply op ap () in
+      let tuned, diags =
+        Pipeline.tune_analyzed ~use_store:false ~spec op intrin reorganized
+      in
+      (match Unit_tir.Diag.errors diags with
+       | _ :: _ as errs ->
+         let reason =
+           "illegal schedule: "
+           ^ String.concat "; " (List.map Unit_tir.Diag.to_string errs)
+         in
+         Decision_log.record_illegal ~op:op.Op.name
+           ~isa:intrin.Unit_isa.Intrin.name ~target:spec.Spec.cpu_name reason;
+         Errored reason
+       | [] ->
+         let cycles = tuned.Cpu_tuner.t_estimate.Cpu_model.est_cycles in
+         Decision_log.record_accepted ~op:op.Op.name
+           ~isa:intrin.Unit_isa.Intrin.name ~target:spec.Spec.cpu_name
+           ~mappings:(List.length ap.Inspector.ap_mappings) ~cycles;
+         Accepted
+           { vd_mappings = List.length ap.Inspector.ap_mappings;
+             vd_config = cpu_config_string tuned.Cpu_tuner.t_config;
+             vd_cycles = cycles;
+             vd_report = tuned.Cpu_tuner.t_report
+           })
+  with
+  | Invalid_argument msg -> Errored msg
+  | Failure msg -> Errored msg
+
+let cpu_report ~spec ~is_arm ~platform ~workload wl =
+  let intrins = Unit_isa.Registry.of_platform platform in
+  let entries =
+    List.map
+      (fun (intrin : Unit_isa.Intrin.t) ->
+        { ex_isa = intrin.Unit_isa.Intrin.name;
+          ex_verdict = cpu_verdict ~spec ~is_arm intrin wl
+        })
+      intrins
+  in
+  let chosen =
+    List.fold_left
+      (fun best e ->
+        match e.ex_verdict, best with
+        | Accepted a, Some (_, bc) when a.vd_cycles < bc ->
+          Some (e.ex_isa, a.vd_cycles)
+        | Accepted a, None -> Some (e.ex_isa, a.vd_cycles)
+        | _ -> best)
+      None entries
+  in
+  { ex_workload = workload;
+    ex_target = (if is_arm then "arm" else "x86");
+    ex_entries = entries;
+    ex_chosen = Option.map fst chosen
+  }
+
+(* ---------- GPU target: the single implicit-GEMM WMMA template ---------- *)
+
+let gpu_config_string (c : Gpu_model.config) =
+  Printf.sprintf "p=%d fuse=%b split_k=%d" c.Gpu_model.p c.Gpu_model.fuse_dim
+    c.Gpu_model.split_k
+
+let gpu_report ~workload wl =
+  let entry =
+    try
+      let spec = Workload.conv_spec ~lanes:1 ~reduce_width:1 wl in
+      let gemm = Gpu_model.gemm_of_conv spec in
+      let config, _ = Gpu_model.tune Spec.v100 gemm in
+      let est, rep = Gpu_model.estimate_with_report Spec.v100 gemm config in
+      { ex_isa = "wmma.implicit-gemm";
+        ex_verdict =
+          Accepted
+            { vd_mappings = 1;
+              vd_config = gpu_config_string config;
+              vd_cycles = est.Gpu_model.g_cycles;
+              vd_report = rep
+            }
+      }
+    with Invalid_argument msg ->
+      { ex_isa = "wmma.implicit-gemm"; ex_verdict = Errored msg }
+  in
+  { ex_workload = workload;
+    ex_target = "gpu";
+    ex_entries = [ entry ];
+    ex_chosen =
+      (match entry.ex_verdict with Accepted _ -> Some entry.ex_isa | _ -> None)
+  }
+
+let conv target wl =
+  let workload = Workload.name (Workload.Conv wl) in
+  match target with
+  | X86 ->
+    cpu_report ~spec:Spec.cascadelake ~is_arm:false ~platform:Unit_isa.Intrin.X86
+      ~workload wl
+  | Arm ->
+    cpu_report ~spec:Spec.graviton2 ~is_arm:true ~platform:Unit_isa.Intrin.Arm
+      ~workload wl
+  | Gpu -> gpu_report ~workload wl
+
+(* ---------- sinks ---------- *)
+
+let verdict_to_json = function
+  | Accepted a ->
+    Json.Obj
+      [ ("kind", Json.Str "accepted");
+        ("mappings", Json.Num (float_of_int a.vd_mappings));
+        ("config", Json.Str a.vd_config);
+        ("cycles", Json.Num a.vd_cycles);
+        ("report", Cost_report.to_json a.vd_report)
+      ]
+  | Rejected r -> Decision_log.rejection_to_json r
+  | Errored msg -> Json.Obj [ ("kind", Json.Str "error"); ("reason", Json.Str msg) ]
+
+let to_json r =
+  Json.Obj
+    [ ("workload", Json.Str r.ex_workload);
+      ("target", Json.Str r.ex_target);
+      ("chosen",
+       match r.ex_chosen with Some s -> Json.Str s | None -> Json.Null);
+      ("isas",
+       Json.Arr
+         (List.map
+            (fun e ->
+              Json.Obj
+                [ ("isa", Json.Str e.ex_isa);
+                  ("verdict", verdict_to_json e.ex_verdict)
+                ])
+            r.ex_entries))
+    ]
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>explain %s on %s@," r.ex_workload r.ex_target;
+  List.iter
+    (fun e ->
+      match e.ex_verdict with
+      | Accepted a ->
+        let chosen = r.ex_chosen = Some e.ex_isa in
+        Format.fprintf ppf "  %-18s ACCEPTED%s  %d mapping%s, %s, %.0f cycles@,"
+          e.ex_isa
+          (if chosen then " (chosen)" else "")
+          a.vd_mappings
+          (if a.vd_mappings = 1 then "" else "s")
+          a.vd_config a.vd_cycles;
+        if chosen then
+          Format.fprintf ppf "    @[<v>%a@]@," Cost_report.pp a.vd_report
+      | Rejected rj ->
+        Format.fprintf ppf "  %-18s REJECTED  %s@," e.ex_isa
+          (Inspector.rejection_to_string rj)
+      | Errored msg ->
+        Format.fprintf ppf "  %-18s ERROR     %s@," e.ex_isa msg)
+    r.ex_entries;
+  (match r.ex_chosen with
+   | Some isa -> Format.fprintf ppf "chosen: %s@]" isa
+   | None -> Format.fprintf ppf "chosen: none (no instruction applies)@]")

@@ -1,0 +1,286 @@
+(* Perf reports from the analytical cost model + the regression gate.
+   See perf_gate.mli for the contract. *)
+
+module Cost_report = Unit_machine.Cost_report
+module Json = Unit_obs.Json
+
+let schema = "unit-perf-report"
+let version = 1
+
+type kernel = {
+  k_id : int;
+  k_workload : string;
+  k_isa : string;
+  k_cycles : float;
+  k_report : Cost_report.t;
+}
+
+type report = {
+  pg_target : string;
+  pg_kernels : kernel list;
+}
+
+(* ---------- generation ---------- *)
+
+let generate target =
+  let kernels = ref [] in
+  Array.iteri
+    (fun i wl ->
+      let ex = Explain.conv target wl in
+      match ex.Explain.ex_chosen with
+      | None -> ()
+      | Some isa ->
+        List.iter
+          (fun (e : Explain.entry) ->
+            if String.equal e.Explain.ex_isa isa then
+              match e.Explain.ex_verdict with
+              | Explain.Accepted { vd_cycles; vd_report; _ } ->
+                kernels :=
+                  { k_id = i;
+                    k_workload = ex.Explain.ex_workload;
+                    k_isa = isa;
+                    k_cycles = vd_cycles;
+                    k_report = vd_report
+                  }
+                  :: !kernels
+              | _ -> ())
+          ex.Explain.ex_entries)
+    Unit_models.Table1.workloads;
+  { pg_target = Explain.target_to_string target; pg_kernels = List.rev !kernels }
+
+(* ---------- (de)serialization ---------- *)
+
+let kernel_to_json k =
+  Json.Obj
+    [ ("id", Json.Num (float_of_int k.k_id));
+      ("workload", Json.Str k.k_workload);
+      ("isa", Json.Str k.k_isa);
+      ("cycles", Json.Num k.k_cycles);
+      ("report", Cost_report.to_json k.k_report)
+    ]
+
+let to_json r =
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("v", Json.Num (float_of_int version));
+      ("target", Json.Str r.pg_target);
+      ("kernels", Json.Arr (List.map kernel_to_json r.pg_kernels))
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let str name j =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %s missing or not a string" name)
+
+let num name j =
+  match Option.bind (Json.member name j) Json.to_num with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "field %s missing or not a number" name)
+
+let kernel_of_json j =
+  let* id =
+    match Option.bind (Json.member "id" j) Json.to_int with
+    | Some i when i >= 0 -> Ok i
+    | Some _ -> Error "field id is negative"
+    | None -> Error "field id missing or not an integer"
+  in
+  let* k_workload = str "workload" j in
+  let* k_isa = str "isa" j in
+  let* k_cycles = num "cycles" j in
+  let* () = if k_cycles >= 0.0 then Ok () else Error "field cycles is negative" in
+  let* k_report =
+    match Json.member "report" j with
+    | None -> Error "field report missing"
+    | Some rep -> Cost_report.of_json rep
+  in
+  Ok { k_id = id; k_workload; k_isa; k_cycles; k_report }
+
+let of_json j =
+  let* s = str "schema" j in
+  let* () =
+    if String.equal s schema then Ok ()
+    else Error (Printf.sprintf "schema is %S (want %S)" s schema)
+  in
+  let* v =
+    match Option.bind (Json.member "v" j) Json.to_int with
+    | Some v -> Ok v
+    | None -> Error "field v missing or not an integer"
+  in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "perf-report v%d (want v%d)" v version)
+  in
+  let* pg_target = str "target" j in
+  let* kernels =
+    match Option.bind (Json.member "kernels" j) Json.to_list with
+    | Some ks -> Ok ks
+    | None -> Error "field kernels missing or not an array"
+  in
+  let* pg_kernels =
+    List.fold_left
+      (fun acc k ->
+        let* acc = acc in
+        let* k = kernel_of_json k in
+        Ok (k :: acc))
+      (Ok []) kernels
+  in
+  Ok { pg_target; pg_kernels = List.rev pg_kernels }
+
+let write path r =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json r));
+      output_char oc '\n')
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read path =
+  match read_file path with
+  | exception Sys_error m -> Error m
+  | content ->
+    let* j = Json.parse content in
+    of_json j
+
+(* ---------- diffing ---------- *)
+
+type delta = {
+  d_id : int;
+  d_workload : string;
+  d_old : float;
+  d_new : float;
+  d_pct : float;
+}
+
+type diff = {
+  df_regressions : delta list;
+  df_improvements : delta list;
+  df_unchanged : int;
+  df_added : int;
+}
+
+let diff_reports ~tolerance ~old_report ~new_report =
+  let news = Hashtbl.create 32 in
+  List.iter (fun k -> Hashtbl.replace news k.k_id k) new_report.pg_kernels;
+  let regressions = ref [] in
+  let improvements = ref [] in
+  let unchanged = ref 0 in
+  List.iter
+    (fun old_k ->
+      match Hashtbl.find_opt news old_k.k_id with
+      | None ->
+        (* coverage loss: a kernel the baseline could compile no longer
+           appears — always a regression, whatever the tolerance *)
+        regressions :=
+          { d_id = old_k.k_id;
+            d_workload = old_k.k_workload;
+            d_old = old_k.k_cycles;
+            d_new = -1.0;
+            d_pct = infinity
+          }
+          :: !regressions
+      | Some new_k ->
+        Hashtbl.remove news old_k.k_id;
+        let pct =
+          if old_k.k_cycles > 0.0 then
+            (new_k.k_cycles -. old_k.k_cycles) /. old_k.k_cycles *. 100.0
+          else if new_k.k_cycles > 0.0 then infinity
+          else 0.0
+        in
+        let d =
+          { d_id = old_k.k_id;
+            d_workload = old_k.k_workload;
+            d_old = old_k.k_cycles;
+            d_new = new_k.k_cycles;
+            d_pct = pct
+          }
+        in
+        if pct > tolerance then regressions := d :: !regressions
+        else if pct < -.tolerance then improvements := d :: !improvements
+        else incr unchanged)
+    old_report.pg_kernels;
+  { df_regressions = List.rev !regressions;
+    df_improvements = List.rev !improvements;
+    df_unchanged = !unchanged;
+    df_added = Hashtbl.length news
+  }
+
+let pp_delta ppf d =
+  if d.d_new < 0.0 then
+    Format.fprintf ppf "  #%-2d %-44s %12.0f -> missing" d.d_id d.d_workload
+      d.d_old
+  else
+    Format.fprintf ppf "  #%-2d %-44s %12.0f -> %12.0f  (%+.2f%%)" d.d_id
+      d.d_workload d.d_old d.d_new d.d_pct
+
+let pp_diff ~tolerance ppf df =
+  Format.fprintf ppf "@[<v>";
+  if df.df_regressions <> [] then begin
+    Format.fprintf ppf "REGRESSIONS (tolerance %.1f%%):@," tolerance;
+    List.iter (fun d -> Format.fprintf ppf "%a@," pp_delta d) df.df_regressions
+  end;
+  if df.df_improvements <> [] then begin
+    Format.fprintf ppf "improvements:@,";
+    List.iter (fun d -> Format.fprintf ppf "%a@," pp_delta d) df.df_improvements
+  end;
+  Format.fprintf ppf
+    "%d regression%s, %d improvement%s, %d within tolerance, %d added@]"
+    (List.length df.df_regressions)
+    (if List.length df.df_regressions = 1 then "" else "s")
+    (List.length df.df_improvements)
+    (if List.length df.df_improvements = 1 then "" else "s")
+    df.df_unchanged df.df_added
+
+(* ---------- schema lint for checked-in benchmark files ---------- *)
+
+let validate_outcomes j =
+  match Option.bind (Json.member "outcomes" j) Json.to_list with
+  | None -> Error "field outcomes missing or not an array"
+  | Some rows ->
+    let* n =
+      List.fold_left
+        (fun acc row ->
+          let* n = acc in
+          let* _ = str "id" row in
+          let* _ = str "metric" row in
+          let* _ = num "paper" row in
+          let* _ = num "measured" row in
+          Ok (n + 1))
+        (Ok 0) rows
+    in
+    Ok (Printf.sprintf "paper-outcomes file, %d outcomes" n)
+
+let validate_interp j =
+  let* _ = str "workload" j in
+  let* macs = num "macs" j in
+  let* () = if macs > 0.0 then Ok () else Error "field macs is not positive" in
+  let* _ = num "tree_walker_s" j in
+  let* _ = num "compiled_s" j in
+  let* _ = num "speedup" j in
+  Ok "interpreter benchmark file"
+
+let validate_file path =
+  match read_file path with
+  | exception Sys_error m -> Error m
+  | content ->
+    let* j = Json.parse content in
+    (match Json.member "schema" j with
+     | Some _ ->
+       let* r = of_json j in
+       Ok
+         (Printf.sprintf "perf report, target %s, %d kernels" r.pg_target
+            (List.length r.pg_kernels))
+     | None ->
+       if Json.member "outcomes" j <> None then validate_outcomes j
+       else if Json.member "workload" j <> None then validate_interp j
+       else
+         Error
+           "unrecognized benchmark shape (expected a perf report, an \
+            outcomes file, or an interpreter benchmark)")

@@ -15,6 +15,26 @@ let c_cache_hit = Obs.counter "pipeline.cache.hit"
 let c_cache_miss = Obs.counter "pipeline.cache.miss"
 let c_cache_evict = Obs.counter "pipeline.cache.evict"
 
+(* Attribution telemetry: the tuned kernel's cycle breakdown and its
+   roofline classification (all no-ops unless tracing is enabled). *)
+let h_attr_compute = Obs.histogram "model.cycles.compute"
+let h_attr_stall = Obs.histogram "model.cycles.stall"
+let h_attr_icache = Obs.histogram "model.cycles.icache"
+let h_attr_fork_join = Obs.histogram "model.cycles.fork_join"
+let h_attr_memory = Obs.histogram "model.cycles.memory"
+let c_bound_compute = Obs.counter "model.bound.compute"
+let c_bound_memory = Obs.counter "model.bound.memory"
+
+let observe_report (r : Unit_machine.Cost_report.t) =
+  Obs.observe h_attr_compute r.Unit_machine.Cost_report.cr_compute;
+  Obs.observe h_attr_stall r.Unit_machine.Cost_report.cr_stall;
+  Obs.observe h_attr_icache r.Unit_machine.Cost_report.cr_icache;
+  Obs.observe h_attr_fork_join r.Unit_machine.Cost_report.cr_fork_join;
+  Obs.observe h_attr_memory r.Unit_machine.Cost_report.cr_memory;
+  match r.Unit_machine.Cost_report.cr_bound with
+  | Unit_machine.Cost_report.Compute_bound -> Obs.incr c_bound_compute
+  | Unit_machine.Cost_report.Memory_bound -> Obs.incr c_bound_memory
+
 type compiled = {
   c_op : Op.t;
   c_intrin : Unit_isa.Intrin.t;
@@ -111,6 +131,7 @@ let tune_analyzed ?configs ~use_store ~spec op (intrin : Unit_isa.Intrin.t)
        | Some config -> (Cpu_tuner.of_config spec reorganized config, false)
        | None -> (Cpu_tuner.tune spec reorganized, true))
   in
+  if Obs.enabled () then observe_report tuned.Cpu_tuner.t_report;
   let diags = Obs.with_span "tensorize.analyze" (fun () -> analyze tuned) in
   (match store with
    | Some s when freshly_tuned && Unit_tir.Diag.errors diags = [] ->
@@ -128,7 +149,10 @@ let tensorize ?mapping_index ?configs ~spec op intrin =
   in
   Fun.protect ~finally:(fun () -> Obs.stop tok) @@ fun () ->
   match Obs.with_span "tensorize.inspect" (fun () -> Inspector.inspect op intrin) with
-  | Error r -> Error (Inspector.rejection_to_string r)
+  | Error r ->
+    Decision_log.record_rejection ~op:op.Op.name ~isa:intrin.Unit_isa.Intrin.name
+      ~target:spec.Spec.cpu_name r;
+    Error (Inspector.rejection_to_string r)
   | Ok ap ->
     let reorganized =
       Obs.with_span "tensorize.reorganize" (fun () ->
@@ -143,9 +167,12 @@ let tensorize ?mapping_index ?configs ~spec op intrin =
     in
     (match Unit_tir.Diag.errors diags with
      | _ :: _ as errs ->
-       Error
-         ("illegal schedule: "
-          ^ String.concat "; " (List.map Unit_tir.Diag.to_string errs))
+       let reason =
+         String.concat "; " (List.map Unit_tir.Diag.to_string errs)
+       in
+       Decision_log.record_illegal ~op:op.Op.name
+         ~isa:intrin.Unit_isa.Intrin.name ~target:spec.Spec.cpu_name reason;
+       Error ("illegal schedule: " ^ reason)
      | [] ->
        List.iter
          (fun d ->
@@ -153,6 +180,10 @@ let tensorize ?mapping_index ?configs ~spec op intrin =
              m "%s with %s: %s" op.Op.name intrin.Unit_isa.Intrin.name
                (Unit_tir.Diag.to_string d)))
          (Unit_tir.Diag.warnings diags);
+       Decision_log.record_accepted ~op:op.Op.name
+         ~isa:intrin.Unit_isa.Intrin.name ~target:spec.Spec.cpu_name
+         ~mappings:(List.length ap.ap_mappings)
+         ~cycles:tuned.Cpu_tuner.t_estimate.Cpu_model.est_cycles;
        Ok { c_op = op; c_intrin = intrin; c_tuned = tuned })
 
 let seconds compiled = compiled.c_tuned.Cpu_tuner.t_estimate.Cpu_model.est_seconds

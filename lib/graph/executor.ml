@@ -485,6 +485,14 @@ let run g ~input =
         if leftover <> [] then error "%s: unconsumed inputs" n.Graph.name;
         v
     in
+    (* the output shape/dtype is only known post-hoc; same guard as the
+       span itself so the disabled path allocates nothing *)
+    if Obs.enabled () then
+      Obs.annotate tok
+        (Printf.sprintf "out=%s[%s]"
+           (Dtype.to_string v.arr.Ndarray.dtype)
+           (String.concat "x"
+              (List.map string_of_int (Array.to_list v.arr.Ndarray.shape))));
     (n.Graph.id, v)
   in
   (* within a level the results table is read-only, so workers may share

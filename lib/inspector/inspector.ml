@@ -13,9 +13,25 @@ type applicability = {
   ap_mappings : mapping list;
 }
 
+type mismatch = {
+  mm_path : string;
+  mm_instr : string;
+  mm_op : string;
+}
+
+type access_failure = {
+  af_tensor : string;
+  af_op_axis : string;
+  af_intrin_axis : string;
+}
+
+type no_mapping =
+  | Exhausted of { ex_axis : string; ex_kind : string; ex_extent : int }
+  | Access_violations of { av_tried : int; av_witness : access_failure }
+
 type rejection =
-  | Not_isomorphic of string
-  | No_feasible_mapping of string
+  | Not_isomorphic of mismatch
+  | No_feasible_mapping of no_mapping
 
 (* ---------- linear analysis over DSL index expressions ---------- *)
 
@@ -85,43 +101,73 @@ let commutative : Expr.binop -> bool = function
   | Expr.Add | Expr.Mul | Expr.Min | Expr.Max -> true
   | Expr.Sub | Expr.Div | Expr.Mod -> false
 
-(* [a] is the instruction tree, [b] the operation tree (Algorithm 1). *)
-let rec inspect_trees bindings a b =
-  if not (Dtype.equal (Expr.dtype_of a) (Expr.dtype_of b)) then None
+(* one-line description of an expression node, for mismatch reports *)
+let describe_node e =
+  let dt = Dtype.to_string (Expr.dtype_of e) in
+  match e with
+  | Expr.Imm v -> Printf.sprintf "imm %s:%s" (Format.asprintf "%a" Value.pp v) dt
+  | Expr.Axis_ref (a : Axis.t) -> Printf.sprintf "axis %s:%s" a.name dt
+  | Expr.Access ((t : Tensor.t), _) -> Printf.sprintf "access %s:%s" t.name dt
+  | Expr.Cast _ -> Printf.sprintf "cast:%s" dt
+  | Expr.Neg _ -> Printf.sprintf "neg:%s" dt
+  | Expr.Binop (op, _, _) -> Printf.sprintf "%s:%s" (Expr.binop_to_string op) dt
+
+let path_to_string path = String.concat "." (List.rev path)
+
+let mismatch_at path a b =
+  { mm_path = path_to_string path;
+    mm_instr = describe_node a;
+    mm_op = describe_node b
+  }
+
+(* [a] is the instruction tree, [b] the operation tree (Algorithm 1).
+   On failure, reports the path (from the body root, [lhs]/[rhs]/[arg]
+   segments) of the first mismatching node pair. *)
+let rec inspect_trees_r path bindings a b =
+  if not (Dtype.equal (Expr.dtype_of a) (Expr.dtype_of b)) then
+    Error (mismatch_at path a b)
   else
+    let fail () = Error (mismatch_at path a b) in
     match a, b with
     | Expr.Access (t, _), Expr.Access (u, indices) ->
-      bind_operand bindings t (From_tensor (u, indices))
-    | Expr.Access (t, _), Expr.Imm v -> bind_operand bindings t (From_constant v)
-    | Expr.Imm va, Expr.Imm vb -> if Value.equal va vb then Some bindings else None
+      (match bind_operand bindings t (From_tensor (u, indices)) with
+       | Some bindings -> Ok bindings
+       | None -> fail ())
+    | Expr.Access (t, _), Expr.Imm v ->
+      (match bind_operand bindings t (From_constant v) with
+       | Some bindings -> Ok bindings
+       | None -> fail ())
+    | Expr.Imm va, Expr.Imm vb -> if Value.equal va vb then Ok bindings else fail ()
     | Expr.Cast (_, x), Expr.Cast (_, y) ->
       (* node dtypes already matched; operand dtypes match recursively *)
-      inspect_trees bindings x y
+      inspect_trees_r ("arg" :: path) bindings x y
     | Expr.Cast (_, x), Expr.Imm v ->
       (* a literal on the operation side can stand for a whole cast chain:
          the register operand simply holds the (narrowed) constant *)
-      inspect_trees bindings x (Expr.imm (Value.cast (Expr.dtype_of x) v))
-    | Expr.Neg x, Expr.Neg y -> inspect_trees bindings x y
+      inspect_trees_r ("arg" :: path) bindings x (Expr.imm (Value.cast (Expr.dtype_of x) v))
+    | Expr.Neg x, Expr.Neg y -> inspect_trees_r ("arg" :: path) bindings x y
     | Expr.Binop (op, x1, x2), Expr.Binop (oq, y1, y2) when op = oq ->
-      let direct =
-        match inspect_trees bindings x1 y1 with
-        | Some bindings -> inspect_trees bindings x2 y2
-        | None -> None
+      let order b1 b2 =
+        match inspect_trees_r ("lhs" :: path) bindings x1 b1 with
+        | Ok bindings -> inspect_trees_r ("rhs" :: path) bindings x2 b2
+        | Error _ as e -> e
       in
-      (match direct with
-       | Some _ as ok -> ok
-       | None ->
+      (match order y1 y2 with
+       | Ok _ as ok -> ok
+       | Error _ as direct_err ->
          if commutative op then
-           match inspect_trees bindings x1 y2 with
-           | Some bindings -> inspect_trees bindings x2 y1
-           | None -> None
-         else None)
+           (* on double failure report the direct-order mismatch *)
+           match order y2 y1 with
+           | Ok _ as ok -> ok
+           | Error _ -> direct_err
+         else direct_err)
     | (Expr.Imm _ | Expr.Axis_ref _ | Expr.Access _ | Expr.Cast _ | Expr.Neg _
-      | Expr.Binop _), _ -> None
+      | Expr.Binop _), _ -> fail ()
 
-let match_bodies op (intrin : Unit_isa.Intrin.t) =
-  inspect_trees [] intrin.Unit_isa.Intrin.op.Op.body op.Op.body
+let match_bodies_r op (intrin : Unit_isa.Intrin.t) =
+  inspect_trees_r [ "body" ] [] intrin.Unit_isa.Intrin.op.Op.body op.Op.body
 
+let match_bodies op intrin = Result.to_option (match_bodies_r op intrin)
 let trees_isomorphic op intrin = match_bodies op intrin <> None
 
 (* ---------- step 2: array access isomorphism ---------- *)
@@ -188,21 +234,21 @@ let locality_score bindings intrin mapping =
       | Some [] | None -> acc)
     0 mapping
 
-let enumerate_mappings op bindings (intrin : Unit_isa.Intrin.t) =
-  let intrin_axes = Op.all_axes intrin.Unit_isa.Intrin.op in
-  let op_axes = Op.all_axes op in
+let candidate_op_axes op bindings intrin (beta : Axis.t) =
   let usable alpha =
     (* nonlinear axes cannot produce constant tile strides *)
     axis_strides bindings intrin alpha <> None
   in
-  let candidates (beta : Axis.t) =
-    List.filter
-      (fun (alpha : Axis.t) ->
-        Axis.kind_equal alpha.kind beta.kind
-        && alpha.extent mod beta.extent = 0
-        && usable alpha)
-      op_axes
-  in
+  List.filter
+    (fun (alpha : Axis.t) ->
+      Axis.kind_equal alpha.kind beta.kind
+      && alpha.extent mod beta.extent = 0
+      && usable alpha)
+    (Op.all_axes op)
+
+(* all injective assignments of op axes to the instruction axes *)
+let enumerate_injective op bindings (intrin : Unit_isa.Intrin.t) =
+  let intrin_axes = Op.all_axes intrin.Unit_isa.Intrin.op in
   let rec assign remaining used acc =
     match remaining with
     | [] -> [ List.rev acc ]
@@ -211,30 +257,87 @@ let enumerate_mappings op bindings (intrin : Unit_isa.Intrin.t) =
         (fun (alpha : Axis.t) ->
           if List.exists (fun (a : Axis.t) -> Axis.equal a alpha) used then []
           else assign rest (alpha :: used) ((alpha, beta) :: acc))
-        (candidates beta)
+        (candidate_op_axes op bindings intrin beta)
   in
-  let all = assign intrin_axes [] [] in
+  assign intrin_axes [] []
+
+let enumerate_mappings op bindings (intrin : Unit_isa.Intrin.t) =
+  let all = enumerate_injective op bindings intrin in
   let feasible_mappings = List.filter (feasible bindings intrin) all in
   List.sort
     (fun m1 m2 ->
       compare (locality_score bindings intrin m1) (locality_score bindings intrin m2))
     feasible_mappings
 
+(* First (tensor, op axis, mapped instruction axis) triple violating
+   S'(u) ⊆ S(v) for a mapping known to be infeasible. *)
+let find_violation bindings intrin mapping =
+  let image_of alpha =
+    List.find_map
+      (fun (a, b) -> if Axis.equal a alpha then Some b else None)
+      mapping
+  in
+  List.find_map
+    (fun ((u_tensor : Tensor.t), u_indices, v_indices) ->
+      let s_v = axes_of_indices v_indices in
+      List.find_map
+        (fun (alpha : Axis.t) ->
+          match image_of alpha with
+          | None -> None
+          | Some (beta : Axis.t) ->
+            if List.exists (Axis.equal beta) s_v then None
+            else
+              Some
+                { af_tensor = u_tensor.name;
+                  af_op_axis = alpha.name;
+                  af_intrin_axis = beta.name
+                })
+        (axes_of_indices u_indices))
+    (operand_access_pairs bindings intrin)
+
+(* Why did step 2 produce nothing?  Either some instruction axis has no
+   candidate op axis at all (or injectivity exhausts them), or every
+   enumerated mapping fails the access check — witness the first. *)
+let diagnose_no_mapping op bindings (intrin : Unit_isa.Intrin.t) =
+  match enumerate_injective op bindings intrin with
+  | [] ->
+    let intrin_axes = Op.all_axes intrin.Unit_isa.Intrin.op in
+    let scored =
+      List.map
+        (fun (beta : Axis.t) ->
+          (beta, List.length (candidate_op_axes op bindings intrin beta)))
+        intrin_axes
+    in
+    let beta, _ =
+      match List.find_opt (fun (_, n) -> n = 0) scored with
+      | Some hit -> hit
+      | None ->
+        (* injectivity exhaustion: blame the most contended axis *)
+        List.fold_left
+          (fun ((_, bn) as best) ((_, n) as cur) -> if n < bn then cur else best)
+          (List.hd scored) (List.tl scored)
+    in
+    Exhausted
+      { ex_axis = beta.Axis.name;
+        ex_kind = Axis.kind_to_string beta.Axis.kind;
+        ex_extent = beta.Axis.extent
+      }
+  | first :: _ as all ->
+    let witness =
+      match find_violation bindings intrin first with
+      | Some w -> w
+      | None ->
+        (* unreachable when called on an empty feasible set; keep total *)
+        { af_tensor = "?"; af_op_axis = "?"; af_intrin_axis = "?" }
+    in
+    Access_violations { av_tried = List.length all; av_witness = witness }
+
 let inspect op intrin =
-  match match_bodies op intrin with
-  | None ->
-    Error
-      (Not_isomorphic
-         (Printf.sprintf "expression trees of %s and %s are not isomorphic"
-            op.Op.name intrin.Unit_isa.Intrin.name))
-  | Some bindings ->
+  match match_bodies_r op intrin with
+  | Error mm -> Error (Not_isomorphic mm)
+  | Ok bindings ->
     (match enumerate_mappings op bindings intrin with
-     | [] ->
-       Error
-         (No_feasible_mapping
-            (Printf.sprintf
-               "no loop mapping of %s onto %s satisfies the access check"
-               op.Op.name intrin.Unit_isa.Intrin.name))
+     | [] -> Error (No_feasible_mapping (diagnose_no_mapping op bindings intrin))
      | mappings ->
        let operands = List.map snd bindings in
        Ok { ap_intrin = intrin; ap_operands = List.rev operands; ap_mappings = mappings })
@@ -247,8 +350,18 @@ let mapping_locality_score op intrin mapping =
   | None -> 0
 
 let rejection_to_string = function
-  | Not_isomorphic s -> "not isomorphic: " ^ s
-  | No_feasible_mapping s -> "no feasible mapping: " ^ s
+  | Not_isomorphic mm ->
+    Printf.sprintf "not isomorphic: at %s the instruction has %s but the operation has %s"
+      mm.mm_path mm.mm_instr mm.mm_op
+  | No_feasible_mapping (Exhausted e) ->
+    Printf.sprintf
+      "no feasible mapping: no operation axis can realize instruction axis %s (%s, extent %d)"
+      e.ex_axis e.ex_kind e.ex_extent
+  | No_feasible_mapping (Access_violations v) ->
+    Printf.sprintf
+      "no feasible mapping: all %d candidate mappings fail the access check (e.g. on %s, op axis %s maps to instruction axis %s outside S(v))"
+      v.av_tried v.av_witness.af_tensor v.av_witness.af_op_axis
+      v.av_witness.af_intrin_axis
 
 let pp_applicability fmt ap =
   Format.fprintf fmt "@[<v>applicable: %s@," ap.ap_intrin.Unit_isa.Intrin.name;

@@ -41,9 +41,32 @@ type applicability = {
   ap_mappings : mapping list;  (** feasible mappings, best (greedy) first *)
 }
 
+type mismatch = {
+  mm_path : string;
+      (** dotted path of the first mismatching node pair, from the body
+          root: e.g. ["body.lhs.rhs"] with [lhs]/[rhs]/[arg] segments *)
+  mm_instr : string;  (** description of the instruction node there *)
+  mm_op : string;  (** description of the operation node there *)
+}
+
+type access_failure = {
+  af_tensor : string;  (** operation tensor [u] whose access fails *)
+  af_op_axis : string;  (** axis [alpha] of S(u) *)
+  af_intrin_axis : string;  (** [f(alpha)], absent from S(v) *)
+}
+
+(** Why step 2 produced no feasible mapping. *)
+type no_mapping =
+  | Exhausted of { ex_axis : string; ex_kind : string; ex_extent : int }
+      (** enumeration came up empty: no (remaining) op axis has this
+          instruction axis's kind, a dividing extent, and linear strides *)
+  | Access_violations of { av_tried : int; av_witness : access_failure }
+      (** all [av_tried] injective mappings fail [S'(u) ⊆ S(v)];
+          [av_witness] is the violating triple of the first one *)
+
 type rejection =
-  | Not_isomorphic of string  (** step 1 failed *)
-  | No_feasible_mapping of string  (** step 2 failed *)
+  | Not_isomorphic of mismatch  (** step 1 failed *)
+  | No_feasible_mapping of no_mapping  (** step 2 failed *)
 
 val inspect : Op.t -> Unit_isa.Intrin.t -> (applicability, rejection) result
 (** Full two-step inspection.  [Ok] guarantees [ap_mappings] is

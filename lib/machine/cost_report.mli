@@ -1,0 +1,52 @@
+(** Structured cycle attribution for modelled kernels.
+
+    A [t] partitions the model's total estimated cycles into five
+    components — pure compute issue, RAW-hazard stalls, I-cache /
+    unroll penalties, fork-join + chunk-scheduling overhead, and the
+    memory-bandwidth excess over compute — and carries the roofline
+    classification (operational intensity vs. the machine's ridge
+    point).
+
+    Invariant: [cr_total = cr_compute +. cr_stall +. cr_icache +.
+    cr_fork_join +. cr_memory] (exactly, by construction in [make]). *)
+
+type bound =
+  | Compute_bound  (** intensity >= ridge: limited by ALU/tensor throughput *)
+  | Memory_bound   (** intensity < ridge: limited by DRAM bandwidth *)
+
+val bound_to_string : bound -> string
+val bound_of_string : string -> bound option
+
+type t = private {
+  cr_total : float;      (** total modelled cycles (sum of components) *)
+  cr_compute : float;    (** pure issue/compute cycles *)
+  cr_stall : float;      (** RAW-hazard dependence stalls *)
+  cr_icache : float;     (** I-cache pressure / unroll penalty *)
+  cr_fork_join : float;  (** thread fork/join + per-chunk scheduling *)
+  cr_memory : float;     (** bandwidth-bound cycles beyond compute *)
+  cr_intensity : float;  (** operational intensity, MACs per DRAM byte *)
+  cr_ridge : float;      (** machine ridge point, MACs per byte *)
+  cr_bound : bound;
+}
+
+val make :
+  compute:float ->
+  stall:float ->
+  icache:float ->
+  fork_join:float ->
+  memory:float ->
+  intensity:float ->
+  ridge:float ->
+  t
+(** Components are clamped at 0; the total is their sum; the bound is
+    derived from [intensity >= ridge]. *)
+
+val components : t -> (string * float) list
+(** The five (name, cycles) components, in canonical order. *)
+
+val to_json : t -> Unit_obs.Json.t
+val of_json : Unit_obs.Json.t -> (t, string) result
+(** [of_json] validates presence, non-negativity, and the sum
+    invariant (relative tolerance 1e-6). *)
+
+val pp : Format.formatter -> t -> unit

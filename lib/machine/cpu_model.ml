@@ -19,11 +19,14 @@ type comp = {
   chains : float;  (** independent accumulation targets *)
   lat : float;  (** latency of the accumulating instruction *)
   accum_indices : Texpr.t list;  (** accumulation target indices *)
+  stall : float;  (** of [issue], cycles attributable to RAW-hazard stalls *)
+  icache : float;  (** of [issue], cycles from the unroll/I-cache penalty *)
+  macs : float;  (** multiply-accumulates performed per execution *)
 }
 
 let zero_comp =
   { issue = 0.0; instr_bytes = 0.0; accum_ops = 0.0; chains = 0.0; lat = 0.0;
-    accum_indices = [] }
+    accum_indices = []; stall = 0.0; icache = 0.0; macs = 0.0 }
 
 let combine a b =
   { issue = a.issue +. b.issue;
@@ -31,7 +34,10 @@ let combine a b =
     accum_ops = a.accum_ops +. b.accum_ops;
     chains = a.chains +. b.chains;
     lat = Float.max a.lat b.lat;
-    accum_indices = a.accum_indices @ b.accum_indices
+    accum_indices = a.accum_indices @ b.accum_indices;
+    stall = a.stall +. b.stall;
+    icache = a.icache +. b.icache;
+    macs = a.macs +. b.macs
   }
 
 (* Issue cost of a scalar expression.  Index arithmetic is discounted: real
@@ -121,12 +127,14 @@ let rec analyze (spec : Spec.cpu) stmt =
     (match value with
      | Texpr.Binop (Texpr.Add, Texpr.Load (b, ix), _)
        when Buffer.equal b buf && Texpr.equal_structural ix index ->
-       { issue = base_cost;
+       { zero_comp with
+         issue = base_cost;
          instr_bytes = bytes;
          accum_ops = 1.0;
          chains = 1.0;
          lat = scalar_accum_latency buf.Buffer.dtype;
-         accum_indices = [ index ]
+         accum_indices = [ index ];
+         macs = 1.0
        }
      | _ ->
        { zero_comp with issue = base_cost; instr_bytes = bytes })
@@ -149,12 +157,14 @@ let rec analyze (spec : Spec.cpu) stmt =
           else acc +. tile_load_cost spec intrin_def tile)
         0.0 inputs
     in
-    { issue = (1.0 /. cost.Unit_isa.Intrin.throughput) +. input_cost;
+    { zero_comp with
+      issue = (1.0 /. cost.Unit_isa.Intrin.throughput) +. input_cost;
       instr_bytes = 8.0 +. (8.0 *. Float.of_int (List.length inputs));
       accum_ops = 1.0;
       chains = 1.0;
       lat = Float.of_int cost.Unit_isa.Intrin.latency;
-      accum_indices = [ output.Stmt.tile_base ]
+      accum_indices = [ output.Stmt.tile_base ];
+      macs = Float.of_int cost.Unit_isa.Intrin.macs
     }
   | Stmt.For { var; extent; kind; body } ->
     let c = analyze spec body in
@@ -166,36 +176,52 @@ let rec analyze (spec : Spec.cpu) stmt =
     (match kind with
      | Stmt.Unrolled | Stmt.Vectorized ->
        let instr_bytes = c.instr_bytes *. n in
+       let overflow = instr_bytes > Float.of_int spec.Spec.icache_bytes in
        let issue = c.issue *. n in
-       let issue =
-         if instr_bytes > Float.of_int spec.Spec.icache_bytes then
-           issue *. spec.Spec.icache_penalty
-         else issue
+       let issue = if overflow then issue *. spec.Spec.icache_penalty else issue in
+       (* the penalty inflates the whole body; the excess over the
+          un-penalized issue is I-cache time, the rest keeps its split *)
+       let icache =
+         if overflow then
+           n *. (c.icache +. (c.issue *. (spec.Spec.icache_penalty -. 1.0)))
+         else c.icache *. n
+       in
+       let c =
+         { c with issue; instr_bytes; icache; stall = c.stall *. n;
+           macs = c.macs *. n }
        in
        if invariant then
          (* unrolling a loop that does not advance the accumulators just
             repeats dependent work *)
-         { c with issue; instr_bytes; accum_ops = c.accum_ops *. n }
+         { c with accum_ops = c.accum_ops *. n }
        else
          { c with
-           issue;
-           instr_bytes;
            accum_ops = c.accum_ops *. n;
            chains = Float.max c.chains (c.chains *. n)
          }
      | Stmt.Serial | Stmt.Parallel | Stmt.Gpu_block _ | Stmt.Gpu_thread _
      | Stmt.Tensorized _ ->
        if invariant && c.accum_ops > 0.0 then begin
-         (* reduction-carried: latency-bound per iteration *)
+         (* reduction-carried: latency-bound per iteration; time beyond the
+            body's own issue is a RAW-hazard stall *)
          let dep_bound = c.lat *. c.accum_ops /. Float.max 1.0 c.chains in
          let per_iter = Float.max c.issue dep_bound +. spec.Spec.loop_overhead in
-         { c with issue = n *. per_iter; accum_ops = 0.0 }
+         { c with
+           issue = n *. per_iter;
+           accum_ops = 0.0;
+           stall = n *. (c.stall +. Float.max 0.0 (dep_bound -. c.issue));
+           icache = c.icache *. n;
+           macs = c.macs *. n
+         }
        end
        else
          { c with
            issue = n *. (c.issue +. spec.Spec.loop_overhead);
            accum_ops = c.accum_ops *. n;
-           chains = (if c.accum_ops > 0.0 then c.chains *. n else c.chains)
+           chains = (if c.accum_ops > 0.0 then c.chains *. n else c.chains);
+           stall = c.stall *. n;
+           icache = c.icache *. n;
+           macs = c.macs *. n
          })
 
 (* ---------- memory analysis (pass B) ---------- *)
@@ -318,14 +344,17 @@ let rec parallel_grains stmt =
 
 let per_chunk_overhead = 30.0
 
-let estimate_stmt spec ?threads stmt =
+let estimate_stmt_with_report spec ?threads stmt =
   let threads = match threads with Some t -> t | None -> spec.Spec.cores in
   let comp = analyze spec stmt in
   (* apply any still-pending dependency bound (no enclosing loop did) *)
-  let compute =
-    if comp.accum_ops > 0.0 then
-      Float.max comp.issue (comp.lat *. comp.accum_ops /. Float.max 1.0 comp.chains)
-    else comp.issue
+  let compute, stall_total =
+    if comp.accum_ops > 0.0 then begin
+      let dep_bound = comp.lat *. comp.accum_ops /. Float.max 1.0 comp.chains in
+      ( Float.max comp.issue dep_bound,
+        comp.stall +. Float.max 0.0 (dep_bound -. comp.issue) )
+    end
+    else (comp.issue, comp.stall)
   in
   let grains = parallel_grains stmt in
   let chunks = (grains + threads - 1) / threads in
@@ -333,22 +362,45 @@ let estimate_stmt spec ?threads stmt =
   let threads_used = Float.max 1.0 threads_used in
   let l2_traffic = traffic spec.Spec.l1_bytes stmt in
   let dram_traffic = traffic spec.Spec.llc_bytes stmt in
-  let compute_cycles =
-    (compute /. threads_used)
-    +. (if grains > 1 then spec.Spec.fork_join_cost else 0.0)
+  let fork_join_cycles =
+    (if grains > 1 then spec.Spec.fork_join_cost else 0.0)
     +. (per_chunk_overhead *. Float.of_int grains /. threads_used)
   in
+  let compute_cycles = (compute /. threads_used) +. fork_join_cycles in
   let l2_cycles = l2_traffic /. (spec.Spec.l2_bw *. threads_used) in
   let dram_cycles = dram_traffic /. spec.Spec.dram_bw in
   let cycles = Float.max compute_cycles (Float.max l2_cycles dram_cycles) in
-  { est_cycles = cycles;
-    est_seconds = Spec.cycles_to_seconds ~freq_ghz:spec.Spec.freq_ghz cycles;
-    est_compute_cycles = compute;
-    est_l2_cycles = l2_cycles;
-    est_dram_cycles = dram_cycles;
-    est_parallel_grains = grains;
-    est_threads_used = threads_used
-  }
+  let est =
+    { est_cycles = cycles;
+      est_seconds = Spec.cycles_to_seconds ~freq_ghz:spec.Spec.freq_ghz cycles;
+      est_compute_cycles = compute;
+      est_l2_cycles = l2_cycles;
+      est_dram_cycles = dram_cycles;
+      est_parallel_grains = grains;
+      est_threads_used = threads_used
+    }
+  in
+  (* Attribution: split the compute stream into pure issue, stalls and
+     I-cache penalty (all scaled by thread utilization, like [compute]),
+     charge fork/join + chunk scheduling separately, and account the
+     bandwidth excess over compute as memory-bound time.  The components
+     then sum exactly to [cycles]. *)
+  let stall_c = stall_total /. threads_used in
+  let icache_c = comp.icache /. threads_used in
+  let pure_c = (compute /. threads_used) -. stall_c -. icache_c in
+  let memory_c = Float.max 0.0 (Float.max l2_cycles dram_cycles -. compute_cycles) in
+  let intensity = comp.macs /. Float.max 1.0 dram_traffic in
+  let report =
+    Cost_report.make ~compute:pure_c ~stall:stall_c ~icache:icache_c
+      ~fork_join:fork_join_cycles ~memory:memory_c ~intensity
+      ~ridge:(Spec.cpu_ridge spec)
+  in
+  (est, report)
+
+let estimate_stmt spec ?threads stmt = fst (estimate_stmt_with_report spec ?threads stmt)
+
+let estimate_with_report spec ?threads (func : Lower.func) =
+  estimate_stmt_with_report spec ?threads func.Lower.fn_body
 
 let estimate spec ?threads (func : Lower.func) =
-  estimate_stmt spec ?threads func.Lower.fn_body
+  fst (estimate_with_report spec ?threads func)

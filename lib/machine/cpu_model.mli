@@ -39,3 +39,14 @@ val estimate : Spec.cpu -> ?threads:int -> Unit_tir.Lower.func -> estimate
 val estimate_stmt : Spec.cpu -> ?threads:int -> Unit_tir.Stmt.t -> estimate
 (** Same model on a bare statement (used by unit tests and the GPU model's
     per-block bodies). *)
+
+val estimate_with_report :
+  Spec.cpu -> ?threads:int -> Unit_tir.Lower.func -> estimate * Cost_report.t
+(** [estimate] plus the cycle attribution: the report's components sum
+    to [est_cycles], with pure issue, RAW stalls and I-cache penalty
+    separated out of the compute stream, fork/join + chunk-scheduling
+    overhead charged on its own, and bandwidth time in excess of compute
+    classed as memory-bound. *)
+
+val estimate_stmt_with_report :
+  Spec.cpu -> ?threads:int -> Unit_tir.Stmt.t -> estimate * Cost_report.t

@@ -93,7 +93,7 @@ let finish (spec : Spec.gpu) ~compute ~memory ~overheads ~blocks ~waves =
    shared memory.  Tensor-core throughput needs ~8 resident warps per SM,
    so occupancy — blocks per SM x warps per block — is the first-order
    term, which is exactly what SplitK buys on small grids. *)
-let estimate (spec : Spec.gpu) gemm config =
+let estimate_with_report (spec : Spec.gpu) gemm config =
   let tm, tn, tk = tiles gemm config in
   let blocks = ceil_div tm config.p * ceil_div tn config.p in
   let p = Float.of_int config.p in
@@ -156,8 +156,27 @@ let estimate (spec : Spec.gpu) gemm config =
       Float.of_int gemm.g_in_bytes *. 2.0 /. spec.Spec.dram_bw_bytes_per_cycle
     else 0.0
   in
-  finish spec ~compute ~memory ~overheads:(fuse_overhead) ~blocks
-    ~waves:(Float.of_int (ceil_div blocks spec.Spec.sms))
+  let est =
+    finish spec ~compute ~memory ~overheads:(fuse_overhead) ~blocks
+      ~waves:(Float.of_int (ceil_div blocks spec.Spec.sms))
+  in
+  (* Attribution: ideal tensor-core throughput is pure compute; whatever
+     the wave/latency path adds on top of it is occupancy stall; memory
+     time beyond compute is bandwidth-bound; fusion rearrangement, split-K
+     epilogues already inside [compute], launch goes to fork/join. *)
+  let stall_c = Float.max 0.0 (compute -. throughput_time) in
+  let pure_c = compute -. stall_c in
+  let memory_c = Float.max 0.0 (memory -. compute) in
+  let report =
+    Cost_report.make ~compute:pure_c ~stall:stall_c ~icache:0.0
+      ~fork_join:(fuse_overhead +. launch_cycles spec)
+      ~memory:memory_c
+      ~intensity:(total_macs /. Float.max 1.0 total_bytes)
+      ~ridge:(Spec.gpu_ridge spec)
+  in
+  (est, report)
+
+let estimate spec gemm config = fst (estimate_with_report spec gemm config)
 
 (* A vendor-library kernel (the cuDNN stand-in).  Engineered kernels are
    pipelined and multi-warp: they run throughput-bound at full per-SM

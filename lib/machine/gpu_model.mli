@@ -55,6 +55,12 @@ type estimate = {
 
 val estimate : Spec.gpu -> gemm -> config -> estimate
 
+val estimate_with_report : Spec.gpu -> gemm -> config -> estimate * Cost_report.t
+(** [estimate] plus cycle attribution: ideal tensor-core throughput time
+    is compute, the wave/latency excess over it is stall, bandwidth time
+    beyond compute is memory, and fusion-rearrangement + kernel-launch
+    overheads land in fork/join.  Components sum to [g_cycles]. *)
+
 val tune : Spec.gpu -> ?configs:config list -> gemm -> config * estimate
 
 val library_estimate : Spec.gpu -> gemm -> estimate

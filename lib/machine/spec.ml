@@ -93,3 +93,13 @@ let v100 =
   }
 
 let cycles_to_seconds ~freq_ghz cycles = cycles /. (freq_ghz *. 1e9)
+
+(* Roofline ridge points, in MACs per DRAM byte: the operational
+   intensity at which peak compute and peak bandwidth balance.  Peak
+   CPU MAC throughput is cores / mul_add_cost MACs per cycle; the GPU
+   peak is the aggregate tensor-core rate. *)
+
+let cpu_ridge c = Float.of_int c.cores /. c.mul_add_cost /. c.dram_bw
+
+let gpu_ridge g =
+  Float.of_int g.sms *. g.tensor_tput_per_sm /. g.dram_bw_bytes_per_cycle

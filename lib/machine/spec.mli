@@ -58,3 +58,10 @@ val v100 : gpu
 (** Nvidia Tesla V100-SXM2 16GB (p3.2xlarge). *)
 
 val cycles_to_seconds : freq_ghz:float -> float -> float
+
+val cpu_ridge : cpu -> float
+(** Roofline ridge point in MACs per DRAM byte: peak MAC throughput
+    ([cores /. mul_add_cost] MACs/cycle) divided by DRAM bandwidth. *)
+
+val gpu_ridge : gpu -> float
+(** Ridge point for the tensor-core roofline, MACs per DRAM byte. *)

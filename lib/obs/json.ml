@@ -13,20 +13,75 @@ type t =
 
 (* ---------- printing ---------- *)
 
+(* OCaml strings are byte strings, so [Str] may carry arbitrary bytes
+   (file paths, user-provided op names).  The emitted document must still
+   be valid UTF-8 JSON, so bytes >= 0x80 are only passed through as part
+   of a well-formed UTF-8 sequence (with the RFC 3629 overlong/surrogate/
+   range exclusions); anything else becomes U+FFFD. *)
+let replacement = "\xef\xbf\xbd"
+
 let escape_string b s =
+  let n = String.length s in
+  let byte i = Char.code s.[i] in
+  let cont i = i < n && byte i land 0xc0 = 0x80 in
   Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+     | '"' ->
+       Buffer.add_string b "\\\"";
+       incr i
+     | '\\' ->
+       Buffer.add_string b "\\\\";
+       incr i
+     | '\n' ->
+       Buffer.add_string b "\\n";
+       incr i
+     | '\r' ->
+       Buffer.add_string b "\\r";
+       incr i
+     | '\t' ->
+       Buffer.add_string b "\\t";
+       incr i
+     | c when Char.code c < 0x20 ->
+       Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c));
+       incr i
+     | c when Char.code c < 0x80 ->
+       Buffer.add_char b c;
+       incr i
+     | _ ->
+       let c0 = byte !i in
+       let len =
+         if c0 >= 0xc2 && c0 <= 0xdf && cont (!i + 1) then 2
+         else if
+           c0 >= 0xe0 && c0 <= 0xef
+           && cont (!i + 1)
+           && cont (!i + 2)
+           (* E0: exclude overlong; ED: exclude surrogates *)
+           && (c0 <> 0xe0 || byte (!i + 1) >= 0xa0)
+           && (c0 <> 0xed || byte (!i + 1) < 0xa0)
+         then 3
+         else if
+           c0 >= 0xf0 && c0 <= 0xf4
+           && cont (!i + 1)
+           && cont (!i + 2)
+           && cont (!i + 3)
+           (* F0: exclude overlong; F4: stay below U+110000 *)
+           && (c0 <> 0xf0 || byte (!i + 1) >= 0x90)
+           && (c0 <> 0xf4 || byte (!i + 1) < 0x90)
+         then 4
+         else 0
+       in
+       if len = 0 then begin
+         Buffer.add_string b replacement;
+         incr i
+       end
+       else begin
+         Buffer.add_substring b s !i len;
+         i := !i + len
+       end)
+  done;
   Buffer.add_char b '"'
 
 let add_num b x =

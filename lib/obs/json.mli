@@ -11,6 +11,11 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
+(** The output is always valid UTF-8 JSON even for arbitrary byte
+    content in [Str]: control characters are [\u]-escaped, well-formed
+    UTF-8 sequences pass through, and any invalid byte (stray
+    continuation, overlong or surrogate encoding, > U+10FFFF) is
+    replaced with U+FFFD. *)
 
 val parse : string -> (t, string) result
 (** Strict: rejects trailing garbage; [\u] escapes are decoded to

@@ -29,7 +29,7 @@ let null_span = -1
 
 type rec_span = {
   rs_name : string;
-  rs_detail : string;
+  mutable rs_detail : string;
   rs_parent : int;
   rs_begin : float;
   mutable rs_end : float; (* -1.0 while open *)
@@ -109,6 +109,19 @@ let with_span ?detail name f =
   let tok = start ?detail name in
   Fun.protect ~finally:(fun () -> stop tok) f
 
+(* Append detail to an open span discovered along the way (e.g. the
+   executor annotating an operator span with the computed output shape).
+   Same-domain only, like [stop]: the token indexes this domain's
+   buffer. *)
+let annotate tok detail =
+  if tok >= 0 && detail <> "" then begin
+    let b = Domain.DLS.get buffer_key in
+    if tok < b.b_len then begin
+      let r = b.b_spans.(tok) in
+      r.rs_detail <- (if r.rs_detail = "" then detail else r.rs_detail ^ " " ^ detail)
+    end
+  end
+
 (* ---------- counters ---------- *)
 
 type counter = {
@@ -143,7 +156,21 @@ type hist_stats = {
   h_sum : float;
   h_min : float;
   h_max : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
 }
+
+(* Percentiles come from reservoir sampling (Vitter's Algorithm R): the
+   first [reservoir_cap] observations are kept verbatim, after which the
+   i-th observation replaces a uniformly random slot with probability
+   cap/i, so the reservoir stays a uniform sample of the whole stream.
+   Up to [reservoir_cap] observations the percentiles are exact
+   (nearest-rank on the sorted buffer); beyond that they are unbiased
+   estimates.  Randomness is a small deterministic per-histogram LCG —
+   no dependence on the global [Random] state, and identical runs
+   produce identical reservoirs. *)
+let reservoir_cap = 512
 
 type histogram = {
   hg_name : string;
@@ -152,6 +179,8 @@ type histogram = {
   mutable hg_sum : float;
   mutable hg_min : float;
   mutable hg_max : float;
+  hg_reservoir : float array;  (* first [min count cap] slots are live *)
+  mutable hg_rng : int;  (* LCG state *)
 }
 
 let hists_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
@@ -164,13 +193,21 @@ let histogram name =
     | Some h -> h
     | None ->
       let h =
-        { hg_name = name; hg_mu = Mutex.create (); hg_count = 0; hg_sum = 0.; hg_min = 0.; hg_max = 0. }
+        { hg_name = name; hg_mu = Mutex.create (); hg_count = 0; hg_sum = 0.; hg_min = 0.; hg_max = 0.;
+          hg_reservoir = Array.make reservoir_cap 0.0;
+          hg_rng = Hashtbl.hash name lor 1
+        }
       in
       Hashtbl.add hists_tbl name h;
       h
   in
   Mutex.unlock hists_mu;
   h
+
+(* 48-bit LCG (the classic drand48 multiplier); callers hold [hg_mu]. *)
+let lcg_next h bound =
+  h.hg_rng <- (h.hg_rng * 25214903917 + 11) land 0xFFFFFFFFFFFF;
+  (h.hg_rng lsr 16) mod bound
 
 let observe h x =
   if Atomic.get enabled_flag then begin
@@ -185,14 +222,38 @@ let observe h x =
     end;
     h.hg_count <- h.hg_count + 1;
     h.hg_sum <- h.hg_sum +. x;
+    (if h.hg_count <= reservoir_cap then h.hg_reservoir.(h.hg_count - 1) <- x
+     else begin
+       let j = lcg_next h h.hg_count in
+       if j < reservoir_cap then h.hg_reservoir.(j) <- x
+     end);
     Mutex.unlock h.hg_mu
+  end
+
+(* nearest-rank percentile on a sorted sample *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n /. 100.0)) in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
   end
 
 let hist_stats h =
   Mutex.lock h.hg_mu;
-  let s = { h_count = h.hg_count; h_sum = h.hg_sum; h_min = h.hg_min; h_max = h.hg_max } in
+  let live = Stdlib.min h.hg_count reservoir_cap in
+  let sample = Array.sub h.hg_reservoir 0 live in
+  let s =
+    { h_count = h.hg_count; h_sum = h.hg_sum; h_min = h.hg_min; h_max = h.hg_max;
+      h_p50 = 0.; h_p90 = 0.; h_p99 = 0. }
+  in
   Mutex.unlock h.hg_mu;
-  s
+  Array.sort compare sample;
+  { s with
+    h_p50 = percentile sample 50.0;
+    h_p90 = percentile sample 90.0;
+    h_p99 = percentile sample 99.0
+  }
 
 (* ---------- reset ---------- *)
 
@@ -217,6 +278,8 @@ let reset () =
       h.hg_sum <- 0.;
       h.hg_min <- 0.;
       h.hg_max <- 0.;
+      Array.fill h.hg_reservoir 0 reservoir_cap 0.0;
+      h.hg_rng <- Hashtbl.hash h.hg_name lor 1;
       Mutex.unlock h.hg_mu)
     hists_tbl;
   Mutex.unlock hists_mu
@@ -321,13 +384,13 @@ let pp_counters ppf cs =
   List.iter (fun (name, v) -> Format.fprintf ppf "%-34s %12d@." name v) cs
 
 let pp_histograms ppf hs =
-  Format.fprintf ppf "%-34s %7s %12s %12s %12s@."
-    "histogram" "count" "min" "mean" "max";
+  Format.fprintf ppf "%-34s %7s %12s %12s %12s %12s %12s %12s@."
+    "histogram" "count" "min" "mean" "p50" "p90" "p99" "max";
   List.iter
     (fun (name, s) ->
       let mean = if s.h_count = 0 then 0. else s.h_sum /. float_of_int s.h_count in
-      Format.fprintf ppf "%-34s %7d %12.3f %12.3f %12.3f@."
-        name s.h_count s.h_min mean s.h_max)
+      Format.fprintf ppf "%-34s %7d %12.3f %12.3f %12.3f %12.3f %12.3f %12.3f@."
+        name s.h_count s.h_min mean s.h_p50 s.h_p90 s.h_p99 s.h_max)
     hs
 
 let pp_summary ppf () =
@@ -376,6 +439,9 @@ let chrome_trace () =
               ("sum", Json.Num s.h_sum);
               ("min", Json.Num s.h_min);
               ("max", Json.Num s.h_max);
+              ("p50", Json.Num s.h_p50);
+              ("p90", Json.Num s.h_p90);
+              ("p99", Json.Num s.h_p99);
             ] ))
       (histograms ())
   in

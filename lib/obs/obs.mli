@@ -47,6 +47,11 @@ val with_span : ?detail:string -> string -> (unit -> 'a) -> 'a
     [f] raises.  Convenience wrapper — hot paths that must not allocate
     a closure should use [start]/[stop] directly. *)
 
+val annotate : span -> string -> unit
+(** Append detail to a span discovered after it was opened (e.g. a
+    computed output shape).  Joined to any existing detail with a space.
+    Must run in the starting domain; no-op on [null_span] or [""]. *)
+
 (** {1 Counters} *)
 
 type counter
@@ -70,6 +75,9 @@ type hist_stats = {
   h_sum : float;
   h_min : float;
   h_max : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
 }
 
 val histogram : string -> histogram
@@ -79,6 +87,10 @@ val observe : histogram -> float -> unit
 (** No-op while disabled. *)
 
 val hist_stats : histogram -> hist_stats
+(** [h_p50]/[h_p90]/[h_p99] are nearest-rank percentiles over a
+    512-slot reservoir sample (Vitter's Algorithm R, deterministic
+    per-histogram LCG): exact up to 512 observations, unbiased
+    estimates beyond. *)
 
 (** {1 Snapshots} *)
 

@@ -153,6 +153,7 @@ type tuned = {
   t_schedule : Schedule.t;
   t_func : Unit_tir.Lower.func;
   t_estimate : Unit_machine.Cpu_model.estimate;
+  t_report : Unit_machine.Cost_report.t;
 }
 
 let candidate_configs (spec : Unit_machine.Spec.cpu) =
@@ -215,8 +216,9 @@ let of_config spec ?threads (r : Reorganize.t) config =
       ~finally:(fun () -> Obs.stop lr_tok)
       (fun () -> Replace.run (Unit_tir.Lower.lower schedule))
   in
-  let estimate = Unit_machine.Cpu_model.estimate spec ?threads func in
-  { t_config = config; t_schedule = schedule; t_func = func; t_estimate = estimate }
+  let estimate, report = Unit_machine.Cpu_model.estimate_with_report spec ?threads func in
+  { t_config = config; t_schedule = schedule; t_func = func; t_estimate = estimate;
+    t_report = report }
 
 let tune spec ?threads ?configs (r : Reorganize.t) =
   let configs =
@@ -243,8 +245,11 @@ let tune spec ?threads ?configs (r : Reorganize.t) =
         ~finally:(fun () -> Obs.stop lr_tok)
         (fun () -> Replace.run (Unit_tir.Lower.lower schedule))
     in
-    let estimate = Unit_machine.Cpu_model.estimate spec ?threads func in
-    { t_config = config; t_schedule = schedule; t_func = func; t_estimate = estimate }
+    let estimate, report =
+      Unit_machine.Cpu_model.estimate_with_report spec ?threads func
+    in
+    { t_config = config; t_schedule = schedule; t_func = func; t_estimate = estimate;
+      t_report = report }
   in
   match prune_configs r configs with
   | [] -> assert false (* the first config of a non-empty list is always kept *)

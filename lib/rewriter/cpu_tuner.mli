@@ -58,6 +58,9 @@ type tuned = {
   t_schedule : Schedule.t;
   t_func : Unit_tir.Lower.func;  (** lowered, instruction replaced *)
   t_estimate : Unit_machine.Cpu_model.estimate;
+  t_report : Unit_machine.Cost_report.t;
+      (** cycle attribution of [t_estimate] (components sum to
+          [est_cycles]) *)
 }
 
 val candidate_configs : Unit_machine.Spec.cpu -> config list

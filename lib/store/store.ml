@@ -26,6 +26,7 @@ type record = {
   r_config : Cpu_tuner.config;
   r_cycles : float;
   r_diag_digest : string;
+  r_report : Unit_machine.Cost_report.t option;
 }
 
 type stats = {
@@ -67,17 +68,23 @@ let diag_digest diags =
 
 let record_to_json r =
   Json.Obj
-    [ ("v", Json.Num (float_of_int schema_version));
-      ("tuner", Json.Num (float_of_int Cpu_tuner.version));
-      ("key", Json.Str r.r_key);
-      ("sig", Json.Str r.r_signature);
-      ("workload", Json.Str r.r_workload);
-      ("isa", Json.Str r.r_isa);
-      ("target", Json.Str r.r_target);
-      ("config", Cpu_tuner.config_to_json r.r_config);
-      ("cycles", Json.Num r.r_cycles);
-      ("diags", Json.Str r.r_diag_digest)
-    ]
+    ([ ("v", Json.Num (float_of_int schema_version));
+       ("tuner", Json.Num (float_of_int Cpu_tuner.version));
+       ("key", Json.Str r.r_key);
+       ("sig", Json.Str r.r_signature);
+       ("workload", Json.Str r.r_workload);
+       ("isa", Json.Str r.r_isa);
+       ("target", Json.Str r.r_target);
+       ("config", Cpu_tuner.config_to_json r.r_config);
+       ("cycles", Json.Num r.r_cycles);
+       ("diags", Json.Str r.r_diag_digest)
+     ]
+     @
+     (* attribution is an optional trailer: records written before it
+        existed stay valid under schema v1 *)
+     match r.r_report with
+     | Some rep -> [ ("report", Unit_machine.Cost_report.to_json rep) ]
+     | None -> [])
 
 (* [Error (`Corrupt m)] for undecodable/invalid lines, [Error (`Stale m)]
    for well-formed lines written under another schema or tuner version. *)
@@ -124,9 +131,17 @@ let record_of_json j =
           | None -> Error "field cycles missing or not a number"
         in
         let* r_diag_digest = str "diags" in
+        let* r_report =
+          match Json.member "report" j with
+          | None -> Ok None
+          | Some rep ->
+            (match Unit_machine.Cost_report.of_json rep with
+             | Ok r -> Ok (Some r)
+             | Error m -> Error ("field report: " ^ m))
+        in
         Ok
           { r_key; r_signature; r_workload; r_isa; r_target; r_config; r_cycles;
-            r_diag_digest
+            r_diag_digest; r_report
           }
       with
       | Error m -> Error (`Corrupt m)
@@ -250,7 +265,7 @@ let append_line t line =
       output_string oc line;
       output_char oc '\n')
 
-let record t ~signature ~workload ~isa ~target ~config ~cycles ~diag_digest =
+let record ?report t ~signature ~workload ~isa ~target ~config ~cycles ~diag_digest =
   let r =
     { r_key = key_of_signature signature;
       r_signature = signature;
@@ -259,7 +274,8 @@ let record t ~signature ~workload ~isa ~target ~config ~cycles ~diag_digest =
       r_target = target;
       r_config = config;
       r_cycles = cycles;
-      r_diag_digest = diag_digest
+      r_diag_digest = diag_digest;
+      r_report = report
     }
   in
   with_lock t (fun () ->
@@ -292,8 +308,8 @@ let pipeline_hooks t =
       (fun ~signature -> Option.map (fun r -> r.r_config) (lookup t ~signature));
     ts_record =
       (fun ~signature ~workload ~isa ~target ~diags tuned ->
-        record t ~signature ~workload ~isa ~target
-          ~config:tuned.Cpu_tuner.t_config
+        record t ~report:tuned.Cpu_tuner.t_report ~signature ~workload ~isa
+          ~target ~config:tuned.Cpu_tuner.t_config
           ~cycles:tuned.Cpu_tuner.t_estimate.Unit_machine.Cpu_model.est_cycles
           ~diag_digest:(diag_digest diags))
   }

@@ -44,6 +44,10 @@ type record = {
   r_cycles : float;  (** the machine model's estimate for the winner *)
   r_diag_digest : string;
       (** digest of the analyzer diagnostics the kernel was accepted with *)
+  r_report : Unit_machine.Cost_report.t option;
+      (** cycle attribution of the winner; [None] on records persisted
+          before attribution existed (optional JSON trailer, same schema
+          version) *)
 }
 
 type stats = {
@@ -80,6 +84,7 @@ val lookup : t -> signature:string -> record option
     (and {!stats}). *)
 
 val record :
+  ?report:Unit_machine.Cost_report.t ->
   t ->
   signature:string ->
   workload:string ->

@@ -1,0 +1,205 @@
+(* Tests for the explainability surface (lib/core/explain, decision log)
+   and the perf-regression gate (lib/core/perf_gate): golden coverage
+   reports per target, structured rejection reasons, diff semantics, and
+   the benchmark-file schema lint. *)
+
+module Explain = Unit_core.Explain
+module Perf_gate = Unit_core.Perf_gate
+module Decision_log = Unit_core.Decision_log
+module Inspector = Unit_inspector.Inspector
+module Cost_report = Unit_machine.Cost_report
+module Json = Unit_obs.Json
+
+let () = Unit_isa.Defs.ensure_registered ()
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Table I row 3 (1-based), the acceptance workload of `unitc explain
+   table1:3 --target x86`. *)
+let wl3 = Unit_models.Table1.workloads.(2)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let render r = Format.asprintf "%a" Explain.pp r
+
+let find_entry r isa =
+  match List.find_opt (fun e -> e.Explain.ex_isa = isa) r.Explain.ex_entries with
+  | Some e -> e
+  | None -> Alcotest.failf "no entry for %s" isa
+
+(* ---------- golden explain per target ---------- *)
+
+let test_explain_x86 () =
+  let r = Explain.conv Explain.X86 wl3 in
+  check_string "target" "x86" r.Explain.ex_target;
+  check_bool "VNNI chosen" true (r.Explain.ex_chosen = Some "vnni.vpdpbusd");
+  (* the acceptance criterion: a rejected ISA carries the concrete
+     structured reason, not a bare "no" *)
+  (match (find_entry r "avx512.vpmaddwd").Explain.ex_verdict with
+   | Explain.Rejected
+       (Inspector.Not_isomorphic
+          { Inspector.mm_path; mm_instr; mm_op }) ->
+     check_string "failing path" "body.lhs.arg" mm_path;
+     check_string "instruction side" "access a:i16" mm_instr;
+     check_string "operation side" "access a:u8" mm_op
+   | _ -> Alcotest.fail "vpmaddwd should be rejected as not isomorphic");
+  (match (find_entry r "amx.tdpbusd").Explain.ex_verdict with
+   | Explain.Rejected (Inspector.No_feasible_mapping _) -> ()
+   | _ -> Alcotest.fail "tdpbusd should fail mapping");
+  let text = render r in
+  List.iter
+    (fun sub -> check_bool (sub ^ " in output") true (contains text sub))
+    [ "ACCEPTED (chosen)"; "REJECTED";
+      "not isomorphic: at body.lhs.arg the instruction has access a:i16 but \
+       the operation has access a:u8";
+      "roofline:"; "chosen: vnni.vpdpbusd" ]
+
+let test_explain_arm () =
+  let r = Explain.conv Explain.Arm wl3 in
+  check_string "target" "arm" r.Explain.ex_target;
+  (* u8 activations: the signed-dot baseline rejects on dtype, udot wins *)
+  (match (find_entry r "arm.sdot").Explain.ex_verdict with
+   | Explain.Rejected (Inspector.Not_isomorphic _) -> ()
+   | _ -> Alcotest.fail "sdot should be rejected on dtype");
+  (match (find_entry r "sve256.udot").Explain.ex_verdict with
+   | Explain.Accepted _ -> ()
+   | _ -> Alcotest.fail "sve256.udot should be accepted");
+  check_bool "a chosen ISA exists" true (r.Explain.ex_chosen <> None)
+
+let test_explain_gpu () =
+  let r = Explain.conv Explain.Gpu wl3 in
+  check_string "target" "gpu" r.Explain.ex_target;
+  check_int "single template entry" 1 (List.length r.Explain.ex_entries);
+  match (find_entry r "wmma.implicit-gemm").Explain.ex_verdict with
+  | Explain.Accepted { vd_report; _ } ->
+    check_bool "attribution present" true
+      (vd_report.Cost_report.cr_total > 0.0)
+  | _ -> Alcotest.fail "the WMMA template should always apply"
+
+let test_explain_json_round_trip () =
+  let r = Explain.conv Explain.X86 wl3 in
+  let j = Explain.to_json r in
+  match Json.parse (Json.to_string j) with
+  | Error m -> Alcotest.failf "explain JSON does not parse: %s" m
+  | Ok parsed ->
+    check_bool "round trip" true (parsed = j);
+    (match Option.bind (Json.member "chosen" parsed) Json.to_str with
+     | Some "vnni.vpdpbusd" -> ()
+     | _ -> Alcotest.fail "chosen missing from JSON");
+    let isas =
+      match Option.bind (Json.member "isas" parsed) Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "no isas array"
+    in
+    check_int "one object per platform ISA" (List.length r.Explain.ex_entries)
+      (List.length isas)
+
+(* ---------- decision log ---------- *)
+
+let test_decision_log_records () =
+  Decision_log.reset ();
+  Decision_log.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Decision_log.set_enabled false;
+      Decision_log.reset ())
+    (fun () ->
+      let (_ : Explain.report) = Explain.conv Explain.X86 wl3 in
+      let entries = Decision_log.entries () in
+      check_bool "one entry per ISA verdict" true (List.length entries >= 3);
+      let kinds =
+        List.filter_map
+          (fun e ->
+            Option.bind
+              (Json.member "outcome" (Decision_log.entry_to_json e))
+              (fun v -> Option.bind (Json.member "kind" v) Json.to_str))
+          entries
+      in
+      check_bool "accepted recorded" true (List.mem "accepted" kinds);
+      check_bool "rejection recorded" true (List.mem "not_isomorphic" kinds))
+
+(* ---------- perf gate ---------- *)
+
+let kernel id cycles =
+  { Perf_gate.k_id = id;
+    k_workload = Printf.sprintf "wl%d" id;
+    k_isa = "vnni.vpdpbusd";
+    k_cycles = cycles;
+    k_report =
+      Cost_report.make ~compute:cycles ~stall:0.0 ~icache:0.0 ~fork_join:0.0
+        ~memory:0.0 ~intensity:10.0 ~ridge:0.8
+  }
+
+let report kernels = { Perf_gate.pg_target = "x86"; pg_kernels = kernels }
+
+let test_diff_semantics () =
+  let old_report = report [ kernel 0 1000.0; kernel 1 2000.0; kernel 2 500.0 ] in
+  (* identical: everything within tolerance *)
+  let df =
+    Perf_gate.diff_reports ~tolerance:2.0 ~old_report ~new_report:old_report
+  in
+  check_int "no regressions" 0 (List.length df.Perf_gate.df_regressions);
+  check_int "all unchanged" 3 df.Perf_gate.df_unchanged;
+  (* one kernel slower beyond tolerance, one faster, one gone, one new *)
+  let new_report = report [ kernel 0 1100.0; kernel 1 1000.0; kernel 3 42.0 ] in
+  let df = Perf_gate.diff_reports ~tolerance:2.0 ~old_report ~new_report in
+  (match df.Perf_gate.df_regressions with
+   | [ slow; missing ] ->
+     check_int "slower kernel flagged" 0 slow.Perf_gate.d_id;
+     check_bool "ten percent up" true
+       (Float.abs (slow.Perf_gate.d_pct -. 10.0) < 1e-9);
+     check_int "vanished kernel flagged" 2 missing.Perf_gate.d_id;
+     check_bool "missing marker" true (missing.Perf_gate.d_new < 0.0)
+   | rs -> Alcotest.failf "expected 2 regressions, got %d" (List.length rs));
+  check_int "improvement found" 1 (List.length df.Perf_gate.df_improvements);
+  check_int "added counted" 1 df.Perf_gate.df_added;
+  (* within a generous tolerance the slowdown passes *)
+  let df = Perf_gate.diff_reports ~tolerance:15.0 ~old_report ~new_report in
+  check_int "only the missing kernel regresses at 15%" 1
+    (List.length df.Perf_gate.df_regressions)
+
+let test_report_round_trip_and_lint () =
+  let r = report [ kernel 0 1000.0; kernel 1 2000.0 ] in
+  check_bool "of_json inverts to_json" true
+    (Perf_gate.of_json (Perf_gate.to_json r) = Ok r);
+  let dir = Filename.temp_file "unit_perf" "" in
+  Sys.remove dir;
+  let path = dir ^ ".json" in
+  Perf_gate.write path r;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      check_bool "read inverts write" true (Perf_gate.read path = Ok r);
+      (match Perf_gate.validate_file path with
+       | Ok desc -> check_bool "lint describes the report" true
+                      (contains desc "perf report")
+       | Error m -> Alcotest.failf "valid report failed lint: %s" m);
+      (* a tampered schema tag must fail, not pass as some other shape *)
+      let oc = open_out path in
+      output_string oc "{\"schema\":\"unit-perf-report\",\"v\":1}";
+      close_out oc;
+      match Perf_gate.validate_file path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "truncated report passed lint")
+
+let () =
+  Alcotest.run "explain"
+    [ ( "explain",
+        [ Alcotest.test_case "x86 coverage (table1:3)" `Quick test_explain_x86;
+          Alcotest.test_case "arm coverage" `Quick test_explain_arm;
+          Alcotest.test_case "gpu template" `Quick test_explain_gpu;
+          Alcotest.test_case "JSON round trip" `Quick test_explain_json_round_trip
+        ] );
+      ( "decision-log",
+        [ Alcotest.test_case "verdicts recorded" `Quick test_decision_log_records ] );
+      ( "perf-gate",
+        [ Alcotest.test_case "diff semantics" `Quick test_diff_semantics;
+          Alcotest.test_case "round trip and lint" `Quick
+            test_report_round_trip_and_lint
+        ] )
+    ]

@@ -153,6 +153,101 @@ let test_gemm_of_conv_dims () =
   Alcotest.(check int) "N = K" 384 gemm.Gpu_model.g_n;
   Alcotest.(check int) "K = R*S*C" (9 * 288) gemm.Gpu_model.g_k
 
+(* ---------- cycle attribution (Cost_report) ---------- *)
+
+module Cost_report = Unit_machine.Cost_report
+
+let report_sums r =
+  let components = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 (Cost_report.components r) in
+  Float.abs (r.Cost_report.cr_total -. components)
+  <= 1e-6 *. Float.max 1.0 r.Cost_report.cr_total
+  && List.for_all (fun (_, c) -> c >= 0.0) (Cost_report.components r)
+
+let cpu_shape_gen =
+  QCheck.Gen.(
+    map
+      (fun ((c, hw, k), (kernel, grain, unroll)) -> (c, hw, k, kernel, grain, unroll))
+      (pair
+         (triple (oneofl [ 32; 64; 128 ]) (oneofl [ 7; 14; 16; 28 ])
+            (oneofl [ 64; 128; 256 ]))
+         (triple (oneofl [ 1; 3 ]) (oneofl [ 4; 96; 3000 ]) (oneofl [ 1; 8 ]))))
+
+let prop_cpu_report_sums =
+  QCheck.Test.make ~name:"CPU attribution components sum to the estimate" ~count:40
+    (QCheck.make
+       ~print:(fun (c, hw, k, kernel, grain, unroll) ->
+         Printf.sprintf "c=%d hw=%d k=%d kernel=%d grain=%d unroll=%d" c hw k
+           kernel grain unroll)
+       cpu_shape_gen)
+    (fun (c, hw, k, kernel, grain, unroll) ->
+      let op = conv ~c ~hw ~k ~kernel () in
+      let func =
+        Cpu_tuner.compile (reorganized op)
+          { Cpu_tuner.parallel_grain = grain; unroll_budget = unroll }
+      in
+      let est, r = Cpu_model.estimate_with_report Spec.cascadelake func in
+      report_sums r
+      && Float.abs (r.Cost_report.cr_total -. est.Cpu_model.est_cycles)
+         <= 1e-6 *. Float.max 1.0 est.Cpu_model.est_cycles
+      && Cost_report.of_json (Cost_report.to_json r) = Ok r)
+
+let gpu_config_gen =
+  QCheck.Gen.(
+    map
+      (fun ((c, hw, k), (p, fuse, split_k)) -> (c, hw, k, p, fuse, split_k))
+      (pair
+         (triple (oneofl [ 64; 512; 1024 ]) (oneofl [ 7; 14; 56 ])
+            (oneofl [ 128; 512; 2048 ]))
+         (triple (oneofl [ 1; 2; 4 ]) bool (oneofl [ 1; 4; 8 ]))))
+
+let prop_gpu_report_sums =
+  QCheck.Test.make ~name:"GPU attribution components sum to the estimate" ~count:40
+    (QCheck.make
+       ~print:(fun (c, hw, k, p, fuse, split_k) ->
+         Printf.sprintf "c=%d hw=%d k=%d p=%d fuse=%b split_k=%d" c hw k p fuse
+           split_k)
+       gpu_config_gen)
+    (fun (c, hw, k, p, fuse, split_k) ->
+      let gemm = gemm_of ~c ~hw ~k () in
+      let est, r =
+        Gpu_model.estimate_with_report Spec.v100
+          gemm { Gpu_model.p; fuse_dim = fuse; split_k }
+      in
+      report_sums r
+      && Float.abs (r.Cost_report.cr_total -. est.Gpu_model.g_cycles)
+         <= 1e-6 *. Float.max 1.0 est.Gpu_model.g_cycles
+      && Cost_report.of_json (Cost_report.to_json r) = Ok r)
+
+let test_report_bound_classification () =
+  (* the ridge rule, pinned on both sides: a high-intensity report is
+     compute-bound, a low-intensity one memory-bound *)
+  let mk intensity =
+    Cost_report.make ~compute:80.0 ~stall:10.0 ~icache:2.0 ~fork_join:3.0
+      ~memory:5.0 ~intensity ~ridge:(Spec.cpu_ridge Spec.cascadelake)
+  in
+  check_bool "above ridge -> compute" true
+    ((mk 30.0).Cost_report.cr_bound = Cost_report.Compute_bound);
+  check_bool "below ridge -> memory" true
+    ((mk 0.1).Cost_report.cr_bound = Cost_report.Memory_bound);
+  check_bool "total is the sum" true ((mk 30.0).Cost_report.cr_total = 100.0);
+  (* corrupt JSON is rejected, not silently accepted *)
+  let j = Cost_report.to_json (mk 30.0) in
+  let broken =
+    match j with
+    | Unit_obs.Json.Obj kvs ->
+      Unit_obs.Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "total" then (k, Unit_obs.Json.Num 9999.0) else (k, v))
+           kvs)
+    | _ -> Alcotest.fail "report JSON is not an object"
+  in
+  match Cost_report.of_json broken with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "inconsistent sum accepted"
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
 let () =
   Alcotest.run "machine"
     [ ( "cpu",
@@ -175,5 +270,9 @@ let () =
             test_library_loses_on_friendly_shapes;
           Alcotest.test_case "fig1 cast overhead" `Quick test_fig1_effect;
           Alcotest.test_case "implicit gemm dims" `Quick test_gemm_of_conv_dims
-        ] )
+        ] );
+      ( "report",
+        Alcotest.test_case "bound classification and corrupt JSON" `Quick
+          test_report_bound_classification
+        :: qcheck [ prop_cpu_report_sums; prop_gpu_report_sums ] )
     ]

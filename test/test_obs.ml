@@ -97,6 +97,46 @@ let test_counters_and_histograms () =
   check_int "reset zeroes counters" 0 (Obs.value c);
   check_int "reset zeroes histograms" 0 (Obs.hist_stats h).Obs.h_count
 
+let test_histogram_percentiles () =
+  traced @@ fun () ->
+  let h = Obs.histogram "test.hist.pct" in
+  (* below the reservoir cap the sample is the full stream, so
+     nearest-rank percentiles are exact *)
+  for i = 1 to 100 do
+    Obs.observe h (float_of_int i)
+  done;
+  let s = Obs.hist_stats h in
+  check_bool "p50 exact" true (s.Obs.h_p50 = 50.0);
+  check_bool "p90 exact" true (s.Obs.h_p90 = 90.0);
+  check_bool "p99 exact" true (s.Obs.h_p99 = 99.0);
+  (* beyond the cap the reservoir is a uniform sample: percentiles are
+     estimates but must stay ordered and within the observed range *)
+  Obs.reset ();
+  for i = 1 to 5000 do
+    Obs.observe h (float_of_int i)
+  done;
+  let s = Obs.hist_stats h in
+  check_int "count is exact beyond cap" 5000 s.Obs.h_count;
+  check_bool "percentiles ordered" true
+    (s.Obs.h_min <= s.Obs.h_p50 && s.Obs.h_p50 <= s.Obs.h_p90
+    && s.Obs.h_p90 <= s.Obs.h_p99 && s.Obs.h_p99 <= s.Obs.h_max);
+  check_bool "p50 is a plausible median" true
+    (s.Obs.h_p50 > 1000.0 && s.Obs.h_p50 < 4000.0)
+
+let test_annotate () =
+  traced @@ fun () ->
+  let tok = Obs.start "annotated" ~detail:"op" in
+  Obs.annotate tok "out=i32[16]";
+  Obs.stop tok;
+  (match Obs.spans () with
+   | [ sp ] -> check_string "detail appended" "op out=i32[16]" sp.Obs.sp_detail
+   | sps -> Alcotest.failf "expected one span, got %d" (List.length sps));
+  (* no-ops must not raise *)
+  Obs.annotate Obs.null_span "ignored";
+  let tok = Obs.start "empty.detail" in
+  Obs.annotate tok "";
+  Obs.stop tok
+
 (* ---------- Parallel_oracle determinism (UNIT_DOMAINS=1 vs 4) ---------- *)
 
 let with_domains v f =
@@ -212,6 +252,45 @@ let test_json_parser_strictness () =
     (Json.parse "\"\\u0041\"" = Ok (Json.Str "A"));
   check_bool "nan prints as null" true (Json.to_string (Json.Num Float.nan) = "null")
 
+(* The encoder must emit valid UTF-8 JSON whatever bytes a [Str]
+   carries: control characters \u-escaped, well-formed multi-byte
+   sequences passed through, everything else replaced with U+FFFD. *)
+let test_json_escaping () =
+  let enc s = Json.to_string (Json.Str s) in
+  check_string "quote" "\"\\\"\"" (enc "\"");
+  check_string "backslash" "\"\\\\\"" (enc "\\");
+  check_string "newline" "\"\\n\"" (enc "\n");
+  check_string "tab" "\"\\t\"" (enc "\t");
+  check_string "carriage return" "\"\\r\"" (enc "\r");
+  check_string "NUL" "\"\\u0000\"" (enc "\x00");
+  check_string "backspace" "\"\\u0008\"" (enc "\b");
+  check_string "form feed" "\"\\u000c\"" (enc "\x0c");
+  check_string "escape char" "\"\\u001b\"" (enc "\x1b");
+  (* well-formed UTF-8 passes through untouched *)
+  check_string "two-byte sequence" "\"\xc3\xa9\"" (enc "\xc3\xa9");
+  check_string "three-byte sequence" "\"\xe2\x86\x92\"" (enc "\xe2\x86\x92");
+  check_string "four-byte sequence" "\"\xf0\x9f\x99\x82\"" (enc "\xf0\x9f\x99\x82");
+  (* malformed bytes become U+FFFD instead of corrupting the document *)
+  let fffd = "\xef\xbf\xbd" in
+  check_string "lone 0xff" ("\"" ^ fffd ^ "\"") (enc "\xff");
+  check_string "stray continuation" ("\"" ^ fffd ^ "\"") (enc "\x80");
+  check_string "truncated lead byte" ("\"" ^ fffd ^ "a\"") (enc "\xc3a");
+  check_string "overlong encoding" ("\"" ^ fffd ^ fffd ^ "\"") (enc "\xc0\xaf");
+  check_string "surrogate encoding"
+    ("\"" ^ fffd ^ fffd ^ fffd ^ "\"")
+    (enc "\xed\xa0\x80");
+  check_string "beyond U+10FFFF"
+    ("\"" ^ fffd ^ fffd ^ fffd ^ fffd ^ "\"")
+    (enc "\xf4\x90\x80\x80");
+  (* escapes still parse back; the round trip holds for valid UTF-8 *)
+  check_bool "control chars round trip" true
+    (Json.parse (enc "a\x01b\nc") = Ok (Json.Str "a\x01b\nc"));
+  check_bool "utf-8 round trips" true
+    (Json.parse (enc "caf\xc3\xa9 \xe2\x86\x92") = Ok (Json.Str "caf\xc3\xa9 \xe2\x86\x92"));
+  match Json.parse (enc "bad \xff byte") with
+  | Ok (Json.Str s) -> check_string "invalid byte replaced" ("bad " ^ fffd ^ " byte") s
+  | _ -> Alcotest.fail "replacement output does not parse"
+
 let test_chrome_trace_json () =
   traced @@ fun () ->
   Obs.with_span "a" (fun () -> Obs.with_span "b" ~detail:"x" (fun () -> ()));
@@ -295,7 +374,10 @@ let () =
         ] );
       ( "metrics",
         [ Alcotest.test_case "counters and histograms" `Quick
-            test_counters_and_histograms
+            test_counters_and_histograms;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "span annotate" `Quick test_annotate
         ] );
       ( "oracle",
         [ Alcotest.test_case "determinism across domain counts" `Quick
@@ -307,6 +389,7 @@ let () =
         ] );
       ( "json",
         [ Alcotest.test_case "parser strictness" `Quick test_json_parser_strictness;
+          Alcotest.test_case "string escaping" `Quick test_json_escaping;
           Alcotest.test_case "chrome trace" `Quick test_chrome_trace_json
         ]
         @ qcheck [ prop_json_round_trip ] );
