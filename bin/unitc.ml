@@ -640,14 +640,11 @@ let warmup model target store_path domains retries trace trace_out assert_hit =
     or_die (Error "--assert-hit: no disk hit (the store was cold)");
   if report.Warmup.rp_failures <> [] then exit 1
 
-let store_stats file =
+let store_stats file json =
   if not (Sys.file_exists file) then or_die (Error (file ^ ": no such store"));
   let store, diags = Store.open_ file in
-  print_store_diags diags;
+  if not json then print_store_diags diags;
   let st = Store.stats store in
-  Printf.printf "%s: %d live record(s) (%d line(s) loaded, %d corrupt, %d stale)\n"
-    file st.Store.st_records st.Store.st_loaded st.Store.st_corrupt
-    st.Store.st_stale;
   let records = ref [] in
   Store.iter store (fun r -> records := r :: !records);
   let records =
@@ -658,13 +655,43 @@ let store_stats file =
           (b.Store.r_target, b.Store.r_isa, b.Store.r_workload))
       !records
   in
-  List.iter
-    (fun (r : Store.record) ->
-      Printf.printf "  %-12s %-16s %-40s grain=%-4d unroll=%-4d %12.0f cycles\n"
-        r.Store.r_target r.Store.r_isa r.Store.r_workload
-        r.Store.r_config.Cpu_tuner.parallel_grain
-        r.Store.r_config.Cpu_tuner.unroll_budget r.Store.r_cycles)
-    records
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("file", Json.Str file);
+              ("records", Json.Num (float_of_int st.Store.st_records));
+              ("loaded", Json.Num (float_of_int st.Store.st_loaded));
+              ("corrupt", Json.Num (float_of_int st.Store.st_corrupt));
+              ("stale", Json.Num (float_of_int st.Store.st_stale));
+              ( "diags",
+                Json.Arr (List.map (fun d -> Json.Str (Diag.to_string d)) diags) );
+              ( "configs",
+                Json.Arr
+                  (List.map
+                     (fun (r : Store.record) ->
+                       Json.Obj
+                         [ ("target", Json.Str r.Store.r_target);
+                           ("isa", Json.Str r.Store.r_isa);
+                           ("workload", Json.Str r.Store.r_workload);
+                           ("config", Cpu_tuner.config_to_json r.Store.r_config);
+                           ("cycles", Json.Num r.Store.r_cycles)
+                         ])
+                     records) )
+            ]))
+  else begin
+    Printf.printf
+      "%s: %d live record(s) (%d line(s) loaded, %d corrupt, %d stale)\n" file
+      st.Store.st_records st.Store.st_loaded st.Store.st_corrupt
+      st.Store.st_stale;
+    List.iter
+      (fun (r : Store.record) ->
+        Printf.printf "  %-12s %-16s %-40s grain=%-4d unroll=%-4d %12.0f cycles\n"
+          r.Store.r_target r.Store.r_isa r.Store.r_workload
+          r.Store.r_config.Cpu_tuner.parallel_grain
+          r.Store.r_config.Cpu_tuner.unroll_budget r.Store.r_cycles)
+      records
+  end
 
 (* ---------- trace-lint ---------- *)
 
@@ -807,6 +834,113 @@ let bench_lint files =
         failed := true)
     files;
   if !failed then exit 1
+
+(* ---------- memplan / memcheck ---------- *)
+
+module Memplan = Unit_core.Memplan
+module Footprint = Unit_analysis.Footprint
+
+let footprint_to_json (fp : Footprint.report) =
+  Json.Obj
+    [ ("alloc_bytes", Json.Num (float_of_int fp.Footprint.fp_alloc_bytes));
+      ( "tile_window_bytes",
+        Json.Num (float_of_int fp.Footprint.fp_tile_window_bytes) );
+      ("total_bytes", Json.Num (float_of_int fp.Footprint.fp_total_bytes));
+      ( "touched",
+        Json.Obj
+          (List.map
+             (fun (name, bytes) -> (name, Json.Num (float_of_int bytes)))
+             fp.Footprint.fp_touched) )
+    ]
+
+let pp_kernel_report (name, count, fp) =
+  match fp with
+  | None -> Printf.printf "  %-44s x%-3d (not tensorizable)\n" name count
+  | Some (fp : Footprint.report) ->
+    Printf.printf "  %-44s x%-3d scratch %6d B  tile %5d B  touched %9d B\n"
+      name count fp.Footprint.fp_alloc_bytes fp.Footprint.fp_tile_window_bytes
+      fp.Footprint.fp_total_bytes
+
+(* Whole-graph static memory analysis: liveness over the executor's
+   level-parallel schedule, a greedy best-fit arena plan, and the
+   independent checker's verdict.  A rejected plan is printed and exits
+   non-zero — the planner proposes, the checker proves. *)
+let memplan model target json kernels trace =
+  if trace then enable_tracing ();
+  ignore (or_die (lookup_spec target));
+  let arm = is_arm_target target in
+  let act_dtype = if arm then Dtype.I8 else Dtype.U8 in
+  let g = or_die (Memplan.build_graph ~model ~act_dtype) in
+  let a = Memplan.analyze g in
+  let kernel_reports =
+    if kernels then
+      Some (Memplan.kernel_reports ~target:(if arm then `Arm else `X86) g)
+    else None
+  in
+  if json then begin
+    let j = Memplan.analysis_to_json model a in
+    let j =
+      match kernel_reports, j with
+      | None, j -> j
+      | Some krs, Json.Obj fields ->
+        Json.Obj
+          (fields
+           @ [ ( "kernels",
+                 Json.Arr
+                   (List.map
+                      (fun (name, count, fp) ->
+                        Json.Obj
+                          [ ("workload", Json.Str name);
+                            ("count", Json.Num (float_of_int count));
+                            ( "footprint",
+                              match fp with
+                              | None -> Json.Null
+                              | Some fp -> footprint_to_json fp )
+                          ])
+                      krs) )
+             ])
+      | Some _, j -> j
+    in
+    print_endline (Json.to_string j)
+  end
+  else begin
+    Format.printf "%a@." (Memplan.pp_analysis model) a;
+    Option.iter
+      (fun krs ->
+        Printf.printf "tensorized kernel footprints (%s):\n" target;
+        List.iter pp_kernel_report krs)
+      kernel_reports
+  end;
+  if a.Memplan.ma_diags <> [] then begin
+    List.iter
+      (fun d -> prerr_endline (Diag.to_string d))
+      a.Memplan.ma_diags;
+    exit 1
+  end
+
+(* Sweep the planner + checker over the whole zoo (the @memcheck alias);
+   optionally freeze the numbers as BENCH_memplan.json. *)
+let memcheck write_bench =
+  let rows =
+    match Memplan.bench_rows () with
+    | rows -> rows
+    | exception Invalid_argument m -> or_die (Error m)
+  in
+  List.iter
+    (fun (r : Memplan.bench_row) ->
+      Printf.printf
+        "memcheck: %-14s naive %10d B  arena %10d B  (%5.1f%%)  %3d slot(s)  \
+         plan proven sound\n"
+        r.Memplan.br_model r.Memplan.br_naive_bytes r.Memplan.br_arena_bytes
+        (r.Memplan.br_reuse_ratio *. 100.0)
+        r.Memplan.br_slots)
+    rows;
+  match write_bench with
+  | None -> ()
+  | Some path ->
+    Memplan.write_bench path rows;
+    Printf.printf "memplan benchmark (%d models) written to %s\n"
+      (List.length rows) path
 
 (* ---------- command wiring ---------- *)
 
@@ -979,13 +1113,64 @@ let warmup_cmd =
 
 let store_stats_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the summary and configs as JSON instead of a table.")
+  in
   Cmd.v
     (Cmd.info "store-stats"
        ~doc:
          "Summarize a tuning store: live records, corrupt/stale lines \
           skipped on load, and every stored config with its estimated \
           cycles.")
-    Term.(const store_stats $ file)
+    Term.(const store_stats $ file $ json)
+
+let memplan_cmd =
+  let model =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"MODEL"
+             ~doc:"A zoo model (see unitc models) or table1:N for a \
+                   conv/bias/relu block over one Table I workload.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the analysis (stats, per-slot plan, checker verdict) \
+                   as JSON.")
+  in
+  let kernels =
+    Arg.(value & flag
+         & info [ "kernels" ]
+             ~doc:"Also tensorize each distinct conv workload and report its \
+                   static kernel footprint: Alloc scratch peak, instruction \
+                   tile window and exactly-bounded touched bytes.")
+  in
+  Cmd.v
+    (Cmd.info "memplan"
+       ~doc:
+         "Whole-graph static memory analysis: tensor liveness over the \
+          executor's level-parallel schedule, a greedy best-fit arena plan \
+          assigning every intermediate an offset in one shared arena, and \
+          an independent overlap checker that proves the plan sound.  \
+          Exits non-zero when the checker rejects the plan.")
+    Term.(const memplan $ model $ spec_arg $ json $ kernels $ trace_flag)
+
+let memcheck_cmd =
+  let write_bench =
+    Arg.(value & opt (some string) None
+         & info [ "write-bench" ] ~docv:"FILE"
+             ~doc:"Freeze the zoo-wide naive-vs-planned bytes as a \
+                   unit-memplan benchmark JSON (the checked-in \
+                   BENCH_memplan.json, validated by bench-lint).")
+  in
+  Cmd.v
+    (Cmd.info "memcheck"
+       ~doc:
+         "Plan and prove a memory arena for every zoo model (the root \
+          @memcheck alias): exits non-zero if the overlap checker rejects \
+          any planner output.")
+    Term.(const memcheck $ write_bench)
 
 let explain_target_arg =
   Arg.(value & opt string "x86"
@@ -1080,5 +1265,6 @@ let () =
           [ list_isa_cmd; show_isa_cmd; inspect_cmd; compile_cmd; run_cmd; e2e_cmd;
             models_cmd; table1_cmd; check_cmd; lint_cmd; profile_cmd;
             warmup_cmd; store_stats_cmd; trace_lint_cmd; explain_cmd;
-            bench_report_cmd; bench_diff_cmd; bench_lint_cmd
+            bench_report_cmd; bench_diff_cmd; bench_lint_cmd;
+            memplan_cmd; memcheck_cmd
           ]))

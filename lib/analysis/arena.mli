@@ -1,0 +1,67 @@
+(** Arena memory planning over {!Liveness} ranges — the planner proposes,
+    the checker proves.
+
+    {!plan} assigns every intermediate tensor an offset in one shared
+    arena with greedy best-fit over the interference relation: tensors
+    are placed largest-first, each into the tightest free gap its
+    concurrently-live peers leave in the storage class's region.  The
+    logical arena is the concatenation [float | int | int64] of three
+    class regions (OCaml arrays are dtype-specialized); offsets and sizes
+    are in 8-byte host words, so element offsets are exact.
+
+    {!check} is the independent verifier: it re-derives liveness from the
+    graph and validates the plan from scratch, reporting structured
+    {!Unit_tir.Diag.Mem_plan} errors — an unplanned intermediate, a slot
+    escaping its arena or too small for its tensor, or two interfering
+    live ranges sharing bytes.  The executor refuses nothing at run time
+    beyond capacity/class sanity; soundness is the checker's job. *)
+
+open Unit_codegen
+open Unit_graph
+open Unit_tir
+
+type slot = {
+  s_id : Graph.id;
+  s_class : Ndarray.storage_class;
+  s_off : int;  (** word offset within the class region *)
+  s_words : int;
+}
+
+type t = {
+  p_float_words : int;
+  p_int_words : int;
+  p_int64_words : int;
+  p_slots : slot list;  (** ascending node id *)
+}
+
+val plan : Graph.t -> t
+
+val plan_ranges : Liveness.range array -> t
+(** Plan from precomputed ranges (so callers can reuse one analysis for
+    planning and reporting). *)
+
+val check : Graph.t -> t -> Diag.t list
+(** Independent overlap verification; empty means the plan is sound.
+    Liveness is recomputed from the graph — the checker shares no state
+    with the planner. *)
+
+val exec_plan : t -> Executor.arena_plan
+(** Lower to the executor's primitive plan representation. *)
+
+val arena_words : t -> int
+val arena_bytes : t -> int
+
+val byte_offset : t -> slot -> int
+(** Offset of the slot in the single logical arena
+    ([float | int | int64] regions back to back), in bytes. *)
+
+val class_name : Ndarray.storage_class -> string
+
+type stats = {
+  st_naive_bytes : int;  (** per-op buffers retained to the end *)
+  st_peak_bytes : int;  (** liveness floor: best any plan could do *)
+  st_arena_bytes : int;  (** what this plan allocates *)
+  st_reuse_ratio : float;  (** arena / naive; 1.0 on an empty graph *)
+}
+
+val stats : Liveness.range array -> t -> stats

@@ -1,0 +1,36 @@
+(** Static per-kernel memory footprint.
+
+    Bounds a lowered kernel's working set without running it, reusing
+    {!Unit_tir.Linear} interval arithmetic:
+
+    - {b scratch}: peak bytes held by nested [Alloc]s ([Buffer.size] is
+      static; peaks follow the block structure — siblings don't coexist,
+      nested allocations stack);
+    - {b tile windows}: for each [Intrin_call], the single-issue working
+      set — the output and input tile windows spanned by the tile
+      strides times the instruction's axis extents;
+    - {b touched ranges}: for every non-scratch buffer, the exact byte
+      range the kernel addresses, from [Linear.bounds] on each access
+      index under the loop/let environment.  An index the interval
+      machinery cannot bound charges the whole buffer (conservative,
+      never under-reports).
+
+    Surfaced per-op by [Unit_core.Memplan] as the [mem_report] of
+    [unitc memplan]. *)
+
+type report = {
+  fp_alloc_bytes : int;  (** peak concurrent [Alloc] scratch *)
+  fp_tile_window_bytes : int;
+      (** widest single-issue instruction tile working set *)
+  fp_touched : (string * int) list;
+      (** buffer name -> addressed bytes, name-sorted *)
+  fp_total_bytes : int;  (** scratch peak + sum of touched *)
+}
+
+val of_stmt :
+  ?intrin:(string -> Analysis.intrin_meta option) -> Unit_tir.Stmt.t -> report
+(** The default [intrin] lookup knows no instructions; their tile windows
+    then count one element per tile. *)
+
+val of_func :
+  ?intrin:(string -> Analysis.intrin_meta option) -> Unit_tir.Lower.func -> report

@@ -842,6 +842,11 @@ let bind_cell ctx bi (arr : Ndarray.t) =
   if Ndarray.num_elements arr <> b.Buffer.size then
     error "buffer %s: %d elements bound, %d expected" b.Buffer.name
       (Ndarray.num_elements arr) b.Buffer.size;
+  (* the compiled closures address the raw backing array from 0 and would
+     silently read past a view's window *)
+  if Ndarray.is_view arr then
+    error "buffer %s: arena views cannot be bound to compiled kernels"
+      b.Buffer.name;
   match bi.b_kind, arr.Ndarray.storage with
   | KF, Ndarray.Float_data a -> ctx.fcells.(bi.b_cell) <- a
   | KI, Ndarray.Int_data a -> ctx.icells.(bi.b_cell) <- a

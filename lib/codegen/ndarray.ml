@@ -9,10 +9,18 @@ type storage =
   | Int_data of int array
   | Int64_data of int64 array
 
+(* Which backing array a dtype lands in.  The arena planner partitions
+   tensors by this, so it must stay in sync with [storage_zeros]. *)
+type storage_class =
+  | Float_class
+  | Int_class
+  | Int64_class
+
 type t = {
   dtype : Dtype.t;
   shape : int array;
   strides : int array;
+  offset : int;  (* element offset into [storage]; 0 for owning arrays *)
   storage : storage;
 }
 
@@ -26,32 +34,63 @@ let strides_of_shape shape =
   done;
   strides
 
+let class_of_dtype dtype =
+  if Dtype.is_float dtype then Float_class
+  else if Dtype.equal dtype Dtype.I64 then Int64_class
+  else Int_class
+
+let class_of_storage = function
+  | Float_data _ -> Float_class
+  | Int_data _ -> Int_class
+  | Int64_data _ -> Int64_class
+
 let storage_zeros dtype n =
-  if Dtype.is_float dtype then Float_data (Array.make n 0.0)
-  else if Dtype.equal dtype Dtype.I64 then Int64_data (Array.make n 0L)
-  else Int_data (Array.make n 0)
+  match class_of_dtype dtype with
+  | Float_class -> Float_data (Array.make n 0.0)
+  | Int64_class -> Int64_data (Array.make n 0L)
+  | Int_class -> Int_data (Array.make n 0)
 
-let make_of_shape dtype shape =
-  { dtype; shape; strides = strides_of_shape shape;
-    storage = storage_zeros dtype (num_elements_of_shape shape) }
-
-let zeros ~dtype ~shape = make_of_shape dtype (Array.of_list shape)
-
-let num_elements t =
-  match t.storage with
+let storage_length = function
   | Float_data a -> Array.length a
   | Int_data a -> Array.length a
   | Int64_data a -> Array.length a
 
+let make_of_shape dtype shape =
+  { dtype; shape; strides = strides_of_shape shape; offset = 0;
+    storage = storage_zeros dtype (num_elements_of_shape shape) }
+
+let zeros ~dtype ~shape = make_of_shape dtype (Array.of_list shape)
+
+let num_elements t = num_elements_of_shape t.shape
+
+let is_view t = t.offset <> 0 || num_elements t <> storage_length t.storage
+
+let view base ~offset ~dtype ~shape =
+  let shape = Array.of_list shape in
+  let n = num_elements_of_shape shape in
+  if class_of_dtype dtype <> class_of_storage base.storage then
+    invalid_arg
+      (Printf.sprintf "Ndarray.view: dtype %s does not match the backing storage class"
+         (Dtype.to_string dtype));
+  if offset < 0 || offset + n > storage_length base.storage then
+    invalid_arg
+      (Printf.sprintf
+         "Ndarray.view: window [%d, %d) escapes the backing array (%d elements)"
+         offset (offset + n) (storage_length base.storage));
+  { dtype; shape; strides = strides_of_shape shape; offset;
+    storage = base.storage }
+
 (* ---------- the Value.t boundary ---------- *)
 
 let get_flat t i =
+  let i = i + t.offset in
   match t.storage with
   | Float_data a -> Value.of_float t.dtype a.(i)
   | Int_data a -> Value.of_int t.dtype a.(i)
   | Int64_data a -> Value.of_int64 t.dtype a.(i)
 
 let set_flat t i v =
+  let i = i + t.offset in
   match t.storage with
   | Float_data a -> a.(i) <- Value.round_float t.dtype (Value.to_float v)
   | Int_data a -> a.(i) <- Value.wrap_native t.dtype (Int64.to_int (Value.to_int64 v))
@@ -60,12 +99,14 @@ let set_flat t i v =
 (* ---------- raw (unboxed) accessors ---------- *)
 
 let get_float_flat t i =
+  let i = i + t.offset in
   match t.storage with
   | Float_data a -> a.(i)
   | Int_data a -> float_of_int a.(i)
   | Int64_data a -> Int64.to_float a.(i)
 
 let get_int_flat t i =
+  let i = i + t.offset in
   match t.storage with
   | Int_data a -> a.(i)
   | Int64_data a -> Int64.to_int a.(i)
@@ -113,28 +154,35 @@ let iter_multi shape f =
     done
   done
 
+let fill t f = iter_multi t.shape (fun flat idx -> set_flat t flat (f idx))
+
 let init ~dtype ~shape f =
   let t = make_of_shape dtype (Array.of_list shape) in
-  iter_multi t.shape (fun flat idx -> set_flat t flat (f idx));
+  fill t f;
   t
 
 (* Requantization-style conversion of a real number into [dtype]: floats
    round to the dtype's precision, integers round to nearest and saturate
    at the dtype's bounds. *)
+let fill_float t f =
+  let dtype = t.dtype in
+  let off = t.offset in
+  match t.storage with
+  | Float_data a ->
+    let round = if Dtype.equal dtype Dtype.F64 then Fun.id else Value.round_float dtype in
+    iter_multi t.shape (fun flat idx -> a.(off + flat) <- round (f idx))
+  | Int_data a ->
+    let lo = Dtype.min_int_value dtype and hi = Dtype.max_int_value dtype in
+    iter_multi t.shape (fun flat idx ->
+        let x = Int64.of_float (Float.round (f idx)) in
+        let x = if Int64.compare x lo < 0 then lo else if Int64.compare x hi > 0 then hi else x in
+        a.(off + flat) <- Int64.to_int x)
+  | Int64_data a ->
+    iter_multi t.shape (fun flat idx -> a.(off + flat) <- Int64.of_float (Float.round (f idx)))
+
 let init_float ~dtype ~shape f =
   let t = make_of_shape dtype (Array.of_list shape) in
-  (match t.storage with
-   | Float_data a ->
-     let round = if Dtype.equal dtype Dtype.F64 then Fun.id else Value.round_float dtype in
-     iter_multi t.shape (fun flat idx -> a.(flat) <- round (f idx))
-   | Int_data a ->
-     let lo = Dtype.min_int_value dtype and hi = Dtype.max_int_value dtype in
-     iter_multi t.shape (fun flat idx ->
-         let x = Int64.of_float (Float.round (f idx)) in
-         let x = if Int64.compare x lo < 0 then lo else if Int64.compare x hi > 0 then hi else x in
-         a.(flat) <- Int64.to_int x)
-   | Int64_data a ->
-     iter_multi t.shape (fun flat idx -> a.(flat) <- Int64.of_float (Float.round (f idx))));
+  fill_float t f;
   t
 
 let of_tensor_zeros (tensor : Unit_dsl.Tensor.t) =
@@ -166,10 +214,26 @@ let float_eq x y = x = y || (Float.is_nan x && Float.is_nan y)
 let equal a b =
   Dtype.equal a.dtype b.dtype && a.shape = b.shape
   &&
+  let n = num_elements a in
   match a.storage, b.storage with
-  | Float_data x, Float_data y -> Array.for_all2 float_eq x y
-  | Int_data x, Int_data y -> x = y
-  | Int64_data x, Int64_data y -> x = y
+  | Float_data x, Float_data y ->
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if not (float_eq x.(a.offset + i) y.(b.offset + i)) then ok := false
+    done;
+    !ok
+  | Int_data x, Int_data y ->
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if x.(a.offset + i) <> y.(b.offset + i) then ok := false
+    done;
+    !ok
+  | Int64_data x, Int64_data y ->
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if not (Int64.equal x.(a.offset + i) y.(b.offset + i)) then ok := false
+    done;
+    !ok
   | _ -> false
 
 let approx_equal ~tol a b =

@@ -16,14 +16,40 @@ type storage =
   | Int_data of int array  (** canonically wrapped per the array dtype *)
   | Int64_data of int64 array
 
+(** Which backing array a dtype lands in: float dtypes share
+    [Float_data], [I64] has [Int64_data], every other integer dtype
+    shares [Int_data].  The arena memory planner partitions tensors by
+    this class. *)
+type storage_class =
+  | Float_class
+  | Int_class
+  | Int64_class
+
 type t = private {
   dtype : Dtype.t;
   shape : int array;
   strides : int array;  (** row-major, cached at construction *)
+  offset : int;  (** element offset into [storage]; 0 for owning arrays *)
   storage : storage;
 }
 
+val class_of_dtype : Dtype.t -> storage_class
+
 val zeros : dtype:Dtype.t -> shape:int list -> t
+
+val view : t -> offset:int -> dtype:Dtype.t -> shape:int list -> t
+(** [view base ~offset ~dtype ~shape] is a window into [base]'s backing
+    array starting [offset] elements in: writes through the view are
+    visible through [base] and vice versa.  The view may reinterpret the
+    elements under any [dtype] of the same {!storage_class} (an arena
+    allocated as I32 words can back a U8 tensor) — each access
+    canonicalizes per the {e view}'s dtype.
+    @raise Invalid_argument when the dtype's storage class differs from
+    the base's, or the window escapes the backing array. *)
+
+val is_view : t -> bool
+(** The array does not own (all of) its storage: nonzero offset, or a
+    window shorter than the backing array. *)
 
 val init : dtype:Dtype.t -> shape:int list -> (int array -> Value.t) -> t
 (** Element at each multi-index, row-major.  The index array is reused
@@ -33,6 +59,15 @@ val init_float : dtype:Dtype.t -> shape:int list -> (int array -> float) -> t
 (** Requantization-style construction from real numbers: float dtypes round
     to the dtype's precision; integer dtypes round to nearest and saturate
     at the dtype bounds.  Same index-array reuse caveat as {!init}. *)
+
+val fill : t -> (int array -> Value.t) -> unit
+(** Overwrite every element, row-major — {!init}'s loop over an existing
+    array (typically an arena {!view}).  Same index-array reuse caveat. *)
+
+val fill_float : t -> (int array -> float) -> unit
+(** {!init_float}'s rounding/saturating store loop over an existing array.
+    Writing through a view with [fill_float] is bit-identical to
+    {!init_float} into a fresh array of the view's dtype and shape. *)
 
 val of_tensor_zeros : Unit_dsl.Tensor.t -> t
 

@@ -266,12 +266,62 @@ let validate_interp j =
   let* _ = num "speedup" j in
   Ok "interpreter benchmark file"
 
+(* The memory-plan freeze ([Memplan.bench_rows]).  Beyond shape checks,
+   this gates on the plan's substance: every arena must beat naive
+   allocation, and the headline resnet18 plan must reach <= 60% of the
+   naive peak — a regressed planner fails the build here, not in review. *)
+let validate_memplan j =
+  let* rows =
+    match Option.bind (Json.member "models" j) Json.to_list with
+    | Some rows -> Ok rows
+    | None -> Error "field models missing or not an array"
+  in
+  let* n =
+    List.fold_left
+      (fun acc row ->
+        let* n = acc in
+        let* model = str "model" row in
+        let* naive = num "naive_bytes" row in
+        let* _peak = num "peak_bytes" row in
+        let* arena = num "arena_bytes" row in
+        let* ratio = num "reuse_ratio" row in
+        let* _slots = num "slots" row in
+        let* () =
+          if naive > 0.0 && arena > 0.0 then Ok ()
+          else Error (model ^ ": byte counts must be positive")
+        in
+        let* () =
+          if Float.abs (ratio -. (arena /. naive)) <= 0.001 then Ok ()
+          else Error (model ^ ": reuse_ratio does not match arena/naive")
+        in
+        let* () =
+          if arena <= naive then Ok ()
+          else Error (model ^ ": planned arena exceeds naive allocation")
+        in
+        let* () =
+          if String.equal model "resnet18" && arena > 0.60 *. naive then
+            Error
+              (Printf.sprintf
+                 "resnet18: planned arena is %.1f%% of naive (gate: <= 60%%)"
+                 (arena /. naive *. 100.0))
+          else Ok ()
+        in
+        Ok (n + 1))
+      (Ok 0) rows
+  in
+  let* () =
+    if List.exists (fun row -> str "model" row = Ok "resnet18") rows then Ok ()
+    else Error "resnet18 row missing (the 60% gate has nothing to check)"
+  in
+  Ok (Printf.sprintf "memory-plan benchmark, %d models" n)
+
 let validate_file path =
   match read_file path with
   | exception Sys_error m -> Error m
   | content ->
     let* j = Json.parse content in
     (match Json.member "schema" j with
+     | Some s when Json.to_str s = Some "unit-memplan" -> validate_memplan j
      | Some _ ->
        let* r = of_json j in
        Ok

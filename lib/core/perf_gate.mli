@@ -71,8 +71,10 @@ val pp_diff : tolerance:float -> Format.formatter -> diff -> unit
 
 val validate_file : string -> (string, string) result
 (** Validate a checked-in benchmark JSON against the shape it claims:
-    a perf report (["schema": "unit-perf-report"]), the interpreter
-    benchmark ([BENCH_interp.json]: workload/macs/seconds members), or
-    the paper-outcomes file ([BENCH_obs.json]: an ["outcomes"] array of
-    id/metric/paper/measured rows).  [Ok] carries a one-line
-    description of what was validated. *)
+    a perf report (["schema": "unit-perf-report"]), the memory-plan
+    freeze (["schema": "unit-memplan"] — shape, arena <= naive for
+    every model, and the resnet18 arena at <= 60% of naive), the
+    interpreter benchmark ([BENCH_interp.json]: workload/macs/seconds
+    members), or the paper-outcomes file ([BENCH_obs.json]: an
+    ["outcomes"] array of id/metric/paper/measured rows).  [Ok] carries
+    a one-line description of what was validated. *)

@@ -298,14 +298,14 @@ let conv_compiled_x86 ?config wl =
 
 let conv_time_x86 ?config wl = seconds (conv_compiled_x86 ?config wl)
 
-let conv_time_arm ?(intrin = "arm.udot") ?config wl =
+let conv_compiled_arm ?(intrin = "arm.udot") ?config wl =
   let data_dtype =
     (* the MLA baseline widens to i16 first; DOT consumes quantized u8 *)
     if String.equal intrin "neon.mla.i16" then Dtype.I16 else Dtype.U8
   in
   let weight_dtype = if String.equal intrin "neon.mla.i16" then Dtype.I16 else Dtype.I8 in
-  entry_seconds
-    (memo ~tag:("arm-" ^ intrin)
+  let entry =
+    memo ~tag:("arm-" ^ intrin)
        ~workload:(Workload.name (Workload.Conv wl))
        ~config:(config_string config)
        (fun () ->
@@ -320,7 +320,16 @@ let conv_time_arm ?(intrin = "arm.udot") ?config wl =
          | Error reason ->
            invalid_arg
              (Printf.sprintf "conv %s does not tensorize with %s: %s"
-                (Workload.name (Workload.Conv wl)) intrin reason)))
+                (Workload.name (Workload.Conv wl)) intrin reason))
+  in
+  match entry with
+  | Kernel c -> c
+  | Time _ -> assert false (* this key is only ever populated with [Kernel] *)
+
+let conv_time_arm ?intrin ?config wl = seconds (conv_compiled_arm ?intrin ?config wl)
+
+let mem_report c =
+  Unit_analysis.Footprint.of_func ~intrin:intrin_meta c.c_tuned.Cpu_tuner.t_func
 
 let conv3d_time_x86 wl =
   entry_seconds

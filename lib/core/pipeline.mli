@@ -111,10 +111,21 @@ val conv_time_x86 :
   ?config:Cpu_tuner.config -> Unit_graph.Workload.conv2d -> float
 (** [seconds (conv_compiled_x86 ?config wl)]. *)
 
+val conv_compiled_arm :
+  ?intrin:string -> ?config:Cpu_tuner.config -> Unit_graph.Workload.conv2d -> compiled
+(** UNIT on Graviton2; [intrin] defaults to ["arm.udot"].  Cached like
+    {!conv_compiled_x86}. *)
+
 val conv_time_arm :
   ?intrin:string -> ?config:Cpu_tuner.config -> Unit_graph.Workload.conv2d -> float
 (** UNIT on Graviton2; [intrin] defaults to ["arm.udot"], the Fig. 12
     TVM-NEON baseline passes ["neon.mla.i16"]. *)
+
+val mem_report : compiled -> Unit_analysis.Footprint.report
+(** Static memory footprint of the tensorized kernel
+    ({!Unit_analysis.Footprint.of_func} with {!intrin_meta} resolution):
+    scratch peak, instruction tile window, exactly-bounded touched
+    ranges. *)
 
 val conv3d_time_x86 : Unit_graph.Workload.conv3d -> float
 (** Fig. 13: 3-D convolutions through the unchanged pipeline. *)

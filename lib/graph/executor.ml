@@ -44,13 +44,31 @@ let real v idx = real_flat v (Ndarray.flat_index v.arr idx)
 
 let qmax dtype = Int64.to_float (Dtype.max_int_value dtype)
 
+(* A destination factory: where an operator's output array should live.
+   [None] allocates a fresh per-op buffer (the historical behaviour);
+   arena-planned execution hands back a view into the shared arena.  The
+   factory is consulted with the runtime dtype and shape, so a plan slot
+   can double-check both before exposing its bytes. *)
+type dst = dtype:Dtype.t -> shape:int list -> Ndarray.t option
+
+let no_dst ~dtype:_ ~shape:_ = None
+
+let materialize_float ~dst ~dtype ~shape f =
+  match dst ~dtype ~shape with
+  | Some view ->
+    Ndarray.fill_float view f;
+    view
+  | None -> Ndarray.init_float ~dtype ~shape f
+
 (* Represent real numbers in a quantized (or float) signature:
    [Ndarray.init_float] rounds floats to the dtype's precision and rounds
    integers to nearest saturating at the dtype bounds, which is exactly
-   [Value.cast_saturating] of the rounded real divided by the scale. *)
-let represent_arr ~dtype ~scale ~shape f =
+   [Value.cast_saturating] of the rounded real divided by the scale.
+   [Ndarray.fill_float] runs the identical store loop over an arena view,
+   so planned and per-op-buffer execution are bit-identical. *)
+let represent_arr ?(dst = no_dst) ~dtype ~scale ~shape f =
   let g = if Dtype.is_float dtype then f else fun idx -> f idx /. scale in
-  { arr = Ndarray.init_float ~dtype ~shape g;
+  { arr = materialize_float ~dst ~dtype ~shape g;
     scale = (if Dtype.is_float dtype then 1.0 else scale)
   }
 
@@ -103,7 +121,7 @@ let shape3 v =
   | [| c; h; w |] -> (c, h, w)
   | _ -> error "expected rank-3 activation"
 
-let conv2d (attrs : Graph.conv2d_attrs) data weights =
+let conv2d ?dst (attrs : Graph.conv2d_attrs) data weights =
   let c, h, w = shape3 data in
   let k = attrs.Graph.out_channels in
   let cg = c / attrs.Graph.groups in
@@ -166,9 +184,9 @@ let conv2d (attrs : Graph.conv2d_attrs) data weights =
       !acc
     end
   in
-  represent_arr ~dtype:out_dtype ~scale:out_scale ~shape:[ k; oh; ow ] compute
+  represent_arr ?dst ~dtype:out_dtype ~scale:out_scale ~shape:[ k; oh; ow ] compute
 
-let conv3d (attrs : Graph.conv3d_attrs) data weights =
+let conv3d ?dst (attrs : Graph.conv3d_attrs) data weights =
   let c, d, h, w =
     match data.arr.Ndarray.shape with
     | [| c; d; h; w |] -> (c, d, h, w)
@@ -215,10 +233,10 @@ let conv3d (attrs : Graph.conv3d_attrs) data weights =
     done;
     !acc
   in
-  represent_arr ~dtype:out_dtype ~scale:out_scale ~shape:[ k; dim d; dim h; dim w ]
+  represent_arr ?dst ~dtype:out_dtype ~scale:out_scale ~shape:[ k; dim d; dim h; dim w ]
     compute
 
-let dense units data weights =
+let dense ?dst units data weights =
   let k =
     match data.arr.Ndarray.shape with
     | [| k |] -> k
@@ -240,30 +258,30 @@ let dense units data weights =
     done;
     !acc
   in
-  represent_arr ~dtype:out_dtype ~scale:out_scale ~shape:[ units ] compute
+  represent_arr ?dst ~dtype:out_dtype ~scale:out_scale ~shape:[ units ] compute
 
-let map_value v f =
-  represent_arr ~dtype:v.arr.Ndarray.dtype
+let map_value ?dst v f =
+  represent_arr ?dst ~dtype:v.arr.Ndarray.dtype
     ~scale:v.scale
     ~shape:(Array.to_list v.arr.Ndarray.shape)
     (fun idx -> f (real v idx))
 
-let bias_add data bias =
+let bias_add ?dst data bias =
   let channels_first idx = idx.(0) in
-  represent_arr ~dtype:data.arr.Ndarray.dtype ~scale:data.scale
+  represent_arr ?dst ~dtype:data.arr.Ndarray.dtype ~scale:data.scale
     ~shape:(Array.to_list data.arr.Ndarray.shape)
     (fun idx -> real data idx +. real_flat bias (channels_first idx))
 
-let add_values a b =
-  represent_arr ~dtype:a.arr.Ndarray.dtype ~scale:a.scale
+let add_values ?dst a b =
+  represent_arr ?dst ~dtype:a.arr.Ndarray.dtype ~scale:a.scale
     ~shape:(Array.to_list a.arr.Ndarray.shape)
     (fun idx -> real a idx +. real b idx)
 
-let pool pool_kind ~window ~stride ~padding data =
+let pool ?dst pool_kind ~window ~stride ~padding data =
   let c, h, w = shape3 data in
   let oh = Graph.conv_out_dim ~size:h ~kernel:window ~stride ~padding in
   let ow = Graph.conv_out_dim ~size:w ~kernel:window ~stride ~padding in
-  represent_arr ~dtype:data.arr.Ndarray.dtype ~scale:data.scale ~shape:[ c; oh; ow ]
+  represent_arr ?dst ~dtype:data.arr.Ndarray.dtype ~scale:data.scale ~shape:[ c; oh; ow ]
     (fun idx ->
       let ch = idx.(0) and y = idx.(1) and x = idx.(2) in
       let acc = ref (match pool_kind with Graph.Max_pool -> Float.neg_infinity | Graph.Avg_pool -> 0.0) in
@@ -285,9 +303,9 @@ let pool pool_kind ~window ~stride ~padding data =
       | Graph.Max_pool -> !acc
       | Graph.Avg_pool -> !acc /. Float.of_int (Stdlib.max 1 !count))
 
-let global_avg_pool data =
+let global_avg_pool ?dst data =
   let c, h, w = shape3 data in
-  represent_arr ~dtype:data.arr.Ndarray.dtype ~scale:data.scale ~shape:[ c ]
+  represent_arr ?dst ~dtype:data.arr.Ndarray.dtype ~scale:data.scale ~shape:[ c ]
     (fun idx ->
       let ch = idx.(0) in
       let acc = ref 0.0 in
@@ -298,15 +316,20 @@ let global_avg_pool data =
       done;
       !acc /. Float.of_int (h * w))
 
-let flatten data =
+let flatten ?(dst = no_dst) data =
   let n = Ndarray.num_elements data.arr in
-  { data with
-    arr =
-      Ndarray.init ~dtype:data.arr.Ndarray.dtype ~shape:[ n ] (fun idx ->
-          Ndarray.get_flat data.arr idx.(0))
-  }
+  let dtype = data.arr.Ndarray.dtype in
+  let compute idx = Ndarray.get_flat data.arr idx.(0) in
+  let arr =
+    match dst ~dtype ~shape:[ n ] with
+    | Some view ->
+      Ndarray.fill view compute;
+      view
+    | None -> Ndarray.init ~dtype ~shape:[ n ] compute
+  in
+  { data with arr }
 
-let concat values =
+let concat ?dst values =
   match values with
   | [] -> error "concat: no inputs"
   | first :: _ ->
@@ -324,7 +347,7 @@ let concat values =
         values
     in
     let total = List.fold_left ( + ) 0 channels in
-    represent_arr ~dtype:first.arr.Ndarray.dtype ~scale:first.scale
+    represent_arr ?dst ~dtype:first.arr.Ndarray.dtype ~scale:first.scale
       ~shape:(total :: spatial)
       (fun idx ->
         let rec pick ch values channels =
@@ -337,23 +360,24 @@ let concat values =
         idx'.(0) <- ch;
         real v idx')
 
-let softmax data =
+let softmax ?(dst = no_dst) data =
   let n = Ndarray.num_elements data.arr in
   let xs = Array.init n (fun i -> real_flat data i) in
   let m = Array.fold_left Float.max Float.neg_infinity xs in
   let exps = Array.map (fun x -> Float.exp (x -. m)) xs in
   let total = Array.fold_left ( +. ) 0.0 exps in
   { arr =
-      Ndarray.init ~dtype:Dtype.F32 ~shape:[ n ] (fun idx ->
-          Value.of_float Dtype.F32 (exps.(idx.(0)) /. total));
+      materialize_float ~dst ~dtype:Dtype.F32 ~shape:[ n ] (fun idx ->
+          exps.(idx.(0)) /. total);
     scale = 1.0
   }
 
-let quantize ~scale ~dtype data =
-  represent_arr ~dtype ~scale ~shape:(Array.to_list data.arr.Ndarray.shape) (real data)
+let quantize ?dst ~scale ~dtype data =
+  represent_arr ?dst ~dtype ~scale ~shape:(Array.to_list data.arr.Ndarray.shape)
+    (real data)
 
-let dequantize data =
-  represent_arr ~dtype:Dtype.F32 ~scale:1.0
+let dequantize ?dst data =
+  represent_arr ?dst ~dtype:Dtype.F32 ~scale:1.0
     ~shape:(Array.to_list data.arr.Ndarray.shape)
     (real data)
 
@@ -381,44 +405,51 @@ let base_arity = function
   | Graph.Softmax | Graph.Quantize _ | Graph.Dequantize _ -> 1
   | Graph.Concat -> -1 (* variadic; never fused *)
 
-let apply_kind kind args =
+let apply_kind ?dst kind args =
   match kind, args with
-  | Graph.Conv2d attrs, [ data; weights ] -> conv2d attrs data weights
-  | Graph.Conv3d attrs, [ data; weights ] -> conv3d attrs data weights
-  | Graph.Dense { units }, [ data; weights ] -> dense units data weights
-  | Graph.Bias_add, [ data; bias ] -> bias_add data bias
-  | Graph.Relu, [ data ] -> map_value data (Float.max 0.0)
+  | Graph.Conv2d attrs, [ data; weights ] -> conv2d ?dst attrs data weights
+  | Graph.Conv3d attrs, [ data; weights ] -> conv3d ?dst attrs data weights
+  | Graph.Dense { units }, [ data; weights ] -> dense ?dst units data weights
+  | Graph.Bias_add, [ data; bias ] -> bias_add ?dst data bias
+  | Graph.Relu, [ data ] -> map_value ?dst data (Float.max 0.0)
   | Graph.Clip { lo; hi }, [ data ] ->
-    map_value data (fun x -> Float.min hi (Float.max lo x))
-  | Graph.Add, [ a; b ] -> add_values a b
+    map_value ?dst data (fun x -> Float.min hi (Float.max lo x))
+  | Graph.Add, [ a; b ] -> add_values ?dst a b
   | Graph.Pool { pool = k; window; stride; padding }, [ data ] ->
-    pool k ~window ~stride ~padding data
-  | Graph.Global_avg_pool, [ data ] -> global_avg_pool data
-  | Graph.Flatten, [ data ] -> flatten data
-  | Graph.Concat, values -> concat values
-  | Graph.Softmax, [ data ] -> softmax data
-  | Graph.Quantize { scale; dtype }, [ data ] -> quantize ~scale ~dtype data
-  | Graph.Dequantize _, [ data ] -> dequantize data
+    pool ?dst k ~window ~stride ~padding data
+  | Graph.Global_avg_pool, [ data ] -> global_avg_pool ?dst data
+  | Graph.Flatten, [ data ] -> flatten ?dst data
+  | Graph.Concat, values -> concat ?dst values
+  | Graph.Softmax, [ data ] -> softmax ?dst data
+  | Graph.Quantize { scale; dtype }, [ data ] -> quantize ?dst ~scale ~dtype data
+  | Graph.Dequantize _, [ data ] -> dequantize ?dst data
   | (Graph.Input _ | Graph.Weight _), _ -> error "input/weight evaluated as op"
   | _ -> error "arity mismatch during execution"
 
-(* Bucket nodes by dependency level (1 + max input level); nodes within a
-   level are independent and evaluate in parallel across domains. *)
+(* Dependency level of each node: 1 + max input level.  This is the
+   executor's schedule — nodes sharing a level run in parallel — and the
+   liveness analysis consumes the same function, so planner and runtime
+   agree on which tensors are alive concurrently.  Node ids are dense and
+   topologically ordered (enforced at graph construction), so a single
+   forward pass suffices. *)
+let schedule_levels g =
+  let levels = Array.make (Graph.arity g) 0 in
+  List.iter
+    (fun (n : Graph.node) ->
+      levels.(n.Graph.id) <-
+        1 + List.fold_left (fun acc i -> Stdlib.max acc levels.(i)) 0 n.Graph.inputs)
+    (Graph.nodes g);
+  levels
+
+(* Bucket nodes by dependency level; nodes within a level are independent
+   and evaluate in parallel across domains. *)
 let level_buckets g =
-  let level : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let levels = schedule_levels g in
   let buckets : (int, Graph.node list) Hashtbl.t = Hashtbl.create 16 in
   let maxl = ref 0 in
   List.iter
     (fun (n : Graph.node) ->
-      let l =
-        1
-        + List.fold_left
-            (fun acc i ->
-              Stdlib.max acc
-                (match Hashtbl.find_opt level i with Some l -> l | None -> 0))
-            0 n.Graph.inputs
-      in
-      Hashtbl.replace level n.Graph.id l;
+      let l = levels.(n.Graph.id) in
       maxl := Stdlib.max !maxl l;
       let prev = match Hashtbl.find_opt buckets l with Some ns -> ns | None -> [] in
       Hashtbl.replace buckets l (n :: prev))
@@ -428,7 +459,62 @@ let level_buckets g =
       | Some ns -> List.rev ns
       | None -> [])
 
-let run g ~input =
+(* ---------- arena plans ---------- *)
+
+(* Mirror of the analysis layer's plan, kept primitive so this library
+   does not depend on [lib/analysis]: the planner there lowers its plan
+   into this shape ([Unit_analysis.Arena.exec_plan]).  Offsets and sizes
+   are in backing-array elements ("host words") within the storage
+   class's arena — exact for every dtype because each OCaml array element
+   holds one tensor element regardless of the dtype's wire width. *)
+type slot = {
+  sl_id : Graph.id;
+  sl_class : Ndarray.storage_class;
+  sl_offset : int;
+  sl_words : int;
+}
+
+type arena_plan = {
+  ap_float_words : int;
+  ap_int_words : int;
+  ap_int64_words : int;
+  ap_slots : slot list;
+}
+
+let run ?plan g ~input =
+  (* One arena per storage class; a slot's view reinterprets its window
+     under the producing op's runtime dtype.  The factory re-checks class
+     and capacity so a stale or corrupt plan fails loudly instead of
+     silently aliasing. *)
+  let dst_of : Graph.id -> dst =
+    match plan with
+    | None -> fun _ -> no_dst
+    | Some p ->
+      let farena = Ndarray.zeros ~dtype:Dtype.F32 ~shape:[ p.ap_float_words ] in
+      let iarena = Ndarray.zeros ~dtype:Dtype.I32 ~shape:[ p.ap_int_words ] in
+      let larena = Ndarray.zeros ~dtype:Dtype.I64 ~shape:[ p.ap_int64_words ] in
+      let slots : (int, slot) Hashtbl.t = Hashtbl.create 64 in
+      List.iter (fun s -> Hashtbl.replace slots s.sl_id s) p.ap_slots;
+      fun id ->
+        match Hashtbl.find_opt slots id with
+        | None -> no_dst
+        | Some sl ->
+          fun ~dtype ~shape ->
+            if Ndarray.class_of_dtype dtype <> sl.sl_class then
+              error "arena plan: node %d produced %s outside its planned storage class"
+                id (Dtype.to_string dtype);
+            let n = List.fold_left ( * ) 1 shape in
+            if n > sl.sl_words then
+              error "arena plan: node %d needs %d words but its slot holds %d" id n
+                sl.sl_words;
+            let arena =
+              match sl.sl_class with
+              | Ndarray.Float_class -> farena
+              | Ndarray.Int_class -> iarena
+              | Ndarray.Int64_class -> larena
+            in
+            Some (Ndarray.view arena ~offset:sl.sl_offset ~dtype ~shape)
+  in
   let results : (int, value) Hashtbl.t = Hashtbl.create 64 in
   let eval_node (n : Graph.node) =
     (* per-operator wall time; the string detail is only built when
@@ -463,11 +549,18 @@ let run g ~input =
             split arity all_inputs
           end
         in
-        let base = apply_kind kind own in
+        (* only the node's final value lands in its arena slot; fused
+           intermediates stay in fresh buffers so the slot is written
+           exactly once *)
+        let node_dst = dst_of n.Graph.id in
+        let nfused = List.length n.Graph.fused in
+        let base =
+          apply_kind ~dst:(if nfused = 0 then node_dst else no_dst) kind own
+        in
         (* fused epilogues consume the remaining inputs in order *)
-        let v, leftover =
+        let v, leftover, _ =
           List.fold_left
-            (fun (v, extra) fused_kind ->
+            (fun (v, extra, i) fused_kind ->
               let arity = base_arity fused_kind - 1 in
               let rec take i xs =
                 if i = 0 then ([], xs)
@@ -479,8 +572,9 @@ let run g ~input =
                     (x :: a, b)
               in
               let extras, rest = take (Stdlib.max 0 arity) extra in
-              (apply_kind fused_kind (v :: extras), rest))
-            (base, extra) n.Graph.fused
+              let d = if i = nfused - 1 then node_dst else no_dst in
+              (apply_kind ~dst:d fused_kind (v :: extras), rest, i + 1))
+            (base, extra, 0) n.Graph.fused
         in
         if leftover <> [] then error "%s: unconsumed inputs" n.Graph.name;
         v
@@ -512,8 +606,8 @@ let run g ~input =
     (level_buckets g);
   Hashtbl.find results (Graph.output g)
 
-let run_to_floats g ~input =
-  let out = run g ~input in
+let run_to_floats ?plan g ~input =
+  let out = run ?plan g ~input in
   Array.init (Ndarray.num_elements out.arr) (fun i -> real_flat out i)
 
 let calibrate g ~input =

@@ -26,12 +26,42 @@ val synth_weight : Graph.node -> int list -> Ndarray.t
 val default_input : Graph.t -> seed:int -> Ndarray.t
 (** A deterministic input in [0, 1) matching the graph's input shape. *)
 
-val run : Graph.t -> input:Ndarray.t -> value
-(** Execute the whole graph; returns the output node's value.
-    @raise Exec_error on kind/dtype combinations the graph passes never
-    produce. *)
+val schedule_levels : Graph.t -> int array
+(** Dependency level per node id (1 + max input level).  Nodes with equal
+    levels execute concurrently — the schedule the liveness analysis must
+    respect, exported so planner and runtime cannot drift apart. *)
 
-val run_to_floats : Graph.t -> input:Ndarray.t -> float array
+(** {2 Arena plans}
+
+    A memory plan produced by [Unit_analysis.Arena] and lowered to this
+    primitive form ([lib/graph] must not depend on the analysis layer).
+    Offsets/sizes are in backing-array elements ("host words") of the
+    slot's storage class. *)
+
+type slot = {
+  sl_id : Graph.id;  (** the node whose output lives here *)
+  sl_class : Ndarray.storage_class;
+  sl_offset : int;  (** element offset into the class's arena *)
+  sl_words : int;  (** slot capacity in elements *)
+}
+
+type arena_plan = {
+  ap_float_words : int;
+  ap_int_words : int;
+  ap_int64_words : int;
+  ap_slots : slot list;
+}
+
+val run : ?plan:arena_plan -> Graph.t -> input:Ndarray.t -> value
+(** Execute the whole graph; returns the output node's value.  With
+    [?plan], planned intermediates write arena views instead of fresh
+    per-op buffers — bit-identical results, bounded peak memory.  Nodes
+    without a slot (inputs, weights, anything unplanned) keep private
+    buffers.
+    @raise Exec_error on kind/dtype combinations the graph passes never
+    produce, or when a runtime tensor does not fit its planned slot. *)
+
+val run_to_floats : ?plan:arena_plan -> Graph.t -> input:Ndarray.t -> float array
 (** [run] then dequantize: the output as real numbers. *)
 
 val calibrate : Graph.t -> input:Ndarray.t -> Graph.id -> float

@@ -8,6 +8,7 @@ type rule =
   | Tensorize_footprint
   | Overflow
   | Store
+  | Mem_plan
 
 type severity =
   | Error
@@ -29,6 +30,7 @@ let rule_id = function
   | Tensorize_footprint -> "tensorize-footprint"
   | Overflow -> "overflow"
   | Store -> "store"
+  | Mem_plan -> "mem-plan"
 
 let errorf rule fmt =
   Printf.ksprintf (fun detail -> { rule; severity = Error; detail }) fmt

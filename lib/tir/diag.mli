@@ -15,6 +15,9 @@ type rule =
   | Tensorize_footprint  (** instruction tile footprint / reduction shape *)
   | Overflow  (** narrowing cast or accumulator range overflow *)
   | Store  (** tuning-store record skipped (corrupt or stale schema) *)
+  | Mem_plan
+      (** arena memory plan rejected by the overlap checker (interfering
+          live ranges share bytes, slot too small, tensor unplanned) *)
 
 type severity =
   | Error  (** the schedule is illegal; reject it *)
@@ -29,7 +32,7 @@ type t = {
 val rule_id : rule -> string
 (** Stable short id: ["scope"], ["bounds"], ["canonical"], ["tile"],
     ["race"], ["dep-carried"], ["tensorize-footprint"], ["overflow"],
-    ["store"]. *)
+    ["store"], ["mem-plan"]. *)
 
 val errorf : rule -> ('a, unit, string, t) format4 -> 'a
 val warnf : rule -> ('a, unit, string, t) format4 -> 'a

@@ -109,7 +109,18 @@ let rec substitute bindings t =
 
 let buffers_of t =
   let acc = ref [] in
-  let remember b = if not (List.exists (Buffer.equal b) !acc) then acc := b :: !acc in
+  (* membership is O(1) via name-keyed buckets; names are not unique
+     (ids are), so each bucket still dedups with [Buffer.equal] *)
+  let seen : (string, Buffer.t list) Hashtbl.t = Hashtbl.create 32 in
+  let remember b =
+    let bucket =
+      match Hashtbl.find_opt seen b.Buffer.name with Some bs -> bs | None -> []
+    in
+    if not (List.exists (Buffer.equal b) bucket) then begin
+      Hashtbl.replace seen b.Buffer.name (b :: bucket);
+      acc := b :: !acc
+    end
+  in
   let remember_expr e = List.iter (fun (b, _) -> remember b) (Texpr.loads_of e) in
   iter_stmts
     (fun s ->

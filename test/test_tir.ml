@@ -298,6 +298,37 @@ let test_exists_early_exit () =
   check_bool "nothing found" false none;
   check_int "visited all nodes" all !walked
 
+(* buffers_of dedups with name-keyed buckets: a kernel-sized statement
+   repeating a handful of buffers thousands of times must return each
+   exactly once, in first-appearance order — and two distinct buffers
+   that merely share a name must both survive (names are not unique,
+   identities are). *)
+let test_buffers_of_dedups_repeats () =
+  let bufs =
+    Array.init 5 (fun i ->
+        Buffer.create ~name:(Printf.sprintf "buf%d" i) ~dtype:Dtype.F32 ~size:16 ())
+  in
+  let stores =
+    List.init 4000 (fun i ->
+        Stmt.Store (bufs.(i mod 5), Texpr.int_imm (i mod 16), Texpr.float_imm 1.0))
+  in
+  let got = Stmt.buffers_of (Stmt.Seq stores) in
+  check_int "each buffer exactly once" 5 (List.length got);
+  List.iteri
+    (fun i b ->
+      check_bool "first-appearance order" true (Buffer.equal b bufs.(i)))
+    got;
+  let a = Buffer.create ~name:"dup" ~dtype:Dtype.F32 ~size:8 () in
+  let a' = Buffer.create ~name:"dup" ~dtype:Dtype.F32 ~size:8 () in
+  let both =
+    Stmt.buffers_of
+      (Stmt.Seq
+         [ Stmt.Store (a, Texpr.int_imm 0, Texpr.float_imm 0.0);
+           Stmt.Store (a', Texpr.int_imm 0, Texpr.float_imm 0.0)
+         ])
+  in
+  check_int "same-name distinct buffers both kept" 2 (List.length both)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -328,7 +359,9 @@ let () =
           Alcotest.test_case "out-of-bounds detected" `Quick test_out_of_bounds_detected;
           Alcotest.test_case "printer" `Quick test_pretty_printer_mentions_loops;
           Alcotest.test_case "fold_stmts" `Quick test_fold_stmts_counts_nodes;
-          Alcotest.test_case "exists early-exit" `Quick test_exists_early_exit
+          Alcotest.test_case "exists early-exit" `Quick test_exists_early_exit;
+          Alcotest.test_case "buffers_of dedups repeats" `Quick
+            test_buffers_of_dedups_repeats
         ]
         @ qcheck [ prop_random_schedules_match ] )
     ]
