@@ -472,13 +472,97 @@ let interp_bench () =
   { o_id = "interp"; o_metric = "compiled engine speedup over tree-walker";
     o_paper = 10.0; o_measured = speedup }
 
+(* ---------- execution engines: emitted native kernel vs closure ---------- *)
+
+(* The same resnet18 conv layer as [interp_bench], now under all three
+   execution engines: tree-walking oracle, closure-compiled, and the
+   natively emitted .cmxs (pretty-printed OCaml -> ocamlopt -shared ->
+   Dynlink).  Emission cost (render + compile + load) is paid once up
+   front and excluded from the steady-state timing — that is exactly the
+   artifact cache's contract.  Results go to BENCH_emit.json, gated by
+   bench-lint: engines monotone, emitted >= 3x over closures. *)
+let emit_bench () =
+  header "Execution engines — emitted native kernel vs closure engine (resnet18 conv)";
+  let module Inspector = Unit_inspector.Inspector in
+  let module Ndarray = Unit_codegen.Ndarray in
+  let module Emit_cache = Unit_codegen.Emit_cache in
+  (match Emit_cache.available () with
+   | Ok () -> ()
+   | Error reason -> failwith ("native emission unavailable: " ^ reason));
+  let op =
+    Unit_dsl.Op_library.conv2d_nchwc ~data_dtype:Dtype.U8 ~weight_dtype:Dtype.I8
+      ~acc_dtype:Dtype.I32 ~lanes:16 ~reduce_width:4
+      { Unit_dsl.Op_library.in_channels = 64; in_height = 16; in_width = 16;
+        out_channels = 64; kernel = 3; stride = 1 }
+  in
+  let workload = "conv2d nchw16c 64x16x16 -> 64x14x14, 3x3 s1 (resnet18 block)" in
+  let macs = Unit_dsl.Op.macs op in
+  let scalar = Unit_tir.Lower.scalar_reference op in
+  let inputs =
+    List.map
+      (fun t -> (t, Ndarray.random_for_tensor ~seed:1 t))
+      (Unit_dsl.Op.inputs op)
+  in
+  let output = op.Unit_dsl.Op.output in
+  let fresh_out () = Ndarray.of_tensor_zeros output in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let best_of n f = List.fold_left Float.min infinity (List.init n (fun _ -> time f)) in
+  let out_tw = fresh_out () in
+  let tree_walker_s =
+    time (fun () ->
+        Unit_codegen.Interp.run scalar ~bindings:((output, out_tw) :: inputs))
+  in
+  let cfunc = Unit_codegen.Compile.compile scalar in
+  let out_c = fresh_out () in
+  let compiled_s =
+    best_of 5 (fun () ->
+        Unit_codegen.Compile.run_compiled cfunc ~bindings:((output, out_c) :: inputs))
+  in
+  if not (Ndarray.equal out_tw out_c) then failwith "closure engine disagrees";
+  let signature = "bench-emit|resnet18-conv-scalar" in
+  let out_e = fresh_out () in
+  (* first run pays render + ocamlopt + Dynlink and memoizes the kernel *)
+  Emit_cache.run ~signature scalar ~bindings:((output, out_e) :: inputs);
+  (match Emit_cache.last_fallback () with
+   | None -> ()
+   | Some d ->
+     failwith ("emitted engine fell back: " ^ Unit_tir.Diag.to_string d));
+  if not (Ndarray.equal out_tw out_e) then failwith "emitted engine disagrees";
+  let emitted_s =
+    best_of 5 (fun () ->
+        Emit_cache.run ~signature scalar ~bindings:((output, out_e) :: inputs))
+  in
+  let speedup = compiled_s /. emitted_s in
+  let gmacs t = Float.of_int macs /. t /. 1e9 in
+  Printf.printf "%-28s %10.4f s  (%6.3f GMACs)\n" "tree-walker (oracle)"
+    tree_walker_s (gmacs tree_walker_s);
+  Printf.printf "%-28s %10.4f s  (%6.3f GMACs)\n" "compiled (closures)"
+    compiled_s (gmacs compiled_s);
+  Printf.printf "%-28s %10.4f s  (%6.3f GMACs)  %.1fx over closures\n"
+    "emitted (native .cmxs)" emitted_s (gmacs emitted_s) speedup;
+  let oc = open_out "BENCH_emit.json" in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"unit-emit\",\n  \"workload\": \"%s\",\n  \"macs\": %d,\n\
+    \  \"tree_walker_s\": %.6f,\n  \"compiled_s\": %.6f,\n\
+    \  \"emitted_s\": %.6f,\n  \"speedup_vs_compiled\": %.2f\n}\n"
+    workload macs tree_walker_s compiled_s emitted_s speedup;
+  close_out oc;
+  Printf.printf "-> BENCH_emit.json written\n";
+  { o_id = "emit"; o_metric = "emitted engine speedup over closure engine";
+    o_paper = 3.0; o_measured = speedup }
+
 (* ---------- driver ---------- *)
 
 let all : (string * (unit -> outcome)) list =
   [ ("table1", table1); ("fig1", fig1); ("fig8", fig8); ("fig9", fig9);
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
     ("ablation-mapping", ablation_mapping); ("ablation-unroll", ablation_unroll);
-    ("ablation-isa", ablation_isa_generations); ("interp", interp_bench)
+    ("ablation-isa", ablation_isa_generations); ("interp", interp_bench);
+    ("emit", emit_bench)
   ]
 
 let summary outcomes =

@@ -82,6 +82,27 @@ let store_arg =
 let print_store_diags diags =
   List.iter (fun d -> Printf.printf "%s\n" (Diag.to_string d)) diags
 
+(* ---------- execution-engine selection (uniform across commands) ---------- *)
+
+let engine_arg =
+  Arg.(
+    value & opt string "compiled"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: 'compiled' (closure-compiled fast path), \
+           'emitted' (kernels pretty-printed as OCaml, built with ocamlopt \
+           -shared, Dynlink'd, and content-addressed into the store; \
+           degrades to the closure engine with a diagnostic when native \
+           emission is unavailable) or 'reference' (tree-walking oracle).  \
+           All three are bit-identical on analyzer-clean kernels.")
+
+let parse_engine s =
+  match Unit_core.Pipeline.engine_of_string s with
+  | Ok e -> e
+  | Error d ->
+    prerr_endline ("unitc: " ^ Diag.to_string d);
+    exit 1
+
 (* Install a store around [f] when a path was given.  Appends are durable
    the moment they happen, so error-exit paths inside [f] lose nothing;
    the final [save] only compacts, and the stats line reports the run's
@@ -93,16 +114,18 @@ let with_store store_path f =
     let store, diags = Store.open_ path in
     print_store_diags diags;
     Unit_core.Pipeline.set_tuning_store (Some (Store.pipeline_hooks store));
+    Unit_codegen.Emit_cache.set_artifact_hooks (Some (Store.emit_hooks store));
     Fun.protect
       ~finally:(fun () ->
         Unit_core.Pipeline.set_tuning_store None;
+        Unit_codegen.Emit_cache.set_artifact_hooks None;
         Store.save store;
         let st = Store.stats store in
         Printf.printf
-          "store %s: %d record(s); this run: %d disk hit(s), %d miss(es), %d \
-           append(s)\n%!"
-          path st.Store.st_records st.Store.st_hits st.Store.st_misses
-          st.Store.st_appends)
+          "store %s: %d record(s), %d artifact(s); this run: %d disk hit(s), \
+           %d miss(es), %d append(s)\n%!"
+          path st.Store.st_records st.Store.st_artifacts st.Store.st_hits
+          st.Store.st_misses st.Store.st_appends)
       f
 
 let lookup_intrin name =
@@ -221,8 +244,9 @@ let compile kind isa target c hw k kernel stride n m kdim show_ir =
 
 (* ---------- run (differential execution) ---------- *)
 
-let run kind isa engine trace store c hw k kernel stride n m kdim =
-  if trace then enable_tracing ();
+let run kind isa engine trace trace_out store c hw k kernel stride n m kdim =
+  let engine = parse_engine engine in
+  if trace || trace_out <> None then enable_tracing ?trace_out ();
   let intrin = or_die (lookup_intrin isa) in
   let op = or_die (build_op ~kind ~intrin ~c ~hw ~k ~kernel ~stride ~n ~m ~kdim) in
   match Inspector.inspect op intrin with
@@ -231,6 +255,15 @@ let run kind isa engine trace store c hw k kernel stride n m kdim =
     exit 1
   | Ok ap ->
     with_store store @@ fun () ->
+    let spec =
+      match intrin.Unit_isa.Intrin.platform with
+      | Unit_isa.Intrin.Arm -> Spec.graviton2
+      | _ -> Spec.cascadelake
+    in
+    (* the emitted engine's persistent artifacts are keyed per kernel
+       variant: the scalar oracle and the tensorized kernel of one
+       workload are different programs under the same signature *)
+    let signature = Unit_core.Pipeline.workload_signature ~spec op intrin in
     let reorganized = Reorganize.apply op ap () in
     let func =
       match store with
@@ -239,11 +272,6 @@ let run kind isa engine trace store c hw k kernel stride n m kdim =
         (* with a store installed, execute the *tuned* kernel so what runs
            is exactly the warm path: replay on a hit, sweep+persist on a
            miss *)
-        let spec =
-          match intrin.Unit_isa.Intrin.platform with
-          | Unit_isa.Intrin.Arm -> Spec.graviton2
-          | _ -> Spec.cascadelake
-        in
         let tuned, diags =
           Unit_core.Pipeline.tune_analyzed ~use_store:true ~spec op intrin
             reorganized
@@ -263,20 +291,20 @@ let run kind isa engine trace store c hw k kernel stride n m kdim =
     in
     let out_ref = Unit_codegen.Ndarray.of_tensor_zeros op.Op.output in
     let out_t = Unit_codegen.Ndarray.of_tensor_zeros op.Op.output in
-    let exec =
-      match engine with
-      | "reference" -> Unit_codegen.Interp.run
-      | "compiled" -> Unit_codegen.Compile.run
-      | other ->
-        prerr_endline ("unitc: unknown engine " ^ other ^ " (reference|compiled)");
-        exit 1
+    let exec ~variant func ~bindings =
+      Unit_core.Pipeline.run_func ~engine
+        ~signature:(variant ^ "|" ^ signature) func ~bindings
     in
-    exec (Unit_tir.Lower.scalar_reference op)
+    exec ~variant:"oracle" (Unit_tir.Lower.scalar_reference op)
       ~bindings:((op.Op.output, out_ref) :: inputs);
-    exec func ~bindings:((op.Op.output, out_t) :: inputs);
+    exec ~variant:"tensorized" func ~bindings:((op.Op.output, out_t) :: inputs);
     let ok = Unit_codegen.Ndarray.equal out_ref out_t in
-    Format.printf "tensorized vs scalar reference (%s engine): %s@." engine
+    Format.printf "tensorized vs scalar reference (%s engine): %s@."
+      (Unit_core.Pipeline.engine_to_string engine)
       (if ok then "IDENTICAL" else "MISMATCH");
+    Option.iter
+      (fun d -> Format.printf "%s@." (Diag.to_string d))
+      (Unit_codegen.Emit_cache.last_fallback ());
     if not ok then exit 1
 
 (* ---------- e2e ---------- *)
@@ -529,17 +557,42 @@ let check target counterexamples_only trace store =
    tensorize every distinct workload through the cached pipeline, then run
    the graph executor numerically for per-operator wall times.  The span /
    counter summary prints at exit; --trace-out adds a Chrome trace. *)
-let profile model target trace_out no_exec store =
-  (match lookup_spec target with Ok _ -> () | Error m -> or_die (Error m));
+let profile model target engine trace_out no_exec store =
+  let engine = parse_engine engine in
+  let spec = or_die (lookup_spec target) in
   enable_tracing ?trace_out ();
   with_store store @@ fun () ->
+  (* with --engine emitted, profiling also renders + native-compiles each
+     tensorized kernel, so the trace shows the emit.* spans and a
+     store-backed profile leaves loadable artifacts behind *)
+  let bake (c : Unit_core.Pipeline.compiled) =
+    match engine with
+    | Unit_core.Pipeline.Emitted ->
+      let signature =
+        Unit_core.Pipeline.workload_signature ~spec c.Unit_core.Pipeline.c_op
+          c.Unit_core.Pipeline.c_intrin
+      in
+      ignore
+        (Unit_core.Pipeline.prepare_emitted ~signature
+           c.Unit_core.Pipeline.c_tuned.Cpu_tuner.t_func
+          : (unit, string) result)
+    | _ -> ()
+  in
   let conv_time wl =
-    if is_arm_target target then Unit_core.Pipeline.conv_time_arm wl
-    else Unit_core.Pipeline.conv_time_x86 wl
+    let c =
+      if is_arm_target target then Unit_core.Pipeline.conv_compiled_arm wl
+      else Unit_core.Pipeline.conv_compiled_x86 wl
+    in
+    bake c;
+    Unit_core.Pipeline.seconds c
   in
   let dense_time wl =
-    if is_arm_target target then Unit_core.Pipeline.dense_time_arm wl
-    else Unit_core.Pipeline.dense_time_x86 wl
+    let c =
+      if is_arm_target target then Unit_core.Pipeline.dense_compiled_arm wl
+      else Unit_core.Pipeline.dense_compiled_x86 wl
+    in
+    bake c;
+    Unit_core.Pipeline.seconds c
   in
   let table1_index =
     if String.length model > 7 && String.sub model 0 7 = "table1:" then
@@ -602,9 +655,17 @@ let profile model target trace_out no_exec store =
    or Table I, fanning compilation across domains.  A cold store records
    every tuned config; a warm re-run is pure disk hits — the tuner sweep
    never runs (no tensorize.tune spans under --trace). *)
-let warmup model target store_path domains retries trace trace_out assert_hit =
+let warmup model target engine store_path domains retries trace trace_out
+    assert_hit =
+  let engine = parse_engine engine in
   if trace || trace_out <> None then enable_tracing ?trace_out ();
   let tgt = or_die (Warmup.target_of_string target) in
+  (match engine, Unit_codegen.Emit_cache.available () with
+   | Unit_core.Pipeline.Emitted, Error reason ->
+     Printf.printf
+       "warmup: native emission unavailable (%s); tuning records only\n%!"
+       reason
+   | _ -> ());
   let jobs =
     let table1_index =
       if String.length model > 7 && String.sub model 0 7 = "table1:" then
@@ -615,27 +676,31 @@ let warmup model target store_path domains retries trace trace_out assert_hit =
       else None
     in
     match model, table1_index with
-    | _, Some i -> or_die (Warmup.jobs_of_table1 tgt ~index:i ())
-    | "table1", None -> or_die (Warmup.jobs_of_table1 tgt ())
-    | "zoo", None -> Warmup.jobs_of_zoo tgt
-    | name, None -> or_die (Warmup.jobs_of_model tgt name)
+    | _, Some i -> or_die (Warmup.jobs_of_table1 ~engine tgt ~index:i ())
+    | "table1", None -> or_die (Warmup.jobs_of_table1 ~engine tgt ())
+    | "zoo", None -> Warmup.jobs_of_zoo ~engine tgt
+    | name, None -> or_die (Warmup.jobs_of_model ~engine tgt name)
   in
   let store, diags = Store.open_ store_path in
   print_store_diags diags;
   Unit_core.Pipeline.set_tuning_store (Some (Store.pipeline_hooks store));
+  Unit_codegen.Emit_cache.set_artifact_hooks (Some (Store.emit_hooks store));
   let report =
     Fun.protect
-      ~finally:(fun () -> Unit_core.Pipeline.set_tuning_store None)
+      ~finally:(fun () ->
+        Unit_core.Pipeline.set_tuning_store None;
+        Unit_codegen.Emit_cache.set_artifact_hooks None)
       (fun () -> Warmup.run ?domains ~retries jobs)
   in
   Store.save store;
   Format.printf "%a@." Warmup.pp_report report;
   let st = Store.stats store in
   Printf.printf
-    "store %s: %d record(s) (%d loaded, %d corrupt, %d stale skipped); this \
-     run: %d disk hit(s), %d miss(es), %d append(s)\n%!"
-    store_path st.Store.st_records st.Store.st_loaded st.Store.st_corrupt
-    st.Store.st_stale st.Store.st_hits st.Store.st_misses st.Store.st_appends;
+    "store %s: %d record(s), %d artifact(s) (%d loaded, %d corrupt, %d stale \
+     skipped); this run: %d disk hit(s), %d miss(es), %d append(s)\n%!"
+    store_path st.Store.st_records st.Store.st_artifacts st.Store.st_loaded
+    st.Store.st_corrupt st.Store.st_stale st.Store.st_hits st.Store.st_misses
+    st.Store.st_appends;
   if assert_hit && st.Store.st_hits = 0 then
     or_die (Error "--assert-hit: no disk hit (the store was cold)");
   if report.Warmup.rp_failures <> [] then exit 1
@@ -693,12 +758,51 @@ let store_stats file json =
       records
   end
 
+(* ---------- store-gc / emit-status ---------- *)
+
+let store_gc file json =
+  if not (Sys.file_exists file) then or_die (Error (file ^ ": no such store"));
+  let store, diags = Store.open_ file in
+  if not json then print_store_diags diags;
+  let r = Store.gc store in
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("file", Json.Str file);
+              ("live", Json.Num (float_of_int r.Store.gc_live));
+              ("dropped", Json.Num (float_of_int r.Store.gc_dropped));
+              ("deleted_files", Json.Num (float_of_int r.Store.gc_deleted_files));
+              ( "reclaimed_bytes",
+                Json.Num (float_of_int r.Store.gc_reclaimed_bytes) )
+            ]))
+  else
+    Printf.printf
+      "store-gc %s: %d live artifact(s) kept, %d stale record(s) dropped, %d \
+       file(s) deleted, %d bytes reclaimed\n"
+      file r.Store.gc_live r.Store.gc_dropped r.Store.gc_deleted_files
+      r.Store.gc_reclaimed_bytes
+
+(* Exit 0 when the emitted engine can work here, 3 when it cannot — the
+   @emit-smoke alias probes this to skip visibly instead of failing. *)
+let emit_status () =
+  match Unit_codegen.Emit_cache.available () with
+  | Ok () ->
+    Printf.printf "emitted engine: available (emitter v%d, ocaml %s)\n"
+      Unit_codegen.Emit.version Sys.ocaml_version
+  | Error reason ->
+    Printf.printf "emitted engine: unavailable (%s)\n" reason;
+    exit 3
+
 (* ---------- trace-lint ---------- *)
 
-(* Validate a Chrome trace emitted by --trace-out / profile: it must
-   parse as JSON, carry a traceEvents array covering all five tensorize
-   stage spans, and report a positive tuner candidate count. *)
-let trace_lint file =
+(* Validate a Chrome trace emitted by --trace-out / profile.  The default
+   contract: it parses as JSON, carries a traceEvents array covering all
+   five tensorize stage spans, and reports a positive tuner candidate
+   count.  --forbid-span / --require-positive-counter replace that
+   default with explicit assertions (traces from commands that never
+   tensorize — e.g. a warm `run` — have no stage spans to demand). *)
+let trace_lint file forbid_spans require_counters =
   let contents =
     let ic = open_in_bin file in
     Fun.protect
@@ -716,24 +820,50 @@ let trace_lint file =
     let names =
       List.filter_map (fun e -> Option.bind (Json.member "name" e) Json.to_str) events
     in
-    let missing =
-      List.filter (fun stage -> not (List.mem stage names)) Obs.tensorize_stages
-    in
-    if missing <> [] then
-      or_die
-        (Error
-           (Printf.sprintf "%s: missing pipeline stage span(s): %s" file
-              (String.concat ", " missing)));
-    let candidates =
+    let counter name =
       Option.bind (Json.member "counters" j) (fun c ->
-          Option.bind (Json.member "tuner.candidates" c) Json.to_num)
+          Option.bind (Json.member name c) Json.to_num)
     in
-    (match candidates with
-     | Some n when n > 0.0 -> ()
-     | _ -> or_die (Error (file ^ ": no positive tuner.candidates counter")));
-    Printf.printf "trace-lint: %s OK (%d events, all %d stage spans present)\n" file
-      (List.length events)
-      (List.length Obs.tensorize_stages)
+    let custom = forbid_spans <> [] || require_counters <> [] in
+    if custom then begin
+      List.iter
+        (fun span ->
+          if List.mem span names then
+            or_die
+              (Error (Printf.sprintf "%s: forbidden span %s present" file span)))
+        forbid_spans;
+      List.iter
+        (fun name ->
+          match counter name with
+          | Some n when n > 0.0 -> ()
+          | Some _ ->
+            or_die (Error (Printf.sprintf "%s: counter %s is zero" file name))
+          | None ->
+            or_die (Error (Printf.sprintf "%s: counter %s absent" file name)))
+        require_counters;
+      Printf.printf
+        "trace-lint: %s OK (%d events; %d span(s) absent as required, %d \
+         counter(s) positive)\n"
+        file (List.length events)
+        (List.length forbid_spans)
+        (List.length require_counters)
+    end
+    else begin
+      let missing =
+        List.filter (fun stage -> not (List.mem stage names)) Obs.tensorize_stages
+      in
+      if missing <> [] then
+        or_die
+          (Error
+             (Printf.sprintf "%s: missing pipeline stage span(s): %s" file
+                (String.concat ", " missing)));
+      (match counter "tuner.candidates" with
+       | Some n when n > 0.0 -> ()
+       | _ -> or_die (Error (file ^ ": no positive tuner.candidates counter")));
+      Printf.printf "trace-lint: %s OK (%d events, all %d stage spans present)\n"
+        file (List.length events)
+        (List.length Obs.tensorize_stages)
+    end
 
 (* ---------- explain ---------- *)
 
@@ -741,7 +871,10 @@ let trace_lint file =
    platform apply to each workload, and for the rejected ones the
    structured reason (mismatching node path, failing access pair, or
    mapping exhaustion) instead of a bare "no". *)
-let explain model target json =
+let explain model target engine json =
+  (* explain is static analysis — every engine computes the same coverage
+     (they are bit-identical); the flag is validated for CLI uniformity *)
+  ignore (parse_engine engine : Unit_core.Pipeline.engine);
   let tgt =
     match Unit_core.Explain.target_of_string target with
     | Some t -> t
@@ -982,22 +1115,23 @@ let trace_flag =
           "Enable the observability layer: print the span/counter summary \
            table on exit.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Also write a Chrome trace_event JSON file (load it in \
+           chrome://tracing or Perfetto).")
+
 let run_cmd =
-  let engine_arg =
-    Arg.(value & opt string "compiled"
-         & info [ "engine" ] ~docv:"ENGINE"
-             ~doc:"Interpreter engine: 'compiled' (closure-compiled fast path) \
-                   or 'reference' (tree-walker). Both are bit-identical; the \
-                   reference engine exists as the oracle the compiled one is \
-                   differentially tested against.")
-  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute the tensorized kernel and the scalar oracle; compare.")
     Term.(
-      const run $ op_kind_arg $ isa_arg $ engine_arg $ trace_flag $ store_arg
-      $ channels_arg $ hw_arg $ out_channels_arg $ kernel_arg $ stride_arg
-      $ n_arg $ m_arg $ kdim_arg)
+      const run $ op_kind_arg $ isa_arg $ engine_arg $ trace_flag
+      $ trace_out_arg $ store_arg $ channels_arg $ hw_arg $ out_channels_arg
+      $ kernel_arg $ stride_arg $ n_arg $ m_arg $ kdim_arg)
 
 let e2e_cmd =
   let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
@@ -1046,12 +1180,6 @@ let profile_cmd =
              ~doc:"A zoo model (see unitc models) or table1:N for one Table I \
                    kernel.")
   in
-  let trace_out =
-    Arg.(value & opt (some string) None
-         & info [ "trace-out" ] ~docv:"FILE"
-             ~doc:"Also write a Chrome trace_event JSON file (load it in \
-                   chrome://tracing or Perfetto).")
-  in
   let no_exec =
     Arg.(value & flag
          & info [ "no-exec" ]
@@ -1063,8 +1191,12 @@ let profile_cmd =
        ~doc:
          "Run a model through the tensorization pipeline and the numeric \
           executor with tracing on; print per-stage spans, counters and \
-          histograms.")
-    Term.(const profile $ model $ spec_arg $ trace_out $ no_exec $ store_arg)
+          histograms.  With --engine emitted, each tensorized kernel is \
+          also rendered and native-compiled (emit.* spans in the trace; \
+          artifacts persisted when --store is given).")
+    Term.(
+      const profile $ model $ spec_arg $ engine_arg $ trace_out_arg $ no_exec
+      $ store_arg)
 
 let warmup_cmd =
   let model =
@@ -1088,11 +1220,6 @@ let warmup_cmd =
          & info [ "retries" ] ~docv:"N"
              ~doc:"Extra attempts per transiently-failing workload.")
   in
-  let trace_out =
-    Arg.(value & opt (some string) None
-         & info [ "trace-out" ] ~docv:"FILE"
-             ~doc:"Also write a Chrome trace_event JSON file.")
-  in
   let assert_hit =
     Arg.(value & flag
          & info [ "assert-hit" ]
@@ -1106,10 +1233,12 @@ let warmup_cmd =
           zoo, or Table I) into a persistent tuning store: cold workloads \
           are tuned and appended, warm ones replay the stored config and \
           skip the tuner sweep.  Duplicate workloads are single-flighted; \
-          transient failures retried.")
+          transient failures retried with exponential backoff.  With \
+          --engine emitted, each tuned kernel is also native-compiled and \
+          its .cmxs content-addressed into the store.")
     Term.(
-      const warmup $ model $ spec_arg $ store $ domains $ retries $ trace_flag
-      $ trace_out $ assert_hit)
+      const warmup $ model $ spec_arg $ engine_arg $ store $ domains $ retries
+      $ trace_flag $ trace_out_arg $ assert_hit)
 
 let store_stats_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -1196,7 +1325,7 @@ let explain_cmd =
           chosen kernel's cycle attribution — or the structured rejection \
           reason (mismatching expression node, failing access pair, or \
           mapping exhaustion).")
-    Term.(const explain $ model $ explain_target_arg $ json)
+    Term.(const explain $ model $ explain_target_arg $ engine_arg $ json)
 
 let bench_report_cmd =
   let out =
@@ -1247,12 +1376,56 @@ let bench_lint_cmd =
 
 let trace_lint_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let forbid_spans =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "forbid-span" ] ~docv:"NAME"
+          ~doc:
+            "Assert the named span does NOT appear in the trace (repeatable; \
+             replaces the default stage-span checks).  The emit-smoke alias \
+             forbids emit.compile on the warm run.")
+  in
+  let require_counters =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "require-positive-counter" ] ~docv:"NAME"
+          ~doc:
+            "Assert the named counter is present and positive (repeatable; \
+             replaces the default tuner.candidates check).")
+  in
   Cmd.v
     (Cmd.info "trace-lint"
        ~doc:
-         "Validate a Chrome trace written by profile --trace-out: JSON parses, \
-          all five tensorize stage spans present, tuner candidates counted.")
-    Term.(const trace_lint $ file)
+         "Validate a Chrome trace written by --trace-out: JSON parses and, by \
+          default, all five tensorize stage spans are present with tuner \
+          candidates counted; --forbid-span / --require-positive-counter \
+          substitute explicit assertions.")
+    Term.(const trace_lint $ file $ forbid_spans $ require_counters)
+
+let store_gc_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "store-gc"
+       ~doc:
+         "Garbage-collect a store's native-kernel artifacts: drop records \
+          whose .cmxs is missing or whose emitter/compiler version is stale, \
+          delete unreferenced files from <store>.artifacts/, report \
+          reclaimed bytes, and compact the JSONL file.")
+    Term.(const store_gc $ file $ json)
+
+let emit_status_cmd =
+  Cmd.v
+    (Cmd.info "emit-status"
+       ~doc:
+         "Probe the native-emission toolchain (native Dynlink, ocamlopt, \
+          runtime hook artifacts).  Exit 0 when the emitted engine is \
+          available, 3 when it would degrade to the closure engine.")
+    Term.(const emit_status $ const ())
 
 let () =
   let info =
@@ -1264,7 +1437,8 @@ let () =
        (Cmd.group info
           [ list_isa_cmd; show_isa_cmd; inspect_cmd; compile_cmd; run_cmd; e2e_cmd;
             models_cmd; table1_cmd; check_cmd; lint_cmd; profile_cmd;
-            warmup_cmd; store_stats_cmd; trace_lint_cmd; explain_cmd;
+            warmup_cmd; store_stats_cmd; store_gc_cmd; emit_status_cmd;
+            trace_lint_cmd; explain_cmd;
             bench_report_cmd; bench_diff_cmd; bench_lint_cmd;
             memplan_cmd; memcheck_cmd
           ]))

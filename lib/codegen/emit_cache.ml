@@ -1,0 +1,368 @@
+open Unit_tir
+
+(* Compile-and-load layer over {!Emit}: ocamlopt shell-out, native
+   Dynlink, a per-process memo (native Dynlink cannot reload a module
+   name, so the memo is correctness, not just speed), and persistent
+   artifact records through hooks the store installs.
+
+   Everything here is cold-path: the hot path is one Hashtbl probe on
+   the artifact key, and the key itself is two MD5s over strings that
+   are already in memory. *)
+
+module Obs = Unit_obs.Obs
+
+let c_artifact_hit = Obs.counter "emit.artifact.hit"
+let c_artifact_miss = Obs.counter "emit.artifact.miss"
+let c_memo_hit = Obs.counter "emit.memo.hit"
+let c_fallback = Obs.counter "emit.fallback"
+
+type artifact_hooks = {
+  ah_dir : string;
+  ah_lookup : key:string -> string option;
+  ah_record : key:string -> signature:string -> file:string -> bytes:int -> unit;
+}
+
+let hooks : artifact_hooks option Atomic.t = Atomic.make None
+let set_artifact_hooks h = Atomic.set hooks h
+
+(* ---- availability probing (memoized) *)
+
+let probe_cmd cmd =
+  (* sh exit 127 = not found; any non-zero means unusable *)
+  Sys.command (Printf.sprintf "%s -version 1>/dev/null 2>/dev/null" cmd) = 0
+
+let find_compiler () =
+  if probe_cmd "ocamlfind ocamlopt" then Ok "ocamlfind ocamlopt"
+  else if probe_cmd "ocamlopt" then Ok "ocamlopt"
+  else Error "no ocamlfind ocamlopt / ocamlopt on PATH"
+
+(* Directories holding unit_emit_hook.{cmi,cmx}: the generated module
+   references it, so ocamlopt needs them on its include path.  dune puts
+   the .cmi under .unit_emitrt.objs/byte and the .cmx under .../native;
+   we search upward from the running executable (tests and unitc both
+   live under _build/default). *)
+let find_emitrt_dirs () =
+  let dirs_of_objs objs =
+    List.filter Sys.file_exists
+      [ Filename.concat objs "byte"; Filename.concat objs "native" ]
+  in
+  match Sys.getenv_opt "UNIT_EMITRT_DIR" with
+  | Some d when Sys.file_exists (Filename.concat d "unit_emit_hook.cmi") ->
+    Ok [ d ]
+  | Some d when Sys.file_exists (Filename.concat d "byte/unit_emit_hook.cmi") ->
+    Ok (dirs_of_objs d)
+  | Some d -> Error (Printf.sprintf "UNIT_EMITRT_DIR=%s: no unit_emit_hook.cmi" d)
+  | None ->
+    let rec walk dir depth =
+      if depth > 8 then Error "unit_emitrt build artifacts not found"
+      else begin
+        let objs = Filename.concat dir "lib/emitrt/.unit_emitrt.objs" in
+        if Sys.file_exists (Filename.concat objs "byte/unit_emit_hook.cmi") then
+          Ok (dirs_of_objs objs)
+        else begin
+          let parent = Filename.dirname dir in
+          if String.equal parent dir then
+            Error "unit_emitrt build artifacts not found"
+          else walk parent (depth + 1)
+        end
+      end
+    in
+    walk (Filename.dirname Sys.executable_name) 0
+
+type toolchain = {
+  tc_compiler : string;
+  tc_incdirs : string list;
+}
+
+let toolchain : (toolchain, string) result option Atomic.t = Atomic.make None
+
+let available_tc () =
+  match Atomic.get toolchain with
+  | Some r -> r
+  | None ->
+    let r =
+      if not Dynlink.is_native then
+        Error "bytecode runtime: native Dynlink unavailable"
+      else
+        match find_compiler () with
+        | Error e -> Error e
+        | Ok tc_compiler ->
+          (match find_emitrt_dirs () with
+           | Error e -> Error e
+           | Ok tc_incdirs -> Ok { tc_compiler; tc_incdirs })
+    in
+    Atomic.set toolchain (Some r);
+    r
+
+let available () =
+  match available_tc () with Ok _ -> Ok () | Error e -> Error e
+
+(* ---- keying *)
+
+let artifact_key ~signature ~source =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "unit-emit-v%d|ocaml-%s|%s|%s" Emit.version
+          Sys.ocaml_version signature
+          (Digest.to_hex (Digest.string source))))
+
+let modname_of_key key = "unit_emitted_" ^ String.sub key 0 16
+
+(* ---- compile + load (all under one lock: Dynlink and the hook slot
+   are process-global) *)
+
+let lock = Mutex.create ()
+let memo : (string, Unit_emit_hook.kernel) Hashtbl.t = Hashtbl.create 16
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let tmp_dir =
+  lazy
+    (let d =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "unit-emit-%d" (Unix.getpid ()))
+     in
+     mkdir_p d;
+     d)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let first_line_of s =
+  match String.index_opt s '\n' with
+  | Some i when i > 0 -> String.sub s 0 (Stdlib.min i 200)
+  | _ -> if String.length s > 200 then String.sub s 0 200 else s
+
+let dynlink_take path =
+  Obs.with_span "emit.dynlink" @@ fun () ->
+  match Dynlink.loadfile_private path with
+  | exception Dynlink.Error e -> Error (Dynlink.error_message e)
+  | exception e -> Error (Printexc.to_string e)
+  | () ->
+    (match Unit_emit_hook.take () with
+     | Some fn -> Ok fn
+     | None -> Error (Printf.sprintf "%s registered no kernel" path))
+
+let compile_source tc ~modname ~source =
+  Obs.with_span "emit.compile" @@ fun () ->
+  let dir = Lazy.force tmp_dir in
+  let src = Filename.concat dir (modname ^ ".ml") in
+  let out = Filename.concat dir (modname ^ ".cmxs") in
+  let log = Filename.concat dir (modname ^ ".log") in
+  write_file src source;
+  let includes =
+    String.concat " " (List.map (fun d -> "-I " ^ Filename.quote d) tc.tc_incdirs)
+  in
+  let cmd =
+    Printf.sprintf "%s -shared %s -o %s %s 2>%s" tc.tc_compiler includes
+      (Filename.quote out) (Filename.quote src) (Filename.quote log)
+  in
+  let rc = Sys.command cmd in
+  if rc <> 0 || not (Sys.file_exists out) then begin
+    let detail = try first_line_of (read_file log) with _ -> "" in
+    Error (Printf.sprintf "ocamlopt exit %d: %s" rc detail)
+  end
+  else Ok out
+
+(* Copy the compiled .cmxs into the artifact directory; rename is not
+   portable across filesystems (the temp dir is often tmpfs), so write
+   to a sibling then rename within the destination. *)
+let install_artifact ~dir ~file ~from =
+  mkdir_p dir;
+  let dst = Filename.concat dir file in
+  let tmp = dst ^ ".tmp" in
+  let contents = read_file from in
+  write_file tmp contents;
+  Sys.rename tmp dst;
+  (dst, String.length contents)
+
+(* Load the kernel for [key], in preference order: process memo,
+   persistent artifact, fresh compile.  Caller holds [lock]. *)
+let load_locked tc ~signature ~key ~source =
+  match Hashtbl.find_opt memo key with
+  | Some fn ->
+    Obs.incr c_memo_hit;
+    Ok fn
+  | None ->
+    let modname = modname_of_key key in
+    let from_store =
+      match Atomic.get hooks with
+      | None -> None
+      | Some h ->
+        (match h.ah_lookup ~key with
+         | Some path when Sys.file_exists path ->
+           Obs.incr c_artifact_hit;
+           (match dynlink_take path with
+            | Ok fn -> Some fn
+            | Error _ ->
+              (* stale or corrupt on-disk artifact: recompile below *)
+              None)
+         | _ -> None)
+    in
+    let result =
+      match from_store with
+      | Some fn -> Ok fn
+      | None ->
+        Obs.incr c_artifact_miss;
+        (match compile_source tc ~modname ~source with
+         | Error e -> Error e
+         | Ok built ->
+           let path =
+             match Atomic.get hooks with
+             | None -> built
+             | Some h ->
+               (match
+                  install_artifact ~dir:h.ah_dir ~file:(modname ^ ".cmxs")
+                    ~from:built
+                with
+                | dst, bytes ->
+                  h.ah_record ~key ~signature ~file:(modname ^ ".cmxs") ~bytes;
+                  dst
+                | exception _ -> built)
+           in
+           dynlink_take path)
+    in
+    (match result with Ok fn -> Hashtbl.replace memo key fn | Error _ -> ());
+    result
+
+type kernel = {
+  k_plan : Emit.plan;
+  k_fn : Unit_emit_hook.kernel;
+}
+
+let load ~signature func =
+  match available_tc () with
+  | Error e -> Error e
+  | Ok tc ->
+    (match Obs.with_span "emit.render" (fun () -> Emit.render func) with
+     | exception Emit.Unsupported msg -> Error ("unsupported: " ^ msg)
+     | plan, source ->
+       let key = artifact_key ~signature ~source in
+       Mutex.lock lock;
+       Fun.protect
+         ~finally:(fun () -> Mutex.unlock lock)
+         (fun () ->
+           match load_locked tc ~signature ~key ~source with
+           | Ok fn -> Ok { k_plan = plan; k_fn = fn }
+           | Error e -> Error e))
+
+(* ---- running a loaded kernel *)
+
+let error fmt = Printf.ksprintf (fun s -> raise (Interp.Runtime_error s)) fmt
+
+(* Parallel fan for emitted [Parallel] loops.  Guarded by a busy flag:
+   if a kernel is already fanning (or the caller sits inside the
+   oracle), nested fans run serially rather than oversubscribing. *)
+let par_busy = Atomic.make false
+
+let make_par () =
+  let domains = Parallel_oracle.default_domains () in
+  fun extent body ->
+    if extent <= 1 then begin
+      for i = 0 to extent - 1 do
+        body i
+      done
+    end
+    else if domains <= 1 || not (Atomic.compare_and_set par_busy false true) then
+      for i = 0 to extent - 1 do
+        body i
+      done
+    else
+      Fun.protect
+        ~finally:(fun () -> Atomic.set par_busy false)
+        (fun () ->
+          Parallel_oracle.iter ~domains body (List.init extent Fun.id))
+
+let run_kernel { k_plan; k_fn } ~bindings =
+  Obs.with_span "emit.run" @@ fun () ->
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ((t : Unit_dsl.Tensor.t), arr) ->
+      if not (Hashtbl.mem tbl t.Unit_dsl.Tensor.id) then
+        Hashtbl.add tbl t.Unit_dsl.Tensor.id arr)
+    bindings;
+  let n = List.length k_plan.Emit.p_entries in
+  let af = Array.make (Stdlib.max k_plan.Emit.p_nf 1) [||] in
+  let ai = Array.make (Stdlib.max k_plan.Emit.p_ni 1) [||] in
+  let al = Array.make (Stdlib.max k_plan.Emit.p_nl 1) [||] in
+  let offs = Array.make (Stdlib.max n 1) 0 in
+  List.iter
+    (fun (e : Emit.entry) ->
+      let t = e.Emit.e_tensor in
+      let b = e.Emit.e_buf in
+      match Hashtbl.find_opt tbl t.Unit_dsl.Tensor.id with
+      | None -> error "tensor %s not bound" t.Unit_dsl.Tensor.name
+      | Some (arr : Ndarray.t) ->
+        if not (Unit_dtype.Dtype.equal arr.Ndarray.dtype b.Buffer.dtype) then
+          error "buffer %s: dtype mismatch (%s vs %s)" b.Buffer.name
+            (Unit_dtype.Dtype.to_string arr.Ndarray.dtype)
+            (Unit_dtype.Dtype.to_string b.Buffer.dtype);
+        if Ndarray.num_elements arr <> b.Buffer.size then
+          error "buffer %s: %d elements bound, %d expected" b.Buffer.name
+            (Ndarray.num_elements arr) b.Buffer.size;
+        offs.(e.Emit.e_slot) <- arr.Ndarray.offset;
+        (match e.Emit.e_class, arr.Ndarray.storage with
+         | Emit.KF, Ndarray.Float_data a -> af.(e.Emit.e_cell) <- a
+         | Emit.KI, Ndarray.Int_data a -> ai.(e.Emit.e_cell) <- a
+         | Emit.KL, Ndarray.Int64_data a -> al.(e.Emit.e_cell) <- a
+         | _ -> error "buffer %s: storage kind mismatch" b.Buffer.name))
+    k_plan.Emit.p_entries;
+  k_fn af ai al offs (make_par ())
+
+(* ---- fallback ladder *)
+
+let fallback_seen : (string, unit) Hashtbl.t = Hashtbl.create 8
+let fallback_last : Diag.t option Atomic.t = Atomic.make None
+let last_fallback () = Atomic.get fallback_last
+
+let note_fallback ~name reason =
+  let d =
+    Diag.warnf Diag.Emit "%s: falling back to the closure engine (%s)" name
+      reason
+  in
+  Atomic.set fallback_last (Some d);
+  Mutex.lock lock;
+  let fresh = not (Hashtbl.mem fallback_seen reason) in
+  if fresh then Hashtbl.add fallback_seen reason ();
+  Mutex.unlock lock;
+  if fresh then prerr_endline (Diag.to_string d)
+
+let default_signature (func : Lower.func) = "adhoc|" ^ func.Lower.fn_name
+
+let prepare ~signature func =
+  match load ~signature func with
+  | Ok _ -> Ok ()
+  | Error e ->
+    Obs.incr c_fallback;
+    Error e
+
+let run ?signature func ~bindings =
+  let signature =
+    match signature with Some s -> s | None -> default_signature func
+  in
+  match load ~signature func with
+  | Ok k -> run_kernel k ~bindings
+  | Error reason ->
+    Obs.incr c_fallback;
+    note_fallback ~name:func.Lower.fn_name reason;
+    if List.exists (fun (_, arr) -> Ndarray.is_view arr) bindings then
+      (* the closure engine rejects views; the tree-walker is offset-aware *)
+      Interp.run func ~bindings
+    else Compile.run func ~bindings

@@ -1,0 +1,69 @@
+(** Compile, cache and run natively-emitted kernels.
+
+    The pipeline from {!Emit.render}ed source to executable code:
+    shell out to [ocamlfind ocamlopt -shared], [Dynlink] the resulting
+    [.cmxs] (which self-registers through [Unit_emit_hook]), and memoize
+    the loaded kernel per process.  Compiled artifacts are
+    content-addressed into the persistent store through
+    dependency-inverted {!artifact_hooks} (installed by
+    [Unit_store.Store], mirroring [Pipeline.set_tuning_store]), keyed by
+    workload signature + emitter/compiler version + source digest — so a
+    warm process loads native kernels from disk with zero recompilation.
+
+    Everything degrades: no native [Dynlink], no [ocamlopt], an
+    {!Emit.Unsupported} construct, or a failed compile all fall back to
+    {!Compile.run} (or {!Interp.run} when a binding is an arena view,
+    which the closure engine rejects) with a one-shot [Diag] warning —
+    never an error.
+
+    Obs surface: spans [emit.render] / [emit.compile] / [emit.dynlink] /
+    [emit.run]; counters [emit.artifact.hit] / [emit.artifact.miss] /
+    [emit.memo.hit] / [emit.fallback]. *)
+
+open Unit_tir
+
+type artifact_hooks = {
+  ah_dir : string;
+      (** directory that receives installed [.cmxs] files; created on
+          first install *)
+  ah_lookup : key:string -> string option;
+      (** path to a live (current-version, file-present) artifact *)
+  ah_record : key:string -> signature:string -> file:string -> bytes:int -> unit;
+      (** persist a freshly compiled artifact record *)
+}
+
+val set_artifact_hooks : artifact_hooks option -> unit
+(** Install (or clear) the persistent artifact store.  Without hooks,
+    compiled kernels live only in the per-process memo. *)
+
+val available : unit -> (unit, string) result
+(** Can this process emit at all?  Checks native [Dynlink], a working
+    [ocamlfind ocamlopt] (or bare [ocamlopt]), and the presence of the
+    [Unit_emit_hook] compilation artifacts (env [UNIT_EMITRT_DIR]
+    overrides the search next to the executable).  Memoized. *)
+
+val artifact_key : signature:string -> source:string -> string
+(** Content address of a compiled kernel: digest over emitter version,
+    [Sys.ocaml_version], the workload signature and the source digest. *)
+
+val prepare : signature:string -> Lower.func -> (unit, string) result
+(** Render + compile + load (or hit the caches) without running;
+    the warm-up scheduler uses this to pre-bake artifacts. *)
+
+val run :
+  ?signature:string ->
+  Lower.func ->
+  bindings:(Unit_dsl.Tensor.t * Ndarray.t) list ->
+  unit
+(** Execute [func] through the emitted engine, falling back as described
+    above.  [signature] defaults to a per-function ad-hoc key (the
+    source digest still content-addresses correctly); pass the
+    [Pipeline.workload_signature] so artifacts are shared across
+    processes.  Bit-identical to {!Interp.run} / {!Compile.run};
+    arena-backed {!Ndarray.view} bindings are supported natively.
+    @raise Interp.Runtime_error on binding mismatches, like the other
+    engines. *)
+
+val last_fallback : unit -> Diag.t option
+(** The most recent fallback diagnostic emitted by {!run}/{!prepare} in
+    this process, for CLI surfacing and tests. *)

@@ -315,6 +315,46 @@ let validate_memplan j =
   in
   Ok (Printf.sprintf "memory-plan benchmark, %d models" n)
 
+(* The emitted-engine freeze (BENCH_emit.json).  Gates on substance, not
+   just shape: the three engines must be monotone (emitted <= compiled <=
+   tree-walker — a native kernel slower than the closure engine means the
+   emitter regressed) and the emitted engine must hold a >= 3x margin
+   over the closure engine on the headline resnet18 conv workload. *)
+let validate_emit j =
+  let* _ = str "workload" j in
+  let* macs = num "macs" j in
+  let* () = if macs > 0.0 then Ok () else Error "field macs is not positive" in
+  let* tw = num "tree_walker_s" j in
+  let* c = num "compiled_s" j in
+  let* e = num "emitted_s" j in
+  let* ratio = num "speedup_vs_compiled" j in
+  let* () =
+    if tw > 0.0 && c > 0.0 && e > 0.0 then Ok ()
+    else Error "engine timings must be positive"
+  in
+  let* () =
+    if e <= c && c <= tw then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "engine timings not monotone (want emitted <= compiled <= \
+            tree-walker, got %.6f / %.6f / %.6f)"
+           e c tw)
+  in
+  let* () =
+    if Float.abs (ratio -. (c /. e)) <= 0.01 *. ratio then Ok ()
+    else Error "speedup_vs_compiled does not match compiled_s/emitted_s"
+  in
+  let* () =
+    if ratio >= 3.0 then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "emitted engine is only %.2fx over the closure engine (gate: >= 3x)"
+           ratio)
+  in
+  Ok (Printf.sprintf "emitted-engine benchmark, %.1fx over closure" ratio)
+
 let validate_file path =
   match read_file path with
   | exception Sys_error m -> Error m
@@ -322,6 +362,7 @@ let validate_file path =
     let* j = Json.parse content in
     (match Json.member "schema" j with
      | Some s when Json.to_str s = Some "unit-memplan" -> validate_memplan j
+     | Some s when Json.to_str s = Some "unit-emit" -> validate_emit j
      | Some _ ->
        let* r = of_json j in
        Ok

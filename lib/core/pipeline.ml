@@ -76,6 +76,38 @@ type tuning_store = {
 
 (* An [Atomic] rather than a plain ref: the warm-up scheduler installs the
    store once and then fans compilation across domains that all read it. *)
+(* ---------- execution engines ---------- *)
+
+type engine =
+  | Reference
+  | Compiled
+  | Emitted
+
+let engine_to_string = function
+  | Reference -> "reference"
+  | Compiled -> "compiled"
+  | Emitted -> "emitted"
+
+let engine_names = "reference|compiled|emitted"
+
+let engine_of_string = function
+  | "reference" -> Ok Reference
+  | "compiled" -> Ok Compiled
+  | "emitted" -> Ok Emitted
+  | other ->
+    Error
+      (Unit_tir.Diag.errorf Unit_tir.Diag.Emit "unknown engine %s (%s)" other
+         engine_names)
+
+let run_func ~engine ?signature func ~bindings =
+  match engine with
+  | Reference -> Unit_codegen.Interp.run func ~bindings
+  | Compiled -> Unit_codegen.Compile.run func ~bindings
+  | Emitted -> Unit_codegen.Emit_cache.run ?signature func ~bindings
+
+let prepare_emitted ~signature func =
+  Unit_codegen.Emit_cache.prepare ~signature func
+
 let current_store : tuning_store option Atomic.t = Atomic.make None
 
 let set_tuning_store s = Atomic.set current_store s
@@ -344,26 +376,33 @@ let conv3d_time_x86 wl =
          | Ok compiled -> Kernel compiled
          | Error reason -> invalid_arg ("conv3d does not tensorize: " ^ reason)))
 
-let cpu_dense_time ~tag ~spec ~intrin_name ~data_dtype wl =
-  entry_seconds
-    (memo ~tag ~workload:(Workload.name (Workload.Fc wl)) ~config:"tuned" (fun () ->
-         let intrin = Unit_isa.Registry.find_exn intrin_name in
-         let lanes = Unit_isa.Intrin.output_lanes intrin in
-         let reduce_width = Unit_isa.Intrin.reduction_width intrin in
-         let op =
-           Workload.dense_op ~data_dtype ~weight_dtype:Dtype.I8 ~lanes ~reduce_width wl
-         in
-         match tensorize ~spec op intrin with
-         | Ok compiled -> Kernel compiled
-         | Error reason -> invalid_arg ("dense does not tensorize: " ^ reason)))
+let cpu_dense_kernel ~tag ~spec ~intrin_name ~data_dtype wl =
+  let entry =
+    memo ~tag ~workload:(Workload.name (Workload.Fc wl)) ~config:"tuned" (fun () ->
+        let intrin = Unit_isa.Registry.find_exn intrin_name in
+        let lanes = Unit_isa.Intrin.output_lanes intrin in
+        let reduce_width = Unit_isa.Intrin.reduction_width intrin in
+        let op =
+          Workload.dense_op ~data_dtype ~weight_dtype:Dtype.I8 ~lanes ~reduce_width wl
+        in
+        match tensorize ~spec op intrin with
+        | Ok compiled -> Kernel compiled
+        | Error reason -> invalid_arg ("dense does not tensorize: " ^ reason))
+  in
+  match entry with
+  | Kernel c -> c
+  | Time _ -> assert false (* this key is only ever populated with [Kernel] *)
 
-let dense_time_x86 wl =
-  cpu_dense_time ~tag:"x86-dense" ~spec:Spec.cascadelake ~intrin_name:"vnni.vpdpbusd"
+let dense_compiled_x86 wl =
+  cpu_dense_kernel ~tag:"x86-dense" ~spec:Spec.cascadelake ~intrin_name:"vnni.vpdpbusd"
     ~data_dtype:Dtype.U8 wl
 
-let dense_time_arm wl =
-  cpu_dense_time ~tag:"arm-dense" ~spec:Spec.graviton2 ~intrin_name:"arm.udot"
+let dense_compiled_arm wl =
+  cpu_dense_kernel ~tag:"arm-dense" ~spec:Spec.graviton2 ~intrin_name:"arm.udot"
     ~data_dtype:Dtype.U8 wl
+
+let dense_time_x86 wl = seconds (dense_compiled_x86 wl)
+let dense_time_arm wl = seconds (dense_compiled_arm wl)
 
 let conv_time_gpu ?config wl =
   let config_str =

@@ -39,6 +39,44 @@ val workload_signature :
     and {!Cpu_tuner.version}) into the content address of a persisted
     tuning record. *)
 
+(** {2 Execution engines}
+
+    Every driver entry point that executes a lowered kernel picks one of
+    three engines behind the same interface.  All three are bit-identical
+    on analyzer-clean programs (the differential tests enforce it). *)
+
+type engine =
+  | Reference  (** the tree-walking interpreter — the oracle *)
+  | Compiled  (** closure-compiled fast path ({!Unit_codegen.Compile}) *)
+  | Emitted
+      (** natively emitted: pretty-printed OCaml, [ocamlopt -shared],
+          [Dynlink]ed, content-addressed into the store
+          ({!Unit_codegen.Emit_cache}); degrades to [Compiled] (or
+          [Reference] for view bindings) with a [Diag.Emit] warning *)
+
+val engine_of_string : string -> (engine, Unit_tir.Diag.t) result
+(** ["reference"], ["compiled"], ["emitted"]; anything else is a
+    structured [Diag.Emit] error naming the valid set. *)
+
+val engine_to_string : engine -> string
+
+val engine_names : string
+(** ["reference|compiled|emitted"] — for CLI doc strings. *)
+
+val run_func :
+  engine:engine ->
+  ?signature:string ->
+  Unit_tir.Lower.func ->
+  bindings:(Unit_dsl.Tensor.t * Unit_codegen.Ndarray.t) list ->
+  unit
+(** Execute through the chosen engine.  [signature] (the
+    {!workload_signature}, possibly variant-prefixed) keys the emitted
+    engine's persistent artifacts; it is ignored by the other two. *)
+
+val prepare_emitted : signature:string -> Unit_tir.Lower.func -> (unit, string) result
+(** Render + native-compile + cache a kernel without executing it — the
+    warm-up scheduler's hook for pre-baking artifacts. *)
+
 (** {2 Persistent tuning store (dependency-inverted)}
 
     [lib/store] owns the on-disk database; the pipeline only sees these
@@ -129,6 +167,11 @@ val mem_report : compiled -> Unit_analysis.Footprint.report
 
 val conv3d_time_x86 : Unit_graph.Workload.conv3d -> float
 (** Fig. 13: 3-D convolutions through the unchanged pipeline. *)
+
+val dense_compiled_x86 : Unit_graph.Workload.dense -> compiled
+val dense_compiled_arm : Unit_graph.Workload.dense -> compiled
+(** Cached like {!conv_compiled_x86}; the warm-up scheduler uses the
+    [compiled] value to pre-bake emitted-engine artifacts. *)
 
 val dense_time_x86 : Unit_graph.Workload.dense -> float
 val dense_time_arm : Unit_graph.Workload.dense -> float

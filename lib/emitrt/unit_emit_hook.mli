@@ -1,0 +1,28 @@
+(** Registration slot for Dynlink'd emitted kernels.
+
+    Native [Dynlink] offers no symbol lookup: a loaded [.cmxs] can only
+    communicate with its host through a module both sides link against.
+    This tiny, dependency-free library is that module.  Each generated
+    kernel ends with [let () = Unit_emit_hook.register kernel]; the host
+    calls {!take} immediately after [Dynlink.loadfile_private] (under a
+    lock, so concurrent loads cannot race on the slot). *)
+
+type kernel =
+  float array array ->
+  int array array ->
+  int64 array array ->
+  int array ->
+  (int -> (int -> unit) -> unit) ->
+  unit
+(** [kernel fcells icells lcells offsets par] runs the emitted kernel.
+    [fcells]/[icells]/[lcells] hold the raw storage of every bound
+    tensor, grouped by storage class in plan order; [offsets.(slot)] is
+    the element offset of plan entry [slot] into its storage (non-zero
+    for arena views); [par extent body] fans [body 0 .. body (extent-1)]
+    across domains (or runs them serially — the host decides). *)
+
+val register : kernel -> unit
+(** Called by the loaded module's top-level initializer. *)
+
+val take : unit -> kernel option
+(** Read and clear the slot. *)

@@ -29,8 +29,18 @@ type record = {
   r_report : Unit_machine.Cost_report.t option;
 }
 
+type artifact = {
+  a_key : string;
+  a_signature : string;
+  a_emitter : int;
+  a_compiler : string;
+  a_file : string;
+  a_bytes : int;
+}
+
 type stats = {
   st_records : int;
+  st_artifacts : int;
   st_loaded : int;
   st_corrupt : int;
   st_stale : int;
@@ -43,6 +53,7 @@ type t = {
   t_path : string;
   t_lock : Mutex.t;
   t_records : (string, record) Hashtbl.t;  (* key -> latest record *)
+  t_artifacts : (string, artifact) Hashtbl.t;  (* key -> latest artifact *)
   mutable t_loaded : int;
   mutable t_corrupt : int;
   mutable t_stale : int;
@@ -152,6 +163,64 @@ let record_of_json j =
         else Error (`Corrupt "key does not match the signature's content hash")
     end
 
+(* Artifact records of the native-emission engine share the JSONL file,
+   discriminated by a "kind":"artifact" member (tuning records have no
+   "kind").  Emitter/compiler versions are data, not gates: records from
+   another toolchain load fine — {!artifact_lookup} filters them out and
+   {!gc} reclaims them. *)
+
+let artifact_to_json a =
+  Json.Obj
+    [ ("kind", Json.Str "artifact");
+      ("v", Json.Num (float_of_int schema_version));
+      ("key", Json.Str a.a_key);
+      ("sig", Json.Str a.a_signature);
+      ("emitter", Json.Num (float_of_int a.a_emitter));
+      ("compiler", Json.Str a.a_compiler);
+      ("file", Json.Str a.a_file);
+      ("bytes", Json.Num (float_of_int a.a_bytes))
+    ]
+
+let artifact_of_json j =
+  let str name =
+    match Option.bind (Json.member name j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "field %s missing or not a string" name)
+  in
+  let int name =
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "field %s missing or not an integer" name)
+  in
+  let ( let* ) r f = Result.bind r f in
+  match int "v" with
+  | Error m -> Error (`Corrupt m)
+  | Ok v when v <> schema_version ->
+    Error (`Stale (Printf.sprintf "schema v%d (want v%d)" v schema_version))
+  | Ok _ ->
+    (match
+       let* a_key = str "key" in
+       let* a_signature = str "sig" in
+       let* a_emitter = int "emitter" in
+       let* a_compiler = str "compiler" in
+       let* a_file = str "file" in
+       let* a_bytes = int "bytes" in
+       if a_bytes < 0 then Error "field bytes is negative"
+       else if
+         String.contains a_file '/'
+         || String.equal a_file ".."
+         || String.equal a_file ""
+       then Error "field file is not a plain basename"
+       else Ok { a_key; a_signature; a_emitter; a_compiler; a_file; a_bytes }
+     with
+     | Error m -> Error (`Corrupt m)
+     | Ok a -> Ok a)
+
+let is_artifact_line j =
+  match Option.bind (Json.member "kind" j) Json.to_str with
+  | Some "artifact" -> true
+  | _ -> false
+
 (* ---------- open / load ---------- *)
 
 let load_lines path =
@@ -180,6 +249,7 @@ let open_ path =
     { t_path = path;
       t_lock = Mutex.create ();
       t_records = Hashtbl.create 64;
+      t_artifacts = Hashtbl.create 16;
       t_loaded = 0;
       t_corrupt = 0;
       t_stale = 0;
@@ -208,6 +278,13 @@ let open_ path =
         in
         match Json.parse line with
         | Error m -> skip `Corrupt m
+        | Ok j when is_artifact_line j ->
+          (match artifact_of_json j with
+           | Error (`Corrupt m) -> skip `Corrupt m
+           | Error (`Stale m) -> skip `Stale m
+           | Ok a ->
+             t.t_loaded <- t.t_loaded + 1;
+             Hashtbl.replace t.t_artifacts a.a_key a)
         | Ok j ->
           (match record_of_json j with
            | Error (`Corrupt m) -> skip `Corrupt m
@@ -241,6 +318,7 @@ let size t = with_lock t (fun () -> Hashtbl.length t.t_records)
 let stats t =
   with_lock t (fun () ->
       { st_records = Hashtbl.length t.t_records;
+        st_artifacts = Hashtbl.length t.t_artifacts;
         st_loaded = t.t_loaded;
         st_corrupt = t.t_corrupt;
         st_stale = t.t_stale;
@@ -294,6 +372,11 @@ let save t =
              output_string oc (Json.to_string (record_to_json r));
              output_char oc '\n')
            t.t_records;
+         Hashtbl.iter
+           (fun _ a ->
+             output_string oc (Json.to_string (artifact_to_json a));
+             output_char oc '\n')
+           t.t_artifacts;
          close_out oc
        with e ->
          close_out_noerr oc;
@@ -312,4 +395,100 @@ let pipeline_hooks t =
           ~target ~config:tuned.Cpu_tuner.t_config
           ~cycles:tuned.Cpu_tuner.t_estimate.Unit_machine.Cpu_model.est_cycles
           ~diag_digest:(diag_digest diags))
+  }
+
+(* ---------- native-kernel artifacts ---------- *)
+
+module Emit = Unit_codegen.Emit
+module Emit_cache = Unit_codegen.Emit_cache
+
+let artifacts_dir t = t.t_path ^ ".artifacts"
+
+let artifact_path t a = Filename.concat (artifacts_dir t) a.a_file
+
+let is_live t a =
+  a.a_emitter = Emit.version
+  && String.equal a.a_compiler Sys.ocaml_version
+  && Sys.file_exists (artifact_path t a)
+
+let artifact_lookup t ~key =
+  match with_lock t (fun () -> Hashtbl.find_opt t.t_artifacts key) with
+  | Some a when is_live t a -> Some a
+  | _ -> None
+
+let artifact_record t ~key ~signature ~file ~bytes =
+  let a =
+    { a_key = key;
+      a_signature = signature;
+      a_emitter = Emit.version;
+      a_compiler = Sys.ocaml_version;
+      a_file = file;
+      a_bytes = bytes
+    }
+  in
+  with_lock t (fun () ->
+      Hashtbl.replace t.t_artifacts a.a_key a;
+      t.t_appends <- t.t_appends + 1;
+      Obs.incr c_append;
+      append_line t (Json.to_string (artifact_to_json a)))
+
+let iter_artifacts t f =
+  let snapshot =
+    with_lock t (fun () ->
+        Hashtbl.fold (fun _ a acc -> a :: acc) t.t_artifacts [])
+  in
+  List.iter f snapshot
+
+let emit_hooks t =
+  { Emit_cache.ah_dir = artifacts_dir t;
+    ah_lookup =
+      (fun ~key -> Option.map (artifact_path t) (artifact_lookup t ~key));
+    ah_record =
+      (fun ~key ~signature ~file ~bytes ->
+        artifact_record t ~key ~signature ~file ~bytes)
+  }
+
+type gc_report = {
+  gc_live : int;
+  gc_dropped : int;
+  gc_deleted_files : int;
+  gc_reclaimed_bytes : int;
+}
+
+let gc t =
+  let dropped = ref 0 in
+  with_lock t (fun () ->
+      Hashtbl.iter
+        (fun key a ->
+          if not (is_live t a) then begin
+            Hashtbl.remove t.t_artifacts key;
+            incr dropped
+          end)
+        (Hashtbl.copy t.t_artifacts));
+  (* sweep the payload directory: anything no live record references —
+     dropped records' kernels, stale-line orphans, leftover .tmp files *)
+  let referenced = Hashtbl.create 16 in
+  iter_artifacts t (fun a -> Hashtbl.replace referenced a.a_file ());
+  let deleted = ref 0 and reclaimed = ref 0 in
+  let dir = artifacts_dir t in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun file ->
+        if not (Hashtbl.mem referenced file) then begin
+          let p = Filename.concat dir file in
+          match (Unix.stat p).Unix.st_size with
+          | size ->
+            (try
+               Sys.remove p;
+               incr deleted;
+               reclaimed := !reclaimed + size
+             with Sys_error _ -> ())
+          | exception Unix.Unix_error _ -> ()
+        end)
+      (Sys.readdir dir);
+  save t;
+  { gc_live = with_lock t (fun () -> Hashtbl.length t.t_artifacts);
+    gc_dropped = !dropped;
+    gc_deleted_files = !deleted;
+    gc_reclaimed_bytes = !reclaimed
   }

@@ -50,8 +50,24 @@ type record = {
           version) *)
 }
 
+type artifact = {
+  a_key : string;
+      (** content address from {!Unit_codegen.Emit_cache.artifact_key}:
+          emitter version + compiler + signature + source digest *)
+  a_signature : string;  (** the workload signature, for humans and GC *)
+  a_emitter : int;  (** {!Unit_codegen.Emit.version} at record time *)
+  a_compiler : string;  (** [Sys.ocaml_version] at record time *)
+  a_file : string;  (** basename of the [.cmxs] inside {!artifacts_dir} *)
+  a_bytes : int;
+}
+(** One compiled native kernel persisted by the emission engine.
+    Artifact records share the tuning store's JSONL file (discriminated
+    by a ["kind":"artifact"] member); the [.cmxs] payloads live next to
+    it in {!artifacts_dir}. *)
+
 type stats = {
   st_records : int;  (** live records (deduped by key, latest wins) *)
+  st_artifacts : int;  (** live native-kernel artifact records *)
   st_loaded : int;  (** valid lines read by {!open_} *)
   st_corrupt : int;  (** lines skipped: unparseable / invalid / key mismatch *)
   st_stale : int;  (** lines skipped: schema or tuner version mismatch *)
@@ -110,3 +126,40 @@ val pipeline_hooks : t -> Unit_core.Pipeline.tuning_store
     to its stored config, [ts_record] persists a freshly tuned kernel
     (config + estimated cycles + diagnostics digest).  Install with
     {!Unit_core.Pipeline.set_tuning_store}. *)
+
+(** {2 Native-kernel artifacts} *)
+
+val artifacts_dir : t -> string
+(** [<path>.artifacts/] — sibling directory holding the [.cmxs]
+    payloads; created lazily on first install. *)
+
+val artifact_lookup : t -> key:string -> artifact option
+(** The {e live} artifact under a key: current
+    {!Unit_codegen.Emit.version}, current [Sys.ocaml_version], payload
+    file present on disk.  Records failing any of those return [None]
+    (and are {!gc} fodder). *)
+
+val artifact_record :
+  t -> key:string -> signature:string -> file:string -> bytes:int -> unit
+(** Insert-or-replace (stamped with the current emitter/compiler
+    versions) and append one JSONL line. *)
+
+val iter_artifacts : t -> (artifact -> unit) -> unit
+(** Every artifact record, live or stale, in unspecified order. *)
+
+val emit_hooks : t -> Unit_codegen.Emit_cache.artifact_hooks
+(** The store as the emission engine sees it.  Install with
+    {!Unit_codegen.Emit_cache.set_artifact_hooks}. *)
+
+type gc_report = {
+  gc_live : int;  (** artifact records kept *)
+  gc_dropped : int;  (** artifact records dropped (stale version / missing file) *)
+  gc_deleted_files : int;  (** unreferenced files removed from {!artifacts_dir} *)
+  gc_reclaimed_bytes : int;  (** total size of those files *)
+}
+
+val gc : t -> gc_report
+(** Drop artifact records whose payload file is missing or whose
+    emitter/compiler version is stale, delete files in {!artifacts_dir}
+    no live record references, then {!save} (which also compacts away
+    corrupt and stale lines).  Tuning records are untouched. *)

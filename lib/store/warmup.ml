@@ -29,59 +29,97 @@ type job = {
   job_compile : unit -> unit;
 }
 
+(* With the emitted engine, a job also renders + native-compiles the
+   tuned kernel so a store-backed warm-up leaves loadable .cmxs
+   artifacts.  Emission failure is graceful degradation everywhere else,
+   so it is here too: the result is ignored (counted on emit.fallback),
+   the job still succeeds. *)
+let bake engine ~spec (c : Pipeline.compiled) =
+  match engine with
+  | Pipeline.Emitted ->
+    let signature = Pipeline.workload_signature ~spec c.Pipeline.c_op c.Pipeline.c_intrin in
+    ignore
+      (Pipeline.prepare_emitted ~signature
+         c.Pipeline.c_tuned.Unit_rewriter.Cpu_tuner.t_func
+        : (unit, string) result)
+  | Pipeline.Reference | Pipeline.Compiled -> ()
+
+let spec_of_target = function
+  | X86 -> Unit_machine.Spec.cascadelake
+  | Arm -> Unit_machine.Spec.graviton2
+
 (* Job keys mirror the pipeline memo's (tag, workload) identity so the
    single-flight table and the in-memory kernel cache agree on what "the
    same workload" means. *)
-let conv_job target wl =
+let conv_job ?(engine = Pipeline.Compiled) target wl =
   let name = Workload.name (Workload.Conv wl) in
+  let spec = spec_of_target target in
   match target with
   | X86 ->
     { job_key = "x86-vnni/" ^ name;
-      job_compile = (fun () -> ignore (Pipeline.conv_time_x86 wl : float))
+      job_compile = (fun () -> bake engine ~spec (Pipeline.conv_compiled_x86 wl))
     }
   | Arm ->
     { job_key = "arm-arm.udot/" ^ name;
-      job_compile = (fun () -> ignore (Pipeline.conv_time_arm wl : float))
+      job_compile = (fun () -> bake engine ~spec (Pipeline.conv_compiled_arm wl))
     }
 
-let dense_job target wl =
+let dense_job ?(engine = Pipeline.Compiled) target wl =
   let name = Workload.name (Workload.Fc wl) in
+  let spec = spec_of_target target in
   match target with
   | X86 ->
     { job_key = "x86-dense/" ^ name;
-      job_compile = (fun () -> ignore (Pipeline.dense_time_x86 wl : float))
+      job_compile = (fun () -> bake engine ~spec (Pipeline.dense_compiled_x86 wl))
     }
   | Arm ->
     { job_key = "arm-dense/" ^ name;
-      job_compile = (fun () -> ignore (Pipeline.dense_time_arm wl : float))
+      job_compile = (fun () -> bake engine ~spec (Pipeline.dense_compiled_arm wl))
     }
 
-let jobs_of_graph target g =
-  List.map (fun (wl, _) -> conv_job target wl) (Unit_models.Zoo.conv_workloads g)
-  @ List.map (fun (wl, _) -> dense_job target wl) (Unit_models.Zoo.dense_workloads g)
+let jobs_of_graph ?engine target g =
+  List.map (fun (wl, _) -> conv_job ?engine target wl) (Unit_models.Zoo.conv_workloads g)
+  @ List.map
+      (fun (wl, _) -> dense_job ?engine target wl)
+      (Unit_models.Zoo.dense_workloads g)
 
-let jobs_of_model target name =
+let jobs_of_model ?engine target name =
   match Unit_models.Zoo.find name with
   | None -> Error (Printf.sprintf "unknown model %s (see unitc models)" name)
-  | Some build -> Ok (jobs_of_graph target (build ()))
+  | Some build -> Ok (jobs_of_graph ?engine target (build ()))
 
-let jobs_of_zoo target =
+let jobs_of_zoo ?engine target =
   (* concatenated without pre-dedup: shared layers across models are the
      single-flight table's job, and exercise its dedup counter *)
   List.concat_map
-    (fun (_, build) -> jobs_of_graph target (build ()))
+    (fun (_, build) -> jobs_of_graph ?engine target (build ()))
     Unit_models.Zoo.all
 
-let jobs_of_table1 target ?index () =
+let jobs_of_table1 ?engine target ?index () =
   let workloads = Unit_models.Table1.workloads in
   match index with
-  | None -> Ok (Array.to_list (Array.map (conv_job target) workloads))
+  | None -> Ok (Array.to_list (Array.map (conv_job ?engine target) workloads))
   | Some i ->
     if i < 1 || i > Array.length workloads then
       Error
         (Printf.sprintf "table1 index %d out of range 1..%d" i
            (Array.length workloads))
-    else Ok [ conv_job target workloads.(i - 1) ]
+    else Ok [ conv_job ?engine target workloads.(i - 1) ]
+
+(* Bounded exponential backoff with deterministic jitter: base 20 ms
+   doubling per failed attempt, capped at 500 ms, scaled into [0.5, 1.0]
+   by a hash of (key, attempt) so concurrent domains retrying different
+   jobs desynchronize — and the whole schedule stays pure/testable. *)
+let backoff_s ~key ~attempt =
+  if attempt < 1 then 0.0
+  else begin
+    let base = Float.min (0.02 *. (2.0 ** float_of_int (attempt - 1))) 0.5 in
+    let jitter =
+      let h = Hashtbl.hash (key, attempt) land 0xffff in
+      0.5 +. (0.5 *. (float_of_int h /. 65535.0))
+    in
+    base *. jitter
+  end
 
 (* ---------- execution ---------- *)
 
@@ -147,6 +185,7 @@ let run ?domains ?(retries = 1) jobs =
           ignore (e : exn);
           Obs.incr c_retry;
           Atomic.incr retries_spent;
+          Unix.sleepf (backoff_s ~key:job.job_key ~attempt:n);
           attempt (n + 1)
         | exception e ->
           Obs.incr c_fail;

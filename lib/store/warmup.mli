@@ -14,8 +14,11 @@
       [warmup.dedup] and reported as {!field-rp_deduped}.
     - {e bounded retries}: a job failing with anything other than
       [Invalid_argument] is retried up to [retries] extra times
-      ([warmup.retry]), then reported as failed.  [Invalid_argument] is
-      the pipeline's deterministic "does not tensorize" rejection — it
+      ([warmup.retry]), then reported as failed.  Each retry sleeps
+      {!backoff_s} first — bounded exponential backoff with a
+      deterministic per-(job, attempt) jitter — so transient
+      compile-shell failures don't hot-spin domains.  [Invalid_argument]
+      is the pipeline's deterministic "does not tensorize" rejection — it
       is never retried and lands in {!field-rp_skipped}, not failures.
     - per-workload [warmup.workload] spans and [warmup.jobs] /
       [warmup.compiled] / [warmup.dedup] / [warmup.retry] /
@@ -35,18 +38,39 @@ type job = {
   job_compile : unit -> unit;
 }
 
-val conv_job : target -> Unit_graph.Workload.conv2d -> job
-val dense_job : target -> Unit_graph.Workload.dense -> job
+val conv_job :
+  ?engine:Unit_core.Pipeline.engine -> target -> Unit_graph.Workload.conv2d -> job
 
-val jobs_of_model : target -> string -> (job list, string) result
+val dense_job :
+  ?engine:Unit_core.Pipeline.engine -> target -> Unit_graph.Workload.dense -> job
+(** [engine] (default [Compiled]) selects what the job bakes beyond the
+    tuning record: [Emitted] additionally renders + native-compiles the
+    tuned kernel through {!Unit_core.Pipeline.prepare_emitted}, so a
+    store-backed warm-up leaves loadable [.cmxs] artifacts behind.
+    Emission failures degrade silently (counted on [emit.fallback]) —
+    they never fail the job. *)
+
+val jobs_of_model :
+  ?engine:Unit_core.Pipeline.engine -> target -> string -> (job list, string) result
 (** Every distinct conv + dense workload of one zoo model (by name). *)
 
-val jobs_of_zoo : target -> job list
+val jobs_of_zoo : ?engine:Unit_core.Pipeline.engine -> target -> job list
 (** All nine models, concatenated {e without} pre-deduplication — shared
     layers are deliberately left for the single-flight table to catch. *)
 
-val jobs_of_table1 : target -> ?index:int -> unit -> (job list, string) result
+val jobs_of_table1 :
+  ?engine:Unit_core.Pipeline.engine ->
+  target ->
+  ?index:int ->
+  unit ->
+  (job list, string) result
 (** Table I workloads; [index] (1-based) selects a single row. *)
+
+val backoff_s : key:string -> attempt:int -> float
+(** Sleep before retrying [key] after its [attempt]th failed try
+    (1-based): [min (0.02 * 2^(attempt-1)) 0.5] seconds scaled by a
+    deterministic jitter in [0.5, 1.0] derived from
+    [Hashtbl.hash (key, attempt)] — pure, so the schedule is testable. *)
 
 type failure = {
   f_key : string;

@@ -9,6 +9,7 @@ type rule =
   | Overflow
   | Store
   | Mem_plan
+  | Emit
 
 type severity =
   | Error
@@ -31,6 +32,7 @@ let rule_id = function
   | Overflow -> "overflow"
   | Store -> "store"
   | Mem_plan -> "mem-plan"
+  | Emit -> "emit"
 
 let errorf rule fmt =
   Printf.ksprintf (fun detail -> { rule; severity = Error; detail }) fmt

@@ -18,6 +18,9 @@ type rule =
   | Mem_plan
       (** arena memory plan rejected by the overlap checker (interfering
           live ranges share bytes, slot too small, tensor unplanned) *)
+  | Emit
+      (** native-emission engine degraded (no native [Dynlink] /
+          [ocamlopt], unsupported construct) or an unknown engine name *)
 
 type severity =
   | Error  (** the schedule is illegal; reject it *)
@@ -32,7 +35,7 @@ type t = {
 val rule_id : rule -> string
 (** Stable short id: ["scope"], ["bounds"], ["canonical"], ["tile"],
     ["race"], ["dep-carried"], ["tensorize-footprint"], ["overflow"],
-    ["store"], ["mem-plan"]. *)
+    ["store"], ["mem-plan"], ["emit"]. *)
 
 val errorf : rule -> ('a, unit, string, t) format4 -> 'a
 val warnf : rule -> ('a, unit, string, t) format4 -> 'a

@@ -341,6 +341,117 @@ let test_cache_eviction () =
      Alcotest.fail "cap 0 accepted"
    with Invalid_argument _ -> ())
 
+(* ---------- retry backoff schedule ---------- *)
+
+(* [Warmup.backoff_s] is pure, so the whole schedule is pinned here:
+   deterministic, jittered into [0.5, 1.0] x base, doubling per attempt,
+   capped at 500 ms. *)
+let test_backoff_schedule () =
+  let b = Warmup.backoff_s in
+  check_bool "deterministic" true
+    (b ~key:"x86-vnni/conv" ~attempt:3 = b ~key:"x86-vnni/conv" ~attempt:3);
+  check_bool "attempt 0 sleeps nothing" true (b ~key:"k" ~attempt:0 = 0.0);
+  check_bool "attempt 1 lands in [10, 20] ms" true
+    (b ~key:"k" ~attempt:1 >= 0.01 && b ~key:"k" ~attempt:1 <= 0.02);
+  (* the base doubles per attempt while jitter stays in [0.5, 1.0], so
+     two attempts apart the sleep strictly grows (below the cap) *)
+  List.iter
+    (fun key ->
+      check_bool "grows across two attempts" true
+        (b ~key ~attempt:3 > b ~key ~attempt:1))
+    [ "a"; "b"; "x86-vnni/conv"; "arm-dense/fc" ];
+  List.iter
+    (fun attempt ->
+      check_bool "capped at 500 ms" true (b ~key:"k" ~attempt <= 0.5))
+    [ 1; 2; 5; 10; 30; 62 ];
+  (* jitter desynchronizes concurrent retries: among a handful of job
+     keys at the same attempt, at least two sleeps differ *)
+  let sleeps =
+    List.map (fun key -> b ~key ~attempt:2) [ "a"; "b"; "c"; "d"; "e" ]
+  in
+  check_bool "per-key jitter varies" true
+    (List.exists (fun s -> s <> List.hd sleeps) sleeps)
+
+(* ---------- native-kernel artifact records ---------- *)
+
+let write_payload dir name content =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir name) in
+  output_string oc content;
+  close_out oc
+
+let test_artifact_round_trip () =
+  let path = temp_store_path () in
+  let store, _ = Store.open_ path in
+  let dir = Store.artifacts_dir store in
+  write_payload dir "k1.cmxs" "payload-one";
+  Store.artifact_record store ~key:"k1" ~signature:"sig-A" ~file:"k1.cmxs"
+    ~bytes:11;
+  (match Store.artifact_lookup store ~key:"k1" with
+   | Some a ->
+     check_string "payload file" "k1.cmxs" a.Store.a_file;
+     check_int "payload bytes" 11 a.Store.a_bytes;
+     check_int "stamped with the current emitter version"
+       Unit_codegen.Emit.version a.Store.a_emitter;
+     check_string "stamped with the current compiler" Sys.ocaml_version
+       a.Store.a_compiler
+   | None -> Alcotest.fail "freshly recorded artifact is not live");
+  (* artifact lines share the JSONL file with tuning records and
+     dispatch on their "kind" member *)
+  put store ~signature:"sig-A" ~config:some_config;
+  let reopened, diags = Store.open_ path in
+  check_int "reopen loads clean" 0 (List.length diags);
+  check_int "one artifact after reopen" 1
+    (Store.stats reopened).Store.st_artifacts;
+  check_int "one tuning record after reopen" 1 (Store.size reopened);
+  check_bool "artifact live after reopen" true
+    (Store.artifact_lookup reopened ~key:"k1" <> None);
+  Sys.remove (Filename.concat dir "k1.cmxs");
+  Sys.remove path
+
+let test_artifact_gc () =
+  let path = temp_store_path () in
+  let store, _ = Store.open_ path in
+  let dir = Store.artifacts_dir store in
+  write_payload dir "keep.cmxs" "live-payload";
+  Store.artifact_record store ~key:"keep" ~signature:"sig-A" ~file:"keep.cmxs"
+    ~bytes:12;
+  (* a record whose payload vanished is dead: invisible to lookup,
+     dropped by gc *)
+  write_payload dir "gone.cmxs" "doomed";
+  Store.artifact_record store ~key:"gone" ~signature:"sig-B" ~file:"gone.cmxs"
+    ~bytes:6;
+  Sys.remove (Filename.concat dir "gone.cmxs");
+  check_bool "missing payload is not live" true
+    (Store.artifact_lookup store ~key:"gone" = None);
+  (* a stale emitter version is data, not a load error: iterable but
+     never live, and gc fodder *)
+  append_raw path
+    (Printf.sprintf
+       "{\"kind\":\"artifact\",\"v\":1,\"key\":\"old\",\"sig\":\"sig-C\",\
+        \"emitter\":0,\"compiler\":%S,\"file\":\"old.cmxs\",\"bytes\":3}"
+       Sys.ocaml_version);
+  write_payload dir "old.cmxs" "old";
+  write_payload dir "orphan.cmxs" "unreferenced";
+  let reopened, diags = Store.open_ path in
+  check_int "stale emitter loads clean" 0 (List.length diags);
+  check_bool "stale emitter is not live" true
+    (Store.artifact_lookup reopened ~key:"old" = None);
+  let r = Store.gc reopened in
+  check_int "live record kept" 1 r.Store.gc_live;
+  check_int "missing-file + stale-version records dropped" 2 r.Store.gc_dropped;
+  (* old.cmxs (referenced only by the dropped record) and orphan.cmxs *)
+  check_int "unreferenced payloads swept" 2 r.Store.gc_deleted_files;
+  check_int "reclaimed bytes = 3 + 12" 15 r.Store.gc_reclaimed_bytes;
+  check_bool "survivor still live" true
+    (Store.artifact_lookup reopened ~key:"keep" <> None);
+  (* gc compacted: a fresh open sees only the survivor *)
+  let after, diags2 = Store.open_ path in
+  check_int "compacted loads clean" 0 (List.length diags2);
+  check_int "one artifact line left" 1 (Store.stats after).Store.st_artifacts;
+  Sys.remove (Filename.concat dir "keep.cmxs");
+  Sys.remove path
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -365,7 +476,15 @@ let () =
           Alcotest.test_case "rejection skipped, not retried" `Quick
             test_rejection_is_skipped_not_retried;
           Alcotest.test_case "warmup populates the store" `Quick
-            test_warmup_populates_store
+            test_warmup_populates_store;
+          Alcotest.test_case "retry backoff schedule" `Quick
+            test_backoff_schedule
+        ] );
+      ( "artifacts",
+        [ Alcotest.test_case "record / lookup / reopen" `Quick
+            test_artifact_round_trip;
+          Alcotest.test_case "gc drops stale + sweeps unreferenced" `Quick
+            test_artifact_gc
         ] );
       ( "cache",
         [ Alcotest.test_case "bounded with FIFO eviction" `Quick
