@@ -555,6 +555,229 @@ let emit_bench () =
   { o_id = "emit"; o_metric = "emitted engine speedup over closure engine";
     o_paper = 3.0; o_measured = speedup }
 
+(* ---------- serve: daemon soak (BENCH_serve.json) ---------- *)
+
+(* The compilation-as-a-service soak: thousands of mixed warm/cold
+   requests fired from concurrent client threads at an in-process
+   unitd server (4 worker domains, fresh sharded store), then three
+   assertions frozen into BENCH_serve.json for bench-lint:
+   - zero duplicate tuner sweeps (tensorize.tune span count == distinct
+     workloads — coalescing plus the handler's single-flight held),
+   - daemon run digests bit-identical to direct Pipeline execution,
+   - client-observed p50/p99 latency. *)
+
+module Serve_protocol = Unit_serve.Protocol
+module Serve_server = Unit_serve.Server
+module Sharded = Unit_store.Sharded
+module Warmup = Unit_store.Warmup
+module Ndarray = Unit_codegen.Ndarray
+
+let tune_span_count () =
+  let module Obs = Unit_obs.Obs in
+  List.fold_left
+    (fun acc (a : Obs.agg) ->
+      if a.Obs.agg_name = "tensorize.tune" then acc + a.Obs.agg_count else acc)
+    0
+    (Obs.aggregate_spans (Obs.spans ()))
+
+(* exact nearest-rank percentile over a sorted sample *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let serve_direct_digest target workload =
+  let c =
+    match (target, workload) with
+    | Warmup.X86, (Serve_protocol.Conv _ | Serve_protocol.Table1 _) ->
+      Pipeline.conv_compiled_x86
+        (match workload with
+         | Serve_protocol.Conv wl -> wl
+         | Serve_protocol.Table1 i -> Unit_models.Table1.workloads.(i - 1)
+         | Serve_protocol.Dense _ -> assert false)
+    | Warmup.X86, Serve_protocol.Dense wl -> Pipeline.dense_compiled_x86 wl
+    | Warmup.Arm, _ -> assert false
+  in
+  let op = c.Pipeline.c_op in
+  let signature =
+    Pipeline.workload_signature ~spec:Spec.cascadelake op c.Pipeline.c_intrin
+  in
+  let inputs =
+    List.map
+      (fun t -> (t, Ndarray.random_for_tensor ~seed:1 t))
+      (Unit_dsl.Op.inputs op)
+  in
+  let out = Ndarray.of_tensor_zeros op.Unit_dsl.Op.output in
+  Pipeline.run_func ~engine:Pipeline.Compiled
+    ~signature:("tensorized|" ^ signature)
+    c.Pipeline.c_tuned.Cpu_tuner.t_func
+    ~bindings:((op.Unit_dsl.Op.output, out) :: inputs);
+  Serve_protocol.digest_ndarray out
+
+let serve_bench () =
+  header "serve: compilation-as-a-service soak";
+  let requests_total = 2048 and clients = 8 and domains = 4 in
+  let store_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "unit_serve_bench_%d" (Unix.getpid ()))
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then
+      ignore (Sys.command ("rm -rf " ^ Filename.quote dir) : int)
+  in
+  rm_rf store_dir;
+  let store, _diags = Sharded.open_ store_dir in
+  Pipeline.set_tuning_store (Some (Sharded.pipeline_hooks store));
+  (* a cold start even when other experiments tensorized first: every
+     distinct workload below must cost exactly one tuner sweep *)
+  Pipeline.clear_cache ();
+  Fun.protect
+    ~finally:(fun () ->
+      Pipeline.set_tuning_store None;
+      rm_rf store_dir)
+  @@ fun () ->
+  (* cheap cost-model work across both targets (tunes only) ... *)
+  let tune_pool =
+    List.concat_map
+      (fun target ->
+        List.init 16 (fun i -> (target, Serve_protocol.Table1 (i + 1)))
+        @ [ (target, Serve_protocol.Dense { Workload.d_k = 256; d_units = 128 });
+            (target, Serve_protocol.Dense { Workload.d_k = 512; d_units = 64 })
+          ])
+      [ Warmup.X86; Warmup.Arm ]
+  in
+  (* ... plus small executable convs the daemon actually runs (x86 so the
+     direct-digest replay below stays on one spec) *)
+  let run_pool =
+    List.map
+      (fun (c, k) ->
+        ( Warmup.X86,
+          Serve_protocol.Conv
+            { Workload.c; h = 8; w = 8; k; kernel = 3; stride = 1; padding = 1;
+              groups = 1 } ))
+      [ (16, 16); (16, 32); (32, 16); (8, 48) ]
+  in
+  let tune_pool = Array.of_list tune_pool and run_pool = Array.of_list run_pool in
+  let request i =
+    if i mod 4 = 3 then
+      let target, workload = run_pool.(i / 4 mod Array.length run_pool) in
+      Serve_protocol.Run { target; engine = Pipeline.Compiled; workload }
+    else
+      let target, workload = tune_pool.(i mod Array.length tune_pool) in
+      Serve_protocol.Tune { target; engine = Pipeline.Compiled; workload }
+  in
+  let distinct_workloads =
+    let keys = Hashtbl.create 64 in
+    for i = 0 to requests_total - 1 do
+      match request i with
+      | Serve_protocol.Tune { target; workload; _ }
+      | Serve_protocol.Run { target; workload; _ } ->
+        Hashtbl.replace keys
+          (Warmup.target_to_string target ^ "/"
+          ^ Serve_protocol.workload_name workload)
+          ()
+      | _ -> ()
+    done;
+    Hashtbl.length keys
+  in
+  let tunes_before = tune_span_count () in
+  let server =
+    Serve_server.create
+      { Serve_server.domains; queue_cap = 256; retries = 1 }
+  in
+  let per_client = requests_total / clients in
+  let latencies = Array.make requests_total 0.0 in
+  let failures = Atomic.make 0 in
+  (* daemon-reported run digests, keyed by workload name; any
+     disagreement within a key is itself a bit-identity failure *)
+  let digests : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let digest_lock = Mutex.create () in
+  let client id () =
+    for i = 0 to per_client - 1 do
+      let g = (id * per_client) + i in
+      let req = request g in
+      let t0 = Unix.gettimeofday () in
+      let response = Serve_server.submit server req in
+      latencies.(g) <- (Unix.gettimeofday () -. t0) *. 1e6;
+      match response with
+      | Serve_protocol.Failure _ -> Atomic.incr failures
+      | Serve_protocol.Result j ->
+        (match req with
+         | Serve_protocol.Run _ ->
+           let member name =
+             Option.bind (Unit_obs.Json.member name j) Unit_obs.Json.to_str
+           in
+           (match (member "workload", member "digest") with
+            | Some wl, Some d ->
+              Mutex.lock digest_lock;
+              (match Hashtbl.find_opt digests wl with
+               | Some d' when d' <> d -> Atomic.incr failures
+               | _ -> Hashtbl.replace digests wl d);
+              Mutex.unlock digest_lock
+            | _ -> Atomic.incr failures)
+         | _ -> ())
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun id -> Thread.create (client id) ()) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let duplicate_tunes =
+    max 0 (tune_span_count () - tunes_before - distinct_workloads)
+  in
+  let stats = Serve_server.stats_fields server in
+  let coalesced = List.assoc "coalesced" stats in
+  Serve_server.drain server;
+  if Atomic.get failures > 0 then
+    failwith
+      (Printf.sprintf "serve soak: %d failed/divergent response(s)"
+         (Atomic.get failures));
+  (* bit-identity: replay every Run workload directly through the
+     pipeline and compare content digests element-for-element *)
+  let bit_identical =
+    Array.for_all
+      (fun (_, workload) ->
+        let name = Serve_protocol.workload_name workload in
+        match Hashtbl.find_opt digests name with
+        | None -> false
+        | Some d -> String.equal d (serve_direct_digest Warmup.X86 workload))
+      run_pool
+  in
+  Array.sort compare latencies;
+  let p50 = percentile latencies 50.0 and p99 = percentile latencies 99.0 in
+  Printf.printf
+    "%d requests / %d clients / %d domains in %.2f s (%.0f req/s)\n"
+    requests_total clients domains elapsed
+    (float_of_int requests_total /. elapsed);
+  Printf.printf
+    "distinct workloads %d, tuner sweeps %+d duplicate(s), coalesced %d\n"
+    distinct_workloads duplicate_tunes coalesced;
+  Printf.printf "bit-identical vs direct pipeline: %b\n" bit_identical;
+  Printf.printf "latency p50 %.0f us, p99 %.0f us\n" p50 p99;
+  if not bit_identical then failwith "serve soak: daemon responses diverged";
+  let module Json = Unit_obs.Json in
+  let j =
+    Json.Obj
+      [ ("schema", Json.Str "unit-serve");
+        ("requests", Json.Num (float_of_int requests_total));
+        ("clients", Json.Num (float_of_int clients));
+        ("domains", Json.Num (float_of_int domains));
+        ("distinct_workloads", Json.Num (float_of_int distinct_workloads));
+        ("duplicate_tunes", Json.Num (float_of_int duplicate_tunes));
+        ("coalesced", Json.Num (float_of_int coalesced));
+        ("bit_identical", Json.Bool bit_identical);
+        ("p50_us", Json.Num (Float.round p50));
+        ("p99_us", Json.Num (Float.round p99))
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Json.to_string j);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "-> BENCH_serve.json written\n";
+  { o_id = "serve"; o_metric = "daemon soak duplicate tuner sweeps";
+    o_paper = 0.0; o_measured = float_of_int duplicate_tunes }
+
 (* ---------- driver ---------- *)
 
 let all : (string * (unit -> outcome)) list =
@@ -562,7 +785,7 @@ let all : (string * (unit -> outcome)) list =
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
     ("ablation-mapping", ablation_mapping); ("ablation-unroll", ablation_unroll);
     ("ablation-isa", ablation_isa_generations); ("interp", interp_bench);
-    ("emit", emit_bench)
+    ("emit", emit_bench); ("serve", serve_bench)
   ]
 
 let summary outcomes =

@@ -18,6 +18,7 @@ module Obs = Unit_obs.Obs
 module Json = Unit_obs.Json
 module Diag = Unit_tir.Diag
 module Store = Unit_store.Store
+module Sharded = Unit_store.Sharded
 module Warmup = Unit_store.Warmup
 
 let () = Unit_isa.Defs.ensure_registered ()
@@ -705,13 +706,33 @@ let warmup model target engine store_path domains retries trace trace_out
     or_die (Error "--assert-hit: no disk hit (the store was cold)");
   if report.Warmup.rp_failures <> [] then exit 1
 
+(* store-stats and store-gc accept either a legacy single-file store or a
+   sharded store directory; {!Sharded.is_sharded_dir} routes, and the
+   JSON gains a "shards" field so callers can tell which shape they hit. *)
+let open_any_store file =
+  if Sharded.is_sharded_dir file then begin
+    let store, diags = Sharded.open_ file in
+    ( diags,
+      Some (Sharded.shard_count store),
+      Sharded.stats store,
+      Sharded.iter store,
+      fun () -> Sharded.gc store )
+  end
+  else begin
+    let store, diags = Store.open_ file in
+    ( diags,
+      None,
+      Store.stats store,
+      Store.iter store,
+      fun () -> Store.gc store )
+  end
+
 let store_stats file json =
   if not (Sys.file_exists file) then or_die (Error (file ^ ": no such store"));
-  let store, diags = Store.open_ file in
+  let diags, shards, st, iter, _gc = open_any_store file in
   if not json then print_store_diags diags;
-  let st = Store.stats store in
   let records = ref [] in
-  Store.iter store (fun r -> records := r :: !records);
+  iter (fun r -> records := r :: !records);
   let records =
     List.sort
       (fun (a : Store.record) (b : Store.record) ->
@@ -724,8 +745,11 @@ let store_stats file json =
     print_endline
       (Json.to_string
          (Json.Obj
-            [ ("file", Json.Str file);
-              ("records", Json.Num (float_of_int st.Store.st_records));
+            ([ ("file", Json.Str file) ]
+            @ (match shards with
+              | Some n -> [ ("shards", Json.Num (float_of_int n)) ]
+              | None -> [])
+            @ [ ("records", Json.Num (float_of_int st.Store.st_records));
               ("loaded", Json.Num (float_of_int st.Store.st_loaded));
               ("corrupt", Json.Num (float_of_int st.Store.st_corrupt));
               ("stale", Json.Num (float_of_int st.Store.st_stale));
@@ -743,10 +767,13 @@ let store_stats file json =
                            ("cycles", Json.Num r.Store.r_cycles)
                          ])
                      records) )
-            ]))
+            ])))
   else begin
     Printf.printf
-      "%s: %d live record(s) (%d line(s) loaded, %d corrupt, %d stale)\n" file
+      "%s%s: %d live record(s) (%d line(s) loaded, %d corrupt, %d stale)\n" file
+      (match shards with
+       | Some n -> Printf.sprintf " [%d shard(s)]" n
+       | None -> "")
       st.Store.st_records st.Store.st_loaded st.Store.st_corrupt
       st.Store.st_stale;
     List.iter
@@ -762,26 +789,63 @@ let store_stats file json =
 
 let store_gc file json =
   if not (Sys.file_exists file) then or_die (Error (file ^ ": no such store"));
-  let store, diags = Store.open_ file in
+  let diags, shards, _st, _iter, gc = open_any_store file in
   if not json then print_store_diags diags;
-  let r = Store.gc store in
+  let r = gc () in
   if json then
     print_endline
       (Json.to_string
          (Json.Obj
-            [ ("file", Json.Str file);
-              ("live", Json.Num (float_of_int r.Store.gc_live));
+            ([ ("file", Json.Str file) ]
+            @ (match shards with
+              | Some n -> [ ("shards", Json.Num (float_of_int n)) ]
+              | None -> [])
+            @ [ ("live", Json.Num (float_of_int r.Store.gc_live));
               ("dropped", Json.Num (float_of_int r.Store.gc_dropped));
               ("deleted_files", Json.Num (float_of_int r.Store.gc_deleted_files));
               ( "reclaimed_bytes",
                 Json.Num (float_of_int r.Store.gc_reclaimed_bytes) )
-            ]))
+            ])))
   else
     Printf.printf
       "store-gc %s: %d live artifact(s) kept, %d stale record(s) dropped, %d \
        file(s) deleted, %d bytes reclaimed\n"
       file r.Store.gc_live r.Store.gc_dropped r.Store.gc_deleted_files
       r.Store.gc_reclaimed_bytes
+
+(* ---------- store-migrate ---------- *)
+
+(* Legacy single-file store -> sharded directory.  Records and live
+   artifacts are rehashed onto their owning shards; the legacy store is
+   left untouched so the migration is trivially revertible. *)
+let store_migrate legacy dir shards json =
+  if not (Sys.file_exists legacy) then
+    or_die (Error (legacy ^ ": no such store"));
+  if Sys.file_exists legacy && Sys.is_directory legacy then
+    or_die (Error (legacy ^ ": already a directory (expected a legacy JSONL store)"));
+  let store, open_diags = Sharded.open_ ?shards dir in
+  let mg, legacy_diags = Sharded.migrate store ~legacy in
+  let diags = open_diags @ legacy_diags in
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("legacy", Json.Str legacy);
+              ("dir", Json.Str dir);
+              ("shards", Json.Num (float_of_int (Sharded.shard_count store)));
+              ("records", Json.Num (float_of_int mg.Sharded.mg_records));
+              ("artifacts", Json.Num (float_of_int mg.Sharded.mg_artifacts));
+              ( "diags",
+                Json.Arr (List.map (fun d -> Json.Str (Diag.to_string d)) diags) )
+            ]))
+  else begin
+    print_store_diags diags;
+    Printf.printf
+      "store-migrate: %s -> %s (%d shard(s)): %d record(s), %d live \
+       artifact(s) migrated\n"
+      legacy dir (Sharded.shard_count store) mg.Sharded.mg_records
+      mg.Sharded.mg_artifacts
+  end
 
 (* Exit 0 when the emitted engine can work here, 3 when it cannot — the
    @emit-smoke alias probes this to skip visibly instead of failing. *)
@@ -802,7 +866,20 @@ let emit_status () =
    count.  --forbid-span / --require-positive-counter replace that
    default with explicit assertions (traces from commands that never
    tensorize — e.g. a warm `run` — have no stage spans to demand). *)
-let trace_lint file forbid_spans require_counters =
+let trace_lint file forbid_spans require_counters count_spans =
+  let count_spans =
+    List.map
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | Some i ->
+          let name = String.sub spec 0 i in
+          let n = String.sub spec (i + 1) (String.length spec - i - 1) in
+          (match int_of_string_opt n with
+           | Some n when name <> "" && n >= 0 -> (name, n)
+           | _ -> or_die (Error ("--count-span " ^ spec ^ ": expected NAME=N")))
+        | None -> or_die (Error ("--count-span " ^ spec ^ ": expected NAME=N")))
+      count_spans
+  in
   let contents =
     let ic = open_in_bin file in
     Fun.protect
@@ -820,11 +897,22 @@ let trace_lint file forbid_spans require_counters =
     let names =
       List.filter_map (fun e -> Option.bind (Json.member "name" e) Json.to_str) events
     in
+    (* duration events only — counter samples share the name namespace *)
+    let span_names =
+      List.filter_map
+        (fun e ->
+          match Option.bind (Json.member "ph" e) Json.to_str with
+          | Some "X" -> Option.bind (Json.member "name" e) Json.to_str
+          | _ -> None)
+        events
+    in
     let counter name =
       Option.bind (Json.member "counters" j) (fun c ->
           Option.bind (Json.member name c) Json.to_num)
     in
-    let custom = forbid_spans <> [] || require_counters <> [] in
+    let custom =
+      forbid_spans <> [] || require_counters <> [] || count_spans <> []
+    in
     if custom then begin
       List.iter
         (fun span ->
@@ -841,11 +929,23 @@ let trace_lint file forbid_spans require_counters =
           | None ->
             or_die (Error (Printf.sprintf "%s: counter %s absent" file name)))
         require_counters;
+      List.iter
+        (fun (span, expected) ->
+          let got =
+            List.length (List.filter (fun n -> n = span) span_names)
+          in
+          if got <> expected then
+            or_die
+              (Error
+                 (Printf.sprintf "%s: span %s occurs %d time(s), expected %d"
+                    file span got expected)))
+        count_spans;
       Printf.printf
-        "trace-lint: %s OK (%d events; %d span(s) absent as required, %d \
+        "trace-lint: %s OK (%d events; %d span(s) absent, %d counted, %d \
          counter(s) positive)\n"
         file (List.length events)
         (List.length forbid_spans)
+        (List.length count_spans)
         (List.length require_counters)
     end
     else begin
@@ -1250,10 +1350,38 @@ let store_stats_cmd =
   Cmd.v
     (Cmd.info "store-stats"
        ~doc:
-         "Summarize a tuning store: live records, corrupt/stale lines \
-          skipped on load, and every stored config with its estimated \
-          cycles.")
+         "Summarize a tuning store — a legacy JSONL file or a sharded \
+          directory: live records, corrupt/stale lines skipped on load, \
+          and every stored config with its estimated cycles.")
     Term.(const store_stats $ file $ json)
+
+let store_migrate_cmd =
+  let legacy =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"LEGACY"
+             ~doc:"Legacy single-file JSONL store to migrate from.")
+  in
+  let dir =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"DIR" ~doc:"Sharded store directory (created if absent).")
+  in
+  let shards =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Shard count when creating DIR (default 8); ignored when \
+                   DIR already exists.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "store-migrate"
+       ~doc:
+         "Copy a legacy single-file tuning store into a sharded store \
+          directory: every live record and live native-kernel artifact is \
+          rehashed onto its owning shard.  The legacy store is left \
+          untouched.")
+    Term.(const store_migrate $ legacy $ dir $ shards $ json)
 
 let memplan_cmd =
   let model =
@@ -1395,14 +1523,25 @@ let trace_lint_cmd =
             "Assert the named counter is present and positive (repeatable; \
              replaces the default tuner.candidates check).")
   in
+  let count_spans =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "count-span" ] ~docv:"NAME=N"
+          ~doc:
+            "Assert the named span occurs exactly N times (repeatable; \
+             replaces the default stage-span checks).  The serve-smoke \
+             alias requires tensorize.tune=1 — many coalesced requests, \
+             one tuner sweep.")
+  in
   Cmd.v
     (Cmd.info "trace-lint"
        ~doc:
          "Validate a Chrome trace written by --trace-out: JSON parses and, by \
           default, all five tensorize stage spans are present with tuner \
-          candidates counted; --forbid-span / --require-positive-counter \
-          substitute explicit assertions.")
-    Term.(const trace_lint $ file $ forbid_spans $ require_counters)
+          candidates counted; --forbid-span / --count-span / \
+          --require-positive-counter substitute explicit assertions.")
+    Term.(const trace_lint $ file $ forbid_spans $ require_counters $ count_spans)
 
 let store_gc_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -1437,7 +1576,8 @@ let () =
        (Cmd.group info
           [ list_isa_cmd; show_isa_cmd; inspect_cmd; compile_cmd; run_cmd; e2e_cmd;
             models_cmd; table1_cmd; check_cmd; lint_cmd; profile_cmd;
-            warmup_cmd; store_stats_cmd; store_gc_cmd; emit_status_cmd;
+            warmup_cmd; store_stats_cmd; store_gc_cmd; store_migrate_cmd;
+            emit_status_cmd;
             trace_lint_cmd; explain_cmd;
             bench_report_cmd; bench_diff_cmd; bench_lint_cmd;
             memplan_cmd; memcheck_cmd

@@ -1,0 +1,289 @@
+(* unitd — the UNIT compilation-as-a-service daemon.
+
+   `unitd serve` listens on a Unix-domain socket, frames requests with a
+   4-byte length prefix + JSON (Unit_serve.Wire / Protocol), and serves
+   them from a pool of OCaml 5 worker domains with a sharded tuning
+   store, request coalescing, admission control and graceful drain.
+   `unitd call` is the one-shot client; `unitd smoke` is the in-process
+   cold+warm cycle the @serve-smoke alias lints. *)
+
+open Cmdliner
+module Json = Unit_obs.Json
+module Obs = Unit_obs.Obs
+module Wire = Unit_serve.Wire
+module Protocol = Unit_serve.Protocol
+module Server = Unit_serve.Server
+module Sharded = Unit_store.Sharded
+module Diag = Unit_tir.Diag
+module Pipeline = Unit_core.Pipeline
+
+let () = Unit_isa.Defs.ensure_registered ()
+
+let enable_tracing ?trace_out () =
+  Obs.set_enabled true;
+  at_exit (fun () ->
+      Obs.set_enabled false;
+      Format.printf "%a@?" Obs.pp_summary ();
+      Option.iter
+        (fun path ->
+          Obs.write_chrome_trace path;
+          Printf.printf "chrome trace written to %s\n%!" path)
+        trace_out)
+
+(* Install a sharded store for the daemon's lifetime: tuning records and
+   emitted artifacts route by content address, so worker domains writing
+   different shards never contend. *)
+let with_sharded_store ?shards store_dir f =
+  match store_dir with
+  | None -> f ()
+  | Some dir ->
+    let store, diags = Sharded.open_ ?shards dir in
+    List.iter (fun d -> Printf.printf "%s\n%!" (Diag.to_string d)) diags;
+    Pipeline.set_tuning_store (Some (Sharded.pipeline_hooks store));
+    Unit_codegen.Emit_cache.set_artifact_hooks (Some (Sharded.emit_hooks store));
+    Fun.protect
+      ~finally:(fun () ->
+        Pipeline.set_tuning_store None;
+        Unit_codegen.Emit_cache.set_artifact_hooks None;
+        Sharded.save store;
+        let st = Sharded.stats store in
+        Printf.printf
+          "store %s: %d shard(s), %d record(s), %d artifact(s); this run: %d \
+           disk hit(s), %d miss(es), %d append(s)\n%!"
+          dir (Sharded.shard_count store) st.Unit_store.Store.st_records
+          st.Unit_store.Store.st_artifacts st.Unit_store.Store.st_hits
+          st.Unit_store.Store.st_misses st.Unit_store.Store.st_appends)
+      f
+
+(* ---------- serve ---------- *)
+
+let serve socket_path domains queue_cap retries store shards trace trace_out =
+  if trace || trace_out <> None then enable_tracing ?trace_out ();
+  with_sharded_store ?shards store @@ fun () ->
+  if Sys.file_exists socket_path then Unix.unlink socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd 64;
+  let server = Server.create { Server.domains; queue_cap; retries } in
+  let stop = ref false in
+  let request_stop _ = stop := true in
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+   | _ -> ());
+  Printf.printf "unitd: listening on %s (%d domain(s), queue %d)\n%!"
+    socket_path domains queue_cap;
+  (* accept loop: poll so a Shutdown request or a signal is noticed
+     within 200 ms; each connection gets its own (blocking) thread *)
+  while not (!stop || Server.draining server) do
+    match Unix.select [ listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ ->
+      let fd, _ = Unix.accept listen_fd in
+      ignore
+        (Thread.create
+           (fun () ->
+             Fun.protect
+               ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+               (fun () -> Server.serve_connection server fd))
+           ())
+  done;
+  Printf.printf "unitd: draining...\n%!";
+  Unix.close listen_fd;
+  if Sys.file_exists socket_path then Unix.unlink socket_path;
+  Server.drain server;
+  Printf.printf "unitd: drained, bye\n%!"
+
+(* ---------- call (one-shot client) ---------- *)
+
+let call socket_path payload =
+  (match Json.parse payload with
+   | Ok _ -> ()
+   | Error m ->
+     prerr_endline ("unitd: request is not valid JSON: " ^ m);
+     exit 1);
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with Unix.Unix_error (e, _, _) ->
+     prerr_endline
+       (Printf.sprintf "unitd: cannot connect to %s: %s" socket_path
+          (Unix.error_message e));
+     exit 1);
+  Wire.write_frame fd payload;
+  (match Wire.read_frame fd with
+   | Ok response -> print_endline response
+   | Error e ->
+     prerr_endline ("unitd: " ^ Wire.error_to_string e);
+     exit 1);
+  Unix.close fd
+
+(* ---------- smoke (in-process cold+warm cycle) ---------- *)
+
+(* The @serve-smoke driver: N identical concurrent tune requests against
+   a cold daemon must produce exactly one tuner sweep (the trace-lint
+   asserts one tensorize.tune span and a positive serve.coalesced
+   counter), then a store-warm cycle must tune nothing at all.  The
+   fault hook holds the one in-flight job until every client has
+   submitted, so the coalescing assertion is deterministic, not a race
+   we usually win. *)
+let smoke store_dir trace_out =
+  enable_tracing ?trace_out ();
+  let store_dir = Option.value ~default:"unitd_smoke_store" store_dir in
+  if Sys.file_exists store_dir then begin
+    let rm = Printf.sprintf "rm -rf %s" (Filename.quote store_dir) in
+    if Sys.command rm <> 0 then failwith ("cannot clear " ^ store_dir)
+  end;
+  with_sharded_store (Some store_dir) @@ fun () ->
+  let clients = 16 in
+  let submitted = Atomic.make 0 in
+  let fault ~key:_ ~attempt:_ =
+    while Atomic.get submitted < clients do
+      Thread.delay 0.001
+    done
+  in
+  let server = Server.create ~fault { Server.default_config with domains = 4 } in
+  let request =
+    Protocol.Tune
+      { target = Unit_store.Warmup.X86;
+        engine = Pipeline.Compiled;
+        workload =
+          Protocol.Conv
+            { Unit_graph.Workload.c = 32; h = 8; w = 8; k = 32; kernel = 3;
+              stride = 1; padding = 1; groups = 1 }
+      }
+  in
+  let fire () =
+    let responses =
+      Array.make clients (Protocol.Failure (Protocol.Internal, "unset"))
+    in
+    let threads =
+      List.init clients (fun i ->
+          Thread.create
+            (fun () ->
+              Atomic.incr submitted;
+              responses.(i) <- Server.submit server request)
+            ())
+    in
+    List.iter Thread.join threads;
+    Array.iter
+      (function
+        | Protocol.Result _ -> ()
+        | Protocol.Failure (code, m) ->
+          failwith
+            (Printf.sprintf "request failed: %s (%s)" m
+               (Protocol.code_to_string code)))
+      responses
+  in
+  Printf.printf "serve-smoke: cold burst (%d identical concurrent tunes)\n%!"
+    clients;
+  fire ();
+  let fields = Server.stats_fields server in
+  let field name = List.assoc name fields in
+  if field "coalesced" < 1 then failwith "no request was coalesced";
+  if field "overloaded" > 0 then failwith "admission control rejected the burst";
+  (* warm cycle: drop the in-memory kernel cache so the second burst
+     replays from the sharded store on disk — still zero tuner sweeps *)
+  Pipeline.clear_cache ();
+  Atomic.set submitted clients;
+  Printf.printf "serve-smoke: warm burst (store replay)\n%!";
+  fire ();
+  (match Server.submit server Protocol.Shutdown with
+   | Protocol.Result _ -> ()
+   | Protocol.Failure _ -> failwith "shutdown refused");
+  (match Server.submit server request with
+   | Protocol.Failure (Protocol.Draining, _) -> ()
+   | _ -> failwith "post-shutdown work was not refused as draining");
+  Server.drain server;
+  Printf.printf "serve-smoke: OK (%d requests, %d coalesced, 1 tune)\n%!"
+    (field "requests" + 2) (field "coalesced")
+
+(* ---------- cmdliner plumbing ---------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "unitd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Sharded tuning-store directory (shard-NN.jsonl files).  Disk \
+           hits replay stored configs and skip the tuner sweep; fresh \
+           tunings are appended to the owning shard.")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard count when creating a new store (default 8).  Reopening \
+           an existing store always uses its persisted count.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Enable tracing; print a summary on exit.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE" ~doc:"Write a Chrome trace on exit.")
+
+let serve_cmd =
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Admission bound: beyond this many queued jobs, overloaded.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra attempts per transiently-failing job.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the daemon: length-prefixed JSON requests over a Unix-domain \
+          socket, served from a pool of OCaml 5 domains with request \
+          coalescing, admission control and graceful drain (SIGINT/SIGTERM \
+          or a shutdown request).")
+    Term.(
+      const serve $ socket_arg $ domains $ queue_cap $ retries $ store_arg
+      $ shards_arg $ trace_arg $ trace_out_arg)
+
+let call_cmd =
+  let payload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JSON" ~doc:"Request document, e.g. '{\"req\":\"stats\"}'.")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:"Send one request to a running daemon and print the response.")
+    Term.(const call $ socket_arg $ payload)
+
+let smoke_cmd =
+  Cmd.v
+    (Cmd.info "smoke"
+       ~doc:
+         "In-process cold+warm cycle for @serve-smoke: N identical \
+          concurrent tune requests coalesce into exactly one tuner sweep, \
+          then a store-warm burst tunes nothing; writes a lintable trace.")
+    Term.(const smoke $ store_arg $ trace_out_arg)
+
+let () =
+  let info =
+    Cmd.info "unitd" ~version:"1.0.0"
+      ~doc:"UNIT compilation-as-a-service daemon."
+  in
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; call_cmd; smoke_cmd ]))

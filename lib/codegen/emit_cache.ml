@@ -17,7 +17,7 @@ let c_memo_hit = Obs.counter "emit.memo.hit"
 let c_fallback = Obs.counter "emit.fallback"
 
 type artifact_hooks = {
-  ah_dir : string;
+  ah_dir : key:string -> string;
   ah_lookup : key:string -> string option;
   ah_record : key:string -> signature:string -> file:string -> bytes:int -> unit;
 }
@@ -229,7 +229,7 @@ let load_locked tc ~signature ~key ~source =
              | None -> built
              | Some h ->
                (match
-                  install_artifact ~dir:h.ah_dir ~file:(modname ^ ".cmxs")
+                  install_artifact ~dir:(h.ah_dir ~key) ~file:(modname ^ ".cmxs")
                     ~from:built
                 with
                 | dst, bytes ->

@@ -23,9 +23,10 @@
 open Unit_tir
 
 type artifact_hooks = {
-  ah_dir : string;
-      (** directory that receives installed [.cmxs] files; created on
-          first install *)
+  ah_dir : key:string -> string;
+      (** directory that receives the installed [.cmxs] for [key]
+          (created on first install).  Keyed so a sharded store can
+          route each artifact next to the shard that records it. *)
   ah_lookup : key:string -> string option;
       (** path to a live (current-version, file-present) artifact *)
   ah_record : key:string -> signature:string -> file:string -> bytes:int -> unit;

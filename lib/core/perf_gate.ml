@@ -355,6 +355,64 @@ let validate_emit j =
   in
   Ok (Printf.sprintf "emitted-engine benchmark, %.1fx over closure" ratio)
 
+(* The daemon soak freeze (BENCH_serve.json).  The substance gates mirror
+   the ISSUE acceptance bar: a real soak (>= 2000 requests over >= 4
+   domains), zero duplicate tuner sweeps (coalescing + single-flight did
+   their job), responses bit-identical to direct pipeline calls, and
+   sane latency percentiles. *)
+let validate_serve j =
+  let bool_field name =
+    match Json.member name j with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error (Printf.sprintf "field %s missing or not a bool" name)
+  in
+  let* requests = num "requests" j in
+  let* domains = num "domains" j in
+  let* distinct = num "distinct_workloads" j in
+  let* duplicates = num "duplicate_tunes" j in
+  let* _coalesced = num "coalesced" j in
+  let* identical = bool_field "bit_identical" in
+  let* p50 = num "p50_us" j in
+  let* p99 = num "p99_us" j in
+  let* () =
+    if requests >= 2000.0 then Ok ()
+    else
+      Error
+        (Printf.sprintf "soak covered only %.0f requests (gate: >= 2000)"
+           requests)
+  in
+  let* () =
+    if domains >= 4.0 then Ok ()
+    else Error (Printf.sprintf "soak used only %.0f domains (gate: >= 4)" domains)
+  in
+  let* () =
+    if distinct > 0.0 then Ok ()
+    else Error "field distinct_workloads is not positive"
+  in
+  let* () =
+    if duplicates = 0.0 then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "%.0f duplicate tuner sweep(s) — coalescing/single-flight failed"
+           duplicates)
+  in
+  let* () =
+    if identical then Ok ()
+    else Error "daemon responses diverged from direct pipeline calls"
+  in
+  let* () =
+    if p50 > 0.0 && p50 <= p99 then Ok ()
+    else
+      Error
+        (Printf.sprintf "latency percentiles implausible (p50 %.1f, p99 %.1f)"
+           p50 p99)
+  in
+  Ok
+    (Printf.sprintf
+       "serve soak benchmark, %.0f requests, p50 %.0f us, p99 %.0f us" requests
+       p50 p99)
+
 let validate_file path =
   match read_file path with
   | exception Sys_error m -> Error m
@@ -363,6 +421,7 @@ let validate_file path =
     (match Json.member "schema" j with
      | Some s when Json.to_str s = Some "unit-memplan" -> validate_memplan j
      | Some s when Json.to_str s = Some "unit-emit" -> validate_emit j
+     | Some s when Json.to_str s = Some "unit-serve" -> validate_serve j
      | Some _ ->
        let* r = of_json j in
        Ok

@@ -74,7 +74,12 @@ val validate_file : string -> (string, string) result
     a perf report (["schema": "unit-perf-report"]), the memory-plan
     freeze (["schema": "unit-memplan"] — shape, arena <= naive for
     every model, and the resnet18 arena at <= 60% of naive), the
-    interpreter benchmark ([BENCH_interp.json]: workload/macs/seconds
-    members), or the paper-outcomes file ([BENCH_obs.json]: an
-    ["outcomes"] array of id/metric/paper/measured rows).  [Ok] carries
-    a one-line description of what was validated. *)
+    emitted-engine freeze (["schema": "unit-emit"] — monotone engine
+    timings and a >= 3x margin over the closure engine), the daemon
+    soak freeze (["schema": "unit-serve"] — >= 2000 requests over
+    >= 4 domains, zero duplicate tuner sweeps, responses bit-identical
+    to direct pipeline calls, p50 <= p99), the interpreter benchmark
+    ([BENCH_interp.json]: workload/macs/seconds members), or the
+    paper-outcomes file ([BENCH_obs.json]: an ["outcomes"] array of
+    id/metric/paper/measured rows).  [Ok] carries a one-line
+    description of what was validated. *)

@@ -453,6 +453,45 @@ let chrome_trace () =
       ("histograms", Json.Obj hists_json);
     ]
 
+let stats_json () =
+  let counters_json =
+    List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) (counters ())
+  in
+  let hists_json =
+    List.map
+      (fun (k, s) ->
+        ( k,
+          Json.Obj
+            [
+              ("count", Json.Num (float_of_int s.h_count));
+              ("sum", Json.Num s.h_sum);
+              ("min", Json.Num s.h_min);
+              ("max", Json.Num s.h_max);
+              ("p50", Json.Num s.h_p50);
+              ("p90", Json.Num s.h_p90);
+              ("p99", Json.Num s.h_p99);
+            ] ))
+      (List.filter (fun (_, s) -> s.h_count > 0) (histograms ()))
+  in
+  let spans_json =
+    List.map
+      (fun a ->
+        Json.Obj
+          [
+            ("name", Json.Str a.agg_name);
+            ("count", Json.Num (float_of_int a.agg_count));
+            ("total_s", Json.Num a.agg_total);
+          ])
+      (aggregate_spans (spans ()))
+  in
+  Json.Obj
+    [
+      ("enabled", Json.Bool (enabled ()));
+      ("counters", Json.Obj counters_json);
+      ("histograms", Json.Obj hists_json);
+      ("spans", Json.Arr spans_json);
+    ]
+
 let write_chrome_trace path =
   let oc = open_out path in
   Fun.protect

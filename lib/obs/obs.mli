@@ -151,6 +151,12 @@ val chrome_trace : unit -> Json.t
 val write_chrome_trace : string -> unit
 (** [write_chrome_trace path] writes [chrome_trace ()] to [path]. *)
 
+val stats_json : unit -> Json.t
+(** One JSON snapshot of the whole Obs surface — counters, non-empty
+    histograms (with p50/p90/p99) and span aggregates — the payload of
+    the daemon's [/stats] request.  Reflects whatever has been recorded;
+    with tracing disabled the numbers are simply zero/empty. *)
+
 (** {1 Span taxonomy} *)
 
 val tensorize_stages : string list

@@ -1,0 +1,260 @@
+(* Request/response codecs for the unitd wire protocol.  See
+   protocol.mli. *)
+
+module Json = Unit_obs.Json
+module Workload = Unit_graph.Workload
+module Warmup = Unit_store.Warmup
+module Pipeline = Unit_core.Pipeline
+
+type workload =
+  | Conv of Workload.conv2d
+  | Dense of Workload.dense
+  | Table1 of int
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Tune of { target : Warmup.target; engine : Pipeline.engine; workload : workload }
+  | Run of { target : Warmup.target; engine : Pipeline.engine; workload : workload }
+  | Explain of { target : Warmup.target; workload : workload }
+
+type error_code =
+  | Bad_request
+  | Overloaded
+  | Draining
+  | Not_applicable
+  | Internal
+
+type response =
+  | Result of Json.t
+  | Failure of error_code * string
+
+let code_to_string = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Draining -> "draining"
+  | Not_applicable -> "not_applicable"
+  | Internal -> "internal"
+
+let code_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "overloaded" -> Some Overloaded
+  | "draining" -> Some Draining
+  | "not_applicable" -> Some Not_applicable
+  | "internal" -> Some Internal
+  | _ -> None
+
+let workload_name = function
+  | Conv wl -> Workload.name (Workload.Conv wl)
+  | Dense wl -> Workload.name (Workload.Fc wl)
+  | Table1 i -> Printf.sprintf "table1:%d" i
+
+(* Coalescing identity: everything that changes the answer.  Ping/Stats/
+   Shutdown are control traffic and never queued, so they have no key. *)
+let coalesce_key = function
+  | Ping | Stats | Shutdown -> None
+  | Tune { target; engine; workload } ->
+    Some
+      (Printf.sprintf "tune/%s/%s/%s" (Warmup.target_to_string target)
+         (Pipeline.engine_to_string engine) (workload_name workload))
+  | Run { target; engine; workload } ->
+    Some
+      (Printf.sprintf "run/%s/%s/%s" (Warmup.target_to_string target)
+         (Pipeline.engine_to_string engine) (workload_name workload))
+  | Explain { target; workload } ->
+    Some
+      (Printf.sprintf "explain/%s/%s" (Warmup.target_to_string target)
+         (workload_name workload))
+
+(* ---------- decoding ---------- *)
+
+let ( let* ) = Result.bind
+
+let int_field ?default name j =
+  match Json.member name j with
+  | None ->
+    (match default with
+     | Some d -> Ok d
+     | None -> Error (Printf.sprintf "workload field %S missing" name))
+  | Some v ->
+    (match Json.to_int v with
+     | Some i -> Ok i
+     | None -> Error (Printf.sprintf "workload field %S is not an integer" name))
+
+let workload_of_json j =
+  match Json.member "table1" j with
+  | Some v ->
+    (match Json.to_int v with
+     | Some i when i >= 1 && i <= Array.length Unit_models.Table1.workloads ->
+       Ok (Table1 i)
+     | Some i ->
+       Error
+         (Printf.sprintf "table1 index %d out of range 1..%d" i
+            (Array.length Unit_models.Table1.workloads))
+     | None -> Error "workload field \"table1\" is not an integer")
+  | None ->
+    let op =
+      match Option.bind (Json.member "op" j) Json.to_str with
+      | Some op -> op
+      | None -> "conv2d"
+    in
+    (match op with
+     | "conv2d" ->
+       let* c = int_field "c" j in
+       let* h = int_field "h" j in
+       let* w = int_field ~default:h "w" j in
+       let* k = int_field "k" j in
+       let* kernel = int_field ~default:3 "kernel" j in
+       let* stride = int_field ~default:1 "stride" j in
+       let* padding = int_field ~default:(kernel / 2) "padding" j in
+       let* groups = int_field ~default:1 "groups" j in
+       let* () =
+         if c > 0 && h > 0 && w > 0 && k > 0 && kernel > 0 && stride > 0
+            && padding >= 0 && groups > 0
+         then Ok ()
+         else Error "conv2d workload dimensions must be positive"
+       in
+       Ok (Conv { Workload.c; h; w; k; kernel; stride; padding; groups })
+     | "dense" ->
+       let* d_k = int_field "k" j in
+       let* d_units = int_field "units" j in
+       let* () =
+         if d_k > 0 && d_units > 0 then Ok ()
+         else Error "dense workload dimensions must be positive"
+       in
+       Ok (Dense { Workload.d_k; d_units })
+     | other -> Error (Printf.sprintf "unknown workload op %S (conv2d|dense)" other))
+
+let target_of_json j =
+  match Option.bind (Json.member "target" j) Json.to_str with
+  | None -> Ok Warmup.X86
+  | Some s -> Warmup.target_of_string s
+
+let engine_of_json j =
+  match Option.bind (Json.member "engine" j) Json.to_str with
+  | None -> Ok Pipeline.Compiled
+  | Some s ->
+    (match Pipeline.engine_of_string s with
+     | Ok e -> Ok e
+     | Error d -> Error (Unit_tir.Diag.to_string d))
+
+let request_of_json j =
+  match Option.bind (Json.member "req" j) Json.to_str with
+  | None -> Error "field \"req\" missing or not a string"
+  | Some "ping" -> Ok Ping
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some (("tune" | "run" | "explain") as req) ->
+    let* target = target_of_json j in
+    let* workload =
+      match Json.member "workload" j with
+      | Some wj -> workload_of_json wj
+      | None -> Error "field \"workload\" missing"
+    in
+    (match req with
+     | "tune" ->
+       let* engine = engine_of_json j in
+       Ok (Tune { target; engine; workload })
+     | "run" ->
+       let* engine = engine_of_json j in
+       Ok (Run { target; engine; workload })
+     | _ -> Ok (Explain { target; workload }))
+  | Some other ->
+    Error
+      (Printf.sprintf "unknown request %S (ping|stats|shutdown|tune|run|explain)"
+         other)
+
+let parse_request payload =
+  match Json.parse payload with
+  | Error m -> Error ("malformed JSON: " ^ m)
+  | Ok j -> request_of_json j
+
+(* ---------- encoding ---------- *)
+
+let workload_to_json = function
+  | Table1 i -> Json.Obj [ ("table1", Json.Num (float_of_int i)) ]
+  | Conv { Workload.c; h; w; k; kernel; stride; padding; groups } ->
+    let num i = Json.Num (float_of_int i) in
+    Json.Obj
+      [ ("op", Json.Str "conv2d"); ("c", num c); ("h", num h); ("w", num w);
+        ("k", num k); ("kernel", num kernel); ("stride", num stride);
+        ("padding", num padding); ("groups", num groups)
+      ]
+  | Dense { Workload.d_k; d_units } ->
+    Json.Obj
+      [ ("op", Json.Str "dense");
+        ("k", Json.Num (float_of_int d_k));
+        ("units", Json.Num (float_of_int d_units))
+      ]
+
+let request_to_json req =
+  let common ~req ~target workload rest =
+    Json.Obj
+      ([ ("req", Json.Str req);
+         ("target", Json.Str (Warmup.target_to_string target));
+         ("workload", workload_to_json workload)
+       ]
+      @ rest)
+  in
+  match req with
+  | Ping -> Json.Obj [ ("req", Json.Str "ping") ]
+  | Stats -> Json.Obj [ ("req", Json.Str "stats") ]
+  | Shutdown -> Json.Obj [ ("req", Json.Str "shutdown") ]
+  | Tune { target; engine; workload } ->
+    common ~req:"tune" ~target workload
+      [ ("engine", Json.Str (Pipeline.engine_to_string engine)) ]
+  | Run { target; engine; workload } ->
+    common ~req:"run" ~target workload
+      [ ("engine", Json.Str (Pipeline.engine_to_string engine)) ]
+  | Explain { target; workload } -> common ~req:"explain" ~target workload []
+
+let response_to_json = function
+  | Result r -> Json.Obj [ ("status", Json.Str "ok"); ("result", r) ]
+  | Failure (code, message) ->
+    Json.Obj
+      [ ("status", Json.Str "error");
+        ("code", Json.Str (code_to_string code));
+        ("message", Json.Str message)
+      ]
+
+let response_of_json j =
+  match Option.bind (Json.member "status" j) Json.to_str with
+  | Some "ok" ->
+    (match Json.member "result" j with
+     | Some r -> Ok (Result r)
+     | None -> Error "ok response without a \"result\"")
+  | Some "error" ->
+    let* code =
+      match Option.bind (Json.member "code" j) Json.to_str with
+      | Some s ->
+        (match code_of_string s with
+         | Some c -> Ok c
+         | None -> Error (Printf.sprintf "unknown error code %S" s))
+      | None -> Error "error response without a \"code\""
+    in
+    let message =
+      Option.value ~default:""
+        (Option.bind (Json.member "message" j) Json.to_str)
+    in
+    Ok (Failure (code, message))
+  | Some other -> Error (Printf.sprintf "unknown status %S" other)
+  | None -> Error "field \"status\" missing"
+
+(* ---------- result digests ---------- *)
+
+(* Canonical content digest of an execution result: every element in
+   flat order.  Integer storage prints exactly; float storage prints the
+   IEEE bits so "bit-identical" means bit-identical. *)
+let digest_ndarray nd =
+  let module Ndarray = Unit_codegen.Ndarray in
+  let buf = Buffer.create 4096 in
+  let n = Ndarray.num_elements nd in
+  for i = 0 to n - 1 do
+    (match Ndarray.get_flat nd i with
+     | Unit_dtype.Value.Int (_, v) -> Buffer.add_string buf (Int64.to_string v)
+     | Unit_dtype.Value.Float (_, v) ->
+       Buffer.add_string buf (Printf.sprintf "%Lx" (Int64.bits_of_float v)));
+    Buffer.add_char buf ','
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

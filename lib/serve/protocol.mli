@@ -1,0 +1,81 @@
+(** The unitd request/response protocol, carried as one JSON document
+    per {!Wire} frame.
+
+    Requests:
+    {v
+    {"req":"ping"} | {"req":"stats"} | {"req":"shutdown"}
+    {"req":"tune","target":"x86","engine":"compiled",
+     "workload":{"op":"conv2d","c":64,"h":14,"k":128,"kernel":3}}
+    {"req":"run", ...same fields...}
+    {"req":"explain","target":"x86","workload":{"table1":5}}
+    v}
+    [target] defaults to x86, [engine] to compiled, and a workload is
+    either an explicit conv2d/dense shape or a Table I row index.
+
+    Responses: [{"status":"ok","result":...}] or
+    [{"status":"error","code":"...","message":"..."}] where [code] is
+    one of [bad_request], [overloaded], [draining], [not_applicable],
+    [internal].  Malformed input of any kind maps to a [bad_request]
+    response — never a dropped connection without an answer, never a
+    crash (the wire fuzz tests pin this). *)
+
+type workload =
+  | Conv of Unit_graph.Workload.conv2d
+  | Dense of Unit_graph.Workload.dense
+  | Table1 of int  (** 1-based Table I row *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Tune of {
+      target : Unit_store.Warmup.target;
+      engine : Unit_core.Pipeline.engine;
+      workload : workload;
+    }
+  | Run of {
+      target : Unit_store.Warmup.target;
+      engine : Unit_core.Pipeline.engine;
+      workload : workload;
+    }
+  | Explain of { target : Unit_store.Warmup.target; workload : workload }
+
+type error_code =
+  | Bad_request  (** unparseable or invalid request *)
+  | Overloaded  (** admission control: queue full, try again later *)
+  | Draining  (** daemon is shutting down, not accepting work *)
+  | Not_applicable  (** deterministic rejection: workload does not tensorize *)
+  | Internal  (** handler failed after retries *)
+
+type response =
+  | Result of Unit_obs.Json.t
+  | Failure of error_code * string
+
+val code_to_string : error_code -> string
+val code_of_string : string -> error_code option
+
+val workload_name : workload -> string
+
+val coalesce_key : request -> string option
+(** The request's coalescing identity — kind, target, engine and
+    workload — or [None] for control requests (ping/stats/shutdown),
+    which are answered inline and never queued. *)
+
+val workload_of_json : Unit_obs.Json.t -> (workload, string) result
+val workload_to_json : workload -> Unit_obs.Json.t
+
+val request_of_json : Unit_obs.Json.t -> (request, string) result
+val request_to_json : request -> Unit_obs.Json.t
+
+val parse_request : string -> (request, string) result
+(** [request_of_json] over a raw frame payload; a JSON parse failure is
+    an [Error] like any other malformed request. *)
+
+val response_to_json : response -> Unit_obs.Json.t
+val response_of_json : Unit_obs.Json.t -> (response, string) result
+
+val digest_ndarray : Unit_codegen.Ndarray.t -> string
+(** Canonical content digest of an execution result, element-exact
+    (integers printed exactly, floats by their IEEE bits).  The soak
+    harness compares this between daemon responses and direct
+    [Pipeline] runs — equal digests mean bit-identical outputs. *)

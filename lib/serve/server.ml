@@ -1,0 +1,284 @@
+(* The unitd server core: bounded admission queue, worker-domain pool,
+   request coalescing, bounded retries, graceful drain.  See
+   server.mli. *)
+
+module Json = Unit_obs.Json
+module Obs = Unit_obs.Obs
+module Warmup = Unit_store.Warmup
+
+let c_requests = Obs.counter "serve.requests"
+let c_coalesced = Obs.counter "serve.coalesced"
+let c_overloaded = Obs.counter "serve.overloaded"
+let c_retry = Obs.counter "serve.retry"
+let c_failed = Obs.counter "serve.failed"
+let h_latency = Obs.histogram "serve.latency_us"
+
+type config = {
+  domains : int;
+  queue_cap : int;
+  retries : int;
+}
+
+let default_config = { domains = 4; queue_cap = 64; retries = 1 }
+
+(* One queued unit of work.  Waiters block on [jb_cond]; the worker that
+   executes the job publishes under [jb_mutex] and broadcasts.  The
+   leader (first submitter) and every coalesced waiter share the same
+   response object. *)
+type job = {
+  jb_key : string;
+  jb_request : Protocol.request;
+  jb_mutex : Mutex.t;
+  jb_cond : Condition.t;
+  mutable jb_done : bool;
+  mutable jb_response : Protocol.response;
+}
+
+type t = {
+  cfg : config;
+  handle : Protocol.request -> Json.t;
+  fault : key:string -> attempt:int -> unit;
+  sleep : float -> unit;
+  lock : Mutex.t;  (** guards queue, inflight, draining, stopping *)
+  have_work : Condition.t;
+  queue : job Queue.t;
+  inflight : (string, job) Hashtbl.t;
+  mutable draining : bool;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  (* stats live on atomics, not Obs counters, so /stats answers
+     truthfully even when tracing is disabled *)
+  n_requests : int Atomic.t;
+  n_completed : int Atomic.t;
+  n_coalesced : int Atomic.t;
+  n_overloaded : int Atomic.t;
+  n_retries : int Atomic.t;
+  n_failed : int Atomic.t;
+}
+
+let execute t job =
+  let rec attempt n =
+    match
+      t.fault ~key:job.jb_key ~attempt:n;
+      t.handle job.jb_request
+    with
+    | result -> Protocol.Result result
+    | exception Invalid_argument reason ->
+      (* deterministic pipeline rejection: retrying cannot change it *)
+      Protocol.Failure (Protocol.Not_applicable, reason)
+    | exception e when n <= t.cfg.retries ->
+      ignore (e : exn);
+      Atomic.incr t.n_retries;
+      Obs.incr c_retry;
+      t.sleep (Warmup.backoff_s ~key:job.jb_key ~attempt:n);
+      attempt (n + 1)
+    | exception e ->
+      Atomic.incr t.n_failed;
+      Obs.incr c_failed;
+      Protocol.Failure
+        ( Protocol.Internal,
+          Printf.sprintf "%s (after %d attempt(s))" (Printexc.to_string e) n )
+  in
+  let response = attempt 1 in
+  (* unregister first: a submitter arriving after this point starts a
+     fresh flight instead of adopting a published one *)
+  Mutex.lock t.lock;
+  Hashtbl.remove t.inflight job.jb_key;
+  Mutex.unlock t.lock;
+  Mutex.lock job.jb_mutex;
+  job.jb_response <- response;
+  job.jb_done <- true;
+  Condition.broadcast job.jb_cond;
+  Mutex.unlock job.jb_mutex;
+  Atomic.incr t.n_completed
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.have_work t.lock
+    done;
+    if Queue.is_empty t.queue then (* stopping && drained *)
+      Mutex.unlock t.lock
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      execute t job;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(fault = fun ~key:_ ~attempt:_ -> ()) ?(sleep = Unix.sleepf)
+    ?(handle = Handler.handle) cfg =
+  if cfg.domains < 1 then invalid_arg "Server.create: domains must be >= 1";
+  if cfg.queue_cap < 1 then invalid_arg "Server.create: queue_cap must be >= 1";
+  if cfg.retries < 0 then invalid_arg "Server.create: retries must be >= 0";
+  let t =
+    { cfg; handle; fault; sleep;
+      lock = Mutex.create ();
+      have_work = Condition.create ();
+      queue = Queue.create ();
+      inflight = Hashtbl.create 64;
+      draining = false;
+      stopping = false;
+      workers = [];
+      n_requests = Atomic.make 0;
+      n_completed = Atomic.make 0;
+      n_coalesced = Atomic.make 0;
+      n_overloaded = Atomic.make 0;
+      n_retries = Atomic.make 0;
+      n_failed = Atomic.make 0
+    }
+  in
+  t.workers <- List.init cfg.domains (fun _ -> Domain.spawn (worker t));
+  t
+
+let stats_fields t =
+  Mutex.lock t.lock;
+  let queued = Queue.length t.queue in
+  let inflight = Hashtbl.length t.inflight in
+  let draining = t.draining in
+  Mutex.unlock t.lock;
+  [ ("domains", t.cfg.domains); ("queue_cap", t.cfg.queue_cap);
+    ("queued", queued); ("inflight", inflight);
+    ("draining", if draining then 1 else 0);
+    ("requests", Atomic.get t.n_requests);
+    ("completed", Atomic.get t.n_completed);
+    ("coalesced", Atomic.get t.n_coalesced);
+    ("overloaded", Atomic.get t.n_overloaded);
+    ("retries", Atomic.get t.n_retries);
+    ("failed", Atomic.get t.n_failed);
+    ("tensorize_shared", Handler.shared_tensorize_count ())
+  ]
+
+let stats_json t =
+  Json.Obj
+    [ ( "server",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Num (float_of_int v)))
+             (stats_fields t)) );
+      ("obs", Obs.stats_json ())
+    ]
+
+let await job =
+  Mutex.lock job.jb_mutex;
+  while not job.jb_done do
+    Condition.wait job.jb_cond job.jb_mutex
+  done;
+  let response = job.jb_response in
+  Mutex.unlock job.jb_mutex;
+  response
+
+let mark_coalesced = function
+  | Protocol.Result (Json.Obj fields) ->
+    Protocol.Result (Json.Obj (fields @ [ ("coalesced", Json.Bool true) ]))
+  | other -> other
+
+let submit t request =
+  Atomic.incr t.n_requests;
+  Obs.incr c_requests;
+  let t0 = Unix.gettimeofday () in
+  let finish response =
+    Obs.observe h_latency ((Unix.gettimeofday () -. t0) *. 1e6);
+    response
+  in
+  match request with
+  | Protocol.Ping -> finish (Protocol.Result (Json.Obj [ ("pong", Json.Bool true) ]))
+  | Protocol.Stats ->
+    (* answered inline so observability survives overload: a full queue
+       must never make the daemon opaque *)
+    finish (Protocol.Result (stats_json t))
+  | Protocol.Shutdown ->
+    Mutex.lock t.lock;
+    t.draining <- true;
+    Mutex.unlock t.lock;
+    finish (Protocol.Result (Json.Obj [ ("draining", Json.Bool true) ]))
+  | Protocol.Tune _ | Protocol.Run _ | Protocol.Explain _ ->
+    let key = Option.get (Protocol.coalesce_key request) in
+    Mutex.lock t.lock;
+    if t.draining then begin
+      Mutex.unlock t.lock;
+      finish (Protocol.Failure (Protocol.Draining, "daemon is shutting down"))
+    end
+    else begin
+      match Hashtbl.find_opt t.inflight key with
+      | Some job ->
+        (* coalesce: adopt the in-flight job and share its response *)
+        Atomic.incr t.n_coalesced;
+        Obs.incr c_coalesced;
+        Mutex.unlock t.lock;
+        finish (mark_coalesced (await job))
+      | None ->
+        if Queue.length t.queue >= t.cfg.queue_cap then begin
+          Atomic.incr t.n_overloaded;
+          Obs.incr c_overloaded;
+          Mutex.unlock t.lock;
+          finish
+            (Protocol.Failure
+               ( Protocol.Overloaded,
+                 Printf.sprintf "queue full (%d queued, cap %d)"
+                   (Queue.length t.queue) t.cfg.queue_cap ))
+        end
+        else begin
+          let job =
+            { jb_key = key; jb_request = request;
+              jb_mutex = Mutex.create (); jb_cond = Condition.create ();
+              jb_done = false;
+              jb_response = Protocol.Failure (Protocol.Internal, "unset")
+            }
+          in
+          Hashtbl.add t.inflight key job;
+          Queue.push job t.queue;
+          Condition.signal t.have_work;
+          Mutex.unlock t.lock;
+          finish (await job)
+        end
+    end
+
+let draining t =
+  Mutex.lock t.lock;
+  let d = t.draining in
+  Mutex.unlock t.lock;
+  d
+
+let drain t =
+  Mutex.lock t.lock;
+  t.draining <- true;
+  t.stopping <- true;
+  Condition.broadcast t.have_work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* ---------- wire loop ---------- *)
+
+let try_write_frame fd payload =
+  match Wire.write_frame fd payload with
+  | () -> true
+  | exception Unix.Unix_error (_, _, _) -> false
+
+let respond fd response =
+  try_write_frame fd (Json.to_string (Protocol.response_to_json response))
+
+let serve_connection t fd =
+  let rec loop () =
+    match Wire.read_frame fd with
+    | Error Wire.Closed -> ()
+    | Error (Wire.Truncated _ as e) | Error (Wire.Oversized _ as e) ->
+      (* the stream is unrecoverable (we cannot resynchronize on frame
+         boundaries): answer if the peer still listens, then hang up *)
+      ignore
+        (respond fd
+           (Protocol.Failure (Protocol.Bad_request, Wire.error_to_string e))
+          : bool)
+    | Ok payload ->
+      let response =
+        match Protocol.parse_request payload with
+        | Error m -> Protocol.Failure (Protocol.Bad_request, m)
+        | Ok request -> submit t request
+      in
+      if respond fd response then loop ()
+  in
+  loop ()

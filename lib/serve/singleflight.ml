@@ -1,0 +1,38 @@
+(* Per-key mutual exclusion: concurrent callers of the same key
+   serialize, and every caller after the first learns it shared the
+   flight.  See singleflight.mli. *)
+
+type entry = {
+  e_mutex : Mutex.t;
+  mutable e_refs : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+}
+
+let create () = { lock = Mutex.create (); entries = Hashtbl.create 64 }
+
+let with_key t key f =
+  Mutex.lock t.lock;
+  let entry, shared =
+    match Hashtbl.find_opt t.entries key with
+    | Some e ->
+      e.e_refs <- e.e_refs + 1;
+      (e, true)
+    | None ->
+      let e = { e_mutex = Mutex.create (); e_refs = 1 } in
+      Hashtbl.add t.entries key e;
+      (e, false)
+  in
+  Mutex.unlock t.lock;
+  let release () =
+    Mutex.unlock entry.e_mutex;
+    Mutex.lock t.lock;
+    entry.e_refs <- entry.e_refs - 1;
+    if entry.e_refs = 0 then Hashtbl.remove t.entries key;
+    Mutex.unlock t.lock
+  in
+  Mutex.lock entry.e_mutex;
+  Fun.protect ~finally:release (fun () -> (f (), shared))

@@ -1,0 +1,21 @@
+(** Per-key mutual exclusion for idempotent, memoized work.
+
+    The pipeline's kernel memo deliberately compiles {e outside} its
+    lock (latecomers adopt the first insert), so two domains missing on
+    the same workload can both run the expensive tuner sweep.  Wrapping
+    the compile in [with_key] closes that hole at the server layer: the
+    first caller of a key computes while holders of the same key block;
+    when they proceed, the underlying memo hit makes their call cheap.
+    This is what turns "N concurrent requests" into "exactly one tune",
+    across request kinds (a [run] and a [tune] of the same workload
+    share a flight). *)
+
+type t
+
+val create : unit -> t
+
+val with_key : t -> string -> (unit -> 'a) -> 'a * bool
+(** Run [f] holding [key]'s mutex.  The boolean is [true] iff another
+    holder of the same key was in flight when this caller arrived (it
+    joined an existing flight rather than leading a fresh one).
+    Exceptions from [f] propagate; the key is always released. *)

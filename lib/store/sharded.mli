@@ -1,0 +1,95 @@
+(** Sharded tuning store: N independent {!Store} shards behind one
+    facade, for concurrent writers that must not serialize on a single
+    mutex + append file.
+
+    Layout: a directory holding [shard-%02d.jsonl] files (each a plain
+    {!Store} JSONL database with its own [.artifacts/] sibling) plus a
+    [shards] meta file pinning the shard count.  A record's shard is a
+    pure function of its content address — the first two hex digits of
+    {!Store.key_of_signature} modulo the shard count — so lookups and
+    writes touch exactly one shard, and shards never rebalance behind a
+    reader's back: the on-disk count always wins over the [?shards]
+    argument when reopening.
+
+    Every {!Store} robustness property is inherited per shard: a corrupt
+    shard file degrades to that shard's [Diag.Store] warnings while the
+    other shards keep serving — one bad file never takes down the
+    database. *)
+
+val default_shards : int
+(** 8 — plenty of write concurrency for a domain pool while keeping a
+    directory listing readable. *)
+
+type t
+
+val is_sharded_dir : string -> bool
+(** Does [path] look like a sharded store (a directory with a [shards]
+    meta file)?  CLI entry points use this to route between {!Store} and
+    this module. *)
+
+val open_ : ?shards:int -> string -> t * Unit_tir.Diag.t list
+(** Open (creating if absent) the sharded store rooted at a directory.
+    [shards] (default {!default_shards}) only applies on first creation;
+    reopening uses the persisted count.  Returns the concatenated
+    per-shard recovery warnings; like {!Store.open_}, never raises on
+    bad shard {e content}.
+    @raise Sys_error when the path exists but is not a directory, or the
+    meta file is unreadable.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val dir : t -> string
+val shard_count : t -> int
+
+val shard : t -> int -> Store.t
+(** Direct access to one shard (tests, corruption drills). *)
+
+val shard_of_key : t -> string -> int
+(** The routing function, exposed so tests can pin the invariant:
+    records land on the shard their key's hex prefix selects. *)
+
+val lookup : t -> signature:string -> Store.record option
+
+val record :
+  ?report:Unit_machine.Cost_report.t ->
+  t ->
+  signature:string ->
+  workload:string ->
+  isa:string ->
+  target:string ->
+  config:Unit_rewriter.Cpu_tuner.config ->
+  cycles:float ->
+  diag_digest:string ->
+  unit
+
+val size : t -> int
+val iter : t -> (Store.record -> unit) -> unit
+val save : t -> unit
+
+val stats : t -> Store.stats
+(** Aggregated over all shards (field-wise sum). *)
+
+val gc : t -> Store.gc_report
+(** {!Store.gc} on every shard, reports summed. *)
+
+val pipeline_hooks : t -> Unit_core.Pipeline.tuning_store
+(** Like {!Store.pipeline_hooks}, routing each signature to its shard —
+    concurrent tuners recording different shards do not contend. *)
+
+val emit_hooks : t -> Unit_codegen.Emit_cache.artifact_hooks
+(** Like {!Store.emit_hooks}; each artifact (record and [.cmxs] payload)
+    lives next to the shard its key routes to. *)
+
+(** {2 Migration} *)
+
+type migration = {
+  mg_records : int;  (** tuning records copied *)
+  mg_artifacts : int;  (** live artifacts copied (payload files included) *)
+}
+
+val migrate : t -> legacy:string -> migration * Unit_tir.Diag.t list
+(** Load a legacy single-file {!Store} at [legacy] and copy every live
+    tuning record — and every live artifact, payload file included —
+    into the owning shards, then {!save}.  Stale artifacts are left
+    behind (re-recording them would re-stamp and wrongly resurrect
+    them).  The legacy store is not modified.  Returned diags are the
+    legacy store's recovery warnings. *)

@@ -440,7 +440,7 @@ let iter_artifacts t f =
   List.iter f snapshot
 
 let emit_hooks t =
-  { Emit_cache.ah_dir = artifacts_dir t;
+  { Emit_cache.ah_dir = (fun ~key:_ -> artifacts_dir t);
     ah_lookup =
       (fun ~key -> Option.map (artifact_path t) (artifact_lookup t ~key));
     ah_record =

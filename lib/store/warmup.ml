@@ -50,17 +50,22 @@ let spec_of_target = function
 
 (* Job keys mirror the pipeline memo's (tag, workload) identity so the
    single-flight table and the in-memory kernel cache agree on what "the
-   same workload" means. *)
+   same workload" means — plus the engine, because jobs for the same
+   workload under different engines do different work (the emitted
+   engine additionally bakes a .cmxs artifact) and must not coalesce. *)
+let job_key_of ~tag ~engine name =
+  tag ^ "/" ^ name ^ "#" ^ Pipeline.engine_to_string engine
+
 let conv_job ?(engine = Pipeline.Compiled) target wl =
   let name = Workload.name (Workload.Conv wl) in
   let spec = spec_of_target target in
   match target with
   | X86 ->
-    { job_key = "x86-vnni/" ^ name;
+    { job_key = job_key_of ~tag:"x86-vnni" ~engine name;
       job_compile = (fun () -> bake engine ~spec (Pipeline.conv_compiled_x86 wl))
     }
   | Arm ->
-    { job_key = "arm-arm.udot/" ^ name;
+    { job_key = job_key_of ~tag:"arm-arm.udot" ~engine name;
       job_compile = (fun () -> bake engine ~spec (Pipeline.conv_compiled_arm wl))
     }
 
@@ -69,11 +74,11 @@ let dense_job ?(engine = Pipeline.Compiled) target wl =
   let spec = spec_of_target target in
   match target with
   | X86 ->
-    { job_key = "x86-dense/" ^ name;
+    { job_key = job_key_of ~tag:"x86-dense" ~engine name;
       job_compile = (fun () -> bake engine ~spec (Pipeline.dense_compiled_x86 wl))
     }
   | Arm ->
-    { job_key = "arm-dense/" ^ name;
+    { job_key = job_key_of ~tag:"arm-dense" ~engine name;
       job_compile = (fun () -> bake engine ~spec (Pipeline.dense_compiled_arm wl))
     }
 

@@ -34,7 +34,11 @@ val target_of_string : string -> (target, string) result
 val target_to_string : target -> string
 
 type job = {
-  job_key : string;  (** single-flight identity, e.g. ["x86-vnni/conv_c64_..."] *)
+  job_key : string;
+      (** single-flight identity, e.g. ["x86-vnni/conv_c64_...#compiled"].
+          The engine is part of the key: the same workload warmed under
+          [Compiled] and [Emitted] does different work (the latter bakes
+          a native artifact) and must not dedup across engines. *)
   job_compile : unit -> unit;
 }
 

@@ -315,6 +315,27 @@ let test_warmup_populates_store () =
   Pipeline.clear_cache ();
   Sys.remove path
 
+(* A compiled-engine job and an emitted-engine job for the same workload
+   are different work: single-flight dedup must key on the engine too.
+   Regression for the bug where both shared a key and whichever arrived
+   first silently swallowed the other engine's warmup. *)
+let test_engine_distinguishes_job_keys () =
+  let workload = wl ~c:16 ~k:16 () in
+  let jc = Warmup.conv_job ~engine:Pipeline.Compiled Warmup.X86 workload in
+  let je = Warmup.conv_job ~engine:Pipeline.Emitted Warmup.X86 workload in
+  check_bool "engine is part of the job key" true (jc.Warmup.job_key <> je.Warmup.job_key);
+  (* same engine, same workload: still deduped *)
+  Pipeline.clear_cache ();
+  let report = Warmup.run ~domains:2 [ jc; jc ] in
+  check_int "duplicate same-engine job compiled once" 1 report.Warmup.rp_compiled;
+  check_int "duplicate same-engine job deduped" 1 report.Warmup.rp_deduped;
+  (* different engines: both must run, nothing coalesces *)
+  Pipeline.clear_cache ();
+  let report = Warmup.run ~domains:2 [ jc; je ] in
+  check_int "both engines compiled" 2 report.Warmup.rp_compiled;
+  check_int "nothing deduped across engines" 0 report.Warmup.rp_deduped;
+  Pipeline.clear_cache ()
+
 (* ---------- bounded kernel cache ---------- *)
 
 let test_cache_eviction () =
@@ -477,6 +498,8 @@ let () =
             test_rejection_is_skipped_not_retried;
           Alcotest.test_case "warmup populates the store" `Quick
             test_warmup_populates_store;
+          Alcotest.test_case "engine distinguishes job keys" `Quick
+            test_engine_distinguishes_job_keys;
           Alcotest.test_case "retry backoff schedule" `Quick
             test_backoff_schedule
         ] );
