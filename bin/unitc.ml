@@ -20,6 +20,7 @@ module Diag = Unit_tir.Diag
 module Store = Unit_store.Store
 module Sharded = Unit_store.Sharded
 module Warmup = Unit_store.Warmup
+module Loader = Unit_isadsl.Loader
 
 let () = Unit_isa.Defs.ensure_registered ()
 
@@ -82,6 +83,35 @@ let store_arg =
 
 let print_store_diags diags =
   List.iter (fun d -> Printf.printf "%s\n" (Diag.to_string d)) diags
+
+(* ---------- declarative ISA packs (--isa-pack, uniform) ---------- *)
+
+let isa_pack_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "isa-pack" ] ~docv:"FILE"
+        ~doc:
+          "Load a declarative .uisa instruction pack before running \
+           (repeatable).  Pack instructions are parsed, validated and \
+           registered alongside the builtins; re-registering identical \
+           semantics under an existing name is an idempotent no-op, \
+           conflicting semantics are a structured isa-pack error.")
+
+(* Load every requested pack up front; warnings go to stderr, any error
+   is fatal before the command proper starts. *)
+let load_isa_packs paths =
+  match Loader.load_files paths with
+  | Ok infos ->
+    List.iter
+      (fun (info : Loader.pack_info) ->
+        List.iter
+          (fun d -> prerr_endline (Diag.to_string d))
+          info.Loader.pk_warnings)
+      infos
+  | Error ds ->
+    List.iter (fun d -> prerr_endline ("unitc: " ^ Diag.to_string d)) ds;
+    exit 1
 
 (* ---------- execution-engine selection (uniform across commands) ---------- *)
 
@@ -188,6 +218,126 @@ let show_isa name =
   let intrin = or_die (lookup_intrin name) in
   Format.printf "%a@." Unit_isa.Intrin.pp intrin
 
+(* ---------- isa lint / list / show (declarative packs) ---------- *)
+
+let provenance_string name =
+  match Unit_isa.Registry.provenance name with
+  | Some (Unit_isa.Registry.Pack source) -> "pack:" ^ source
+  | Some Unit_isa.Registry.Builtin | None -> "builtin"
+
+(* Parse + elaborate each pack without registering anything; exit 1 on
+   the first diagnostic error.  The @isa-smoke alias runs this over
+   every checked-in pack. *)
+let isa_lint files json =
+  let results =
+    List.map (fun path -> (path, Loader.check_file path)) files
+  in
+  let failed =
+    List.exists (fun (_, r) -> Result.is_error r) results
+  in
+  if json then begin
+    let entry (path, r) =
+      match r with
+      | Ok els ->
+        Json.Obj
+          [ ("pack", Json.Str path);
+            ("ok", Json.Bool true);
+            ( "instructions",
+              Json.Arr
+                (List.map
+                   (fun (el : Unit_isadsl.Elab.elaborated) ->
+                     Json.Obj
+                       [ ( "name",
+                           Json.Str el.Unit_isadsl.Elab.el_intrin.Unit_isa.Intrin.name );
+                         ("digest", Json.Str el.Unit_isadsl.Elab.el_digest)
+                       ])
+                   els) );
+            ( "warnings",
+              Json.Arr
+                (List.concat_map
+                   (fun (el : Unit_isadsl.Elab.elaborated) ->
+                     List.map
+                       (fun d -> Json.Str (Diag.to_string d))
+                       el.Unit_isadsl.Elab.el_warnings)
+                   els) )
+          ]
+      | Error ds ->
+        Json.Obj
+          [ ("pack", Json.Str path);
+            ("ok", Json.Bool false);
+            ( "diagnostics",
+              Json.Arr (List.map (fun d -> Json.Str (Diag.to_string d)) ds) )
+          ]
+    in
+    print_endline (Json.to_string (Json.Arr (List.map entry results)))
+  end
+  else
+    List.iter
+      (fun (path, r) ->
+        match r with
+        | Ok els ->
+          Printf.printf "%s: ok, %d instruction(s)\n" path (List.length els);
+          List.iter
+            (fun (el : Unit_isadsl.Elab.elaborated) ->
+              Printf.printf "  %-22s %s\n"
+                el.Unit_isadsl.Elab.el_intrin.Unit_isa.Intrin.name
+                el.Unit_isadsl.Elab.el_digest;
+              List.iter
+                (fun d -> Printf.printf "  %s\n" (Diag.to_string d))
+                el.Unit_isadsl.Elab.el_warnings)
+            els
+        | Error ds ->
+          Printf.printf "%s: FAILED\n" path;
+          List.iter (fun d -> Printf.printf "  %s\n" (Diag.to_string d)) ds)
+      results;
+  if failed then exit 1
+
+(* Every registered instruction with its provenance and semantic digest
+   (after loading any --isa-pack files). *)
+let isa_list packs json =
+  load_isa_packs packs;
+  let intrins = Unit_isa.Registry.all () in
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Arr
+            (List.map
+               (fun (i : Unit_isa.Intrin.t) ->
+                 Json.Obj
+                   [ ("name", Json.Str i.Unit_isa.Intrin.name);
+                     ( "platform",
+                       Json.Str
+                         (Unit_isa.Intrin.platform_to_string
+                            i.Unit_isa.Intrin.platform) );
+                     ("digest", Json.Str (Unit_isa.Intrin.semantic_digest i));
+                     ("provenance", Json.Str (provenance_string i.Unit_isa.Intrin.name))
+                   ])
+               intrins)))
+  else begin
+    Printf.printf "%-22s %-9s %-34s %s\n" "name" "platform" "digest" "provenance";
+    List.iter
+      (fun (i : Unit_isa.Intrin.t) ->
+        Printf.printf "%-22s %-9s %-34s %s\n" i.Unit_isa.Intrin.name
+          (Unit_isa.Intrin.platform_to_string i.Unit_isa.Intrin.platform)
+          (Unit_isa.Intrin.semantic_digest i)
+          (provenance_string i.Unit_isa.Intrin.name))
+      intrins
+  end
+
+(* Print registered instructions back out as a canonical .uisa pack
+   (all of them when no names are given) — the round-trip surface:
+   [unitc isa show | unitc isa lint /dev/stdin] must accept it. *)
+let isa_show names packs =
+  load_isa_packs packs;
+  let intrins =
+    match names with
+    | [] -> Unit_isa.Registry.all ()
+    | names -> List.map (fun n -> or_die (lookup_intrin n)) names
+  in
+  match Unit_isadsl.Print.pack intrins with
+  | Ok text -> print_string text
+  | Error d -> or_die (Error (Diag.to_string d))
+
 (* ---------- inspect ---------- *)
 
 let inspect kind isa c hw k kernel stride n m kdim =
@@ -245,9 +395,11 @@ let compile kind isa target c hw k kernel stride n m kdim show_ir =
 
 (* ---------- run (differential execution) ---------- *)
 
-let run kind isa engine trace trace_out store c hw k kernel stride n m kdim =
+let run kind isa engine trace trace_out store packs c hw k kernel stride n m kdim =
   let engine = parse_engine engine in
   if trace || trace_out <> None then enable_tracing ?trace_out ();
+  (* after enable_tracing, so pipeline.isa.* counters land in the trace *)
+  load_isa_packs packs;
   let intrin = or_die (lookup_intrin isa) in
   let op = or_die (build_op ~kind ~intrin ~c ~hw ~k ~kernel ~stride ~n ~m ~kdim) in
   match Inspector.inspect op intrin with
@@ -303,6 +455,9 @@ let run kind isa engine trace trace_out store c hw k kernel stride n m kdim =
     Format.printf "tensorized vs scalar reference (%s engine): %s@."
       (Unit_core.Pipeline.engine_to_string engine)
       (if ok then "IDENTICAL" else "MISMATCH");
+    (* element-exact content hash — the cross-process bit-identity
+       witness (the isa-smoke alias compares it across instructions) *)
+    Format.printf "output digest: %s@." (Unit_codegen.Ndarray.digest out_t);
     Option.iter
       (fun d -> Format.printf "%s@." (Diag.to_string d))
       (Unit_codegen.Emit_cache.last_fallback ());
@@ -488,8 +643,9 @@ let run_counterexamples () =
     exit 1
   end
 
-let check target counterexamples_only trace store =
+let check target counterexamples_only trace store packs =
   if trace then enable_tracing ();
+  load_isa_packs packs;
   if counterexamples_only then run_counterexamples ()
   else begin
     with_store store @@ fun () ->
@@ -558,10 +714,11 @@ let check target counterexamples_only trace store =
    tensorize every distinct workload through the cached pipeline, then run
    the graph executor numerically for per-operator wall times.  The span /
    counter summary prints at exit; --trace-out adds a Chrome trace. *)
-let profile model target engine trace_out no_exec store =
+let profile model target engine trace_out no_exec store packs =
   let engine = parse_engine engine in
   let spec = or_die (lookup_spec target) in
   enable_tracing ?trace_out ();
+  load_isa_packs packs;
   with_store store @@ fun () ->
   (* with --engine emitted, profiling also renders + native-compiles each
      tensorized kernel, so the trace shows the emit.* spans and a
@@ -657,9 +814,10 @@ let profile model target engine trace_out no_exec store =
    every tuned config; a warm re-run is pure disk hits — the tuner sweep
    never runs (no tensorize.tune spans under --trace). *)
 let warmup model target engine store_path domains retries trace trace_out
-    assert_hit =
+    assert_hit packs =
   let engine = parse_engine engine in
   if trace || trace_out <> None then enable_tracing ?trace_out ();
+  load_isa_packs packs;
   let tgt = or_die (Warmup.target_of_string target) in
   (match engine, Unit_codegen.Emit_cache.available () with
    | Unit_core.Pipeline.Emitted, Error reason ->
@@ -971,7 +1129,8 @@ let trace_lint file forbid_spans require_counters count_spans =
    platform apply to each workload, and for the rejected ones the
    structured reason (mismatching node path, failing access pair, or
    mapping exhaustion) instead of a bare "no". *)
-let explain model target engine json =
+let explain model target engine json packs =
+  load_isa_packs packs;
   (* explain is static analysis — every engine computes the same coverage
      (they are bit-identical); the flag is validated for CLI uniformity *)
   ignore (parse_engine engine : Unit_core.Pipeline.engine);
@@ -1098,7 +1257,8 @@ let pp_kernel_report (name, count, fp) =
    level-parallel schedule, a greedy best-fit arena plan, and the
    independent checker's verdict.  A rejected plan is printed and exits
    non-zero — the planner proposes, the checker proves. *)
-let memplan model target json kernels trace =
+let memplan model target json kernels trace packs =
+  load_isa_packs packs;
   if trace then enable_tracing ();
   ignore (or_die (lookup_spec target));
   let arm = is_arm_target target in
@@ -1191,6 +1351,49 @@ let show_isa_cmd =
   Cmd.v (Cmd.info "show-isa" ~doc:"Print an instruction's tensor-DSL description.")
     Term.(const show_isa $ name_arg)
 
+let isa_cmd =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as JSON instead of a table.")
+  in
+  let lint =
+    let files = Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE") in
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:
+           "Parse and validate .uisa packs without registering anything: \
+            grammar, shape/axis consistency, dtype accumulation legality \
+            (the overflow lint), cost sanity.  Exits non-zero on any \
+            error; prints each instruction's semantic digest.")
+      Term.(const isa_lint $ files $ json_flag)
+  in
+  let list =
+    Cmd.v
+      (Cmd.info "list"
+         ~doc:
+           "List every registered instruction with its platform, semantic \
+            digest and provenance (builtin or pack:FILE), after loading \
+            any --isa-pack files.")
+      Term.(const isa_list $ isa_pack_arg $ json_flag)
+  in
+  let show =
+    let names = Arg.(value & pos_all string [] & info [] ~docv:"NAME") in
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:
+           "Print registered instructions back out as a canonical .uisa \
+            pack (every instruction when no NAME is given).  The output \
+            re-lints and re-loads to the same semantic digests — the \
+            round-trip property the test suite pins.")
+      Term.(const isa_show $ names $ isa_pack_arg)
+  in
+  Cmd.group
+    (Cmd.info "isa"
+       ~doc:
+         "Declarative .uisa instruction packs: lint packs, list registered \
+          instructions with digests and provenance, print canonical packs.")
+    [ lint; list; show ]
+
 let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect"
@@ -1230,8 +1433,8 @@ let run_cmd =
        ~doc:"Execute the tensorized kernel and the scalar oracle; compare.")
     Term.(
       const run $ op_kind_arg $ isa_arg $ engine_arg $ trace_flag
-      $ trace_out_arg $ store_arg $ channels_arg $ hw_arg $ out_channels_arg
-      $ kernel_arg $ stride_arg $ n_arg $ m_arg $ kdim_arg)
+      $ trace_out_arg $ store_arg $ isa_pack_arg $ channels_arg $ hw_arg
+      $ out_channels_arg $ kernel_arg $ stride_arg $ n_arg $ m_arg $ kdim_arg)
 
 let e2e_cmd =
   let model = Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL") in
@@ -1260,7 +1463,9 @@ let counterexamples_flag =
            the analyzer and verify each is rejected (exits non-zero).")
 
 let check_term =
-  Term.(const check $ spec_arg $ counterexamples_flag $ trace_flag $ store_arg)
+  Term.(
+    const check $ spec_arg $ counterexamples_flag $ trace_flag $ store_arg
+    $ isa_pack_arg)
 
 let check_cmd =
   Cmd.v
@@ -1296,7 +1501,7 @@ let profile_cmd =
           artifacts persisted when --store is given).")
     Term.(
       const profile $ model $ spec_arg $ engine_arg $ trace_out_arg $ no_exec
-      $ store_arg)
+      $ store_arg $ isa_pack_arg)
 
 let warmup_cmd =
   let model =
@@ -1338,7 +1543,7 @@ let warmup_cmd =
           its .cmxs content-addressed into the store.")
     Term.(
       const warmup $ model $ spec_arg $ engine_arg $ store $ domains $ retries
-      $ trace_flag $ trace_out_arg $ assert_hit)
+      $ trace_flag $ trace_out_arg $ assert_hit $ isa_pack_arg)
 
 let store_stats_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -1411,7 +1616,9 @@ let memplan_cmd =
           assigning every intermediate an offset in one shared arena, and \
           an independent overlap checker that proves the plan sound.  \
           Exits non-zero when the checker rejects the plan.")
-    Term.(const memplan $ model $ spec_arg $ json $ kernels $ trace_flag)
+    Term.(
+      const memplan $ model $ spec_arg $ json $ kernels $ trace_flag
+      $ isa_pack_arg)
 
 let memcheck_cmd =
   let write_bench =
@@ -1453,7 +1660,9 @@ let explain_cmd =
           chosen kernel's cycle attribution — or the structured rejection \
           reason (mismatching expression node, failing access pair, or \
           mapping exhaustion).")
-    Term.(const explain $ model $ explain_target_arg $ engine_arg $ json)
+    Term.(
+      const explain $ model $ explain_target_arg $ engine_arg $ json
+      $ isa_pack_arg)
 
 let bench_report_cmd =
   let out =
@@ -1574,7 +1783,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_isa_cmd; show_isa_cmd; inspect_cmd; compile_cmd; run_cmd; e2e_cmd;
+          [ list_isa_cmd; show_isa_cmd; isa_cmd; inspect_cmd; compile_cmd; run_cmd; e2e_cmd;
             models_cmd; table1_cmd; check_cmd; lint_cmd; profile_cmd;
             warmup_cmd; store_stats_cmd; store_gc_cmd; store_migrate_cmd;
             emit_status_cmd;

@@ -57,8 +57,24 @@ let with_sharded_store ?shards store_dir f =
 
 (* ---------- serve ---------- *)
 
-let serve socket_path domains queue_cap retries store shards trace trace_out =
+let serve socket_path domains queue_cap retries store shards trace trace_out
+    packs =
   if trace || trace_out <> None then enable_tracing ?trace_out ();
+  (* preload declarative instruction packs before the first worker can
+     touch the registry; later loads arrive as load_isa requests *)
+  (match Unit_isadsl.Loader.load_files packs with
+   | Ok infos ->
+     List.iter
+       (fun (info : Unit_isadsl.Loader.pack_info) ->
+         Printf.printf "unitd: loaded pack %s (%d instruction(s))\n%!"
+           info.Unit_isadsl.Loader.pk_source
+           (List.length info.Unit_isadsl.Loader.pk_instructions))
+       infos
+   | Error ds ->
+     List.iter
+       (fun d -> prerr_endline ("unitd: " ^ Unit_tir.Diag.to_string d))
+       ds;
+     exit 1);
   with_sharded_store ?shards store @@ fun () ->
   if Sys.file_exists socket_path then Unix.unlink socket_path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -249,6 +265,15 @@ let serve_cmd =
       & info [ "retries" ] ~docv:"N"
           ~doc:"Extra attempts per transiently-failing job.")
   in
+  let isa_packs =
+    Arg.(
+      value & opt_all string []
+      & info [ "isa-pack" ] ~docv:"FILE"
+          ~doc:
+            "Load a declarative .uisa instruction pack at startup \
+             (repeatable); further packs can be loaded at runtime with a \
+             load_isa request.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -258,7 +283,7 @@ let serve_cmd =
           or a shutdown request).")
     Term.(
       const serve $ socket_arg $ domains $ queue_cap $ retries $ store_arg
-      $ shards_arg $ trace_arg $ trace_out_arg)
+      $ shards_arg $ trace_arg $ trace_out_arg $ isa_packs)
 
 let call_cmd =
   let payload =

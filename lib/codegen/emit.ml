@@ -30,7 +30,7 @@ exception Unsupported of string
 
 let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
 
-let version = 2
+let version = 3
 
 type klass = KF | KI | KL
 
@@ -71,11 +71,13 @@ let is_narrow dt = Dtype.is_integer dt && Dtype.bits dt <= 32
 let wname dt = "w_" ^ Dtype.to_string dt
 let satname dt = "sat_" ^ Dtype.to_string dt
 
-(* Round-to-precision: the identity for f64, [r32] for f32. *)
+(* Round-to-precision: the identity for f64, [r32] for f32, [r_bf16] for
+   bf16. *)
 let rounded dt s =
   match dt with
   | Dtype.F64 -> s
   | Dtype.F32 -> Printf.sprintf "(r32 %s)" s
+  | Dtype.Bf16 -> Printf.sprintf "(r_bf16 %s)" s
   | _ -> unsupported "round to %s" (Dtype.to_string dt)
 
 let int_lit c = if c < 0 then Printf.sprintf "(%d)" c else string_of_int c
@@ -107,6 +109,16 @@ let w_i32 x =
   let m = x land 0xffffffff in
   if m land 0x80000000 <> 0 then m - 0x100000000 else m
 let r32 x = Int32.float_of_bits (Int32.bits_of_float x)
+let r_bf16 x =
+  if Float.is_nan x then Int32.float_of_bits 0x7fc00000l
+  else begin
+    let b = Int32.bits_of_float x in
+    let b =
+      Int32.add b
+        (Int32.add 0x7fffl (Int32.logand (Int32.shift_right_logical b 16) 1l))
+    in
+    Int32.float_of_bits (Int32.logand b 0xffff0000l)
+  end
 let trunc64 f =
   if Float.is_nan f then 0L
   else if f >= Int64.to_float Int64.max_int then Int64.max_int
@@ -643,7 +655,9 @@ let render (func : Lower.func) : plan * string =
       | CF ->
         (match out_dtype with
          | Dtype.F64 -> Printf.sprintf "%s := !%s +. %s;" acc acc body_str
-         | _ -> Printf.sprintf "%s := r32 (!%s +. %s);" acc acc body_str)
+         | _ ->
+           Printf.sprintf "%s := %s;" acc
+             (rounded out_dtype (Printf.sprintf "(!%s +. %s)" acc body_str)))
       | CL -> Printf.sprintf "%s := Int64.add !%s %s;" acc acc body_str
     in
     (* cb_write: convert the accumulator into the output buffer's class *)

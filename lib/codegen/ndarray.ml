@@ -265,3 +265,18 @@ let pp fmt t =
     Format.fprintf fmt " %a" Value.pp (get_flat t i)
   done;
   if total > n then Format.pp_print_string fmt " ..."
+
+(* Canonical content digest: every element in flat order.  Integer
+   storage prints exactly; float storage prints the IEEE bits so
+   "equal digests" means bit-identical. *)
+let digest t =
+  let buf = Buffer.create 4096 in
+  let n = num_elements t in
+  for i = 0 to n - 1 do
+    (match get_flat t i with
+     | Value.Int (_, v) -> Buffer.add_string buf (Int64.to_string v)
+     | Value.Float (_, v) ->
+       Buffer.add_string buf (Printf.sprintf "%Lx" (Int64.bits_of_float v)));
+    Buffer.add_char buf ','
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

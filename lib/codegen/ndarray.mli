@@ -103,3 +103,10 @@ val fold : ('a -> Value.t -> 'a) -> 'a -> t -> 'a
 
 val pp : Format.formatter -> t -> unit
 (** Shape/dtype header plus leading elements; for test failure output. *)
+
+val digest : t -> string
+(** Canonical content digest (MD5 hex) of the elements in flat order,
+    element-exact: integer storage hashes the exact value, float storage
+    the IEEE-754 bits.  Equal digests mean bit-identical contents —
+    stable across processes, the cross-process bit-identity witness used
+    by the serve protocol and [unitc run]. *)

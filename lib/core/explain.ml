@@ -35,8 +35,14 @@ type verdict =
 
 type entry = {
   ex_isa : string;
+  ex_provenance : string;
   ex_verdict : verdict;
 }
+
+let provenance_of name =
+  match Unit_isa.Registry.provenance name with
+  | Some Unit_isa.Registry.Builtin | None -> "builtin"
+  | Some (Unit_isa.Registry.Pack source) -> "pack:" ^ source
 
 type report = {
   ex_workload : string;
@@ -110,6 +116,7 @@ let cpu_report ~spec ~is_arm ~platform ~workload wl =
     List.map
       (fun (intrin : Unit_isa.Intrin.t) ->
         { ex_isa = intrin.Unit_isa.Intrin.name;
+          ex_provenance = provenance_of intrin.Unit_isa.Intrin.name;
           ex_verdict = cpu_verdict ~spec ~is_arm intrin wl
         })
       intrins
@@ -144,6 +151,7 @@ let gpu_report ~workload wl =
       let config, _ = Gpu_model.tune Spec.v100 gemm in
       let est, rep = Gpu_model.estimate_with_report Spec.v100 gemm config in
       { ex_isa = "wmma.implicit-gemm";
+        ex_provenance = "builtin";
         ex_verdict =
           Accepted
             { vd_mappings = 1;
@@ -153,7 +161,8 @@ let gpu_report ~workload wl =
             }
       }
     with Invalid_argument msg ->
-      { ex_isa = "wmma.implicit-gemm"; ex_verdict = Errored msg }
+      { ex_isa = "wmma.implicit-gemm"; ex_provenance = "builtin";
+        ex_verdict = Errored msg }
   in
   { ex_workload = workload;
     ex_target = "gpu";
@@ -199,6 +208,7 @@ let to_json r =
             (fun e ->
               Json.Obj
                 [ ("isa", Json.Str e.ex_isa);
+                  ("provenance", Json.Str e.ex_provenance);
                   ("verdict", verdict_to_json e.ex_verdict)
                 ])
             r.ex_entries))
@@ -211,8 +221,8 @@ let pp ppf r =
       match e.ex_verdict with
       | Accepted a ->
         let chosen = r.ex_chosen = Some e.ex_isa in
-        Format.fprintf ppf "  %-18s ACCEPTED%s  %d mapping%s, %s, %.0f cycles@,"
-          e.ex_isa
+        Format.fprintf ppf "  %-18s %-10s ACCEPTED%s  %d mapping%s, %s, %.0f cycles@,"
+          e.ex_isa e.ex_provenance
           (if chosen then " (chosen)" else "")
           a.vd_mappings
           (if a.vd_mappings = 1 then "" else "s")
@@ -220,10 +230,11 @@ let pp ppf r =
         if chosen then
           Format.fprintf ppf "    @[<v>%a@]@," Cost_report.pp a.vd_report
       | Rejected rj ->
-        Format.fprintf ppf "  %-18s REJECTED  %s@," e.ex_isa
-          (Inspector.rejection_to_string rj)
+        Format.fprintf ppf "  %-18s %-10s REJECTED  %s@," e.ex_isa
+          e.ex_provenance (Inspector.rejection_to_string rj)
       | Errored msg ->
-        Format.fprintf ppf "  %-18s ERROR     %s@," e.ex_isa msg)
+        Format.fprintf ppf "  %-18s %-10s ERROR     %s@," e.ex_isa
+          e.ex_provenance msg)
     r.ex_entries;
   (match r.ex_chosen with
    | Some isa -> Format.fprintf ppf "chosen: %s@]" isa

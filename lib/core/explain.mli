@@ -43,6 +43,9 @@ type verdict =
 
 type entry = {
   ex_isa : string;
+  ex_provenance : string;
+      (** where the instruction came from: ["builtin"] or
+          ["pack:<source>"] for [.uisa]-loaded instructions *)
   ex_verdict : verdict;
 }
 

@@ -56,10 +56,18 @@ let workload_signature ~(spec : Spec.cpu) (op : Op.t) (intrin : Unit_isa.Intrin.
       (Dtype.to_string t.Tensor.dtype)
       (String.concat "x" (List.map string_of_int (Array.to_list t.Tensor.shape)))
   in
+  (* the instruction contributes name AND semantic digest: two packs
+     defining different semantics under one name must never share tuning
+     records or cached emit artifacts, and editing a pack invalidates its
+     warm records instead of silently replaying stale configs *)
+  let isa_id =
+    Printf.sprintf "%s#%s" intrin.Unit_isa.Intrin.name
+      (String.sub (Unit_isa.Intrin.semantic_digest intrin) 0 12)
+  in
   Printf.sprintf "op=%s|out=%s|in=%s|sp=%s|rd=%s|isa=%s|target=%s/%dc@%.2fGHz"
     op.Op.name (tensor op.Op.output)
     (String.concat ";" (List.map tensor (Op.inputs op)))
-    (axes op.Op.spatial) (axes op.Op.reduce) intrin.Unit_isa.Intrin.name
+    (axes op.Op.spatial) (axes op.Op.reduce) isa_id
     spec.Spec.cpu_name spec.Spec.cores spec.Spec.freq_ghz
 
 type tuning_store = {

@@ -33,11 +33,14 @@ val tensorize :
 val workload_signature :
   spec:Spec.cpu -> Op.t -> Unit_isa.Intrin.t -> string
 (** Canonical identity of one tensorization problem: op name, output and
-    input dtypes+shapes, spatial/reduce extents, instruction name and
+    input dtypes+shapes, spatial/reduce extents, instruction name {e and
+    semantic digest} (see {!Unit_isa.Intrin.semantic_digest} — so a
+    pack-loaded instruction edit, or two packs defining different
+    semantics under one name, can never replay each other's records) and
     target machine — everything a stored tuning config's validity depends
     on.  [Unit_store.Store] hashes this (together with its schema version
     and {!Cpu_tuner.version}) into the content address of a persisted
-    tuning record. *)
+    tuning record; the emitted engine folds it into artifact keys. *)
 
 (** {2 Execution engines}
 

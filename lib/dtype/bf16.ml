@@ -1,0 +1,41 @@
+type t = int
+
+let of_bits b = b land 0xffff
+let to_bits t = t
+
+let zero = 0x0000
+let one = 0x3f80
+let infinity = 0x7f80
+let neg_infinity = 0xff80
+let nan = 0x7fc0
+
+(* Widening bf16 -> fp64 is exact: a bfloat16 is just the high half of the
+   equal-exponent-range float32, so shifting the pattern left 16 bits gives
+   the float32 (hence float64) value directly. *)
+let to_float t = Int32.float_of_bits (Int32.shift_left (Int32.of_int t) 16)
+
+(* Narrowing fp64 -> bf16 with round-to-nearest-even.  We go through the
+   float32 bit pattern first (Int32.bits_of_float rounds correctly to
+   single precision; a double halfway between two bf16 values is never
+   halfway between two f32 values, so double rounding is harmless here
+   because f32 keeps 16 extra mantissa bits) and then round away the low
+   16 bits with the classic [bits + 0x7fff + lsb] trick. *)
+let of_float x =
+  if Float.is_nan x then nan
+  else begin
+    let b = Int32.bits_of_float x in
+    let rounded =
+      Int32.add b
+        (Int32.add 0x7fffl (Int32.logand (Int32.shift_right_logical b 16) 1l))
+    in
+    Int32.to_int (Int32.shift_right_logical rounded 16) land 0xffff
+  end
+
+let round_float x = to_float (of_float x)
+
+let is_nan t =
+  let exp = (t lsr 7) land 0xff in
+  let mant = t land 0x7f in
+  exp = 0xff && mant <> 0
+
+let equal a b = (a : int) = b || (is_nan a && is_nan b)

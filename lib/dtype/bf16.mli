@@ -1,0 +1,37 @@
+(** Software emulation of bfloat16 (brain floating point).
+
+    Values are represented by their 16-bit pattern stored in an [int].  A
+    bfloat16 is the top half of an IEEE-754 binary32: same 8-bit exponent,
+    7-bit mantissa.  Conversions use round-to-nearest-even, matching the
+    AVX512-BF16 / AMX-BF16 / TPU convert units, so mixed-precision numerics
+    in the interpreter behave like the tensorized instructions they stand
+    in for. *)
+
+type t = private int
+(** A bfloat16, as its 16-bit pattern. *)
+
+val of_bits : int -> t
+(** [of_bits b] reinterprets the low 16 bits of [b] as a bf16 value. *)
+
+val to_bits : t -> int
+
+val of_float : float -> t
+(** Convert from double precision with round-to-nearest-even, overflow to
+    infinity, and preservation of NaN. *)
+
+val to_float : t -> float
+(** Exact widening conversion (shift the pattern into the f32 high half). *)
+
+val round_float : float -> float
+(** [round_float x] is [to_float (of_float x)]: the nearest representable
+    bf16 value of [x], as a double.  The primitive used by the interpreter
+    and the emitted-code prelude to emulate bf16 arithmetic. *)
+
+val zero : t
+val one : t
+val neg_infinity : t
+val infinity : t
+val nan : t
+
+val is_nan : t -> bool
+val equal : t -> t -> bool

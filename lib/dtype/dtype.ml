@@ -6,6 +6,7 @@ type t =
   | I32
   | I64
   | F16
+  | Bf16
   | F32
   | F64
 
@@ -16,7 +17,7 @@ let hash (t : t) = Hashtbl.hash t
 let bits = function
   | Bool -> 8
   | U8 | I8 -> 8
-  | I16 | F16 -> 16
+  | I16 | F16 | Bf16 -> 16
   | I32 | F32 -> 32
   | I64 | F64 -> 64
 
@@ -24,14 +25,14 @@ let bytes t = bits t / 8
 
 let is_integer = function
   | Bool | U8 | I8 | I16 | I32 | I64 -> true
-  | F16 | F32 | F64 -> false
+  | F16 | Bf16 | F32 | F64 -> false
 
 let is_float t = not (is_integer t)
 
 let is_signed = function
   | Bool | U8 -> false
   | I8 | I16 | I32 | I64 -> true
-  | F16 | F32 | F64 -> true
+  | F16 | Bf16 | F32 | F64 -> true
 
 let min_int_value = function
   | Bool -> 0L
@@ -40,7 +41,7 @@ let min_int_value = function
   | I16 -> -32768L
   | I32 -> Int64.of_int32 Int32.min_int
   | I64 -> Int64.min_int
-  | (F16 | F32 | F64) as t ->
+  | (F16 | Bf16 | F32 | F64) as t ->
     invalid_arg (Printf.sprintf "Dtype.min_int_value: float type %d-bit" (bits t))
 
 let max_int_value = function
@@ -50,7 +51,7 @@ let max_int_value = function
   | I16 -> 32767L
   | I32 -> Int64.of_int32 Int32.max_int
   | I64 -> Int64.max_int
-  | (F16 | F32 | F64) as t ->
+  | (F16 | Bf16 | F32 | F64) as t ->
     invalid_arg (Printf.sprintf "Dtype.max_int_value: float type %d-bit" (bits t))
 
 let to_string = function
@@ -61,6 +62,7 @@ let to_string = function
   | I32 -> "i32"
   | I64 -> "i64"
   | F16 -> "fp16"
+  | Bf16 -> "bf16"
   | F32 -> "fp32"
   | F64 -> "fp64"
 
@@ -72,23 +74,25 @@ let of_string = function
   | "i32" | "int32" -> Some I32
   | "i64" | "int64" -> Some I64
   | "fp16" | "f16" | "half" -> Some F16
+  | "bf16" | "bfloat16" -> Some Bf16
   | "fp32" | "f32" | "float" -> Some F32
   | "fp64" | "f64" | "double" -> Some F64
   | _ -> None
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
-let all = [ Bool; U8; I8; I16; F16; I32; F32; I64; F64 ]
+let all = [ Bool; U8; I8; I16; F16; Bf16; I32; F32; I64; F64 ]
 
 let can_cast_losslessly ~src ~dst =
   match src, dst with
   | a, b when equal a b -> true
   | Bool, _ -> true
-  | U8, (I16 | I32 | I64 | F16 | F32 | F64) -> true
-  | I8, (I16 | I32 | I64 | F16 | F32 | F64) -> true
+  | U8, (I16 | I32 | I64 | F16 | Bf16 | F32 | F64) -> true
+  | I8, (I16 | I32 | I64 | F16 | Bf16 | F32 | F64) -> true
   | I16, (I32 | I64 | F32 | F64) -> true
   | I32, (I64 | F64) -> true
   | F16, (F32 | F64) -> true
+  | Bf16, (F32 | F64) -> true
   | F32, F64 -> true
   | _, _ -> false
 

@@ -13,6 +13,7 @@ type t =
   | I32
   | I64
   | F16
+  | Bf16
   | F32
   | F64
 
@@ -42,7 +43,7 @@ val max_int_value : t -> int64
     @raise Invalid_argument on float types. *)
 
 val to_string : t -> string
-(** Short conventional name: ["u8"], ["i32"], ["fp16"], ... *)
+(** Short conventional name: ["u8"], ["i32"], ["fp16"], ["bf16"], ... *)
 
 val of_string : string -> t option
 (** Inverse of {!to_string}; also accepts ["f16"]/["f32"]/["f64"]

@@ -21,6 +21,7 @@ let wrap dt x =
 let round_to_precision dt x =
   match dt with
   | Dtype.F16 -> F16.round_float x
+  | Dtype.Bf16 -> Bf16.round_float x
   | Dtype.F32 -> Int32.float_of_bits (Int32.bits_of_float x)
   | Dtype.F64 -> x
   | _ -> invalid_arg "Value.round_to_precision: integer dtype"

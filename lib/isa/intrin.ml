@@ -69,6 +69,41 @@ let tensor_by_name t name =
 
 let platform_to_string = function X86 -> "x86" | Arm -> "arm" | Gpu -> "gpu"
 
+let platform_of_string = function
+  | "x86" -> Some X86
+  | "arm" -> Some Arm
+  | "gpu" -> Some Gpu
+  | _ -> None
+
+(* The canonical serialization underneath [semantic_digest].  Only
+   name-level structure enters it — never [Tensor.id]/[Axis.id], which are
+   process-global counters — so a description printed to a pack, parsed
+   back and re-elaborated digests identically. *)
+let canonical t =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let tensor (x : Tensor.t) =
+    Printf.sprintf "%s:%s[%s]" x.Tensor.name
+      (Unit_dtype.Dtype.to_string x.Tensor.dtype)
+      (String.concat "x" (List.map string_of_int (Array.to_list x.Tensor.shape)))
+  in
+  let axis (a : Axis.t) = Printf.sprintf "%s:%d" a.Axis.name a.Axis.extent in
+  add "uisa-digest-v1|%s|%s|%s|" t.name t.llvm_name (platform_to_string t.platform);
+  add "lat=%d|tput=%h|macs=%d|" t.cost.latency t.cost.throughput t.cost.macs;
+  let op = t.op in
+  add "op=%s|out=%s|" op.Op.name (tensor op.Op.output);
+  add "in=%s|" (String.concat ";" (List.map tensor (Op.inputs op)));
+  add "sp=%s|" (String.concat ";" (List.map axis op.Op.spatial));
+  add "rd=%s|" (String.concat ";" (List.map axis op.Op.reduce));
+  (match op.Op.init with
+   | Op.Zero -> add "init=zero|"
+   | Op.In_place -> add "init=in_place|"
+   | Op.Init_tensor c -> add "init=%s|" c.Tensor.name);
+  add "body=%s" (Expr.to_string op.Op.body);
+  Buffer.contents b
+
+let semantic_digest t = Digest.to_hex (Digest.string (canonical t))
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>%s (%s, %s)@,%a@]" t.name t.llvm_name
     (platform_to_string t.platform)

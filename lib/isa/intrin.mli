@@ -62,5 +62,23 @@ val tensor_by_name : t -> string -> Unit_dsl.Tensor.t option
 (** Looks among the op's inputs and output. *)
 
 val platform_to_string : platform -> string
+
+val platform_of_string : string -> platform option
+(** Inverse of {!platform_to_string}. *)
+
+val semantic_digest : t -> string
+(** Canonical content digest of the instruction's {e semantics}: name,
+    llvm name, platform, cost, and the full DSL description (tensors by
+    name/shape/dtype, axes by name/kind/extent, init form, body
+    expression).  Tensor/axis {e identities} are excluded, so a
+    description printed to a [.uisa] pack, parsed back and re-elaborated
+    digests identically.  32 lowercase hex characters.
+
+    This digest is the collision policy of {!Registry} (same name + same
+    digest = idempotent re-registration; same name + different digest =
+    structured error) and is folded into tuning-store / emit-artifact
+    keys, so editing a pack invalidates its warm records instead of
+    silently replaying stale configs. *)
+
 val pp : Format.formatter -> t -> unit
 (** Fig. 4-style rendering: name, LLVM intrinsic, then the DSL program. *)

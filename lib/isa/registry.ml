@@ -1,17 +1,59 @@
 exception Duplicate_intrin of string
 
+type provenance =
+  | Builtin
+  | Pack of string
+
+type outcome =
+  | Registered
+  | Idempotent
+
 let table : (string, Intrin.t) Hashtbl.t = Hashtbl.create 16
+let sources : (string, provenance) Hashtbl.t = Hashtbl.create 16
 let order : string list ref = ref []
 let builtins : string list ref = ref []
 
-let register (intrin : Intrin.t) =
+(* Registration is digest-checked: a name collision with identical
+   semantics is an idempotent no-op (re-loading a pack, or a pack that
+   round-trips a builtin, must not fail), while a collision with
+   different semantics is a structured [Diag] error — never a silent
+   replacement, which would let two instructions share tuning records
+   under one name. *)
+let register_checked ?source (intrin : Intrin.t) =
   let name = intrin.Intrin.name in
-  if Hashtbl.mem table name then raise (Duplicate_intrin name);
-  Hashtbl.add table name intrin;
-  order := name :: !order
+  match Hashtbl.find_opt table name with
+  | None ->
+    Hashtbl.add table name intrin;
+    Hashtbl.replace sources name
+      (match source with None -> Builtin | Some s -> Pack s);
+    order := name :: !order;
+    Ok Registered
+  | Some existing ->
+    let old_digest = Intrin.semantic_digest existing in
+    let new_digest = Intrin.semantic_digest intrin in
+    if String.equal old_digest new_digest then Ok Idempotent
+    else
+      Error
+        (Unit_tir.Diag.errorf Unit_tir.Diag.Isa_pack
+           "instruction %s already registered with different semantics \
+            (existing digest %s, new digest %s); rename the instruction or \
+            make the definitions identical"
+           name
+           (String.sub old_digest 0 12)
+           (String.sub new_digest 0 12))
+
+let register (intrin : Intrin.t) =
+  match register_checked intrin with
+  | Ok _ -> ()
+  | Error _ -> raise (Duplicate_intrin intrin.Intrin.name)
 
 let find name = Hashtbl.find_opt table name
 let find_exn name = match find name with Some i -> i | None -> raise Not_found
+
+let provenance name =
+  if Hashtbl.mem table name then
+    Some (Option.value ~default:Builtin (Hashtbl.find_opt sources name))
+  else None
 
 let all () = List.rev_map (fun name -> Hashtbl.find table name) !order
 
@@ -20,9 +62,17 @@ let of_platform platform =
 
 (* [Defs] calls this once after registering the built-ins so that
    [reset_for_testing] can preserve them. *)
-let mark_builtins () = builtins := !order
+let mark_builtins () =
+  builtins := !order;
+  List.iter (fun name -> Hashtbl.replace sources name Builtin) !order
 
 let reset_for_testing () =
   let keep = !builtins in
-  List.iter (fun name -> if not (List.mem name keep) then Hashtbl.remove table name) !order;
+  List.iter
+    (fun name ->
+      if not (List.mem name keep) then begin
+        Hashtbl.remove table name;
+        Hashtbl.remove sources name
+      end)
+    !order;
   order := keep

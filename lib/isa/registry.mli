@@ -3,17 +3,45 @@
     Integrating a new instruction — the extensibility axis the paper
     evaluates in Section VI-C — is exactly one {!register} call with a DSL
     description; every analysis, transformation and the interpreter pick it
-    up from here. *)
+    up from here.  Instructions arrive from two sources: the compiled-in
+    {!Defs} builtins, and declarative [.uisa] packs loaded at runtime
+    (see [Unit_isadsl]); {!provenance} tells them apart.
+
+    Collisions are digest-checked (see {!Intrin.semantic_digest}):
+    re-registering an instruction with identical semantics is an
+    idempotent no-op, while a same-name registration with different
+    semantics is refused — never silently replaced. *)
 
 exception Duplicate_intrin of string
 
+type provenance =
+  | Builtin  (** compiled into {!Defs} *)
+  | Pack of string  (** loaded from a [.uisa] pack; the source label *)
+
+type outcome =
+  | Registered  (** the name was fresh; the instruction is now visible *)
+  | Idempotent  (** already registered with the same semantic digest *)
+
+val register_checked :
+  ?source:string -> Intrin.t -> (outcome, Unit_tir.Diag.t) result
+(** Digest-checked registration.  [source] labels pack-loaded
+    instructions for {!provenance} (omit it for builtins).  A same-name,
+    same-digest collision returns [Ok Idempotent] and keeps the existing
+    value; a same-name, different-digest collision returns a structured
+    [Isa_pack] error and leaves the table untouched. *)
+
 val register : Intrin.t -> unit
-(** @raise Duplicate_intrin if the name is taken. *)
+(** [register_checked] without a source, for compiled-in callers.
+    Identical-digest re-registration is a no-op.
+    @raise Duplicate_intrin on a conflicting-digest collision. *)
 
 val find : string -> Intrin.t option
 
 val find_exn : string -> Intrin.t
 (** @raise Not_found *)
+
+val provenance : string -> provenance option
+(** Where a registered instruction came from; [None] if unregistered. *)
 
 val all : unit -> Intrin.t list
 (** Registration order.  Includes the built-ins once {!Defs} is linked. *)

@@ -1,0 +1,55 @@
+(* Surface syntax tree of the [.uisa] ISA-pack format.
+
+   Every node carries the source position it was parsed at, so the
+   elaborator can tag its diagnostics with [file:line:col] even when the
+   failing check is far from the parser (unknown dtype, axis/shape
+   mismatch, overflow lint).  Nothing here is validated beyond grammar:
+   dtype names, tensor references and arithmetic well-typedness are the
+   elaborator's job. *)
+
+type pos = {
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+}
+
+let pos_to_string p = Printf.sprintf "%d:%d" p.line p.col
+
+type expr =
+  | Int of pos * int  (** integer immediate (dtype [i32]) *)
+  | Ref of pos * string  (** bare name: resolves to a loop axis *)
+  | Access of pos * string * expr list  (** tensor element read [t\[i, j\]] *)
+  | Cast of pos * string * expr  (** [cast(dtype, e)] *)
+  | Add of pos * expr * expr
+  | Mul of pos * expr * expr
+
+let expr_pos = function
+  | Int (p, _) | Ref (p, _) | Access (p, _, _) | Cast (p, _, _)
+  | Add (p, _, _) | Mul (p, _, _) ->
+    p
+
+type init =
+  | Init_zero
+  | Init_in_place
+  | Init_tensor of string
+
+type inst = {
+  i_pos : pos;
+  i_name : string;
+  i_platform : (pos * string) option;
+  i_llvm : string option;
+  i_op : string option;  (** DSL op name; defaults to the instruction name *)
+  i_latency : (pos * int) option;
+  i_throughput : (pos * float) option;
+  i_macs : (pos * int) option;
+  i_tensors : (pos * string * string * int list) list;
+      (** declaration order: position, name, dtype name, shape *)
+  i_spatial : (pos * string * int) list;
+  i_reduce : (pos * string * int) list;
+  i_init : (pos * init) option;
+  i_out : (pos * string * expr) option;  (** output tensor name and body *)
+}
+
+type pack = {
+  p_version : int;
+  p_insts : inst list;
+}

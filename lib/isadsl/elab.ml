@@ -1,0 +1,220 @@
+(* Elaboration: surface AST -> validated [Intrin.t].
+
+   The elaborator re-checks everything [Intrin.create] and [Op.create]
+   assume — dtype names, tensor/axis name uniqueness, shape vs spatial
+   extents, accumulator legality, cost sanity — but with the pack's
+   source positions attached, so a bad pack fails with
+   [file:line:col: ...] instead of a bare exception from deep inside the
+   DSL constructors.  On top of that it runs the existing overflow lint
+   over the instruction's own scalar reference, so an accumulation that
+   cannot fit its accumulator dtype is surfaced at load time, and it
+   computes the canonical semantic digest used by the registry collision
+   policy and the tuning-store keys. *)
+
+open Unit_dsl
+module Diag = Unit_tir.Diag
+module Dtype = Unit_dtype.Dtype
+module Intrin = Unit_isa.Intrin
+
+exception Fail of Diag.t
+
+type elaborated = {
+  el_intrin : Intrin.t;
+  el_digest : string;
+  el_warnings : Diag.t list;
+}
+
+let fail ~source (pos : Ast.pos) fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Fail
+           (Diag.errorf Diag.Isa_pack "%s:%d:%d: %s" source pos.Ast.line
+              pos.Ast.col msg)))
+    fmt
+
+let resolve_dtype ~source pos name =
+  match Dtype.of_string name with
+  | Some dt -> dt
+  | None ->
+    fail ~source pos "unknown dtype '%s' (know %s)" name
+      (String.concat ", " (List.map Dtype.to_string Dtype.all))
+
+(* ---------- one instruction ---------- *)
+
+let elab_inst ~source (inst : Ast.inst) =
+  let fail pos fmt = fail ~source pos fmt in
+  let name = inst.Ast.i_name in
+  if String.length name = 0 then fail inst.Ast.i_pos "empty instruction name";
+  let required what = function
+    | Some v -> v
+    | None -> fail inst.Ast.i_pos "instruction %s: missing %s" name what
+  in
+  (* platform *)
+  let plat_pos, plat_name = required "platform" inst.Ast.i_platform in
+  let platform =
+    match Intrin.platform_of_string plat_name with
+    | Some p -> p
+    | None -> fail plat_pos "unknown platform '%s' (know x86, arm, gpu)" plat_name
+  in
+  (* cost *)
+  let lat_pos, latency = required "cost latency" inst.Ast.i_latency in
+  let tput_pos, throughput = required "cost throughput" inst.Ast.i_throughput in
+  let macs_pos, macs = required "cost macs" inst.Ast.i_macs in
+  if latency < 1 then fail lat_pos "latency must be >= 1 (got %d)" latency;
+  if not (throughput > 0.0) then
+    fail tput_pos "throughput must be positive (got %g)" throughput;
+  if macs < 1 then fail macs_pos "macs must be >= 1 (got %d)" macs;
+  (* tensors *)
+  let tensors = Hashtbl.create 8 in
+  let tensor_order =
+    List.map
+      (fun (pos, tname, dtname, shape) ->
+        if Hashtbl.mem tensors tname then fail pos "duplicate tensor '%s'" tname;
+        let dt = resolve_dtype ~source pos dtname in
+        let t =
+          match Tensor.create ~name:tname ~shape dt with
+          | t -> t
+          | exception Invalid_argument m -> fail pos "tensor %s: %s" tname m
+        in
+        Hashtbl.add tensors tname t;
+        t)
+      inst.Ast.i_tensors
+  in
+  ignore tensor_order;
+  (* axes *)
+  let axes = Hashtbl.create 8 in
+  let mk_axis kind (pos, aname, extent) =
+    if Hashtbl.mem axes aname then fail pos "duplicate axis '%s'" aname;
+    if Hashtbl.mem tensors aname then
+      fail pos "'%s' already names a tensor; axis names must be distinct" aname;
+    let a =
+      match Axis.create ~name:aname kind ~extent with
+      | a -> a
+      | exception Invalid_argument m -> fail pos "axis %s: %s" aname m
+    in
+    Hashtbl.add axes aname a;
+    a
+  in
+  let spatial = List.map (mk_axis Axis.Data_parallel) inst.Ast.i_spatial in
+  let reduce = List.map (mk_axis Axis.Reduction) inst.Ast.i_reduce in
+  (* body *)
+  let rec elab_expr depth (e : Ast.expr) =
+    if depth > Parse.max_expr_depth then
+      fail (Ast.expr_pos e) "expression nesting deeper than %d"
+        Parse.max_expr_depth;
+    match e with
+    | Ast.Int (pos, n) ->
+      (match Expr.int_imm n with
+       | e -> e
+       | exception Expr.Type_error m -> fail pos "%s" m)
+    | Ast.Ref (pos, n) ->
+      (match Hashtbl.find_opt axes n with
+       | Some a -> Expr.axis a
+       | None ->
+         if Hashtbl.mem tensors n then
+           fail pos "tensor '%s' must be accessed with indices: %s[...]" n n
+         else fail pos "unknown axis '%s'" n)
+    | Ast.Access (pos, n, indices) ->
+      (match Hashtbl.find_opt tensors n with
+       | None -> fail pos "unknown tensor '%s'" n
+       | Some t ->
+         let idx = List.map (elab_expr (depth + 1)) indices in
+         (match Expr.access t idx with
+          | e -> e
+          | exception Expr.Type_error m -> fail pos "%s" m))
+    | Ast.Cast (pos, dtname, e) ->
+      let dt = resolve_dtype ~source pos dtname in
+      (match Expr.cast dt (elab_expr (depth + 1) e) with
+       | e -> e
+       | exception Expr.Type_error m -> fail pos "%s" m)
+    | Ast.Add (pos, a, b) ->
+      (match Expr.add (elab_expr (depth + 1) a) (elab_expr (depth + 1) b) with
+       | e -> e
+       | exception Expr.Type_error m -> fail pos "%s" m)
+    | Ast.Mul (pos, a, b) ->
+      (match Expr.mul (elab_expr (depth + 1) a) (elab_expr (depth + 1) b) with
+       | e -> e
+       | exception Expr.Type_error m -> fail pos "%s" m)
+  in
+  let out_pos, out_name, body_ast = required "out field" inst.Ast.i_out in
+  let output =
+    match Hashtbl.find_opt tensors out_name with
+    | Some t -> t
+    | None -> fail out_pos "unknown output tensor '%s'" out_name
+  in
+  let body = elab_expr 0 body_ast in
+  (* init *)
+  let init_pos, init_ast = required "init field" inst.Ast.i_init in
+  let init =
+    match init_ast with
+    | Ast.Init_in_place -> Op.In_place
+    | Ast.Init_zero ->
+      fail init_pos
+        "init zero: a tensorized instruction must accumulate (use in_place \
+         or an accumulator tensor)"
+    | Ast.Init_tensor n ->
+      (match Hashtbl.find_opt tensors n with
+       | Some t -> Op.Init_tensor t
+       | None -> fail init_pos "unknown init tensor '%s'" n)
+  in
+  let op_name = Option.value ~default:name inst.Ast.i_op in
+  let op =
+    match Op.create ~name:op_name ~output ~spatial ~reduce ~init body with
+    | op -> op
+    | exception Op.Invalid_op m -> fail inst.Ast.i_pos "%s" m
+  in
+  let intrin =
+    let llvm_name = Option.value ~default:("uisa." ^ name) inst.Ast.i_llvm in
+    match
+      Intrin.create ~name ~llvm_name ~platform
+        ~cost:{ Intrin.latency; throughput; macs }
+        op
+    with
+    | i -> i
+    | exception Intrin.Invalid_intrin m -> fail inst.Ast.i_pos "%s" m
+  in
+  (* dtype accumulation legality via the existing overflow lint: lower the
+     instruction's own description to its scalar reference and
+     interval-check it.  A provable wrap is an error; a may-overflow
+     accumulation is passed through as a warning. *)
+  let lint =
+    match Unit_analysis.Analysis.check_func (Unit_tir.Lower.scalar_reference op) with
+    | diags -> diags
+    | exception e ->
+      fail inst.Ast.i_pos "instruction %s: overflow lint failed: %s" name
+        (Printexc.to_string e)
+  in
+  (match Diag.errors lint with
+   | d :: _ ->
+     fail inst.Ast.i_pos "instruction %s: rejected by the overflow lint: %s"
+       name (Diag.to_string d)
+   | [] -> ());
+  let warnings =
+    List.map
+      (fun (d : Diag.t) ->
+        Diag.warnf Diag.Isa_pack "%s:%d:%d: instruction %s: %s" source
+          inst.Ast.i_pos.Ast.line inst.Ast.i_pos.Ast.col name (Diag.to_string d))
+      (Diag.warnings lint)
+  in
+  { el_intrin = intrin;
+    el_digest = Intrin.semantic_digest intrin;
+    el_warnings = warnings
+  }
+
+(* ---------- pack entry point ---------- *)
+
+let elaborate ~source (pack : Ast.pack) =
+  match
+    let seen = Hashtbl.create 8 in
+    List.map
+      (fun (inst : Ast.inst) ->
+        if Hashtbl.mem seen inst.Ast.i_name then
+          fail ~source inst.Ast.i_pos
+            "instruction %s defined twice in this pack" inst.Ast.i_name;
+        Hashtbl.add seen inst.Ast.i_name ();
+        elab_inst ~source inst)
+      pack.Ast.p_insts
+  with
+  | els -> Ok els
+  | exception Fail d -> Error d

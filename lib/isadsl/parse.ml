@@ -1,0 +1,524 @@
+(* Lexer + recursive-descent parser for the [.uisa] pack format.
+
+   Hostile-input discipline: this module NEVER raises to its caller.
+   Every byte sequence — binary garbage, truncated packs, pathological
+   nesting — produces either a pack or a single position-tagged
+   [Diag.Isa_pack] error.  Nesting is depth-capped explicitly so deep
+   input cannot smash the OCaml stack. *)
+
+module Diag = Unit_tir.Diag
+
+exception Fail of Diag.t
+
+let max_expr_depth = 64
+let max_int_digits = 12
+
+(* ---------- tokens ---------- *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | COLON
+  | COMMA
+  | EQUALS
+  | PLUS
+  | STAR
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier '%s'" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT f -> Printf.sprintf "number %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACK -> "'['"
+  | RBRACK -> "']'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | EQUALS -> "'='"
+  | PLUS -> "'+'"
+  | STAR -> "'*'"
+  | EOF -> "end of input"
+
+type state = {
+  source : string;  (** label used in diagnostics, e.g. the file name *)
+  text : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+  mutable tok : token;
+  mutable tok_pos : Ast.pos;
+}
+
+let fail_at st (pos : Ast.pos) fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Fail
+           (Diag.errorf Diag.Isa_pack "%s:%d:%d: %s" st.source pos.Ast.line
+              pos.Ast.col msg)))
+    fmt
+
+let cur_pos st = { Ast.line = st.line; col = st.col }
+
+(* ---------- lexer ---------- *)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '.' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let advance st c =
+  st.off <- st.off + 1;
+  if c = '\n' then begin
+    st.line <- st.line + 1;
+    st.col <- 1
+  end
+  else st.col <- st.col + 1
+
+let rec skip_ws st =
+  if st.off < String.length st.text then begin
+    match st.text.[st.off] with
+    | ' ' | '\t' | '\r' | '\n' ->
+      advance st st.text.[st.off];
+      skip_ws st
+    | '#' ->
+      (* comment to end of line *)
+      while st.off < String.length st.text && st.text.[st.off] <> '\n' do
+        advance st st.text.[st.off]
+      done;
+      skip_ws st
+    | _ -> ()
+  end
+
+let lex_string st =
+  let start = cur_pos st in
+  advance st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if st.off >= String.length st.text then
+      fail_at st start "unterminated string literal"
+    else
+      match st.text.[st.off] with
+      | '"' -> advance st '"'
+      | '\n' -> fail_at st start "unterminated string literal"
+      | '\\' ->
+        advance st '\\';
+        if st.off >= String.length st.text then
+          fail_at st start "unterminated string literal"
+        else begin
+          (match st.text.[st.off] with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | 'n' -> Buffer.add_char b '\n'
+           | c -> fail_at st (cur_pos st) "unknown escape '\\%c'" c);
+          advance st st.text.[st.off];
+          go ()
+        end
+      | c ->
+        Buffer.add_char b c;
+        advance st c;
+        go ()
+  in
+  go ();
+  STRING (Buffer.contents b)
+
+let lex_number st =
+  let pos = cur_pos st in
+  let start = st.off in
+  while st.off < String.length st.text && is_digit st.text.[st.off] do
+    advance st st.text.[st.off]
+  done;
+  let has_frac =
+    st.off + 1 < String.length st.text
+    && st.text.[st.off] = '.'
+    && is_digit st.text.[st.off + 1]
+  in
+  if has_frac then begin
+    advance st '.';
+    while st.off < String.length st.text && is_digit st.text.[st.off] do
+      advance st st.text.[st.off]
+    done
+  end;
+  let has_exp =
+    st.off + 1 < String.length st.text
+    && (st.text.[st.off] = 'e' || st.text.[st.off] = 'E')
+    && (is_digit st.text.[st.off + 1]
+        || ((st.text.[st.off + 1] = '+' || st.text.[st.off + 1] = '-')
+            && st.off + 2 < String.length st.text
+            && is_digit st.text.[st.off + 2]))
+  in
+  if has_exp then begin
+    advance st st.text.[st.off];
+    if st.text.[st.off] = '+' || st.text.[st.off] = '-' then
+      advance st st.text.[st.off];
+    while st.off < String.length st.text && is_digit st.text.[st.off] do
+      advance st st.text.[st.off]
+    done
+  end;
+  if has_frac || has_exp then begin
+    let s = String.sub st.text start (st.off - start) in
+    match float_of_string_opt s with
+    | Some f -> FLOAT f
+    | None -> fail_at st pos "malformed number '%s'" s
+  end
+  else begin
+    let s = String.sub st.text start (st.off - start) in
+    if String.length s > max_int_digits then
+      fail_at st pos "integer literal '%s' too large" s;
+    match int_of_string_opt s with
+    | Some n -> INT n
+    | None -> fail_at st pos "malformed integer '%s'" s
+  end
+
+let lex_ident st =
+  let start = st.off in
+  while st.off < String.length st.text && is_ident_char st.text.[st.off] do
+    advance st st.text.[st.off]
+  done;
+  IDENT (String.sub st.text start (st.off - start))
+
+let next_token st =
+  skip_ws st;
+  st.tok_pos <- cur_pos st;
+  if st.off >= String.length st.text then st.tok <- EOF
+  else begin
+    let c = st.text.[st.off] in
+    let simple t =
+      advance st c;
+      t
+    in
+    st.tok <-
+      (match c with
+       | '{' -> simple LBRACE
+       | '}' -> simple RBRACE
+       | '[' -> simple LBRACK
+       | ']' -> simple RBRACK
+       | '(' -> simple LPAREN
+       | ')' -> simple RPAREN
+       | ':' -> simple COLON
+       | ',' -> simple COMMA
+       | '=' -> simple EQUALS
+       | '+' -> simple PLUS
+       | '*' -> simple STAR
+       | '"' -> lex_string st
+       | c when is_digit c -> lex_number st
+       | c when is_ident_start c -> lex_ident st
+       | c -> fail_at st (cur_pos st) "illegal character %C" c)
+  end
+
+(* ---------- parser ---------- *)
+
+let expect st tok what =
+  if st.tok = tok then next_token st
+  else fail_at st st.tok_pos "expected %s, got %s" what (token_to_string st.tok)
+
+let ident st what =
+  match st.tok with
+  | IDENT s ->
+    next_token st;
+    s
+  | t -> fail_at st st.tok_pos "expected %s, got %s" what (token_to_string t)
+
+let int_lit st what =
+  match st.tok with
+  | INT n ->
+    next_token st;
+    n
+  | t -> fail_at st st.tok_pos "expected %s, got %s" what (token_to_string t)
+
+let name_lit st what =
+  match st.tok with
+  | IDENT s | STRING s ->
+    next_token st;
+    s
+  | t -> fail_at st st.tok_pos "expected %s, got %s" what (token_to_string t)
+
+let reserved =
+  [ "uisa"; "instruction"; "platform"; "llvm"; "op"; "cost"; "latency";
+    "throughput"; "macs"; "tensor"; "spatial"; "reduce"; "init"; "out";
+    "cast"; "in_place"; "zero" ]
+
+let declared_name st pos what s =
+  if List.mem s reserved then
+    fail_at st pos "'%s' is a reserved word and cannot name a %s" s what;
+  s
+
+let rec parse_expr st depth =
+  if depth > max_expr_depth then
+    fail_at st st.tok_pos "expression nesting deeper than %d" max_expr_depth;
+  let lhs = parse_mul st depth in
+  let rec adds lhs =
+    match st.tok with
+    | PLUS ->
+      let pos = st.tok_pos in
+      next_token st;
+      let rhs = parse_mul st depth in
+      adds (Ast.Add (pos, lhs, rhs))
+    | _ -> lhs
+  in
+  adds lhs
+
+and parse_mul st depth =
+  let lhs = parse_atom st depth in
+  let rec muls lhs =
+    match st.tok with
+    | STAR ->
+      let pos = st.tok_pos in
+      next_token st;
+      let rhs = parse_atom st depth in
+      muls (Ast.Mul (pos, lhs, rhs))
+    | _ -> lhs
+  in
+  muls lhs
+
+and parse_atom st depth =
+  let pos = st.tok_pos in
+  match st.tok with
+  | INT n ->
+    next_token st;
+    Ast.Int (pos, n)
+  | LPAREN ->
+    next_token st;
+    let e = parse_expr st (depth + 1) in
+    expect st RPAREN "')'";
+    e
+  | IDENT "cast" ->
+    next_token st;
+    expect st LPAREN "'(' after cast";
+    let dt = ident st "a dtype name" in
+    expect st COMMA "','";
+    let e = parse_expr st (depth + 1) in
+    expect st RPAREN "')'";
+    Ast.Cast (pos, dt, e)
+  | IDENT name ->
+    next_token st;
+    if st.tok = LBRACK then begin
+      next_token st;
+      let rec indices acc =
+        let e = parse_expr st (depth + 1) in
+        match st.tok with
+        | COMMA ->
+          next_token st;
+          indices (e :: acc)
+        | _ ->
+          expect st RBRACK "']'";
+          List.rev (e :: acc)
+      in
+      Ast.Access (pos, name, indices [])
+    end
+    else Ast.Ref (pos, name)
+  | t ->
+    fail_at st pos "expected an expression, got %s" (token_to_string t)
+
+let parse_cost st (inst : Ast.inst) =
+  expect st LBRACE "'{' after cost";
+  let inst = ref inst in
+  let dup pos what = fail_at st pos "duplicate %s" what in
+  let rec fields () =
+    match st.tok with
+    | RBRACE -> next_token st
+    | IDENT "latency" ->
+      let pos = st.tok_pos in
+      next_token st;
+      if !inst.Ast.i_latency <> None then dup pos "latency";
+      inst := { !inst with Ast.i_latency = Some (pos, int_lit st "an integer") };
+      fields ()
+    | IDENT "throughput" ->
+      let pos = st.tok_pos in
+      next_token st;
+      if !inst.Ast.i_throughput <> None then dup pos "throughput";
+      let v =
+        match st.tok with
+        | INT n ->
+          next_token st;
+          float_of_int n
+        | FLOAT f ->
+          next_token st;
+          f
+        | t -> fail_at st st.tok_pos "expected a number, got %s" (token_to_string t)
+      in
+      inst := { !inst with Ast.i_throughput = Some (pos, v) };
+      fields ()
+    | IDENT "macs" ->
+      let pos = st.tok_pos in
+      next_token st;
+      if !inst.Ast.i_macs <> None then dup pos "macs";
+      inst := { !inst with Ast.i_macs = Some (pos, int_lit st "an integer") };
+      fields ()
+    | t ->
+      fail_at st st.tok_pos
+        "expected latency/throughput/macs or '}', got %s" (token_to_string t)
+  in
+  fields ();
+  !inst
+
+let parse_inst st =
+  let ipos = st.tok_pos in
+  next_token st;
+  (* past 'instruction' *)
+  let name = name_lit st "an instruction name" in
+  expect st LBRACE "'{'";
+  let inst =
+    ref
+      { Ast.i_pos = ipos; i_name = name; i_platform = None; i_llvm = None;
+        i_op = None; i_latency = None; i_throughput = None; i_macs = None;
+        i_tensors = []; i_spatial = []; i_reduce = []; i_init = None;
+        i_out = None
+      }
+  in
+  let dup pos what = fail_at st pos "duplicate %s" what in
+  let rec fields () =
+    match st.tok with
+    | RBRACE -> next_token st
+    | IDENT "platform" ->
+      let pos = st.tok_pos in
+      next_token st;
+      if !inst.Ast.i_platform <> None then dup pos "platform";
+      inst := { !inst with Ast.i_platform = Some (pos, ident st "a platform") };
+      fields ()
+    | IDENT "llvm" ->
+      let pos = st.tok_pos in
+      next_token st;
+      if !inst.Ast.i_llvm <> None then dup pos "llvm";
+      (match st.tok with
+       | STRING s ->
+         next_token st;
+         inst := { !inst with Ast.i_llvm = Some s }
+       | t -> fail_at st st.tok_pos "expected a string, got %s" (token_to_string t));
+      fields ()
+    | IDENT "op" ->
+      let pos = st.tok_pos in
+      next_token st;
+      if !inst.Ast.i_op <> None then dup pos "op";
+      inst := { !inst with Ast.i_op = Some (name_lit st "an op name") };
+      fields ()
+    | IDENT "cost" ->
+      let pos = st.tok_pos in
+      next_token st;
+      if
+        !inst.Ast.i_latency <> None || !inst.Ast.i_throughput <> None
+        || !inst.Ast.i_macs <> None
+      then dup pos "cost block";
+      inst := parse_cost st !inst;
+      fields ()
+    | IDENT "tensor" ->
+      let pos = st.tok_pos in
+      next_token st;
+      let tname = declared_name st pos "tensor" (ident st "a tensor name") in
+      expect st COLON "':'";
+      let dt = ident st "a dtype name" in
+      expect st LBRACK "'['";
+      let rec dims acc =
+        let d = int_lit st "a dimension" in
+        match st.tok with
+        | COMMA ->
+          next_token st;
+          dims (d :: acc)
+        | _ ->
+          expect st RBRACK "']'";
+          List.rev (d :: acc)
+      in
+      let shape = dims [] in
+      inst :=
+        { !inst with Ast.i_tensors = !inst.Ast.i_tensors @ [ (pos, tname, dt, shape) ] };
+      fields ()
+    | IDENT (("spatial" | "reduce") as kind) ->
+      let pos = st.tok_pos in
+      next_token st;
+      let aname = declared_name st pos "axis" (ident st "an axis name") in
+      expect st COLON "':'";
+      let extent = int_lit st "an extent" in
+      (if kind = "spatial" then
+         inst :=
+           { !inst with Ast.i_spatial = !inst.Ast.i_spatial @ [ (pos, aname, extent) ] }
+       else
+         inst :=
+           { !inst with Ast.i_reduce = !inst.Ast.i_reduce @ [ (pos, aname, extent) ] });
+      fields ()
+    | IDENT "init" ->
+      let pos = st.tok_pos in
+      next_token st;
+      if !inst.Ast.i_init <> None then dup pos "init";
+      let init =
+        match st.tok with
+        | IDENT "in_place" ->
+          next_token st;
+          Ast.Init_in_place
+        | IDENT "zero" ->
+          next_token st;
+          Ast.Init_zero
+        | IDENT name ->
+          next_token st;
+          Ast.Init_tensor name
+        | t ->
+          fail_at st st.tok_pos
+            "expected in_place, zero or a tensor name, got %s" (token_to_string t)
+      in
+      inst := { !inst with Ast.i_init = Some (pos, init) };
+      fields ()
+    | IDENT "out" ->
+      let pos = st.tok_pos in
+      next_token st;
+      if !inst.Ast.i_out <> None then dup pos "out";
+      let oname = ident st "the output tensor name" in
+      expect st EQUALS "'='";
+      let body = parse_expr st 0 in
+      inst := { !inst with Ast.i_out = Some (pos, oname, body) };
+      fields ()
+    | t ->
+      fail_at st st.tok_pos
+        "expected an instruction field (platform/llvm/op/cost/tensor/spatial/reduce/init/out) or '}', got %s"
+        (token_to_string t)
+  in
+  fields ();
+  !inst
+
+let parse_pack st =
+  (match st.tok with
+   | IDENT "uisa" -> next_token st
+   | t ->
+     fail_at st st.tok_pos "expected pack header 'uisa 1', got %s"
+       (token_to_string t));
+  let version = int_lit st "a pack version" in
+  if version <> 1 then
+    fail_at st st.tok_pos "unsupported pack version %d (this build reads 1)"
+      version;
+  let rec insts acc =
+    match st.tok with
+    | EOF -> List.rev acc
+    | IDENT "instruction" -> insts (parse_inst st :: acc)
+    | t ->
+      fail_at st st.tok_pos "expected 'instruction' or end of input, got %s"
+        (token_to_string t)
+  in
+  { Ast.p_version = version; p_insts = insts [] }
+
+let parse ~source text =
+  let st =
+    { source; text; off = 0; line = 1; col = 1; tok = EOF;
+      tok_pos = { Ast.line = 1; col = 1 }
+    }
+  in
+  match
+    next_token st;
+    parse_pack st
+  with
+  | pack -> Ok pack
+  | exception Fail d -> Error d
+  | exception Stack_overflow ->
+    Error
+      (Diag.errorf Diag.Isa_pack "%s: pack nesting exhausted the stack" source)

@@ -1,0 +1,99 @@
+(* Canonical [.uisa] printer: the inverse of [Parse] + [Elab].
+
+   The round-trip property the test suite pins: for every registered
+   instruction whose description stays within the pack surface
+   (access/cast/mul/add, i32 immediates — exactly what [Defs] uses),
+   [print -> parse -> elaborate] yields the same semantic digest. *)
+
+module Diag = Unit_tir.Diag
+module Dtype = Unit_dtype.Dtype
+module Intrin = Unit_isa.Intrin
+open Unit_dsl
+
+exception Unprintable of string
+
+let rec expr (e : Expr.t) =
+  match e with
+  | Expr.Imm (Unit_dtype.Value.Int (Dtype.I32, x)) -> Int64.to_string x
+  | Expr.Imm v ->
+    raise
+      (Unprintable
+         (Printf.sprintf "immediate %s outside the pack surface (i32 only)"
+            (Unit_dtype.Value.to_string v)))
+  | Expr.Axis_ref a -> a.Axis.name
+  | Expr.Access (t, indices) ->
+    Printf.sprintf "%s[%s]" t.Tensor.name
+      (String.concat ", " (List.map expr indices))
+  | Expr.Cast (dt, e) -> Printf.sprintf "cast(%s, %s)" (Dtype.to_string dt) (expr e)
+  | Expr.Binop (Expr.Add, a, b) -> Printf.sprintf "(%s + %s)" (expr a) (expr b)
+  | Expr.Binop (Expr.Mul, a, b) -> Printf.sprintf "(%s * %s)" (expr a) (expr b)
+  | Expr.Binop (op, _, _) ->
+    raise
+      (Unprintable
+         (Printf.sprintf "operator %s outside the pack surface (add/mul only)"
+            (Expr.binop_to_string op)))
+  | Expr.Neg _ -> raise (Unprintable "negation outside the pack surface")
+
+(* Numbers must survive print -> parse bit-exactly.  Integers-valued
+   throughputs print as "2.0"; everything else gets enough digits
+   ([%.17g] round-trips any double) — the grammar reads a plain decimal
+   either way. *)
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+(* Names print bare when they fit the identifier grammar, quoted
+   otherwise. *)
+let name_lit s =
+  let bare =
+    String.length s > 0
+    && Parse.is_ident_start s.[0]
+    && String.for_all Parse.is_ident_char s
+    && not (List.mem s Parse.reserved)
+  in
+  if bare then s else Printf.sprintf "%S" s
+
+let instruction (i : Intrin.t) =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let op = i.Intrin.op in
+  add "instruction %s {\n" (name_lit i.Intrin.name);
+  add "  platform %s\n" (Intrin.platform_to_string i.Intrin.platform);
+  add "  llvm %S\n" i.Intrin.llvm_name;
+  add "  op %s\n" (name_lit op.Op.name);
+  add "  cost { latency %d  throughput %s  macs %d }\n" i.Intrin.cost.Intrin.latency
+    (float_lit i.Intrin.cost.Intrin.throughput)
+    i.Intrin.cost.Intrin.macs;
+  let declared = Hashtbl.create 8 in
+  List.iter
+    (fun (t : Tensor.t) ->
+      if not (Hashtbl.mem declared t.Tensor.name) then begin
+        Hashtbl.add declared t.Tensor.name ();
+        add "  tensor %s : %s[%s]\n" t.Tensor.name
+          (Dtype.to_string t.Tensor.dtype)
+          (String.concat ", " (List.map string_of_int (Array.to_list t.Tensor.shape)))
+      end)
+    (Op.inputs op @ [ op.Op.output ]);
+  List.iter
+    (fun (a : Axis.t) -> add "  spatial %s : %d\n" a.Axis.name a.Axis.extent)
+    op.Op.spatial;
+  List.iter
+    (fun (a : Axis.t) -> add "  reduce %s : %d\n" a.Axis.name a.Axis.extent)
+    op.Op.reduce;
+  (match op.Op.init with
+   | Op.Zero -> raise (Unprintable "init zero outside the pack surface")
+   | Op.In_place -> add "  init in_place\n"
+   | Op.Init_tensor c -> add "  init %s\n" c.Tensor.name);
+  add "  out %s = %s\n" op.Op.output.Tensor.name (expr op.Op.body);
+  add "}\n";
+  Buffer.contents b
+
+let pack_header = "uisa 1\n"
+
+let pack intrins =
+  match
+    pack_header ^ "\n" ^ String.concat "\n" (List.map instruction intrins)
+  with
+  | s -> Ok s
+  | exception Unprintable m ->
+    Error (Diag.errorf Diag.Isa_pack "cannot print pack: %s" m)

@@ -102,6 +102,20 @@ let handle = function
     (* normally answered inline by the server; kept total for direct use *)
     Obs.stats_json ()
   | Protocol.Shutdown -> Json.Obj [ ("draining", Json.Bool true) ]
+  | Protocol.Load_isa { path } ->
+    (* normally answered inline by the server; kept total for direct use *)
+    (match Unit_isadsl.Loader.load_file path with
+     | Ok info ->
+       Json.Obj
+         [ ("pack", Json.Str info.Unit_isadsl.Loader.pk_source);
+           ( "loaded",
+             Json.Num
+               (float_of_int
+                  (List.length info.Unit_isadsl.Loader.pk_instructions)) )
+         ]
+     | Error ds ->
+       invalid_arg
+         (String.concat "; " (List.map Unit_tir.Diag.to_string ds)))
   | Protocol.Tune { target; engine; workload } ->
     tune_result ~target ~engine workload (compiled_for ~target workload)
   | Protocol.Run { target; engine; workload } ->

@@ -15,6 +15,7 @@ type request =
   | Ping
   | Stats
   | Shutdown
+  | Load_isa of { path : string }
   | Tune of { target : Warmup.target; engine : Pipeline.engine; workload : workload }
   | Run of { target : Warmup.target; engine : Pipeline.engine; workload : workload }
   | Explain of { target : Warmup.target; workload : workload }
@@ -51,9 +52,10 @@ let workload_name = function
   | Table1 i -> Printf.sprintf "table1:%d" i
 
 (* Coalescing identity: everything that changes the answer.  Ping/Stats/
-   Shutdown are control traffic and never queued, so they have no key. *)
+   Shutdown/Load_isa are control traffic and never queued, so they have
+   no key. *)
 let coalesce_key = function
-  | Ping | Stats | Shutdown -> None
+  | Ping | Stats | Shutdown | Load_isa _ -> None
   | Tune { target; engine; workload } ->
     Some
       (Printf.sprintf "tune/%s/%s/%s" (Warmup.target_to_string target)
@@ -145,6 +147,10 @@ let request_of_json j =
   | Some "ping" -> Ok Ping
   | Some "stats" -> Ok Stats
   | Some "shutdown" -> Ok Shutdown
+  | Some "load_isa" ->
+    (match Option.bind (Json.member "path" j) Json.to_str with
+     | Some path -> Ok (Load_isa { path })
+     | None -> Error "field \"path\" missing or not a string")
   | Some (("tune" | "run" | "explain") as req) ->
     let* target = target_of_json j in
     let* workload =
@@ -162,7 +168,8 @@ let request_of_json j =
      | _ -> Ok (Explain { target; workload }))
   | Some other ->
     Error
-      (Printf.sprintf "unknown request %S (ping|stats|shutdown|tune|run|explain)"
+      (Printf.sprintf
+         "unknown request %S (ping|stats|shutdown|load_isa|tune|run|explain)"
          other)
 
 let parse_request payload =
@@ -201,6 +208,8 @@ let request_to_json req =
   | Ping -> Json.Obj [ ("req", Json.Str "ping") ]
   | Stats -> Json.Obj [ ("req", Json.Str "stats") ]
   | Shutdown -> Json.Obj [ ("req", Json.Str "shutdown") ]
+  | Load_isa { path } ->
+    Json.Obj [ ("req", Json.Str "load_isa"); ("path", Json.Str path) ]
   | Tune { target; engine; workload } ->
     common ~req:"tune" ~target workload
       [ ("engine", Json.Str (Pipeline.engine_to_string engine)) ]
@@ -243,18 +252,6 @@ let response_of_json j =
 
 (* ---------- result digests ---------- *)
 
-(* Canonical content digest of an execution result: every element in
-   flat order.  Integer storage prints exactly; float storage prints the
-   IEEE bits so "bit-identical" means bit-identical. *)
-let digest_ndarray nd =
-  let module Ndarray = Unit_codegen.Ndarray in
-  let buf = Buffer.create 4096 in
-  let n = Ndarray.num_elements nd in
-  for i = 0 to n - 1 do
-    (match Ndarray.get_flat nd i with
-     | Unit_dtype.Value.Int (_, v) -> Buffer.add_string buf (Int64.to_string v)
-     | Unit_dtype.Value.Float (_, v) ->
-       Buffer.add_string buf (Printf.sprintf "%Lx" (Int64.bits_of_float v)));
-    Buffer.add_char buf ','
-  done;
-  Digest.to_hex (Digest.string (Buffer.contents buf))
+(* Canonical content digest of an execution result; the element-exact
+   hash lives with the array type itself. *)
+let digest_ndarray nd = Unit_codegen.Ndarray.digest nd

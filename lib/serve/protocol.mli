@@ -28,6 +28,11 @@ type request =
   | Ping
   | Stats
   | Shutdown
+  | Load_isa of { path : string }
+      (** load a declarative [.uisa] instruction pack (server-side path)
+          into the daemon's registry; answered inline like the other
+          control requests.  Idempotent for identical semantics,
+          [Bad_request] on a digest conflict or an invalid pack. *)
   | Tune of {
       target : Unit_store.Warmup.target;
       engine : Unit_core.Pipeline.engine;
@@ -58,8 +63,9 @@ val workload_name : workload -> string
 
 val coalesce_key : request -> string option
 (** The request's coalescing identity — kind, target, engine and
-    workload — or [None] for control requests (ping/stats/shutdown),
-    which are answered inline and never queued. *)
+    workload — or [None] for control requests
+    (ping/stats/shutdown/load_isa), which are answered inline and never
+    queued. *)
 
 val workload_of_json : Unit_obs.Json.t -> (workload, string) result
 val workload_to_json : workload -> Unit_obs.Json.t

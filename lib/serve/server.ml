@@ -152,6 +152,24 @@ let stats_fields t =
     ("tensorize_shared", Handler.shared_tensorize_count ())
   ]
 
+let isa_packs_json () =
+  Json.Arr
+    (List.map
+       (fun (info : Unit_isadsl.Loader.pack_info) ->
+         Json.Obj
+           [ ("source", Json.Str info.Unit_isadsl.Loader.pk_source);
+             ( "instructions",
+               Json.Arr
+                 (List.map
+                    (fun (name, digest, _) ->
+                      Json.Obj
+                        [ ("name", Json.Str name);
+                          ("digest", Json.Str digest)
+                        ])
+                    info.Unit_isadsl.Loader.pk_instructions) )
+           ])
+       (Unit_isadsl.Loader.loaded ()))
+
 let stats_json t =
   Json.Obj
     [ ( "server",
@@ -159,6 +177,7 @@ let stats_json t =
           (List.map
              (fun (k, v) -> (k, Json.Num (float_of_int v)))
              (stats_fields t)) );
+      ("isa_packs", isa_packs_json ());
       ("obs", Obs.stats_json ())
     ]
 
@@ -195,6 +214,43 @@ let submit t request =
     t.draining <- true;
     Mutex.unlock t.lock;
     finish (Protocol.Result (Json.Obj [ ("draining", Json.Bool true) ]))
+  | Protocol.Load_isa { path } ->
+    (* answered inline: registration is cheap, and the loader serializes
+       registry mutations under its own lock, so worker domains mid-
+       tensorize never observe a half-loaded pack *)
+    (match Unit_isadsl.Loader.load_file path with
+     | Ok info ->
+       finish
+         (Protocol.Result
+            (Json.Obj
+               [ ("pack", Json.Str info.Unit_isadsl.Loader.pk_source);
+                 ( "instructions",
+                   Json.Arr
+                     (List.map
+                        (fun (name, digest, status) ->
+                          Json.Obj
+                            [ ("name", Json.Str name);
+                              ("digest", Json.Str digest);
+                              ( "status",
+                                Json.Str
+                                  (match status with
+                                   | Unit_isadsl.Loader.Added -> "added"
+                                   | Unit_isadsl.Loader.Idempotent ->
+                                     "idempotent") )
+                            ])
+                        info.Unit_isadsl.Loader.pk_instructions) );
+                 ( "warnings",
+                   Json.Arr
+                     (List.map
+                        (fun d -> Json.Str (Unit_tir.Diag.to_string d))
+                        info.Unit_isadsl.Loader.pk_warnings) )
+               ]))
+     | Error ds ->
+       finish
+         (Protocol.Failure
+            ( Protocol.Bad_request,
+              String.concat "; "
+                (List.map Unit_tir.Diag.to_string ds) )))
   | Protocol.Tune _ | Protocol.Run _ | Protocol.Explain _ ->
     let key = Option.get (Protocol.coalesce_key request) in
     Mutex.lock t.lock;

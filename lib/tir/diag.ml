@@ -10,6 +10,7 @@ type rule =
   | Store
   | Mem_plan
   | Emit
+  | Isa_pack
 
 type severity =
   | Error
@@ -33,6 +34,7 @@ let rule_id = function
   | Store -> "store"
   | Mem_plan -> "mem-plan"
   | Emit -> "emit"
+  | Isa_pack -> "isa-pack"
 
 let errorf rule fmt =
   Printf.ksprintf (fun detail -> { rule; severity = Error; detail }) fmt

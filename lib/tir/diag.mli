@@ -21,6 +21,11 @@ type rule =
   | Emit
       (** native-emission engine degraded (no native [Dynlink] /
           [ocamlopt], unsupported construct) or an unknown engine name *)
+  | Isa_pack
+      (** declarative ISA-pack ([.uisa]) rejected: lexical/syntax error
+          (position-tagged), elaboration failure (unknown dtype, shape or
+          axis inconsistency, cost insanity), or a registry collision
+          (same instruction name, different semantic digest) *)
 
 type severity =
   | Error  (** the schedule is illegal; reject it *)

@@ -101,6 +101,45 @@ let prop_f16_monotone =
       let lo = Float.min a b and hi = Float.max a b in
       F16.round_float lo <= F16.round_float hi)
 
+(* ---------- Bf16 ---------- *)
+
+let test_bf16_known_values () =
+  (* bf16 is the top 16 bits of the fp32 encoding *)
+  List.iter
+    (fun (f, bits) ->
+      check_int (Printf.sprintf "of_float %g" f) bits (Bf16.to_bits (Bf16.of_float f)))
+    [ (0.0, 0x0000); (1.0, 0x3f80); (-1.0, 0xbf80); (2.0, 0x4000);
+      (0.5, 0x3f00); (Float.infinity, 0x7f80); (Float.neg_infinity, 0xff80) ]
+
+let test_bf16_round_to_nearest_even () =
+  (* 1 + 2^-8 is exactly halfway between 1.0 and the next bf16
+     (1 + 2^-7): the tie goes to the even mantissa, 1.0 *)
+  Alcotest.(check @@ float 0.0) "tie to even" 1.0
+    (Bf16.round_float (1.0 +. (1.0 /. 256.0)));
+  Alcotest.(check @@ float 0.0) "above tie rounds up" (1.0 +. (1.0 /. 128.0))
+    (Bf16.round_float (1.0 +. (1.5 /. 256.0)));
+  (* overflow rounds to infinity *)
+  Alcotest.(check @@ float 0.0) "overflow -> inf" Float.infinity
+    (Bf16.round_float 1e39)
+
+let test_bf16_nan_canonical () =
+  check_bool "nan detected" true (Bf16.is_nan (Bf16.of_float Float.nan));
+  check_int "nan canonicalized" 0x7fc0 (Bf16.to_bits (Bf16.of_float Float.nan));
+  check_bool "inf not nan" false (Bf16.is_nan Bf16.infinity)
+
+let prop_bf16_round_trip =
+  QCheck.Test.make ~name:"bf16 to_float/of_float round-trips on representables"
+    ~count:500
+    QCheck.(int_range 0 0x7f7f)
+    (fun bits ->
+      let f = Bf16.to_float (Bf16.of_bits bits) in
+      Bf16.to_bits (Bf16.of_float f) = bits)
+
+let prop_bf16_idempotent =
+  QCheck.Test.make ~name:"bf16 rounding is idempotent" ~count:500
+    QCheck.(float_range (-1e6) 1e6)
+    (fun x -> Bf16.round_float (Bf16.round_float x) = Bf16.round_float x)
+
 (* ---------- Value ---------- *)
 
 let test_wrap_semantics () =
@@ -192,6 +231,13 @@ let () =
           Alcotest.test_case "subnormals" `Quick test_f16_subnormals
         ]
         @ qcheck [ prop_f16_round_trip; prop_f16_monotone ] );
+      ( "bf16",
+        [ Alcotest.test_case "known encodings" `Quick test_bf16_known_values;
+          Alcotest.test_case "round to nearest even" `Quick
+            test_bf16_round_to_nearest_even;
+          Alcotest.test_case "nan canonical" `Quick test_bf16_nan_canonical
+        ]
+        @ qcheck [ prop_bf16_round_trip; prop_bf16_idempotent ] );
       ( "value",
         [ Alcotest.test_case "wrap semantics" `Quick test_wrap_semantics;
           Alcotest.test_case "saturating casts" `Quick test_saturating_cast;

@@ -34,9 +34,26 @@ let test_registry () =
   check_int "gpu intrins" 2 (List.length (Registry.of_platform Intrin.Gpu))
 
 let test_duplicate_registration_rejected () =
-  match Registry.register Defs.vnni_vpdpbusd with
+  (* Same name + same semantic digest is idempotent... *)
+  (match Registry.register Defs.vnni_vpdpbusd with
+  | () -> ()
+  | exception Registry.Duplicate_intrin _ ->
+    Alcotest.fail "identical re-registration should be idempotent");
+  check_int "registry unchanged" 9 (List.length (Registry.all ()));
+  (* ...but the same name with different semantics is a conflict. *)
+  let conflicting =
+    let base = Defs.vnni_vpdpbusd in
+    Intrin.create ~name:base.Intrin.name ~llvm_name:base.Intrin.llvm_name
+      ~platform:base.Intrin.platform
+      ~cost:
+        { base.Intrin.cost with
+          Intrin.latency = base.Intrin.cost.Intrin.latency + 1
+        }
+      base.Intrin.op
+  in
+  match Registry.register conflicting with
   | exception Registry.Duplicate_intrin _ -> ()
-  | () -> Alcotest.fail "duplicate registration accepted"
+  | () -> Alcotest.fail "conflicting registration accepted"
 
 let test_custom_registration_and_reset () =
   let op =

@@ -1,0 +1,320 @@
+(* The declarative ISA-pack subsystem: parser fuzz safety (hostile
+   bytes never raise — every failure is a positioned isa-pack
+   diagnostic), elaboration rejections, semantic-digest stability, the
+   print -> parse -> elaborate round trip over every builtin, registry
+   idempotence/conflict behaviour, and store-key separation for
+   same-name different-semantics instructions. *)
+
+module Intrin = Unit_isa.Intrin
+module Registry = Unit_isa.Registry
+module Defs = Unit_isa.Defs
+module Parse = Unit_isadsl.Parse
+module Elab = Unit_isadsl.Elab
+module Print = Unit_isadsl.Print
+module Loader = Unit_isadsl.Loader
+module Diag = Unit_tir.Diag
+module Pipeline = Unit_core.Pipeline
+module Spec = Unit_machine.Spec
+
+let () = Defs.ensure_registered ()
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* A minimal well-formed pack (vnni semantics under a test name) used
+   as the mutation base for rejection tests. *)
+let base_pack ?(name = "test.dot") ?(latency = 5) ?(reduce = 4)
+    ?(acc = "i32") () =
+  Printf.sprintf
+    {|uisa 1
+instruction %s {
+  platform x86
+  llvm "llvm.test.intrinsic"
+  op dot
+  cost { latency %d  throughput 2.0  macs 64 }
+  tensor a : u8[64]
+  tensor b : i8[64]
+  tensor c : %s[16]
+  tensor d : %s[16]
+  spatial i : 16
+  reduce j : %d
+  init c
+  out d = (cast(%s, a[((i * %d) + j)]) * cast(%s, b[((i * %d) + j)]))
+}
+|}
+    name latency acc acc reduce acc reduce acc reduce
+
+let elab_one text =
+  match Loader.check_string ~source:"<test>" text with
+  | Ok [ el ] -> Ok el
+  | Ok els -> Error [ Diag.errorf Diag.Isa_pack "%d instructions" (List.length els) ]
+  | Error ds -> Error ds
+
+let expect_error what text =
+  match Loader.check_string ~source:"<test>" text with
+  | Error (d :: _) ->
+    check_bool (what ^ " is an isa-pack diag") true (d.Diag.rule = Diag.Isa_pack || Diag.is_error d)
+  | Error [] -> Alcotest.fail (what ^ ": empty diagnostic list")
+  | Ok _ -> Alcotest.fail (what ^ ": accepted, expected rejection")
+
+(* ---------- parsing ---------- *)
+
+let test_parse_ok () =
+  match elab_one (base_pack ()) with
+  | Ok el ->
+    check_string "name" "test.dot" el.Elab.el_intrin.Intrin.name;
+    check_int "digest length" 32 (String.length el.Elab.el_digest)
+  | Error (d :: _) -> Alcotest.fail (Diag.to_string d)
+  | Error [] -> Alcotest.fail "empty error"
+
+let test_parse_errors_positioned () =
+  (* a syntax error names <source>:line:col *)
+  match Parse.parse ~source:"p.uisa" "uisa 1\ninstruction {" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error d ->
+    check_bool "position present" true
+      (contains ~needle:"p.uisa:2:" (Diag.to_string d))
+
+let test_parse_rejections () =
+  expect_error "bad version" "uisa 2\n";
+  expect_error "missing header" "instruction x { }\n";
+  expect_error "unterminated string" "uisa 1\ninstruction x { llvm \"abc \n}";
+  expect_error "huge int" "uisa 1\ninstruction x { spatial i : 99999999999999999 }\n";
+  expect_error "duplicate field"
+    "uisa 1\ninstruction x { platform x86\n platform x86 }\n"
+
+let test_deep_nesting_capped () =
+  (* 500 nested parens overflow the explicit depth cap, not the stack *)
+  let deep = String.concat "" (List.init 500 (fun _ -> "(")) in
+  let text =
+    "uisa 1\ninstruction x { out d = " ^ deep ^ "1" ^ String.concat ""
+      (List.init 500 (fun _ -> ")")) ^ " }\n"
+  in
+  match Parse.parse ~source:"<deep>" text with
+  | Ok _ -> Alcotest.fail "accepted 500-deep nesting"
+  | Error d ->
+    check_bool "mentions nesting" true
+      (contains ~needle:"nesting" (Diag.to_string d))
+
+(* Hostile input: raw bytes, truncations of a valid pack, and printable
+   soup must never raise — every outcome is Ok or a structured Error. *)
+let fuzz_never_raises =
+  QCheck.Test.make ~count:500 ~name:"parse never raises on raw bytes"
+    QCheck.(string_of_size (Gen.int_range 0 200))
+    (fun s ->
+      match Parse.parse ~source:"<fuzz>" s with
+      | Ok _ | Error _ -> true)
+
+let fuzz_truncations =
+  let full = base_pack () in
+  QCheck.Test.make ~count:200 ~name:"parse never raises on truncated packs"
+    QCheck.(int_range 0 (String.length full))
+    (fun n ->
+      match Parse.parse ~source:"<trunc>" (String.sub full 0 n) with
+      | Ok _ | Error _ -> true)
+
+let fuzz_token_soup =
+  let tokens =
+    [| "uisa"; "1"; "instruction"; "{"; "}"; "["; "]"; "("; ")"; ":"; ",";
+       "="; "+"; "*"; "cost"; "tensor"; "spatial"; "reduce"; "init"; "out";
+       "cast"; "i32"; "u8"; "bf16"; "x"; "a"; "\"s\""; "3"; "2.0"; "#c\n" |]
+  in
+  QCheck.Test.make ~count:300 ~name:"parse never raises on token soup"
+    QCheck.(list_of_size (Gen.int_range 0 60) (int_bound (Array.length tokens - 1)))
+    (fun picks ->
+      let s = String.concat " " (List.map (fun i -> tokens.(i)) picks) in
+      match Parse.parse ~source:"<soup>" s with
+      | Ok _ | Error _ -> true)
+
+(* ---------- elaboration rejections ---------- *)
+
+let test_elab_rejections () =
+  expect_error "missing platform"
+    "uisa 1\ninstruction x { llvm \"l\"\n cost { latency 1 throughput 1.0 macs 1 } }\n";
+  expect_error "zero latency" (base_pack ~latency:0 ());
+  expect_error "unknown axis in body"
+    {|uisa 1
+instruction bad.axis {
+  platform x86
+  llvm "llvm.bad"
+  op dot
+  cost { latency 1  throughput 1.0  macs 16 }
+  tensor a : u8[16]
+  tensor b : i8[16]
+  tensor c : i32[4]
+  tensor d : i32[4]
+  spatial i : 4
+  reduce j : 4
+  init c
+  out d = (cast(i32, a[((i * 4) + q)]) * cast(i32, b[((i * 4) + j)]))
+}
+|};
+  expect_error "overflow lint: u8*u8 into i16"
+    {|uisa 1
+instruction bad.acc {
+  platform x86
+  llvm "llvm.bad"
+  op dot
+  cost { latency 1  throughput 1.0  macs 16 }
+  tensor a : u8[16]
+  tensor b : u8[16]
+  tensor c : i16[4]
+  tensor d : i16[4]
+  spatial i : 4
+  reduce j : 4
+  init c
+  out d = (cast(i16, a[((i * 4) + j)]) * cast(i16, b[((i * 4) + j)]))
+}
+|};
+  expect_error "duplicate instruction names in one pack"
+    (base_pack () ^ "\n" ^ base_pack ())
+
+(* ---------- digests ---------- *)
+
+let test_digest_stability () =
+  let d1 = Result.get_ok (elab_one (base_pack ())) in
+  let d2 = Result.get_ok (elab_one (base_pack ())) in
+  check_string "same text, same digest (fresh tensor/axis ids)"
+    d1.Elab.el_digest d2.Elab.el_digest;
+  let d3 = Result.get_ok (elab_one (base_pack ~latency:7 ())) in
+  check_bool "cost change changes digest" false
+    (String.equal d1.Elab.el_digest d3.Elab.el_digest);
+  let d4 = Result.get_ok (elab_one (base_pack ~reduce:2 ())) in
+  check_bool "extent change changes digest" false
+    (String.equal d1.Elab.el_digest d4.Elab.el_digest)
+
+let test_roundtrip_all_builtins () =
+  List.iter
+    (fun (i : Intrin.t) ->
+      let text =
+        match Print.pack [ i ] with
+        | Ok t -> t
+        | Error d -> Alcotest.fail (i.Intrin.name ^ ": " ^ Diag.to_string d)
+      in
+      match Loader.check_string ~source:"<roundtrip>" text with
+      | Ok [ el ] ->
+        check_string
+          (i.Intrin.name ^ " round-trips digest-identically")
+          (Intrin.semantic_digest i) el.Elab.el_digest
+      | Ok _ -> Alcotest.fail (i.Intrin.name ^ ": wrong instruction count")
+      | Error (d :: _) ->
+        Alcotest.fail (i.Intrin.name ^ ": " ^ Diag.to_string d)
+      | Error [] -> Alcotest.fail (i.Intrin.name ^ ": empty error"))
+    (Registry.all ())
+
+(* ---------- registry collision policy ---------- *)
+
+let test_registry_idempotent_and_conflict () =
+  Registry.reset_for_testing ();
+  Loader.reset_for_testing ();
+  let el = Result.get_ok (elab_one (base_pack ())) in
+  (match Registry.register_checked ~source:"p1" el.Elab.el_intrin with
+   | Ok Registry.Registered -> ()
+   | Ok Registry.Idempotent -> Alcotest.fail "fresh name reported idempotent"
+   | Error d -> Alcotest.fail (Diag.to_string d));
+  (* same digest again: idempotent no-op, the original stays registered *)
+  let el2 = Result.get_ok (elab_one (base_pack ())) in
+  (match Registry.register_checked ~source:"p2" el2.Elab.el_intrin with
+   | Ok Registry.Idempotent -> ()
+   | Ok Registry.Registered -> Alcotest.fail "duplicate digest re-registered"
+   | Error d -> Alcotest.fail (Diag.to_string d));
+  check_bool "original registration kept" true
+    (match Registry.find "test.dot" with
+     | Some i -> i == el.Elab.el_intrin
+     | None -> false);
+  (* same name, different semantics: structured isa-pack error *)
+  let el3 = Result.get_ok (elab_one (base_pack ~latency:9 ())) in
+  (match Registry.register_checked ~source:"p3" el3.Elab.el_intrin with
+   | Error d ->
+     check_bool "conflict is an error" true (Diag.is_error d);
+     check_bool "conflict is isa-pack rule" true (d.Diag.rule = Diag.Isa_pack)
+   | Ok _ -> Alcotest.fail "conflicting digest accepted");
+  (* the blind register raises only on conflict *)
+  (match Registry.register el2.Elab.el_intrin with
+   | () -> ()
+   | exception _ -> Alcotest.fail "idempotent register raised");
+  (match Registry.register el3.Elab.el_intrin with
+   | () -> Alcotest.fail "conflicting register did not raise"
+   | exception Registry.Duplicate_intrin _ -> ());
+  Registry.reset_for_testing ();
+  Defs.ensure_registered ()
+
+let test_loader_atomic_refusal () =
+  Registry.reset_for_testing ();
+  Loader.reset_for_testing ();
+  let ok = Loader.load_string ~source:"first" (base_pack ()) in
+  check_bool "first load ok" true (Result.is_ok ok);
+  (* a two-instruction pack whose second member conflicts: nothing of it
+     may land *)
+  let conflicting =
+    base_pack ~name:"other.dot" () ^ "\n" ^ base_pack ~latency:9 ()
+  in
+  (match Loader.load_string ~source:"second" conflicting with
+   | Ok _ -> Alcotest.fail "conflicting pack accepted"
+   | Error _ ->
+     check_bool "other.dot not half-loaded" true
+       (Registry.find "other.dot" = None));
+  check_int "only the first pack is listed" 1 (List.length (Loader.loaded ()));
+  Registry.reset_for_testing ();
+  Loader.reset_for_testing ();
+  Defs.ensure_registered ()
+
+(* ---------- store-key separation ---------- *)
+
+let test_store_key_separation () =
+  let el_a = Result.get_ok (elab_one (base_pack ())) in
+  let el_b = Result.get_ok (elab_one (base_pack ~latency:9 ())) in
+  let op = el_a.Elab.el_intrin.Intrin.op in
+  let sig_a =
+    Pipeline.workload_signature ~spec:Spec.cascadelake op el_a.Elab.el_intrin
+  in
+  let sig_b =
+    Pipeline.workload_signature ~spec:Spec.cascadelake op el_b.Elab.el_intrin
+  in
+  check_bool "same name, different semantics, different signatures" false
+    (String.equal sig_a sig_b);
+  check_bool "digest prefix in signature" true
+    (contains
+       ~needle:("test.dot#" ^ String.sub el_a.Elab.el_digest 0 12)
+       sig_a)
+
+(* ---------- suite ---------- *)
+
+let () =
+  Alcotest.run "isadsl"
+    [ ( "parse",
+        [ Alcotest.test_case "well-formed pack" `Quick test_parse_ok;
+          Alcotest.test_case "errors carry positions" `Quick
+            test_parse_errors_positioned;
+          Alcotest.test_case "grammar rejections" `Quick test_parse_rejections;
+          Alcotest.test_case "deep nesting capped" `Quick
+            test_deep_nesting_capped;
+          QCheck_alcotest.to_alcotest fuzz_never_raises;
+          QCheck_alcotest.to_alcotest fuzz_truncations;
+          QCheck_alcotest.to_alcotest fuzz_token_soup
+        ] );
+      ( "elaborate",
+        [ Alcotest.test_case "rejections" `Quick test_elab_rejections ] );
+      ( "digest",
+        [ Alcotest.test_case "stability and sensitivity" `Quick
+            test_digest_stability;
+          Alcotest.test_case "all builtins round-trip" `Quick
+            test_roundtrip_all_builtins
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "idempotent and conflicting registration" `Quick
+            test_registry_idempotent_and_conflict;
+          Alcotest.test_case "atomic pack refusal" `Quick
+            test_loader_atomic_refusal
+        ] );
+      ( "store",
+        [ Alcotest.test_case "semantic digest separates store keys" `Quick
+            test_store_key_separation
+        ] )
+    ]
