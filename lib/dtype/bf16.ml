@@ -14,21 +14,38 @@ let nan = 0x7fc0
    the float32 (hence float64) value directly. *)
 let to_float t = Int32.float_of_bits (Int32.shift_left (Int32.of_int t) 16)
 
-(* Narrowing fp64 -> bf16 with round-to-nearest-even.  We go through the
-   float32 bit pattern first (Int32.bits_of_float rounds correctly to
-   single precision; a double halfway between two bf16 values is never
-   halfway between two f32 values, so double rounding is harmless here
-   because f32 keeps 16 extra mantissa bits) and then round away the low
-   16 bits with the classic [bits + 0x7fff + lsb] trick. *)
+(* Narrowing fp64 -> bf16 with round-to-nearest-even with respect to the
+   original double.  We go through the float32 bit pattern first
+   (Int32.bits_of_float rounds correctly to single precision) and round
+   away the low 16 bits with the classic [bits + 0x7fff + lsb] trick.
+   Double rounding can only go wrong when the f64 -> f32 step lands
+   exactly on a bf16 tie pattern (low 16 bits 0x8000): a double slightly
+   past the tie point collapses onto it and ties-to-even would then
+   round the wrong way.  A bf16 tie point itself is exactly
+   representable in f32, so when the f32 result is NOT the tie pattern
+   the plain trick is exact; when it IS, we break the tie with the bits
+   the f64 -> f32 step discarded. *)
 let of_float x =
   if Float.is_nan x then nan
   else begin
     let b = Int32.bits_of_float x in
-    let rounded =
-      Int32.add b
-        (Int32.add 0x7fffl (Int32.logand (Int32.shift_right_logical b 16) 1l))
-    in
-    Int32.to_int (Int32.shift_right_logical rounded 16) land 0xffff
+    if Int32.logand b 0xffffl <> 0x8000l then
+      let rounded =
+        Int32.add b
+          (Int32.add 0x7fffl (Int32.logand (Int32.shift_right_logical b 16) 1l))
+      in
+      Int32.to_int (Int32.shift_right_logical rounded 16) land 0xffff
+    else begin
+      let hi = Int32.to_int (Int32.shift_right_logical b 16) land 0xffff in
+      let f32v = Int32.float_of_bits b in
+      if Float.equal f32v x then
+        (* genuine tie: round to even mantissa *)
+        if hi land 1 = 1 then (hi + 1) land 0xffff else hi
+      else if Float.abs x > Float.abs f32v then
+        (* the double was past the tie point: round up in magnitude *)
+        (hi + 1) land 0xffff
+      else hi
+    end
   end
 
 let round_float x = to_float (of_float x)

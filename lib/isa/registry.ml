@@ -8,10 +8,34 @@ type outcome =
   | Registered
   | Idempotent
 
-let table : (string, Intrin.t) Hashtbl.t = Hashtbl.create 16
-let sources : (string, provenance) Hashtbl.t = Hashtbl.create 16
-let order : string list ref = ref []
-let builtins : string list ref = ref []
+module Smap = Map.Make (String)
+
+type snapshot = {
+  intrins : Intrin.t Smap.t;
+  provs : provenance Smap.t;
+  rev_order : string list;  (* most recent registration first *)
+  builtin_names : string list;  (* [rev_order] as of [mark_builtins] *)
+}
+
+let empty =
+  { intrins = Smap.empty;
+    provs = Smap.empty;
+    rev_order = [];
+    builtin_names = []
+  }
+
+(* The registry is published as an immutable snapshot behind an [Atomic]:
+   worker domains read ([find]/[all]/[of_platform]) lock-free against a
+   consistent snapshot while [load_isa] and test helpers mutate via
+   copy-on-write under [write_lock].  A shared mutable [Hashtbl] here
+   would be unsound in multicore OCaml — readers racing an
+   [Hashtbl.add]-triggered resize can crash or mislook-up. *)
+let state = Atomic.make empty
+let write_lock = Mutex.create ()
+
+let with_write f =
+  Mutex.lock write_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock write_lock) f
 
 (* Registration is digest-checked: a name collision with identical
    semantics is an idempotent no-op (re-loading a pack, or a pack that
@@ -20,42 +44,52 @@ let builtins : string list ref = ref []
    replacement, which would let two instructions share tuning records
    under one name. *)
 let register_checked ?source (intrin : Intrin.t) =
-  let name = intrin.Intrin.name in
-  match Hashtbl.find_opt table name with
-  | None ->
-    Hashtbl.add table name intrin;
-    Hashtbl.replace sources name
-      (match source with None -> Builtin | Some s -> Pack s);
-    order := name :: !order;
-    Ok Registered
-  | Some existing ->
-    let old_digest = Intrin.semantic_digest existing in
-    let new_digest = Intrin.semantic_digest intrin in
-    if String.equal old_digest new_digest then Ok Idempotent
-    else
-      Error
-        (Unit_tir.Diag.errorf Unit_tir.Diag.Isa_pack
-           "instruction %s already registered with different semantics \
-            (existing digest %s, new digest %s); rename the instruction or \
-            make the definitions identical"
-           name
-           (String.sub old_digest 0 12)
-           (String.sub new_digest 0 12))
+  with_write (fun () ->
+    let snap = Atomic.get state in
+    let name = intrin.Intrin.name in
+    match Smap.find_opt name snap.intrins with
+    | None ->
+      Atomic.set state
+        { snap with
+          intrins = Smap.add name intrin snap.intrins;
+          provs =
+            Smap.add name
+              (match source with None -> Builtin | Some s -> Pack s)
+              snap.provs;
+          rev_order = name :: snap.rev_order
+        };
+      Ok Registered
+    | Some existing ->
+      let old_digest = Intrin.semantic_digest existing in
+      let new_digest = Intrin.semantic_digest intrin in
+      if String.equal old_digest new_digest then Ok Idempotent
+      else
+        Error
+          (Unit_tir.Diag.errorf Unit_tir.Diag.Isa_pack
+             "instruction %s already registered with different semantics \
+              (existing digest %s, new digest %s); rename the instruction or \
+              make the definitions identical"
+             name
+             (String.sub old_digest 0 12)
+             (String.sub new_digest 0 12)))
 
 let register (intrin : Intrin.t) =
   match register_checked intrin with
   | Ok _ -> ()
   | Error _ -> raise (Duplicate_intrin intrin.Intrin.name)
 
-let find name = Hashtbl.find_opt table name
+let find name = Smap.find_opt name (Atomic.get state).intrins
 let find_exn name = match find name with Some i -> i | None -> raise Not_found
 
 let provenance name =
-  if Hashtbl.mem table name then
-    Some (Option.value ~default:Builtin (Hashtbl.find_opt sources name))
+  let snap = Atomic.get state in
+  if Smap.mem name snap.intrins then
+    Some (Option.value ~default:Builtin (Smap.find_opt name snap.provs))
   else None
 
-let all () = List.rev_map (fun name -> Hashtbl.find table name) !order
+let all () =
+  let snap = Atomic.get state in
+  List.rev_map (fun name -> Smap.find name snap.intrins) snap.rev_order
 
 let of_platform platform =
   List.filter (fun (i : Intrin.t) -> i.Intrin.platform = platform) (all ())
@@ -63,16 +97,22 @@ let of_platform platform =
 (* [Defs] calls this once after registering the built-ins so that
    [reset_for_testing] can preserve them. *)
 let mark_builtins () =
-  builtins := !order;
-  List.iter (fun name -> Hashtbl.replace sources name Builtin) !order
+  with_write (fun () ->
+    let snap = Atomic.get state in
+    Atomic.set state
+      { snap with
+        builtin_names = snap.rev_order;
+        provs = Smap.map (fun _ -> Builtin) snap.provs
+      })
 
 let reset_for_testing () =
-  let keep = !builtins in
-  List.iter
-    (fun name ->
-      if not (List.mem name keep) then begin
-        Hashtbl.remove table name;
-        Hashtbl.remove sources name
-      end)
-    !order;
-  order := keep
+  with_write (fun () ->
+    let snap = Atomic.get state in
+    let keep = snap.builtin_names in
+    let kept name = List.mem name keep in
+    Atomic.set state
+      { snap with
+        intrins = Smap.filter (fun name _ -> kept name) snap.intrins;
+        provs = Smap.filter (fun name _ -> kept name) snap.provs;
+        rev_order = keep
+      })

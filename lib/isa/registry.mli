@@ -10,7 +10,15 @@
     Collisions are digest-checked (see {!Intrin.semantic_digest}):
     re-registering an instruction with identical semantics is an
     idempotent no-op, while a same-name registration with different
-    semantics is refused — never silently replaced. *)
+    semantics is refused — never silently replaced.
+
+    Thread-safety: the table is an immutable snapshot published through
+    an [Atomic].  Reads ({!find}, {!all}, {!of_platform}, {!provenance})
+    are lock-free and always observe a consistent snapshot; mutations
+    ({!register_checked}, {!mark_builtins}, {!reset_for_testing}) are
+    copy-on-write, serialized under an internal lock.  The daemon's
+    [load_isa] may therefore register instructions while worker domains
+    tensorize concurrently. *)
 
 exception Duplicate_intrin of string
 

@@ -2,9 +2,12 @@
 
    This is the runtime entry point behind [unitc --isa-pack], the
    [unitc isa] subcommands and the daemon's [load_isa] request.  The
-   global registry is not itself synchronized, so every mutation funnels
-   through [lock]; the loaded-pack list backs the daemon's [/stats]
-   endpoint and [unitc isa list] provenance. *)
+   registry itself is safe against concurrent readers (it publishes
+   immutable snapshots; see [Registry]), but the two-phase
+   conflict-check-then-register below and the loaded-pack list must not
+   interleave across concurrent loads, so every load funnels through
+   [lock].  The loaded-pack list backs the daemon's [/stats] endpoint
+   and [unitc isa list] provenance. *)
 
 module Diag = Unit_tir.Diag
 module Obs = Unit_obs.Obs
@@ -25,18 +28,16 @@ type pack_info = {
 }
 
 let lock = Mutex.create ()
+
+(* Exception-safe: an unexpected raise inside the critical section must
+   not leave [lock] held, or every later pack load deadlocks. *)
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let loaded_packs : pack_info list ref = ref []
-
-let loaded () =
-  Mutex.lock lock;
-  let l = List.rev !loaded_packs in
-  Mutex.unlock lock;
-  l
-
-let reset_for_testing () =
-  Mutex.lock lock;
-  loaded_packs := [];
-  Mutex.unlock lock
+let loaded () = with_lock (fun () -> List.rev !loaded_packs)
+let reset_for_testing () = with_lock (fun () -> loaded_packs := [])
 
 (* ---------- check (parse + elaborate, no registration) ---------- *)
 
@@ -54,8 +55,7 @@ let load_string ~source text =
   match check_string ~source text with
   | Error ds -> Error ds
   | Ok els ->
-    Mutex.lock lock;
-    let result =
+    with_lock (fun () ->
       (* two-phase: check every instruction against the registry before
          registering any, so a pack with one conflicting instruction is
          refused atomically instead of half-loaded *)
@@ -102,10 +102,7 @@ let load_string ~source text =
         in
         loaded_packs := info :: !loaded_packs;
         Obs.incr c_pack_loaded;
-        Ok info
-    in
-    Mutex.unlock lock;
-    result
+        Ok info)
 
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with

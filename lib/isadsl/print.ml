@@ -42,6 +42,26 @@ let float_lit f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.17g" f
 
+(* Quoted strings must emit only the escapes the pack lexer understands
+   (backslash-escaped quote, backslash and newline); every other byte —
+   including control characters — passes through the lexer raw, so we
+   print it raw.  OCaml's %S would emit escapes like backslash-t or
+   backslash-255 that the lexer rejects, breaking the print -> parse
+   round-trip. *)
+let string_lit s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
 (* Names print bare when they fit the identifier grammar, quoted
    otherwise. *)
 let name_lit s =
@@ -51,7 +71,7 @@ let name_lit s =
     && String.for_all Parse.is_ident_char s
     && not (List.mem s Parse.reserved)
   in
-  if bare then s else Printf.sprintf "%S" s
+  if bare then s else string_lit s
 
 let instruction (i : Intrin.t) =
   let b = Buffer.create 512 in
@@ -59,7 +79,7 @@ let instruction (i : Intrin.t) =
   let op = i.Intrin.op in
   add "instruction %s {\n" (name_lit i.Intrin.name);
   add "  platform %s\n" (Intrin.platform_to_string i.Intrin.platform);
-  add "  llvm %S\n" i.Intrin.llvm_name;
+  add "  llvm %s\n" (string_lit i.Intrin.llvm_name);
   add "  op %s\n" (name_lit op.Op.name);
   add "  cost { latency %d  throughput %s  macs %d }\n" i.Intrin.cost.Intrin.latency
     (float_lit i.Intrin.cost.Intrin.throughput)

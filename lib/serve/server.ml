@@ -215,9 +215,11 @@ let submit t request =
     Mutex.unlock t.lock;
     finish (Protocol.Result (Json.Obj [ ("draining", Json.Bool true) ]))
   | Protocol.Load_isa { path } ->
-    (* answered inline: registration is cheap, and the loader serializes
-       registry mutations under its own lock, so worker domains mid-
-       tensorize never observe a half-loaded pack *)
+    (* answered inline: registration is cheap, and it is safe against
+       in-flight jobs — the registry publishes immutable copy-on-write
+       snapshots, so worker domains mid-tensorize read consistently
+       while a pack loads, and the loader's own lock keeps a pack's
+       conflict-check-then-register atomic (never half-loaded) *)
     (match Unit_isadsl.Loader.load_file path with
      | Ok info ->
        finish

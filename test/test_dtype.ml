@@ -122,6 +122,20 @@ let test_bf16_round_to_nearest_even () =
   Alcotest.(check @@ float 0.0) "overflow -> inf" Float.infinity
     (Bf16.round_float 1e39)
 
+let test_bf16_double_rounding () =
+  (* a double just past a bf16 tie point rounds (f64 -> f32, RNE) onto
+     the exact f32 tie pattern; the bf16 tie must then break using the
+     bits the f64 -> f32 step discarded, not to-even.  1.00390625 is the
+     midpoint between bf16 1.0 (0x3f80) and 1.0078125 (0x3f81). *)
+  check_int "just past tie rounds up" 0x3f81
+    (Bf16.to_bits (Bf16.of_float (1.00390625 +. 0x1p-30)));
+  check_int "just below tie rounds down" 0x3f80
+    (Bf16.to_bits (Bf16.of_float (1.00390625 -. 0x1p-30)));
+  check_int "negative just past tie" 0xbf81
+    (Bf16.to_bits (Bf16.of_float (-.(1.00390625 +. 0x1p-30))));
+  check_int "exact tie still to even" 0x3f80
+    (Bf16.to_bits (Bf16.of_float 1.00390625))
+
 let test_bf16_nan_canonical () =
   check_bool "nan detected" true (Bf16.is_nan (Bf16.of_float Float.nan));
   check_int "nan canonicalized" 0x7fc0 (Bf16.to_bits (Bf16.of_float Float.nan));
@@ -235,6 +249,8 @@ let () =
         [ Alcotest.test_case "known encodings" `Quick test_bf16_known_values;
           Alcotest.test_case "round to nearest even" `Quick
             test_bf16_round_to_nearest_even;
+          Alcotest.test_case "double rounding at tie points" `Quick
+            test_bf16_double_rounding;
           Alcotest.test_case "nan canonical" `Quick test_bf16_nan_canonical
         ]
         @ qcheck [ prop_bf16_round_trip; prop_bf16_idempotent ] );

@@ -208,6 +208,30 @@ let test_roundtrip_all_builtins () =
       | Error [] -> Alcotest.fail (i.Intrin.name ^ ": empty error"))
     (Registry.all ())
 
+let test_quoted_name_roundtrip () =
+  (* names outside the identifier grammar (control bytes, quotes,
+     backslashes, newlines) must print as string literals the pack lexer
+     can re-read; OCaml-style escapes like \t would be rejected *)
+  List.iter
+    (fun quoted ->
+      let el = Result.get_ok (elab_one (base_pack ~name:quoted ())) in
+      let text =
+        match Print.pack [ el.Elab.el_intrin ] with
+        | Ok t -> t
+        | Error d -> Alcotest.fail (Diag.to_string d)
+      in
+      match Loader.check_string ~source:"<quoted>" text with
+      | Ok [ el' ] ->
+        check_string "name survives" el.Elab.el_intrin.Intrin.name
+          el'.Elab.el_intrin.Intrin.name;
+        check_string "digest survives" el.Elab.el_digest el'.Elab.el_digest
+      | Ok _ -> Alcotest.fail "wrong instruction count"
+      | Error (d :: _) -> Alcotest.fail (Diag.to_string d)
+      | Error [] -> Alcotest.fail "empty error")
+    [ "\"tab\tname.dot\""; "\"quo\\\"te.dot\""; "\"back\\\\slash.dot\"";
+      "\"new\\nline.dot\""; "\"0starts.with.digit\""; "\"spa ce.dot\""
+    ]
+
 (* ---------- registry collision policy ---------- *)
 
 let test_registry_idempotent_and_conflict () =
@@ -265,6 +289,50 @@ let test_loader_atomic_refusal () =
   Loader.reset_for_testing ();
   Defs.ensure_registered ()
 
+let test_concurrent_reads_during_registration () =
+  (* the data-race regression behind the daemon's [load_isa]: worker
+     domains read the registry lock-free while a pack registers.  The
+     snapshot design makes this safe; under the old shared Hashtbl this
+     could crash on a racing resize. *)
+  Registry.reset_for_testing ();
+  Loader.reset_for_testing ();
+  let stop = Atomic.make false in
+  let readers =
+    List.init 2 (fun _ ->
+      Domain.spawn (fun () ->
+        let anomalies = ref 0 in
+        while not (Atomic.get stop) do
+          (* builtins are registered before the writer starts, so they
+             must be visible in every snapshot *)
+          if Registry.find "vnni.vpdpbusd" = None then incr anomalies;
+          if Registry.all () = [] then incr anomalies
+        done;
+        !anomalies))
+  in
+  let n = 100 in
+  for k = 0 to n - 1 do
+    let el =
+      Result.get_ok (elab_one (base_pack ~name:(Printf.sprintf "conc%d.dot" k) ()))
+    in
+    match Registry.register_checked ~source:"conc" el.Elab.el_intrin with
+    | Ok Registry.Registered -> ()
+    | Ok Registry.Idempotent -> Alcotest.fail "fresh name reported idempotent"
+    | Error d -> Alcotest.fail (Diag.to_string d)
+  done;
+  Atomic.set stop true;
+  let anomalies = List.fold_left (fun acc d -> acc + Domain.join d) 0 readers in
+  check_int "readers always saw consistent snapshots" 0 anomalies;
+  check_int "all concurrent registrations landed" n
+    (List.length
+       (List.filter
+          (fun (i : Intrin.t) ->
+            String.length i.Intrin.name > 4
+            && String.sub i.Intrin.name 0 4 = "conc")
+          (Registry.all ())));
+  Registry.reset_for_testing ();
+  Loader.reset_for_testing ();
+  Defs.ensure_registered ()
+
 (* ---------- store-key separation ---------- *)
 
 let test_store_key_separation () =
@@ -305,13 +373,17 @@ let () =
         [ Alcotest.test_case "stability and sensitivity" `Quick
             test_digest_stability;
           Alcotest.test_case "all builtins round-trip" `Quick
-            test_roundtrip_all_builtins
+            test_roundtrip_all_builtins;
+          Alcotest.test_case "quoted names round-trip" `Quick
+            test_quoted_name_roundtrip
         ] );
       ( "registry",
         [ Alcotest.test_case "idempotent and conflicting registration" `Quick
             test_registry_idempotent_and_conflict;
           Alcotest.test_case "atomic pack refusal" `Quick
-            test_loader_atomic_refusal
+            test_loader_atomic_refusal;
+          Alcotest.test_case "concurrent reads during registration" `Quick
+            test_concurrent_reads_during_registration
         ] );
       ( "store",
         [ Alcotest.test_case "semantic digest separates store keys" `Quick
