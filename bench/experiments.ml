@@ -630,6 +630,7 @@ let emit_bench () =
 
 module Serve_protocol = Unit_serve.Protocol
 module Serve_server = Unit_serve.Server
+module Serve_flight = Unit_serve.Flight
 module Sharded = Unit_store.Sharded
 module Warmup = Unit_store.Warmup
 module Ndarray = Unit_codegen.Ndarray
@@ -807,6 +808,12 @@ let serve_bench () =
   in
   Array.sort compare latencies;
   let p50 = percentile latencies 50.0 and p99 = percentile latencies 99.0 in
+  (* the server's own flight-recorder window: exact per-request latency
+     percentiles measured server-side (ring cap 4096 >= the soak), not
+     the clients' wall-clock samples above *)
+  let flight_entries = Serve_flight.entries (Serve_server.flight server) in
+  let exact_p50 = Serve_flight.exact_percentile flight_entries 50.0
+  and exact_p99 = Serve_flight.exact_percentile flight_entries 99.0 in
   Printf.printf
     "%d requests / %d clients / %d domains in %.2f s (%.0f req/s)\n"
     requests_total clients domains elapsed
@@ -816,6 +823,8 @@ let serve_bench () =
     distinct_workloads duplicate_tunes coalesced;
   Printf.printf "bit-identical vs direct pipeline: %b\n" bit_identical;
   Printf.printf "latency p50 %.0f us, p99 %.0f us\n" p50 p99;
+  Printf.printf "flight-recorder exact p50 %.0f us, p99 %.0f us (%d in window)\n"
+    exact_p50 exact_p99 (List.length flight_entries);
   if not bit_identical then failwith "serve soak: daemon responses diverged";
   let module Json = Unit_obs.Json in
   let j =
@@ -829,7 +838,9 @@ let serve_bench () =
         ("coalesced", Json.Num (float_of_int coalesced));
         ("bit_identical", Json.Bool bit_identical);
         ("p50_us", Json.Num (Float.round p50));
-        ("p99_us", Json.Num (Float.round p99))
+        ("p99_us", Json.Num (Float.round p99));
+        ("exact_p50_us", Json.Num (Float.round exact_p50));
+        ("exact_p99_us", Json.Num (Float.round exact_p99))
       ]
   in
   let oc = open_out "BENCH_serve.json" in

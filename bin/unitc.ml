@@ -1024,7 +1024,7 @@ let emit_status () =
    count.  --forbid-span / --require-positive-counter replace that
    default with explicit assertions (traces from commands that never
    tensorize — e.g. a warm `run` — have no stage spans to demand). *)
-let trace_lint file forbid_spans require_counters count_spans =
+let trace_lint file forbid_spans require_counters count_spans require_tagged =
   let count_spans =
     List.map
       (fun spec ->
@@ -1037,6 +1037,18 @@ let trace_lint file forbid_spans require_counters count_spans =
            | _ -> or_die (Error ("--count-span " ^ spec ^ ": expected NAME=N")))
         | None -> or_die (Error ("--count-span " ^ spec ^ ": expected NAME=N")))
       count_spans
+  in
+  let require_tagged =
+    List.map
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | Some i when i > 0 && i < String.length spec - 1 ->
+          (String.sub spec 0 i,
+           String.sub spec (i + 1) (String.length spec - i - 1))
+        | _ ->
+          or_die
+            (Error ("--require-span-tagged " ^ spec ^ ": expected NAME=TRACE_ID")))
+      require_tagged
   in
   let contents =
     let ic = open_in_bin file in
@@ -1070,6 +1082,7 @@ let trace_lint file forbid_spans require_counters count_spans =
     in
     let custom =
       forbid_spans <> [] || require_counters <> [] || count_spans <> []
+      || require_tagged <> []
     in
     if custom then begin
       List.iter
@@ -1098,13 +1111,34 @@ let trace_lint file forbid_spans require_counters count_spans =
                  (Printf.sprintf "%s: span %s occurs %d time(s), expected %d"
                     file span got expected)))
         count_spans;
+      List.iter
+        (fun (span, trace_id) ->
+          let tagged =
+            List.exists
+              (fun e ->
+                (match Option.bind (Json.member "ph" e) Json.to_str with
+                 | Some "X" -> true
+                 | _ -> false)
+                && Option.bind (Json.member "name" e) Json.to_str = Some span
+                && Option.bind (Json.member "args" e) (fun a ->
+                       Option.bind (Json.member "trace_id" a) Json.to_str)
+                   = Some trace_id)
+              events
+          in
+          if not tagged then
+            or_die
+              (Error
+                 (Printf.sprintf "%s: no span %s tagged with trace_id %s" file
+                    span trace_id)))
+        require_tagged;
       Printf.printf
         "trace-lint: %s OK (%d events; %d span(s) absent, %d counted, %d \
-         counter(s) positive)\n"
+         counter(s) positive, %d tag(s) checked)\n"
         file (List.length events)
         (List.length forbid_spans)
         (List.length count_spans)
         (List.length require_counters)
+        (List.length require_tagged)
     end
     else begin
       let missing =
@@ -1122,6 +1156,50 @@ let trace_lint file forbid_spans require_counters count_spans =
         file (List.length events)
         (List.length Obs.tensorize_stages)
     end
+
+(* ---------- trace-fetch ---------- *)
+
+(* One-shot client for the daemon's trace request: fetch a finished
+   request-scoped trace as a Chrome trace document — the file is
+   lintable with trace-lint --require-span-tagged. *)
+let trace_fetch socket_path id out =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with Unix.Unix_error (e, _, _) ->
+     or_die
+       (Error
+          (Printf.sprintf "cannot connect to %s: %s" socket_path
+             (Unix.error_message e))));
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unit_serve.Wire.write_frame fd
+    (Json.to_string
+       (Unit_serve.Protocol.request_to_json (Unit_serve.Protocol.Trace { id })));
+  match Unit_serve.Wire.read_frame fd with
+  | Error e -> or_die (Error (Unit_serve.Wire.error_to_string e))
+  | Ok payload ->
+    (match Json.parse payload with
+     | Error m -> or_die (Error ("response is not JSON: " ^ m))
+     | Ok j ->
+       (match Unit_serve.Protocol.response_of_json j with
+        | Error m -> or_die (Error ("malformed response: " ^ m))
+        | Ok (Unit_serve.Protocol.Failure (code, m)) ->
+          or_die
+            (Error
+               (Printf.sprintf "%s: %s"
+                  (Unit_serve.Protocol.code_to_string code)
+                  m))
+        | Ok (Unit_serve.Protocol.Result doc) ->
+          let text = Json.to_string doc in
+          (match out with
+           | None -> print_endline text
+           | Some path ->
+             let oc = open_out path in
+             output_string oc text;
+             output_char oc '\n';
+             close_out oc;
+             Printf.printf "trace %s written to %s\n" id path)))
 
 (* ---------- explain ---------- *)
 
@@ -1743,14 +1821,56 @@ let trace_lint_cmd =
              alias requires tensorize.tune=1 — many coalesced requests, \
              one tuner sweep.")
   in
+  let require_tagged =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "require-span-tagged" ] ~docv:"NAME=TRACE_ID"
+          ~doc:
+            "Assert some complete span named NAME carries \
+             args.trace_id=TRACE_ID (repeatable; replaces the default \
+             stage-span checks).  The metrics-smoke alias requires the \
+             tensorize span of a client-supplied trace id.")
+  in
   Cmd.v
     (Cmd.info "trace-lint"
        ~doc:
          "Validate a Chrome trace written by --trace-out: JSON parses and, by \
           default, all five tensorize stage spans are present with tuner \
           candidates counted; --forbid-span / --count-span / \
-          --require-positive-counter substitute explicit assertions.")
-    Term.(const trace_lint $ file $ forbid_spans $ require_counters $ count_spans)
+          --require-positive-counter / --require-span-tagged substitute \
+          explicit assertions.")
+    Term.(
+      const trace_lint $ file $ forbid_spans $ require_counters $ count_spans
+      $ require_tagged)
+
+let trace_fetch_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt string "unitd.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let id =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "id" ] ~docv:"TRACE_ID" ~doc:"Trace id to fetch.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace-fetch"
+       ~doc:
+         "Fetch one request's finished trace from a running unitd as a \
+          Chrome trace document (spans, counter deltas and diagnostics \
+          attributed to that trace id).")
+    Term.(const trace_fetch $ socket $ id $ out)
 
 let store_gc_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -1787,7 +1907,7 @@ let () =
             models_cmd; table1_cmd; check_cmd; lint_cmd; profile_cmd;
             warmup_cmd; store_stats_cmd; store_gc_cmd; store_migrate_cmd;
             emit_status_cmd;
-            trace_lint_cmd; explain_cmd;
+            trace_lint_cmd; trace_fetch_cmd; explain_cmd;
             bench_report_cmd; bench_diff_cmd; bench_lint_cmd;
             memplan_cmd; memcheck_cmd
           ]))

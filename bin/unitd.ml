@@ -133,6 +133,49 @@ let call socket_path payload =
      exit 1);
   Unix.close fd
 
+(* ---------- metrics (one-shot scrape client) ---------- *)
+
+(* Scrape a running daemon's metrics and print the Prometheus text body
+   (what an HTTP exporter would serve) — pipe it to a file or a
+   pushgateway. *)
+let metrics socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with Unix.Unix_error (e, _, _) ->
+     prerr_endline
+       (Printf.sprintf "unitd: cannot connect to %s: %s" socket_path
+          (Unix.error_message e));
+     exit 1);
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Wire.write_frame fd
+    (Json.to_string (Protocol.request_to_json Protocol.Metrics));
+  match Wire.read_frame fd with
+  | Error e ->
+    prerr_endline ("unitd: " ^ Wire.error_to_string e);
+    exit 1
+  | Ok payload ->
+    (match
+       Result.bind
+         (Result.map_error (fun m -> "response is not JSON: " ^ m)
+            (Json.parse payload))
+         Protocol.response_of_json
+     with
+     | Error m ->
+       prerr_endline ("unitd: " ^ m);
+       exit 1
+     | Ok (Protocol.Failure (code, m)) ->
+       prerr_endline
+         (Printf.sprintf "unitd: %s: %s" (Protocol.code_to_string code) m);
+       exit 1
+     | Ok (Protocol.Result r) ->
+       (match Option.bind (Json.member "body" r) Json.to_str with
+        | Some body -> print_string body
+        | None ->
+          prerr_endline "unitd: metrics response carries no body";
+          exit 1))
+
 (* ---------- smoke (in-process cold+warm cycle) ---------- *)
 
 (* The @serve-smoke driver: N identical concurrent tune requests against
@@ -212,6 +255,134 @@ let smoke store_dir trace_out =
   Server.drain server;
   Printf.printf "serve-smoke: OK (%d requests, %d coalesced, 1 tune)\n%!"
     (field "requests" + 2) (field "coalesced")
+
+(* ---------- metrics-smoke (in-process observability cycle) ---------- *)
+
+(* The @metrics-smoke driver, all in-process:
+   1. boot a daemon core with tracing on and fire a mixed burst (pings,
+      stats, tunes, a run, an explain, one structured failure), with one
+      tune under a client-supplied trace id;
+   2. fetch that trace via a trace request and write the Chrome document
+      for `unitc trace-lint --require-span-tagged`;
+   3. scrape metrics and validate the exposition format;
+   4. check the bucket-derived serve.latency_us p99 lands within one
+      power-of-two bucket of the flight recorder's exact window p99. *)
+let smoke_trace_id = "metricssmoke-trace"
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let metrics_smoke store_dir trace_file =
+  Obs.set_enabled true;
+  let store_dir = Option.value ~default:"unitd_metrics_store" store_dir in
+  if Sys.file_exists store_dir then begin
+    let rm = Printf.sprintf "rm -rf %s" (Filename.quote store_dir) in
+    if Sys.command rm <> 0 then failwith ("cannot clear " ^ store_dir)
+  end;
+  with_sharded_store (Some store_dir) @@ fun () ->
+  let server = Server.create { Server.default_config with domains = 2 } in
+  let conv c =
+    Protocol.Conv
+      { Unit_graph.Workload.c; h = 8; w = 8; k = 32; kernel = 3; stride = 1;
+        padding = 1; groups = 1 }
+  in
+  let tune wl =
+    Protocol.Tune
+      { target = Unit_store.Warmup.X86; engine = Pipeline.Compiled; workload = wl }
+  in
+  let expect_ok label = function
+    | Protocol.Result _ -> ()
+    | Protocol.Failure (code, m) ->
+      failwith
+        (Printf.sprintf "%s failed: %s (%s)" label m
+           (Protocol.code_to_string code))
+  in
+  Printf.printf "metrics-smoke: mixed burst\n%!";
+  expect_ok "ping" (Server.submit server Protocol.Ping);
+  expect_ok "stats" (Server.submit server Protocol.Stats);
+  let resp, tid =
+    Server.submit_traced server ~trace_id:smoke_trace_id (tune (conv 32))
+  in
+  expect_ok "traced tune" resp;
+  if tid <> smoke_trace_id then failwith "server replaced the client trace id";
+  expect_ok "tune" (Server.submit server (tune (conv 16)));
+  expect_ok "run"
+    (Server.submit server
+       (Protocol.Run
+          { target = Unit_store.Warmup.X86; engine = Pipeline.Compiled;
+            workload = conv 16 }));
+  expect_ok "explain"
+    (Server.submit server
+       (Protocol.Explain { target = Unit_store.Warmup.X86; workload = conv 16 }));
+  (* a deterministic structured failure, so errors_only has a catch *)
+  (match
+     Server.submit server
+       (Protocol.Explain
+          { target = Unit_store.Warmup.X86;
+            workload = Protocol.Dense { Unit_graph.Workload.d_k = 8; d_units = 8 }
+          })
+   with
+   | Protocol.Failure (Protocol.Not_applicable, _) -> ()
+   | _ -> failwith "dense explain was not refused as not_applicable");
+  for _ = 1 to 32 do
+    expect_ok "ping" (Server.submit server Protocol.Ping)
+  done;
+  (* 2. the finished trace, as a client would fetch it *)
+  (match Server.submit server (Protocol.Trace { id = smoke_trace_id }) with
+   | Protocol.Result doc ->
+     let oc = open_out trace_file in
+     output_string oc (Json.to_string doc);
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf "metrics-smoke: trace %s written to %s\n%!" smoke_trace_id
+       trace_file
+   | Protocol.Failure (_, m) -> failwith ("trace fetch failed: " ^ m));
+  (* 3. scrape and validate the exposition *)
+  let body =
+    match Server.submit server Protocol.Metrics with
+    | Protocol.Result r ->
+      (match Option.bind (Json.member "body" r) Json.to_str with
+       | Some b -> b
+       | None -> failwith "metrics response carries no body")
+    | Protocol.Failure (_, m) -> failwith ("metrics failed: " ^ m)
+  in
+  (match Unit_obs.Metrics.validate body with
+   | Ok () -> ()
+   | Error m -> failwith ("metrics exposition invalid: " ^ m));
+  List.iter
+    (fun family ->
+      if not (contains ~needle:family body) then
+        failwith ("metrics scrape lacks " ^ family))
+    [ "unit_serve_requests"; "unit_serve_queue_depth";
+      "unit_serve_latency_us_bucket" ];
+  (* 4. exact (flight window) vs bucket-derived (histogram) p99 *)
+  let entries = Unit_serve.Flight.entries (Server.flight server) in
+  let exact = Unit_serve.Flight.exact_percentile entries 99.0 in
+  let bucketed = Obs.bucket_quantile (Obs.histogram "serve.latency_us") 99.0 in
+  if abs (Obs.bucket_index exact - Obs.bucket_index bucketed) > 1 then
+    failwith
+      (Printf.sprintf
+         "p99 disagreement: flight exact %.0fus (bucket %d) vs histogram \
+          bucket-derived %.0fus (bucket %d)"
+         exact (Obs.bucket_index exact) bucketed (Obs.bucket_index bucketed));
+  (* the flight filters, through the protocol *)
+  (match
+     Server.submit server
+       (Protocol.Flight
+          { last = Some 8; errors_only = true; slower_than_us = None })
+   with
+   | Protocol.Result r ->
+     (match Option.bind (Json.member "entries" r) Json.to_list with
+      | Some (_ :: _) -> ()
+      | _ -> failwith "errors_only flight window is empty")
+   | Protocol.Failure (_, m) -> failwith ("flight failed: " ^ m));
+  Server.drain server;
+  Printf.printf
+    "metrics-smoke: OK (%d requests; exact p99 %.0fus, bucket-derived p99 \
+     %.0fus)\n%!"
+    (List.length entries) exact bucketed
 
 (* ---------- cmdliner plumbing ---------- *)
 
@@ -306,9 +477,38 @@ let smoke_cmd =
           then a store-warm burst tunes nothing; writes a lintable trace.")
     Term.(const smoke $ store_arg $ trace_out_arg)
 
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Scrape a running daemon and print its Prometheus text exposition \
+          (counters, gauges, and histograms with power-of-two buckets).")
+    Term.(const metrics $ socket_arg)
+
+let metrics_smoke_cmd =
+  let trace_file =
+    Arg.(
+      value
+      & opt string "unitd_metrics_trace.json"
+      & info [ "trace-file" ] ~docv:"FILE"
+          ~doc:"Where to write the fetched Chrome trace.")
+  in
+  Cmd.v
+    (Cmd.info "metrics-smoke"
+       ~doc:
+         "In-process observability cycle for @metrics-smoke: a mixed \
+          request burst with a client-supplied trace id, the fetched trace \
+          written for trace-lint, the metrics scrape validated as \
+          Prometheus text exposition, and the bucket-derived p99 checked \
+          against the flight recorder's exact p99.")
+    Term.(const metrics_smoke $ store_arg $ trace_file)
+
 let () =
   let info =
     Cmd.info "unitd" ~version:"1.0.0"
       ~doc:"UNIT compilation-as-a-service daemon."
   in
-  exit (Cmd.eval (Cmd.group info [ serve_cmd; call_cmd; smoke_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ serve_cmd; call_cmd; smoke_cmd; metrics_cmd; metrics_smoke_cmd ]))

@@ -374,6 +374,8 @@ let validate_serve j =
   let* identical = bool_field "bit_identical" in
   let* p50 = num "p50_us" j in
   let* p99 = num "p99_us" j in
+  let* exact_p50 = num "exact_p50_us" j in
+  let* exact_p99 = num "exact_p99_us" j in
   let* () =
     if requests >= 2000.0 then Ok ()
     else
@@ -407,6 +409,17 @@ let validate_serve j =
       Error
         (Printf.sprintf "latency percentiles implausible (p50 %.1f, p99 %.1f)"
            p50 p99)
+  in
+  let* () =
+    (* flight-recorder window percentiles: exact over every request the
+       server completed, measured server-side *)
+    if exact_p50 > 0.0 && exact_p50 <= exact_p99 then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "flight-recorder percentiles implausible (exact p50 %.1f, exact \
+            p99 %.1f)"
+           exact_p50 exact_p99)
   in
   Ok
     (Printf.sprintf

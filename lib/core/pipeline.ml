@@ -212,13 +212,17 @@ let tensorize ?mapping_index ?configs ~spec op intrin =
        in
        Decision_log.record_illegal ~op:op.Op.name
          ~isa:intrin.Unit_isa.Intrin.name ~target:spec.Spec.cpu_name reason;
+       Obs.trace_diag ("illegal schedule: " ^ reason);
        Error ("illegal schedule: " ^ reason)
      | [] ->
        List.iter
          (fun d ->
-           Logs.warn (fun m ->
-             m "%s with %s: %s" op.Op.name intrin.Unit_isa.Intrin.name
-               (Unit_tir.Diag.to_string d)))
+           let msg =
+             Printf.sprintf "%s with %s: %s" op.Op.name
+               intrin.Unit_isa.Intrin.name (Unit_tir.Diag.to_string d)
+           in
+           Obs.trace_diag msg;
+           Logs.warn (fun m -> m "%s" msg))
          (Unit_tir.Diag.warnings diags);
        Decision_log.record_accepted ~op:op.Op.name
          ~isa:intrin.Unit_isa.Intrin.name ~target:spec.Spec.cpu_name

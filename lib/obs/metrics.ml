@@ -1,0 +1,206 @@
+(* Prometheus text exposition (format version 0.0.4) over the Obs
+   surface.  See metrics.mli. *)
+
+let content_type = "text/plain; version=0.0.4"
+
+(* Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; Obs names use
+   dots ("serve.latency_us").  Map every illegal character to '_' and
+   prefix "unit_" (which also guarantees a legal first character). *)
+let mangle name =
+  let b = Bytes.of_string name in
+  for i = 0 to Bytes.length b - 1 do
+    match Bytes.get b i with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+    | _ -> Bytes.set b i '_'
+  done;
+  "unit_" ^ Bytes.to_string b
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let fmt_bound b = if b = infinity then "+Inf" else Printf.sprintf "%.0f" b
+
+let render_counter buf name v =
+  let n = mangle name in
+  Printf.bprintf buf "# TYPE %s counter\n%s %d\n" n n v
+
+let render_gauge buf name v =
+  let n = mangle name in
+  Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" n n (fmt_value v)
+
+let render_histogram buf name h =
+  let n = mangle name in
+  let buckets = Obs.hist_buckets h in
+  let stats = Obs.hist_stats h in
+  Printf.bprintf buf "# TYPE %s histogram\n" n;
+  let cumulative = ref 0 in
+  Array.iteri
+    (fun i c ->
+      cumulative := !cumulative + c;
+      Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" n
+        (fmt_bound Obs.bucket_bounds.(i))
+        !cumulative)
+    buckets;
+  Printf.bprintf buf "%s_sum %s\n" n (fmt_value stats.Obs.h_sum);
+  Printf.bprintf buf "%s_count %d\n" n stats.Obs.h_count
+
+let render () =
+  let buf = Buffer.create 4096 in
+  List.iter (fun (name, v) -> render_counter buf name v) (Obs.counters ());
+  List.iter (fun (name, v) -> render_gauge buf name v) (Obs.gauges ());
+  List.iter (fun (name, h) -> render_histogram buf name h) (Obs.histogram_handles ());
+  Buffer.contents buf
+
+(* ---------- validation ---------- *)
+
+(* A strict-enough checker for what we emit (and for smokes scraping a
+   live daemon): every line is a comment or a sample, every sample's
+   family was TYPE-declared first, names and values are well-formed,
+   and histogram families have non-decreasing cumulative buckets whose
+   +Inf bucket equals their _count. *)
+
+let is_name_char first c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | '0' .. '9' -> not first
+  | _ -> false
+
+let valid_name s =
+  s <> ""
+  && is_name_char true s.[0]
+  && String.for_all (fun c -> is_name_char false c) s
+
+let valid_value s =
+  match s with
+  | "+Inf" | "-Inf" | "Inf" | "NaN" -> true
+  | _ -> Option.is_some (float_of_string_opt s)
+
+(* family of a sample name: strip the histogram/summary suffixes *)
+let family name =
+  let strip suffix =
+    if String.length name > String.length suffix
+       && String.ends_with ~suffix name
+    then Some (String.sub name 0 (String.length name - String.length suffix))
+    else None
+  in
+  match strip "_bucket" with
+  | Some f -> f
+  | None ->
+    (match strip "_sum" with
+     | Some f -> f
+     | None -> (match strip "_count" with Some f -> f | None -> name))
+
+type sample = { s_name : string; s_le : string option; s_value : string }
+
+let parse_sample line =
+  let name_end =
+    let rec go i =
+      if i >= String.length line then i
+      else match line.[i] with '{' | ' ' -> i | _ -> go (i + 1)
+    in
+    go 0
+  in
+  let name = String.sub line 0 name_end in
+  if not (valid_name name) then Error (Printf.sprintf "bad metric name in %S" line)
+  else begin
+    let rest = String.sub line name_end (String.length line - name_end) in
+    let le, rest =
+      if rest <> "" && rest.[0] = '{' then
+        match String.index_opt rest '}' with
+        | None -> (None, rest)
+        | Some close ->
+          let labels = String.sub rest 1 (close - 1) in
+          let le =
+            (* we only emit the le label; scrape it back out *)
+            let prefix = "le=\"" in
+            match
+              if String.length labels >= String.length prefix
+                 && String.sub labels 0 (String.length prefix) = prefix
+              then String.index_from_opt labels (String.length prefix) '"'
+              else None
+            with
+            | Some q ->
+              Some (String.sub labels 4 (q - 4))
+            | None -> None
+          in
+          (le, String.sub rest (close + 1) (String.length rest - close - 1))
+      else (None, rest)
+    in
+    let value = String.trim rest in
+    if not (valid_value value) then
+      Error (Printf.sprintf "bad sample value in %S" line)
+    else Ok { s_name = name; s_le = le; s_value = value }
+  end
+
+let validate text =
+  let lines = String.split_on_char '\n' text in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  (* per histogram family: last cumulative bucket value, +Inf value *)
+  let hist_last : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let hist_inf : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let hist_count : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let err = ref None in
+  let fail m = if !err = None then err := Some m in
+  List.iter
+    (fun line ->
+      if !err = None && line <> "" then
+        if line.[0] = '#' then begin
+          match String.split_on_char ' ' line with
+          | "#" :: "TYPE" :: name :: [ ty ] ->
+            if not (valid_name name) then
+              fail (Printf.sprintf "bad name in TYPE line %S" line)
+            else if
+              not (List.mem ty [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+            then fail (Printf.sprintf "unknown type in %S" line)
+            else if Hashtbl.mem types name then
+              fail (Printf.sprintf "duplicate TYPE for %s" name)
+            else Hashtbl.add types name ty
+          | "#" :: "TYPE" :: _ -> fail (Printf.sprintf "malformed TYPE line %S" line)
+          | _ -> () (* HELP / free comment *)
+        end
+        else
+          match parse_sample line with
+          | Error m -> fail m
+          | Ok s ->
+            let fam = family s.s_name in
+            (match Hashtbl.find_opt types fam with
+             | None ->
+               (* exact-name declaration (counter/gauge) also counts *)
+               if not (Hashtbl.mem types s.s_name) then
+                 fail (Printf.sprintf "sample %s has no TYPE declaration" s.s_name)
+             | Some "histogram" ->
+               let v = float_of_string (if s.s_value = "+Inf" then "infinity" else s.s_value) in
+               if String.ends_with ~suffix:"_bucket" s.s_name then begin
+                 (match s.s_le with
+                  | None -> fail (Printf.sprintf "bucket sample %s lacks le label" s.s_name)
+                  | Some le ->
+                    let prev =
+                      Option.value ~default:0.0 (Hashtbl.find_opt hist_last fam)
+                    in
+                    if v < prev then
+                      fail
+                        (Printf.sprintf
+                           "histogram %s bucket le=%s not cumulative (%g < %g)"
+                           fam le v prev);
+                    Hashtbl.replace hist_last fam v;
+                    if le = "+Inf" then Hashtbl.replace hist_inf fam v)
+               end
+               else if String.ends_with ~suffix:"_count" s.s_name then
+                 Hashtbl.replace hist_count fam v
+             | Some _ -> ()))
+    lines;
+  (match !err with
+   | Some _ -> ()
+   | None ->
+     Hashtbl.iter
+       (fun fam count ->
+         match Hashtbl.find_opt hist_inf fam with
+         | None -> fail (Printf.sprintf "histogram %s has no +Inf bucket" fam)
+         | Some inf ->
+           if inf <> count then
+             fail
+               (Printf.sprintf "histogram %s +Inf bucket %g != count %g" fam inf
+                  count))
+       hist_count);
+  match !err with None -> Ok () | Some m -> Error m

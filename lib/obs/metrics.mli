@@ -1,0 +1,30 @@
+(** Prometheus text exposition (format version 0.0.4) over the whole
+    {!Obs} surface: every counter as a [counter], every registered
+    gauge as a [gauge], every histogram as a [histogram] with
+    cumulative power-of-two [le] buckets plus [_sum]/[_count].
+
+    The numbers come straight from the live atomics/bucket counts, so a
+    scrape is truthful whether or not span tracing is enabled —
+    counters interned with [~always:true] (the daemon's [serve.*]
+    family) never stop counting.  Metric names are mangled to the legal
+    Prometheus alphabet and prefixed [unit_]
+    ([serve.latency_us] → [unit_serve_latency_us]). *)
+
+val content_type : string
+(** ["text/plain; version=0.0.4"] — what an HTTP scrape would label the
+    body with; carried alongside the body in the daemon's [metrics]
+    response. *)
+
+val render : unit -> string
+(** One scrape of everything currently registered. *)
+
+val validate : string -> (unit, string) result
+(** Check a scrape for exposition-format validity: well-formed names
+    and values, every sample TYPE-declared, histogram buckets
+    cumulative with a [+Inf] bucket equal to [_count].  Used by the
+    [@metrics-smoke] alias and the test suite; strict enough to catch a
+    renderer regression, not a full spec parser. *)
+
+val mangle : string -> string
+(** The Obs-name → Prometheus-name mapping (exposed for tests and for
+    smokes grepping a scrape for a specific family). *)

@@ -19,7 +19,33 @@ let enabled_flag = Atomic.make false
 let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag
 
-let now () = Unix.gettimeofday ()
+(* Span timing rides the POSIX monotonic clock (C stub — OCaml 5.1's
+   Unix has no clock_gettime), so an NTP step mid-span cannot produce a
+   negative duration.  When the stub reports failure we fall back to
+   gettimeofday, the pre-PR-10 behavior. *)
+external monotonic_s : unit -> float = "unit_obs_monotonic_s"
+
+let monotonic_available = monotonic_s () >= 0.0
+let now () = if monotonic_available then monotonic_s () else Unix.gettimeofday ()
+
+(* ---------- trace context ---------- *)
+
+(* The request-scoped trace id, carried in Domain.DLS: the daemon's
+   worker domain sets it before calling the handler, and every span
+   opened / counter bumped / diag tagged on that domain until it is
+   cleared belongs to that request.  Orthogonal to [enabled]: span
+   *recording* stays gated, but per-trace counter attribution is always
+   on while a context is set, so the flight recorder stays truthful with
+   tracing off. *)
+let trace_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current_trace_id () = Domain.DLS.get trace_key
+let set_trace_id id = Domain.DLS.set trace_key id
+
+let with_trace_id id f =
+  let prev = Domain.DLS.get trace_key in
+  Domain.DLS.set trace_key id;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set trace_key prev) f
 
 (* ---------- spans ---------- *)
 
@@ -31,11 +57,13 @@ type rec_span = {
   rs_name : string;
   mutable rs_detail : string;
   rs_parent : int;
+  rs_trace : string; (* "" = not request-scoped *)
   rs_begin : float;
   mutable rs_end : float; (* -1.0 while open *)
 }
 
-let dummy_rec = { rs_name = ""; rs_detail = ""; rs_parent = -1; rs_begin = 0.; rs_end = 0. }
+let dummy_rec =
+  { rs_name = ""; rs_detail = ""; rs_parent = -1; rs_trace = ""; rs_begin = 0.; rs_end = 0. }
 
 type buffer = {
   b_domain : int;
@@ -73,14 +101,143 @@ let push b r =
   b.b_len <- b.b_len + 1;
   b.b_len - 1
 
+(* ---------- per-trace store ---------- *)
+
+(* Finished state of each request-scoped trace: closed spans (copied out
+   of the domain buffers as they close), counter deltas, and tagged
+   diagnostics.  Bounded FIFO by trace id — a long-lived daemon retains
+   the last [trace_cap] traces. *)
+
+type span_record = {
+  sp_name : string;
+  sp_detail : string;
+  sp_domain : int;
+  sp_id : int;
+  sp_parent : int;
+  sp_trace : string;
+  sp_begin : float;
+  sp_end : float;
+}
+
+type trace_data = {
+  td_id : string;
+  mutable td_spans : span_record list; (* newest first *)
+  td_counters : (string, int) Hashtbl.t;
+  mutable td_diags : string list; (* newest first *)
+}
+
+let traces_tbl : (string, trace_data) Hashtbl.t = Hashtbl.create 64
+let traces_order : string Queue.t = Queue.create ()
+let traces_mu = Mutex.create ()
+let trace_cap = ref 256
+
+let set_trace_cap n =
+  if n < 1 then invalid_arg "Obs.set_trace_cap: cap must be >= 1";
+  Mutex.lock traces_mu;
+  trace_cap := n;
+  while Queue.length traces_order > n do
+    Hashtbl.remove traces_tbl (Queue.pop traces_order)
+  done;
+  Mutex.unlock traces_mu
+
+let trace_begin id =
+  Mutex.lock traces_mu;
+  if not (Hashtbl.mem traces_tbl id) then begin
+    Hashtbl.add traces_tbl id
+      { td_id = id; td_spans = []; td_counters = Hashtbl.create 8; td_diags = [] };
+    Queue.push id traces_order;
+    while Queue.length traces_order > !trace_cap do
+      Hashtbl.remove traces_tbl (Queue.pop traces_order)
+    done
+  end;
+  Mutex.unlock traces_mu
+
+let trace_known id =
+  Mutex.lock traces_mu;
+  let known = Hashtbl.mem traces_tbl id in
+  Mutex.unlock traces_mu;
+  known
+
+(* Attribution helpers: silently drop activity for ids never begun (or
+   already evicted) so a stray context cannot grow the table. *)
+let trace_attr_span tr sp =
+  Mutex.lock traces_mu;
+  (match Hashtbl.find_opt traces_tbl tr with
+   | Some td -> td.td_spans <- sp :: td.td_spans
+   | None -> ());
+  Mutex.unlock traces_mu
+
+let trace_attr_counter tr name n =
+  Mutex.lock traces_mu;
+  (match Hashtbl.find_opt traces_tbl tr with
+   | Some td ->
+     Hashtbl.replace td.td_counters name
+       (n + Option.value ~default:0 (Hashtbl.find_opt td.td_counters name))
+   | None -> ());
+  Mutex.unlock traces_mu
+
+let trace_diag msg =
+  match Domain.DLS.get trace_key with
+  | None -> ()
+  | Some tr ->
+    Mutex.lock traces_mu;
+    (match Hashtbl.find_opt traces_tbl tr with
+     | Some td -> td.td_diags <- msg :: td.td_diags
+     | None -> ());
+    Mutex.unlock traces_mu
+
+let trace_spans id =
+  Mutex.lock traces_mu;
+  let sps = Option.map (fun td -> td.td_spans) (Hashtbl.find_opt traces_tbl id) in
+  Mutex.unlock traces_mu;
+  Option.map
+    (List.sort (fun a b -> compare (a.sp_domain, a.sp_id) (b.sp_domain, b.sp_id)))
+    sps
+
+let trace_counters id =
+  Mutex.lock traces_mu;
+  let cs =
+    Option.map
+      (fun td -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) td.td_counters [])
+      (Hashtbl.find_opt traces_tbl id)
+  in
+  Mutex.unlock traces_mu;
+  Option.map (List.sort compare) cs
+
+let trace_counter_value id name =
+  Mutex.lock traces_mu;
+  let v =
+    match Hashtbl.find_opt traces_tbl id with
+    | Some td -> Option.value ~default:0 (Hashtbl.find_opt td.td_counters name)
+    | None -> 0
+  in
+  Mutex.unlock traces_mu;
+  v
+
+let trace_diags id =
+  Mutex.lock traces_mu;
+  let ds = Option.map (fun td -> List.rev td.td_diags) (Hashtbl.find_opt traces_tbl id) in
+  Mutex.unlock traces_mu;
+  ds
+
+let trace_ids () =
+  Mutex.lock traces_mu;
+  let ids = List.of_seq (Queue.to_seq traces_order) in
+  Mutex.unlock traces_mu;
+  ids
+
+(* ---------- span recording ---------- *)
+
 let start ?(detail = "") name =
   if not (Atomic.get enabled_flag) then null_span
   else begin
     let b = Domain.DLS.get buffer_key in
     let parent = match b.b_stack with [] -> -1 | i :: _ -> i in
+    let trace = Option.value ~default:"" (Domain.DLS.get trace_key) in
     let i =
       push b
-        { rs_name = name; rs_detail = detail; rs_parent = parent; rs_begin = now (); rs_end = -1.0 }
+        { rs_name = name; rs_detail = detail; rs_parent = parent;
+          rs_trace = trace; rs_begin = now (); rs_end = -1.0 }
     in
     b.b_stack <- i :: b.b_stack;
     i
@@ -98,7 +255,17 @@ let stop tok =
         | [] -> []
         | i :: rest ->
           let r = b.b_spans.(i) in
-          if r.rs_end < r.rs_begin then r.rs_end <- t;
+          if r.rs_end < r.rs_begin then begin
+            r.rs_end <- t;
+            (* request-scoped spans are copied to the per-trace store
+               the moment they close, so a `trace` fetch never has to
+               walk every domain's whole history *)
+            if r.rs_trace <> "" then
+              trace_attr_span r.rs_trace
+                { sp_name = r.rs_name; sp_detail = r.rs_detail;
+                  sp_domain = b.b_domain; sp_id = i; sp_parent = r.rs_parent;
+                  sp_trace = r.rs_trace; sp_begin = r.rs_begin; sp_end = r.rs_end }
+          end;
           if i = tok then rest else pop rest
       in
       b.b_stack <- pop b.b_stack
@@ -127,26 +294,44 @@ let annotate tok detail =
 type counter = {
   c_name : string;
   c_val : int Atomic.t;
+  c_always : bool;
 }
 
 let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
 let counters_mu = Mutex.create ()
 
-let counter name =
+let counter ?(always = false) name =
   Mutex.lock counters_mu;
   let c =
     match Hashtbl.find_opt counters_tbl name with
-    | Some c -> c
+    | Some c -> c (* the flag is fixed at first intern *)
     | None ->
-      let c = { c_name = name; c_val = Atomic.make 0 } in
+      let c = { c_name = name; c_val = Atomic.make 0; c_always = always } in
       Hashtbl.add counters_tbl name c;
       c
   in
   Mutex.unlock counters_mu;
   c
 
-let incr c = if Atomic.get enabled_flag then Atomic.incr c.c_val
-let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_val n)
+(* Per-trace attribution is gated on the trace context, not on
+   [enabled]: a daemon running with tracing off still accounts each
+   request's counter activity to its trace (the flight recorder's
+   store-hit bit depends on it).  Without a context this is one DLS read
+   and a branch. *)
+let attribute c n =
+  match Domain.DLS.get trace_key with
+  | None -> ()
+  | Some tr -> trace_attr_counter tr c.c_name n
+
+let incr c =
+  if c.c_always || Atomic.get enabled_flag then Atomic.incr c.c_val;
+  attribute c 1
+
+let add c n =
+  if c.c_always || Atomic.get enabled_flag then
+    ignore (Atomic.fetch_and_add c.c_val n);
+  attribute c n
+
 let value c = Atomic.get c.c_val
 
 (* ---------- histograms ---------- *)
@@ -172,30 +357,55 @@ type hist_stats = {
    produce identical reservoirs. *)
 let reservoir_cap = 512
 
+(* Alongside the reservoir, every histogram keeps exact counts in fixed
+   log-spaced buckets (upper bounds 2^0, 2^1, ... 2^41, +Inf — values
+   <= 1, including zero and negatives, land in the first bucket).
+   Bucket-derived quantiles are exact-by-bucket: the returned bound is a
+   true upper bound on the nearest-rank percentile of the *whole*
+   stream, never a sample estimate, at a resolution of one power of
+   two.  This is also what the Prometheus exposition renders. *)
+let n_buckets = 43
+
+let bucket_bounds =
+  Array.init n_buckets (fun i ->
+      if i = n_buckets - 1 then infinity else float_of_int (1 lsl i))
+
+let bucket_index x =
+  if x <= 1.0 then 0
+  else if Float.is_nan x then n_buckets - 1
+  else begin
+    let i = int_of_float (Float.ceil (Float.log2 x)) in
+    if i < 0 then 0 else if i >= n_buckets - 1 then n_buckets - 1 else i
+  end
+
 type histogram = {
   hg_name : string;
   hg_mu : Mutex.t;
+  hg_always : bool;
   mutable hg_count : int;
   mutable hg_sum : float;
   mutable hg_min : float;
   mutable hg_max : float;
   hg_reservoir : float array;  (* first [min count cap] slots are live *)
   mutable hg_rng : int;  (* LCG state *)
+  hg_buckets : int array;  (* per-bucket (non-cumulative) counts *)
 }
 
 let hists_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
 let hists_mu = Mutex.create ()
 
-let histogram name =
+let histogram ?(always = false) name =
   Mutex.lock hists_mu;
   let h =
     match Hashtbl.find_opt hists_tbl name with
-    | Some h -> h
+    | Some h -> h (* the flag is fixed at first intern *)
     | None ->
       let h =
-        { hg_name = name; hg_mu = Mutex.create (); hg_count = 0; hg_sum = 0.; hg_min = 0.; hg_max = 0.;
+        { hg_name = name; hg_mu = Mutex.create (); hg_always = always;
+          hg_count = 0; hg_sum = 0.; hg_min = 0.; hg_max = 0.;
           hg_reservoir = Array.make reservoir_cap 0.0;
-          hg_rng = Hashtbl.hash name lor 1
+          hg_rng = Hashtbl.hash name lor 1;
+          hg_buckets = Array.make n_buckets 0
         }
       in
       Hashtbl.add hists_tbl name h;
@@ -210,7 +420,7 @@ let lcg_next h bound =
   (h.hg_rng lsr 16) mod bound
 
 let observe h x =
-  if Atomic.get enabled_flag then begin
+  if h.hg_always || Atomic.get enabled_flag then begin
     Mutex.lock h.hg_mu;
     if h.hg_count = 0 then begin
       h.hg_min <- x;
@@ -222,6 +432,7 @@ let observe h x =
     end;
     h.hg_count <- h.hg_count + 1;
     h.hg_sum <- h.hg_sum +. x;
+    h.hg_buckets.(bucket_index x) <- h.hg_buckets.(bucket_index x) + 1;
     (if h.hg_count <= reservoir_cap then h.hg_reservoir.(h.hg_count - 1) <- x
      else begin
        let j = lcg_next h h.hg_count in
@@ -255,6 +466,57 @@ let hist_stats h =
     h_p99 = percentile sample 99.0
   }
 
+let hist_buckets h =
+  Mutex.lock h.hg_mu;
+  let b = Array.copy h.hg_buckets in
+  Mutex.unlock h.hg_mu;
+  b
+
+(* Exact-by-bucket quantile: the upper bound of the bucket holding the
+   nearest-rank q-th percentile of the whole stream (not the
+   reservoir).  0.0 on an empty histogram. *)
+let bucket_quantile h q =
+  let buckets = hist_buckets h in
+  let total = Array.fold_left ( + ) 0 buckets in
+  if total = 0 then 0.0
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int total /. 100.0)))
+    in
+    let rec walk i seen =
+      if i >= n_buckets - 1 then bucket_bounds.(n_buckets - 1)
+      else begin
+        let seen = seen + buckets.(i) in
+        if seen >= rank then bucket_bounds.(i) else walk (i + 1) seen
+      end
+    in
+    walk 0 0
+  end
+
+(* ---------- gauges ---------- *)
+
+(* Callback gauges for live values (queue depth, cache size) that have
+   no meaningful counter semantics.  Registration replaces by name so a
+   re-created owner (e.g. a fresh test server) takes the slot over. *)
+let gauges_tbl : (string, unit -> float) Hashtbl.t = Hashtbl.create 8
+let gauges_mu = Mutex.create ()
+
+let register_gauge name f =
+  Mutex.lock gauges_mu;
+  Hashtbl.replace gauges_tbl name f;
+  Mutex.unlock gauges_mu
+
+let gauges () =
+  Mutex.lock gauges_mu;
+  let fs = Hashtbl.fold (fun k f acc -> (k, f) :: acc) gauges_tbl [] in
+  Mutex.unlock gauges_mu;
+  (* sample outside the lock; a dead owner's callback must not take the
+     registry down *)
+  List.sort compare
+    (List.filter_map
+       (fun (k, f) -> match f () with v -> Some (k, v) | exception _ -> None)
+       fs)
+
 (* ---------- reset ---------- *)
 
 let reset () =
@@ -279,22 +541,17 @@ let reset () =
       h.hg_min <- 0.;
       h.hg_max <- 0.;
       Array.fill h.hg_reservoir 0 reservoir_cap 0.0;
+      Array.fill h.hg_buckets 0 n_buckets 0;
       h.hg_rng <- Hashtbl.hash h.hg_name lor 1;
       Mutex.unlock h.hg_mu)
     hists_tbl;
-  Mutex.unlock hists_mu
+  Mutex.unlock hists_mu;
+  Mutex.lock traces_mu;
+  Hashtbl.reset traces_tbl;
+  Queue.clear traces_order;
+  Mutex.unlock traces_mu
 
 (* ---------- snapshots ---------- *)
-
-type span_record = {
-  sp_name : string;
-  sp_detail : string;
-  sp_domain : int;
-  sp_id : int;
-  sp_parent : int;
-  sp_begin : float;
-  sp_end : float;
-}
 
 let span_closed sp = sp.sp_end >= sp.sp_begin
 
@@ -313,6 +570,7 @@ let spans () =
               sp_domain = b.b_domain;
               sp_id = i;
               sp_parent = r.rs_parent;
+              sp_trace = r.rs_trace;
               sp_begin = r.rs_begin;
               sp_end = r.rs_end;
             }))
@@ -331,6 +589,13 @@ let histograms () =
   let hs = Hashtbl.fold (fun _ h acc -> h :: acc) hists_tbl [] in
   Mutex.unlock hists_mu;
   List.sort compare (List.map (fun h -> (h.hg_name, hist_stats h)) hs)
+
+let histogram_handles () =
+  Mutex.lock hists_mu;
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) hists_tbl [] in
+  Mutex.unlock hists_mu;
+  List.sort (fun a b -> compare a.hg_name b.hg_name) hs
+  |> List.map (fun h -> (h.hg_name, h))
 
 (* ---------- aggregation & sinks ---------- *)
 
@@ -401,33 +666,36 @@ let pp_summary ppf () =
   let hs = List.filter (fun (_, s) -> s.h_count > 0) (histograms ()) in
   if hs <> [] then Format.fprintf ppf "-- histograms --@.%a" pp_histograms hs
 
-let chrome_trace () =
-  let sps = spans () in
+let chrome_events sps =
   let t0 = List.fold_left (fun acc sp -> Float.min acc sp.sp_begin) infinity sps in
   let t0 = if t0 = infinity then 0. else t0 in
-  let events =
-    List.filter_map
-      (fun sp ->
-        if not (span_closed sp) then None
-        else
-          let base =
-            [
-              ("name", Json.Str sp.sp_name);
-              ("cat", Json.Str "unit");
-              ("ph", Json.Str "X");
-              ("pid", Json.Num 1.);
-              ("tid", Json.Num (float_of_int sp.sp_domain));
-              ("ts", Json.Num ((sp.sp_begin -. t0) *. 1e6));
-              ("dur", Json.Num ((sp.sp_end -. sp.sp_begin) *. 1e6));
-            ]
-          in
-          let args =
-            if sp.sp_detail = "" then []
-            else [ ("args", Json.Obj [ ("detail", Json.Str sp.sp_detail) ]) ]
-          in
-          Some (Json.Obj (base @ args)))
-      sps
-  in
+  List.filter_map
+    (fun sp ->
+      if not (span_closed sp) then None
+      else
+        let base =
+          [
+            ("name", Json.Str sp.sp_name);
+            ("cat", Json.Str "unit");
+            ("ph", Json.Str "X");
+            ("pid", Json.Num 1.);
+            ("tid", Json.Num (float_of_int sp.sp_domain));
+            ("ts", Json.Num ((sp.sp_begin -. t0) *. 1e6));
+            ("dur", Json.Num ((sp.sp_end -. sp.sp_begin) *. 1e6));
+          ]
+        in
+        let arg_fields =
+          (if sp.sp_detail = "" then [] else [ ("detail", Json.Str sp.sp_detail) ])
+          @ if sp.sp_trace = "" then [] else [ ("trace_id", Json.Str sp.sp_trace) ]
+        in
+        let args =
+          if arg_fields = [] then [] else [ ("args", Json.Obj arg_fields) ]
+        in
+        Some (Json.Obj (base @ args)))
+    sps
+
+let chrome_trace () =
+  let events = chrome_events (spans ()) in
   let counters_json = List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) (counters ()) in
   let hists_json =
     List.map
@@ -497,6 +765,32 @@ let write_chrome_trace path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Json.to_string (chrome_trace ())))
+
+(* The finished span tree of one request-scoped trace, as a Chrome
+   trace document: only the spans/counters/diags attributed to [id].
+   [None] for an id never begun (or already evicted from the bounded
+   trace store). *)
+let trace_chrome id =
+  match trace_spans id with
+  | None -> None
+  | Some sps ->
+    let counters_json =
+      List.map
+        (fun (k, v) -> (k, Json.Num (float_of_int v)))
+        (Option.value ~default:[] (trace_counters id))
+    in
+    let diags_json =
+      List.map (fun d -> Json.Str d) (Option.value ~default:[] (trace_diags id))
+    in
+    Some
+      (Json.Obj
+         [
+           ("trace_id", Json.Str id);
+           ("traceEvents", Json.Arr (chrome_events sps));
+           ("displayTimeUnit", Json.Str "ms");
+           ("counters", Json.Obj counters_json);
+           ("diags", Json.Arr diags_json);
+         ])
 
 let tensorize_stages =
   [

@@ -11,9 +11,11 @@
     [Domain.DLS]), so [Parallel_oracle] workers can record without
     contention; only buffer registration takes a lock.
 
-    Timing uses [Unix.gettimeofday] — the monotonic-clock stand-in
-    available without extra packages.  Spans are wall-clock intervals in
-    seconds. *)
+    Timing uses the POSIX monotonic clock (via a one-function C stub —
+    OCaml's [Unix] exposes no [clock_gettime]), falling back to
+    [Unix.gettimeofday] where monotonic time is unavailable, so a
+    wall-clock step can never produce a negative-duration span.  Spans
+    are intervals in seconds on that clock. *)
 
 (** {1 Global switch} *)
 
@@ -21,8 +23,62 @@ val set_enabled : bool -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Drop all recorded spans and zero all counters/histograms.
-    Registered counter/histogram handles stay valid. *)
+(** Drop all recorded spans, zero all counters/histograms (reservoirs
+    and bucket counts alike) and clear the per-trace store.  Registered
+    counter/histogram handles and gauge callbacks stay valid. *)
+
+val monotonic_available : bool
+(** Whether span timing runs on the monotonic clock ([true] everywhere
+    the C stub's [clock_gettime(CLOCK_MONOTONIC)] works). *)
+
+val now : unit -> float
+(** The span clock: monotonic seconds when available, else
+    [Unix.gettimeofday].  Exposed so latency measurements elsewhere
+    (e.g. the daemon's flight recorder) share the span timebase. *)
+
+(** {1 Trace context}
+
+    A request-scoped trace id carried in [Domain.DLS].  While a context
+    is set on a domain, every span opened there is tagged with the id
+    and copied into a bounded per-trace store when it closes, every
+    counter increment is additionally attributed to the trace (always —
+    attribution is gated on the context, not on [enabled], so
+    per-request accounting stays truthful with tracing off), and
+    {!trace_diag} tags diagnostics.  The store retains the most recent
+    [trace_cap] (default 256) traces, FIFO-evicted. *)
+
+val set_trace_id : string option -> unit
+(** Set/clear this domain's trace context. *)
+
+val current_trace_id : unit -> string option
+
+val with_trace_id : string option -> (unit -> 'a) -> 'a
+(** Run with the context set, restoring the previous context after —
+    the daemon worker wraps each request handler call in this. *)
+
+val trace_begin : string -> unit
+(** Register a trace id in the bounded store (idempotent).  Activity
+    attributed to an id never begun — or already evicted — is silently
+    dropped, so stray contexts cannot grow the store. *)
+
+val trace_known : string -> bool
+val set_trace_cap : int -> unit
+val trace_ids : unit -> string list
+(** Retained trace ids, oldest first. *)
+
+val trace_counters : string -> (string * int) list option
+(** Counter deltas attributed to the trace (name-sorted), [None] for an
+    unknown id. *)
+
+val trace_counter_value : string -> string -> int
+(** [trace_counter_value id name] — 0 when absent or unknown. *)
+
+val trace_diag : string -> unit
+(** Tag a diagnostic message onto the current trace context (no-op
+    without one). *)
+
+val trace_diags : string -> string list option
+(** Diagnostics tagged onto the trace, oldest first. *)
 
 (** {1 Spans} *)
 
@@ -56,13 +112,18 @@ val annotate : span -> string -> unit
 
 type counter
 
-val counter : string -> counter
-(** Intern a counter by name (idempotent: same name, same handle).
-    Register handles once at module init, not on hot paths. *)
+val counter : ?always:bool -> string -> counter
+(** Intern a counter by name (idempotent: same name, same handle; the
+    [always] flag is fixed at first intern).  Register handles once at
+    module init, not on hot paths.  [~always:true] makes the counter
+    unconditional — it counts with tracing disabled, for numbers that
+    must stay truthful in a daemon's /stats and metrics exposition. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
-(** Both are no-ops while disabled. *)
+(** No-ops while disabled unless the counter was interned with
+    [~always:true].  Per-trace attribution (see {!set_trace_id}) happens
+    regardless of the [enabled] gate whenever a context is set. *)
 
 val value : counter -> int
 
@@ -80,17 +141,52 @@ type hist_stats = {
   h_p99 : float;
 }
 
-val histogram : string -> histogram
-(** Intern a histogram by name (idempotent). *)
+val histogram : ?always:bool -> string -> histogram
+(** Intern a histogram by name (idempotent; the [always] flag is fixed
+    at first intern — [~always:true] records with tracing disabled). *)
 
 val observe : histogram -> float -> unit
-(** No-op while disabled. *)
+(** No-op while disabled unless interned with [~always:true]. *)
 
 val hist_stats : histogram -> hist_stats
 (** [h_p50]/[h_p90]/[h_p99] are nearest-rank percentiles over a
     512-slot reservoir sample (Vitter's Algorithm R, deterministic
     per-histogram LCG): exact up to 512 observations, unbiased
-    estimates beyond. *)
+    estimates beyond.  For bounds that are exact over the whole stream
+    use {!bucket_quantile}. *)
+
+(** {2 Fixed log-spaced buckets}
+
+    Every histogram also counts observations into fixed power-of-two
+    buckets (upper bounds [2^0 .. 2^41], then [+Inf]; values [<= 1]
+    including zero/negatives land in the first).  Unlike the reservoir,
+    bucket counts cover every observation ever made, so bucket-derived
+    quantiles are exact upper bounds at one-power-of-two resolution —
+    this is what the Prometheus exposition ({!Metrics}) renders. *)
+
+val n_buckets : int
+val bucket_bounds : float array
+(** Length {!n_buckets}; last element is [infinity]. *)
+
+val bucket_index : float -> int
+(** The bucket an observation lands in. *)
+
+val hist_buckets : histogram -> int array
+(** Per-bucket (non-cumulative) counts, length {!n_buckets}. *)
+
+val bucket_quantile : histogram -> float -> float
+(** [bucket_quantile h 99.0] — the upper bucket bound of the
+    nearest-rank 99th percentile of the whole stream; exact-by-bucket,
+    never sampled.  [0.0] on an empty histogram. *)
+
+(** {1 Gauges}
+
+    Named callback gauges for live values (queue depth, cache
+    occupancy) sampled at snapshot time.  Registration replaces by
+    name; a callback that raises is skipped in {!gauges}. *)
+
+val register_gauge : string -> (unit -> float) -> unit
+val gauges : unit -> (string * float) list
 
 (** {1 Snapshots} *)
 
@@ -100,9 +196,14 @@ type span_record = {
   sp_domain : int;  (** id of the recording domain *)
   sp_id : int;  (** unique within [sp_domain] *)
   sp_parent : int;  (** [sp_id] of the enclosing span, [-1] for roots *)
-  sp_begin : float;  (** seconds, [Unix.gettimeofday] epoch *)
+  sp_trace : string;  (** request trace id, [""] when not request-scoped *)
+  sp_begin : float;  (** seconds on the span clock ({!now}) *)
   sp_end : float;  (** [< sp_begin] iff the span was never closed *)
 }
+
+val trace_spans : string -> span_record list option
+(** Closed spans attributed to the trace, sorted by (domain, id);
+    [None] for an unknown id. *)
 
 val span_closed : span_record -> bool
 
@@ -115,6 +216,10 @@ val counters : unit -> (string * int) list
 
 val histograms : unit -> (string * hist_stats) list
 (** Name-sorted; empty histograms are included once registered. *)
+
+val histogram_handles : unit -> (string * histogram) list
+(** Name-sorted handles to every registered histogram — the metrics
+    renderer walks these for bucket counts. *)
 
 (** {1 Aggregation and sinks} *)
 
@@ -145,8 +250,16 @@ val pp_summary : Format.formatter -> unit -> unit
 val chrome_trace : unit -> Json.t
 (** Chrome [trace_event] JSON: an object with a ["traceEvents"] array of
     phase-["X"] complete events (one per closed span; [tid] = domain,
-    microsecond timestamps relative to the earliest span), plus
-    ["counters"] and ["histograms"] objects. *)
+    microsecond timestamps relative to the earliest span; request-scoped
+    spans carry ["args"]["trace_id"]), plus ["counters"] and
+    ["histograms"] objects. *)
+
+val trace_chrome : string -> Json.t option
+(** The finished span tree of one request-scoped trace as a Chrome
+    trace document — only the spans, counter deltas and diagnostics
+    attributed to that id, plus a top-level ["trace_id"].  [None] for an
+    id never begun or already evicted.  The payload of the daemon's
+    [trace] request. *)
 
 val write_chrome_trace : string -> unit
 (** [write_chrome_trace path] writes [chrome_trace ()] to [path]. *)

@@ -1,0 +1,31 @@
+/* Monotonic clock for span timing.  OCaml 5.1's Unix library exposes no
+   clock_gettime, so this one-function stub bridges to the POSIX
+   monotonic clock; obs.ml falls back to Unix.gettimeofday when the call
+   is unavailable or fails (signalled by a negative return).  Monotonic
+   time means an NTP step can never produce a negative-duration span. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+
+CAMLprim value unit_obs_monotonic_s(value unit)
+{
+  return caml_copy_double(-1.0);
+}
+
+#else
+
+#include <time.h>
+
+CAMLprim value unit_obs_monotonic_s(value unit)
+{
+#ifdef CLOCK_MONOTONIC
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  return caml_copy_double(-1.0);
+}
+
+#endif

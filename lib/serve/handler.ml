@@ -102,6 +102,22 @@ let handle = function
     (* normally answered inline by the server; kept total for direct use *)
     Obs.stats_json ()
   | Protocol.Shutdown -> Json.Obj [ ("draining", Json.Bool true) ]
+  | Protocol.Metrics ->
+    (* normally answered inline by the server; kept total for direct use *)
+    Json.Obj
+      [ ("content_type", Json.Str Unit_obs.Metrics.content_type);
+        ("body", Json.Str (Unit_obs.Metrics.render ()))
+      ]
+  | Protocol.Trace { id } ->
+    (match Obs.trace_chrome id with
+     | Some doc -> doc
+     | None ->
+       invalid_arg
+         (Printf.sprintf "unknown trace_id %S (never begun, or evicted)" id))
+  | Protocol.Flight _ ->
+    (* only the server can answer: the flight recorder is per-server
+       state the handler has no handle on *)
+    invalid_arg "flight is answered inline by the server"
   | Protocol.Load_isa { path } ->
     (* normally answered inline by the server; kept total for direct use *)
     (match Unit_isadsl.Loader.load_file path with

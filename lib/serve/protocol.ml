@@ -16,6 +16,9 @@ type request =
   | Stats
   | Shutdown
   | Load_isa of { path : string }
+  | Trace of { id : string }
+  | Metrics
+  | Flight of { last : int option; errors_only : bool; slower_than_us : float option }
   | Tune of { target : Warmup.target; engine : Pipeline.engine; workload : workload }
   | Run of { target : Warmup.target; engine : Pipeline.engine; workload : workload }
   | Explain of { target : Warmup.target; workload : workload }
@@ -51,11 +54,25 @@ let workload_name = function
   | Dense wl -> Workload.name (Workload.Fc wl)
   | Table1 i -> Printf.sprintf "table1:%d" i
 
+(* The request kind, as recorded in flight-recorder entries for control
+   traffic (which has no coalesce key). *)
+let kind_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+  | Load_isa _ -> "load_isa"
+  | Trace _ -> "trace"
+  | Metrics -> "metrics"
+  | Flight _ -> "flight"
+  | Tune _ -> "tune"
+  | Run _ -> "run"
+  | Explain _ -> "explain"
+
 (* Coalescing identity: everything that changes the answer.  Ping/Stats/
-   Shutdown/Load_isa are control traffic and never queued, so they have
-   no key. *)
+   Shutdown/Load_isa/Trace/Metrics/Flight are control traffic and never
+   queued, so they have no key. *)
 let coalesce_key = function
-  | Ping | Stats | Shutdown | Load_isa _ -> None
+  | Ping | Stats | Shutdown | Load_isa _ | Trace _ | Metrics | Flight _ -> None
   | Tune { target; engine; workload } ->
     Some
       (Printf.sprintf "tune/%s/%s/%s" (Warmup.target_to_string target)
@@ -141,12 +158,64 @@ let engine_of_json j =
      | Ok e -> Ok e
      | Error d -> Error (Unit_tir.Diag.to_string d))
 
+(* Client-supplied trace id: optional, and validated tightly since it is
+   echoed into responses, span tags and flight-recorder entries. *)
+let trace_id_of_json j =
+  match Json.member "trace_id" j with
+  | None -> Ok None
+  | Some (Json.Str id) ->
+    if id = "" then Error "field \"trace_id\" must not be empty"
+    else if String.length id > 128 then
+      Error "field \"trace_id\" too long (max 128 bytes)"
+    else if
+      not
+        (String.for_all
+           (fun c ->
+             match c with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' ->
+               true
+             | _ -> false)
+           id)
+    then Error "field \"trace_id\" has characters outside [a-zA-Z0-9._:-]"
+    else Ok (Some id)
+  | Some _ -> Error "field \"trace_id\" is not a string"
+
 let request_of_json j =
   match Option.bind (Json.member "req" j) Json.to_str with
   | None -> Error "field \"req\" missing or not a string"
   | Some "ping" -> Ok Ping
   | Some "stats" -> Ok Stats
   | Some "shutdown" -> Ok Shutdown
+  | Some "metrics" -> Ok Metrics
+  | Some "trace" ->
+    (match Option.bind (Json.member "id" j) Json.to_str with
+     | Some id -> Ok (Trace { id })
+     | None -> Error "field \"id\" missing or not a string")
+  | Some "flight" ->
+    let opt_int name =
+      match Json.member name j with
+      | None -> Ok None
+      | Some v ->
+        (match Json.to_int v with
+         | Some i when i >= 0 -> Ok (Some i)
+         | _ -> Error (Printf.sprintf "field %S is not a non-negative integer" name))
+    in
+    let opt_num name =
+      match Json.member name j with
+      | None -> Ok None
+      | Some v ->
+        (match Json.to_num v with
+         | Some x when x >= 0.0 -> Ok (Some x)
+         | _ -> Error (Printf.sprintf "field %S is not a non-negative number" name))
+    in
+    let* last = opt_int "last" in
+    let* slower_than_us = opt_num "slower_than_us" in
+    let errors_only =
+      match Json.member "errors_only" j with
+      | Some (Json.Bool b) -> b
+      | _ -> false
+    in
+    Ok (Flight { last; errors_only; slower_than_us })
   | Some "load_isa" ->
     (match Option.bind (Json.member "path" j) Json.to_str with
      | Some path -> Ok (Load_isa { path })
@@ -169,7 +238,8 @@ let request_of_json j =
   | Some other ->
     Error
       (Printf.sprintf
-         "unknown request %S (ping|stats|shutdown|load_isa|tune|run|explain)"
+         "unknown request %S \
+          (ping|stats|shutdown|load_isa|trace|metrics|flight|tune|run|explain)"
          other)
 
 let parse_request payload =
@@ -210,6 +280,19 @@ let request_to_json req =
   | Shutdown -> Json.Obj [ ("req", Json.Str "shutdown") ]
   | Load_isa { path } ->
     Json.Obj [ ("req", Json.Str "load_isa"); ("path", Json.Str path) ]
+  | Metrics -> Json.Obj [ ("req", Json.Str "metrics") ]
+  | Trace { id } -> Json.Obj [ ("req", Json.Str "trace"); ("id", Json.Str id) ]
+  | Flight { last; errors_only; slower_than_us } ->
+    Json.Obj
+      ([ ("req", Json.Str "flight") ]
+      @ (match last with
+         | None -> []
+         | Some n -> [ ("last", Json.Num (float_of_int n)) ])
+      @ (if errors_only then [ ("errors_only", Json.Bool true) ] else [])
+      @
+      match slower_than_us with
+      | None -> []
+      | Some x -> [ ("slower_than_us", Json.Num x) ])
   | Tune { target; engine; workload } ->
     common ~req:"tune" ~target workload
       [ ("engine", Json.Str (Pipeline.engine_to_string engine)) ]
@@ -218,14 +301,21 @@ let request_to_json req =
       [ ("engine", Json.Str (Pipeline.engine_to_string engine)) ]
   | Explain { target; workload } -> common ~req:"explain" ~target workload []
 
-let response_to_json = function
-  | Result r -> Json.Obj [ ("status", Json.Str "ok"); ("result", r) ]
+let response_to_json ?trace_id resp =
+  let tid =
+    match trace_id with
+    | None -> []
+    | Some id -> [ ("trace_id", Json.Str id) ]
+  in
+  match resp with
+  | Result r -> Json.Obj ([ ("status", Json.Str "ok"); ("result", r) ] @ tid)
   | Failure (code, message) ->
     Json.Obj
-      [ ("status", Json.Str "error");
-        ("code", Json.Str (code_to_string code));
-        ("message", Json.Str message)
-      ]
+      ([ ("status", Json.Str "error");
+         ("code", Json.Str (code_to_string code));
+         ("message", Json.Str message)
+       ]
+      @ tid)
 
 let response_of_json j =
   match Option.bind (Json.member "status" j) Json.to_str with

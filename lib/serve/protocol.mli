@@ -4,6 +4,9 @@
     Requests:
     {v
     {"req":"ping"} | {"req":"stats"} | {"req":"shutdown"}
+    {"req":"metrics"}                      Prometheus text scrape
+    {"req":"trace","id":"..."}             finished trace as Chrome JSON
+    {"req":"flight","last":50,"errors_only":true,"slower_than_us":1e4}
     {"req":"tune","target":"x86","engine":"compiled",
      "workload":{"op":"conv2d","c":64,"h":14,"k":128,"kernel":3}}
     {"req":"run", ...same fields...}
@@ -11,6 +14,13 @@
     v}
     [target] defaults to x86, [engine] to compiled, and a workload is
     either an explicit conv2d/dense shape or a Table I row index.
+    [flight]'s three filter fields are all optional.
+
+    Any request may additionally carry a ["trace_id"] field (1–128
+    bytes of [[a-zA-Z0-9._:-]]) naming the trace the request's work is
+    tagged under; the server generates one when absent and echoes it as
+    a ["trace_id"] field in every response either way.  Unknown fields
+    are ignored everywhere.
 
     Responses: [{"status":"ok","result":...}] or
     [{"status":"error","code":"...","message":"..."}] where [code] is
@@ -33,6 +43,22 @@ type request =
           into the daemon's registry; answered inline like the other
           control requests.  Idempotent for identical semantics,
           [Bad_request] on a digest conflict or an invalid pack. *)
+  | Trace of { id : string }
+      (** fetch a finished trace by id as a Chrome-trace JSON document;
+          [Bad_request] when the id is unknown (never begun, or evicted
+          from the bounded trace store). *)
+  | Metrics
+      (** one Prometheus text-exposition scrape of the live counters,
+          gauges and histograms; the result is
+          [{"content_type":...,"body":...}]. *)
+  | Flight of {
+      last : int option;
+      errors_only : bool;
+      slower_than_us : float option;
+    }
+      (** the flight-recorder window (oldest first) after the filters,
+          with exact nearest-rank p50/p99 over the {e whole} unfiltered
+          window. *)
   | Tune of {
       target : Unit_store.Warmup.target;
       engine : Unit_core.Pipeline.engine;
@@ -61,11 +87,15 @@ val code_of_string : string -> error_code option
 
 val workload_name : workload -> string
 
+val kind_name : request -> string
+(** The request's wire name ([ping], [tune], …) — what flight-recorder
+    entries use as the key for control traffic. *)
+
 val coalesce_key : request -> string option
 (** The request's coalescing identity — kind, target, engine and
     workload — or [None] for control requests
-    (ping/stats/shutdown/load_isa), which are answered inline and never
-    queued. *)
+    (ping/stats/shutdown/load_isa/trace/metrics/flight), which are
+    answered inline and never queued. *)
 
 val workload_of_json : Unit_obs.Json.t -> (workload, string) result
 val workload_to_json : workload -> Unit_obs.Json.t
@@ -73,11 +103,19 @@ val workload_to_json : workload -> Unit_obs.Json.t
 val request_of_json : Unit_obs.Json.t -> (request, string) result
 val request_to_json : request -> Unit_obs.Json.t
 
+val trace_id_of_json : Unit_obs.Json.t -> (string option, string) result
+(** The optional ["trace_id"] field of a request document: [Ok None]
+    when absent, [Ok (Some id)] when present and well-formed (1–128
+    bytes of [[a-zA-Z0-9._:-]]), [Error] otherwise. *)
+
 val parse_request : string -> (request, string) result
 (** [request_of_json] over a raw frame payload; a JSON parse failure is
     an [Error] like any other malformed request. *)
 
-val response_to_json : response -> Unit_obs.Json.t
+val response_to_json : ?trace_id:string -> response -> Unit_obs.Json.t
+(** [trace_id], when given, is appended as a ["trace_id"] field to both
+    ok and error documents — the echo every daemon response carries. *)
+
 val response_of_json : Unit_obs.Json.t -> (response, string) result
 
 val digest_ndarray : Unit_codegen.Ndarray.t -> string

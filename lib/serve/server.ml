@@ -4,14 +4,19 @@
 
 module Json = Unit_obs.Json
 module Obs = Unit_obs.Obs
+module Metrics = Unit_obs.Metrics
 module Warmup = Unit_store.Warmup
+module Pipeline = Unit_core.Pipeline
 
-let c_requests = Obs.counter "serve.requests"
-let c_coalesced = Obs.counter "serve.coalesced"
-let c_overloaded = Obs.counter "serve.overloaded"
-let c_retry = Obs.counter "serve.retry"
-let c_failed = Obs.counter "serve.failed"
-let h_latency = Obs.histogram "serve.latency_us"
+(* always-on: these feed /stats and the metrics exposition, which must
+   stay truthful with span tracing disabled *)
+let c_requests = Obs.counter ~always:true "serve.requests"
+let c_completed = Obs.counter ~always:true "serve.completed"
+let c_coalesced = Obs.counter ~always:true "serve.coalesced"
+let c_overloaded = Obs.counter ~always:true "serve.overloaded"
+let c_retry = Obs.counter ~always:true "serve.retry"
+let c_failed = Obs.counter ~always:true "serve.failed"
+let h_latency = Obs.histogram ~always:true "serve.latency_us"
 
 type config = {
   domains : int;
@@ -27,9 +32,11 @@ let default_config = { domains = 4; queue_cap = 64; retries = 1 }
    response object. *)
 type job = {
   jb_key : string;
+  jb_trace : string;  (* the leader's trace id: spans/counters tag here *)
   jb_request : Protocol.request;
   jb_mutex : Mutex.t;
   jb_cond : Condition.t;
+  mutable jb_start : float;  (* span-clock time the worker picked it up *)
   mutable jb_done : bool;
   mutable jb_response : Protocol.response;
 }
@@ -43,6 +50,7 @@ type t = {
   have_work : Condition.t;
   queue : job Queue.t;
   inflight : (string, job) Hashtbl.t;
+  flight : Flight.t;
   mutable draining : bool;
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
@@ -57,6 +65,7 @@ type t = {
 }
 
 let execute t job =
+  job.jb_start <- Obs.now ();
   let rec attempt n =
     match
       t.fault ~key:job.jb_key ~attempt:n;
@@ -79,7 +88,9 @@ let execute t job =
         ( Protocol.Internal,
           Printf.sprintf "%s (after %d attempt(s))" (Printexc.to_string e) n )
   in
-  let response = attempt 1 in
+  (* the handler runs under the leader's trace context, so pipeline
+     spans, counter increments and diags land on the request's trace *)
+  let response = Obs.with_trace_id (Some job.jb_trace) (fun () -> attempt 1) in
   (* unregister first: a submitter arriving after this point starts a
      fresh flight instead of adopting a published one *)
   Mutex.lock t.lock;
@@ -90,7 +101,8 @@ let execute t job =
   job.jb_done <- true;
   Condition.broadcast job.jb_cond;
   Mutex.unlock job.jb_mutex;
-  Atomic.incr t.n_completed
+  Atomic.incr t.n_completed;
+  Obs.incr c_completed
 
 let worker t () =
   let rec loop () =
@@ -110,12 +122,13 @@ let worker t () =
   loop ()
 
 let create ?(fault = fun ~key:_ ~attempt:_ -> ()) ?(sleep = Unix.sleepf)
-    ?(handle = Handler.handle) cfg =
+    ?(handle = Handler.handle) ?flight_cap cfg =
   if cfg.domains < 1 then invalid_arg "Server.create: domains must be >= 1";
   if cfg.queue_cap < 1 then invalid_arg "Server.create: queue_cap must be >= 1";
   if cfg.retries < 0 then invalid_arg "Server.create: retries must be >= 0";
   let t =
     { cfg; handle; fault; sleep;
+      flight = Flight.create ?cap:flight_cap ();
       lock = Mutex.create ();
       have_work = Condition.create ();
       queue = Queue.create ();
@@ -132,7 +145,16 @@ let create ?(fault = fun ~key:_ ~attempt:_ -> ()) ?(sleep = Unix.sleepf)
     }
   in
   t.workers <- List.init cfg.domains (fun _ -> Domain.spawn (worker t));
+  (* live queue depth for the metrics exposition; replaced by name, so
+     the most recently created server owns the gauge *)
+  Obs.register_gauge "serve.queue_depth" (fun () ->
+      Mutex.lock t.lock;
+      let q = Queue.length t.queue in
+      Mutex.unlock t.lock;
+      float_of_int q);
   t
+
+let flight t = t.flight
 
 let stats_fields t =
   Mutex.lock t.lock;
@@ -141,7 +163,7 @@ let stats_fields t =
   let draining = t.draining in
   Mutex.unlock t.lock;
   [ ("domains", t.cfg.domains); ("queue_cap", t.cfg.queue_cap);
-    ("queued", queued); ("inflight", inflight);
+    ("queued", queued); ("queue_depth", queued); ("inflight", inflight);
     ("draining", if draining then 1 else 0);
     ("requests", Atomic.get t.n_requests);
     ("completed", Atomic.get t.n_completed);
@@ -190,18 +212,92 @@ let await job =
   Mutex.unlock job.jb_mutex;
   response
 
-let mark_coalesced = function
+let mark_coalesced ~leader = function
   | Protocol.Result (Json.Obj fields) ->
-    Protocol.Result (Json.Obj (fields @ [ ("coalesced", Json.Bool true) ]))
+    Protocol.Result
+      (Json.Obj
+         (fields
+         @ [ ("coalesced", Json.Bool true);
+             ("leader_trace_id", Json.Str leader)
+           ]))
   | other -> other
 
-let submit t request =
+(* Server-generated trace ids: a per-process token (so two daemons'
+   traces cannot collide in a shared log) and a sequence number. *)
+let gen_trace_id =
+  let seq = Atomic.make 0 in
+  let token =
+    lazy
+      (Printf.sprintf "%06x"
+         (Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()) land 0xffffff))
+  in
+  fun () ->
+    Printf.sprintf "unitd-%s-%d" (Lazy.force token) (Atomic.fetch_and_add seq 1)
+
+let flight_json t ~last ~errors_only ~slower_than_us =
+  (* exact percentiles are over the whole live window; the filters only
+     shape the entry listing *)
+  let window = Flight.entries t.flight in
+  let filtered = Flight.entries ?last ~errors_only ?slower_than_us t.flight in
+  Json.Obj
+    [ ("window", Json.Num (float_of_int (List.length window)));
+      ("recorded", Json.Num (float_of_int (Flight.recorded t.flight)));
+      ("cap", Json.Num (float_of_int (Flight.cap t.flight)));
+      ("exact_p50_us", Json.Num (Flight.exact_percentile window 50.0));
+      ("exact_p99_us", Json.Num (Flight.exact_percentile window 99.0));
+      ("entries", Json.Arr (List.map Flight.entry_to_json filtered))
+    ]
+
+let submit_traced t ?trace_id request =
+  let trace =
+    match trace_id with Some id -> id | None -> gen_trace_id ()
+  in
+  Obs.trace_begin trace;
   Atomic.incr t.n_requests;
   Obs.incr c_requests;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.now () in
+  (* who executed the request: for a coalesced follower the spans and
+     store counters live on the leader's trace, not the follower's *)
+  let exec_trace = ref trace in
+  let queued_job = ref None in
+  let coalesced = ref false in
   let finish response =
-    Obs.observe h_latency ((Unix.gettimeofday () -. t0) *. 1e6);
-    response
+    let total_us = Float.max 0.0 ((Obs.now () -. t0) *. 1e6) in
+    Obs.observe h_latency total_us;
+    let queue_us =
+      match !queued_job with
+      | None -> 0.0 (* answered inline: overload, draining, control *)
+      | Some job -> Float.max 0.0 (Float.min total_us ((job.jb_start -. t0) *. 1e6))
+    in
+    let entry =
+      { Flight.fl_trace = trace;
+        fl_key =
+          (match Protocol.coalesce_key request with
+           | Some k -> k
+           | None -> Protocol.kind_name request);
+        fl_outcome =
+          (match response with
+           | Protocol.Result _ -> "ok"
+           | Protocol.Failure (code, _) -> Protocol.code_to_string code);
+        fl_coalesced = !coalesced;
+        fl_queue_us = queue_us;
+        fl_run_us = total_us -. queue_us;
+        fl_engine =
+          (match request with
+           | Protocol.Tune { engine; _ } | Protocol.Run { engine; _ } ->
+             Pipeline.engine_to_string engine
+           | _ -> "");
+        fl_store_hit = Obs.trace_counter_value !exec_trace "store.disk.hit" > 0
+      }
+    in
+    Flight.record t.flight entry;
+    (match response with
+     | Protocol.Failure (Protocol.Internal, _) ->
+       (* a worker died (or exhausted retries): leave the recent past on
+          stderr while it is still fresh *)
+       Flight.dump stderr t.flight
+     | _ -> ());
+    (response, trace)
   in
   match request with
   | Protocol.Ping -> finish (Protocol.Result (Json.Obj [ ("pong", Json.Bool true) ]))
@@ -253,6 +349,24 @@ let submit t request =
             ( Protocol.Bad_request,
               String.concat "; "
                 (List.map Unit_tir.Diag.to_string ds) )))
+  | Protocol.Metrics ->
+    finish
+      (Protocol.Result
+         (Json.Obj
+            [ ("content_type", Json.Str Metrics.content_type);
+              ("body", Json.Str (Metrics.render ()))
+            ]))
+  | Protocol.Trace { id } ->
+    (match Obs.trace_chrome id with
+     | Some doc -> finish (Protocol.Result doc)
+     | None ->
+       finish
+         (Protocol.Failure
+            ( Protocol.Bad_request,
+              Printf.sprintf "unknown trace_id %S (never begun, or evicted)"
+                id )))
+  | Protocol.Flight { last; errors_only; slower_than_us } ->
+    finish (Protocol.Result (flight_json t ~last ~errors_only ~slower_than_us))
   | Protocol.Tune _ | Protocol.Run _ | Protocol.Explain _ ->
     let key = Option.get (Protocol.coalesce_key request) in
     Mutex.lock t.lock;
@@ -267,7 +381,10 @@ let submit t request =
         Atomic.incr t.n_coalesced;
         Obs.incr c_coalesced;
         Mutex.unlock t.lock;
-        finish (mark_coalesced (await job))
+        coalesced := true;
+        exec_trace := job.jb_trace;
+        queued_job := Some job;
+        finish (mark_coalesced ~leader:job.jb_trace (await job))
       | None ->
         if Queue.length t.queue >= t.cfg.queue_cap then begin
           Atomic.incr t.n_overloaded;
@@ -281,9 +398,9 @@ let submit t request =
         end
         else begin
           let job =
-            { jb_key = key; jb_request = request;
+            { jb_key = key; jb_trace = trace; jb_request = request;
               jb_mutex = Mutex.create (); jb_cond = Condition.create ();
-              jb_done = false;
+              jb_start = t0; jb_done = false;
               jb_response = Protocol.Failure (Protocol.Internal, "unset")
             }
           in
@@ -291,9 +408,12 @@ let submit t request =
           Queue.push job t.queue;
           Condition.signal t.have_work;
           Mutex.unlock t.lock;
+          queued_job := Some job;
           finish (await job)
         end
     end
+
+let submit t request = fst (submit_traced t request)
 
 let draining t =
   Mutex.lock t.lock;
@@ -317,8 +437,8 @@ let try_write_frame fd payload =
   | () -> true
   | exception Unix.Unix_error (_, _, _) -> false
 
-let respond fd response =
-  try_write_frame fd (Json.to_string (Protocol.response_to_json response))
+let respond ?trace_id fd response =
+  try_write_frame fd (Json.to_string (Protocol.response_to_json ?trace_id response))
 
 let serve_connection t fd =
   let rec loop () =
@@ -332,11 +452,25 @@ let serve_connection t fd =
            (Protocol.Failure (Protocol.Bad_request, Wire.error_to_string e))
           : bool)
     | Ok payload ->
-      let response =
-        match Protocol.parse_request payload with
-        | Error m -> Protocol.Failure (Protocol.Bad_request, m)
-        | Ok request -> submit t request
+      let wrote =
+        match Json.parse payload with
+        | Error m ->
+          respond fd
+            (Protocol.Failure (Protocol.Bad_request, "malformed JSON: " ^ m))
+        | Ok j ->
+          (match Protocol.trace_id_of_json j with
+           | Error m -> respond fd (Protocol.Failure (Protocol.Bad_request, m))
+           | Ok trace_id ->
+             (match Protocol.request_of_json j with
+              | Error m ->
+                (* echo a well-formed client trace id even on a bad
+                   request, so the client can still correlate *)
+                respond ?trace_id fd
+                  (Protocol.Failure (Protocol.Bad_request, m))
+              | Ok request ->
+                let response, tid = submit_traced t ?trace_id request in
+                respond ~trace_id:tid fd response))
       in
-      if respond fd response then loop ()
+      if wrote then loop ()
   in
   loop ()

@@ -19,10 +19,22 @@
     - After [Shutdown] (or {!drain}), new work gets a [draining]
       response; already-queued jobs still complete.
 
-    Obs surface: [serve.requests] / [serve.coalesced] /
-    [serve.overloaded] / [serve.retry] / [serve.failed] counters and the
-    [serve.latency_us] histogram.  The {!stats_json} numbers come from
-    always-on atomics, so they are truthful even with tracing off. *)
+    Obs surface: [serve.requests] / [serve.completed] /
+    [serve.coalesced] / [serve.overloaded] / [serve.retry] /
+    [serve.failed] counters, the [serve.latency_us] histogram and the
+    [serve.queue_depth] gauge — all interned [~always:true], so
+    {!stats_json} and the metrics exposition are truthful even with
+    span tracing off.
+
+    Request-scoped tracing: every request is tagged with a trace id —
+    the client's, when it supplied one, otherwise server-generated —
+    and {!submit_traced} returns it so the wire loop can echo it in the
+    response.  Workers run the handler under {!Unit_obs.Obs.with_trace_id},
+    so pipeline spans, counter deltas and diags attribute to the
+    request; [Trace]/[Metrics]/[Flight] control requests read it all
+    back.  Every request additionally leaves one {!Flight} entry, so
+    the flight window and [serve.latency_us] observe the same
+    population and their percentiles are comparable. *)
 
 type config = {
   domains : int;  (** worker domains *)
@@ -39,19 +51,35 @@ val create :
   ?fault:(key:string -> attempt:int -> unit) ->
   ?sleep:(float -> unit) ->
   ?handle:(Protocol.request -> Unit_obs.Json.t) ->
+  ?flight_cap:int ->
   config ->
   t
 (** Start the worker pool.  [handle] defaults to {!Handler.handle}.
     [fault] runs on a worker before each attempt of each job — raising
     from it simulates a worker dying mid-job (fault-injection tests);
     the default does nothing.  [sleep] performs the retry backoff wait
-    (default [Unix.sleepf]; tests inject a recorder).
-    @raise Invalid_argument on a non-positive pool/queue size or
-    negative retries. *)
+    (default [Unix.sleepf]; tests inject a recorder).  [flight_cap]
+    sizes the flight-recorder ring (default {!Flight.default_cap}).
+    @raise Invalid_argument on a non-positive pool/queue size, negative
+    retries, or a non-positive [flight_cap]. *)
 
 val submit : t -> Protocol.request -> Protocol.response
 (** Blocking request/response — safe to call from any domain or thread
-    concurrently.  Never raises on request content. *)
+    concurrently.  Never raises on request content.
+    [submit_traced] with a server-generated trace id. *)
+
+val submit_traced :
+  t -> ?trace_id:string -> Protocol.request -> Protocol.response * string
+(** Like {!submit}, also returning the trace id the request ran under —
+    [trace_id] when given (assumed pre-validated by
+    {!Protocol.trace_id_of_json}), server-generated otherwise.  A
+    coalesced follower keeps its own id (its response names the
+    leader's as ["leader_trace_id"]; the spans live on the leader's
+    trace). *)
+
+val flight : t -> Flight.t
+(** The server's flight recorder (the bench harness freezes exact
+    window percentiles from it). *)
 
 val serve_connection : t -> Unix.file_descr -> unit
 (** Run the wire loop on one connection until EOF: read a frame, answer

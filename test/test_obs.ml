@@ -361,6 +361,193 @@ let test_golden_diag () =
        [ Diag.Scope; Diag.Bounds; Diag.Canonical; Diag.Tile; Diag.Race;
          Diag.Carried_dep; Diag.Tensorize_footprint; Diag.Overflow ])
 
+(* ---------- monotonic clock ---------- *)
+
+let test_monotonic_clock () =
+  check_bool "monotonic stub works here" true Obs.monotonic_available;
+  let a = Obs.now () in
+  let b = Obs.now () in
+  check_bool "clock does not step backwards" true (b >= a);
+  traced @@ fun () ->
+  for _ = 1 to 100 do
+    Obs.with_span "clock.pin" (fun () -> ())
+  done;
+  let sps = Obs.spans () in
+  check_int "all spans recorded" 100 (List.length sps);
+  List.iter
+    (fun sp ->
+      check_bool "span duration >= 0" true (sp.Obs.sp_end >= sp.Obs.sp_begin))
+    sps
+
+(* ---------- always-on metrics ---------- *)
+
+let test_always_on_metrics () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.reset ()) @@ fun () ->
+  let c = Obs.counter ~always:true "test.always.counter" in
+  Obs.incr c;
+  Obs.add c 4;
+  check_int "counter counts with tracing off" 5 (Obs.value c);
+  let h = Obs.histogram ~always:true "test.always.hist" in
+  Obs.observe h 3.0;
+  check_int "histogram records with tracing off" 1 (Obs.hist_stats h).Obs.h_count;
+  check_int "buckets count with tracing off" 1 (Obs.hist_buckets h).(Obs.bucket_index 3.0)
+
+(* ---------- fixed log-spaced buckets ---------- *)
+
+let test_bucket_index () =
+  check_int "zero in first" 0 (Obs.bucket_index 0.0);
+  check_int "negative in first" 0 (Obs.bucket_index (-5.0));
+  check_int "one in first" 0 (Obs.bucket_index 1.0);
+  check_int "two in second" 1 (Obs.bucket_index 2.0);
+  check_int "three in third" 2 (Obs.bucket_index 3.0);
+  check_int "huge in last" (Obs.n_buckets - 1) (Obs.bucket_index 1e30);
+  check_bool "last bound is +Inf" true
+    (Obs.bucket_bounds.(Obs.n_buckets - 1) = infinity);
+  (* the invariant the exposition relies on: every observation is <= its
+     bucket's bound and > the previous bound *)
+  List.iter
+    (fun x ->
+      let i = Obs.bucket_index x in
+      check_bool "within bound" true (x <= Obs.bucket_bounds.(i));
+      if i > 0 then
+        check_bool "above previous bound" true (x > Obs.bucket_bounds.(i - 1)))
+    [ 2.0; 2.5; 3.0; 1023.9; 1024.0; 1024.1; 123456.7; 1e6 ]
+
+let test_bucket_quantile () =
+  traced @@ fun () ->
+  check_bool "empty histogram is 0" true
+    (Obs.bucket_quantile (Obs.histogram "test.bucket.empty") 99.0 = 0.0);
+  let h = Obs.histogram "test.bucket.pct" in
+  (* 10k observations 1..10000 — far beyond the reservoir, where bucket
+     counts stay exact: nearest-rank p50 = 5000 -> bound 2^13, nearest-
+     rank p99 = 9900 -> bound 2^14 *)
+  for i = 1 to 10_000 do
+    Obs.observe h (float_of_int i)
+  done;
+  check_bool "p50 bound exact-by-bucket" true
+    (Obs.bucket_quantile h 50.0 = 8192.0);
+  check_bool "p99 bound exact-by-bucket" true
+    (Obs.bucket_quantile h 99.0 = 16384.0);
+  check_bool "p100 is the max's bound" true
+    (Obs.bucket_quantile h 100.0 = 16384.0)
+
+(* ---------- trace context ---------- *)
+
+let test_trace_context () =
+  traced @@ fun () ->
+  Obs.trace_begin "tc1";
+  check_bool "known after begin" true (Obs.trace_known "tc1");
+  let c = Obs.counter "test.trace.ctx.counter" in
+  Obs.with_trace_id (Some "tc1") (fun () ->
+      check_bool "context set" true (Obs.current_trace_id () = Some "tc1");
+      Obs.with_span "tagged.span" (fun () -> ());
+      Obs.incr c;
+      Obs.add c 2;
+      Obs.trace_diag "something happened");
+  check_bool "context restored" true (Obs.current_trace_id () = None);
+  (match Obs.trace_spans "tc1" with
+   | Some [ sp ] ->
+     check_string "span name" "tagged.span" sp.Obs.sp_name;
+     check_string "span carries the trace id" "tc1" sp.Obs.sp_trace
+   | Some sps -> Alcotest.failf "expected 1 trace span, got %d" (List.length sps)
+   | None -> Alcotest.fail "trace unknown");
+  check_int "counter attributed to the trace" 3
+    (Obs.trace_counter_value "tc1" "test.trace.ctx.counter");
+  check_bool "diag attributed" true
+    (Obs.trace_diags "tc1" = Some [ "something happened" ]);
+  (match Obs.trace_chrome "tc1" with
+   | None -> Alcotest.fail "no chrome document"
+   | Some j ->
+     check_bool "top-level trace_id" true
+       (Json.member "trace_id" j = Some (Json.Str "tc1"));
+     (match Option.bind (Json.member "traceEvents" j) Json.to_list with
+      | Some [ ev ] ->
+        check_bool "event args tagged" true
+          (Option.bind (Json.member "args" ev) (Json.member "trace_id")
+          = Some (Json.Str "tc1"))
+      | _ -> Alcotest.fail "expected exactly one traceEvent"));
+  check_bool "unknown id has no document" true (Obs.trace_chrome "nope" = None)
+
+let test_trace_attribution_with_tracing_off () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.reset ()) @@ fun () ->
+  Obs.trace_begin "tc-off";
+  let c = Obs.counter "test.trace.off.counter" in
+  Obs.with_trace_id (Some "tc-off") (fun () -> Obs.incr c);
+  check_int "global counter stays gated" 0 (Obs.value c);
+  check_int "per-trace attribution stays on" 1
+    (Obs.trace_counter_value "tc-off" "test.trace.off.counter")
+
+let test_trace_fifo_eviction () =
+  traced @@ fun () ->
+  Obs.set_trace_cap 4;
+  Fun.protect ~finally:(fun () -> Obs.set_trace_cap 256) @@ fun () ->
+  for i = 1 to 10 do
+    Obs.trace_begin (Printf.sprintf "evict-%d" i)
+  done;
+  check_bool "oldest evicted" false (Obs.trace_known "evict-1");
+  check_bool "newest retained" true (Obs.trace_known "evict-10");
+  Alcotest.(check (list string))
+    "window is the newest 4, oldest first"
+    [ "evict-7"; "evict-8"; "evict-9"; "evict-10" ]
+    (Obs.trace_ids ())
+
+(* ---------- Prometheus exposition ---------- *)
+
+module Metrics = Unit_obs.Metrics
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_metrics_mangle () =
+  check_string "dots to underscores" "unit_serve_latency_us"
+    (Metrics.mangle "serve.latency_us");
+  check_string "illegal chars to underscores" "unit_a_b_c" (Metrics.mangle "a-b c")
+
+let test_metrics_render_validate () =
+  traced @@ fun () ->
+  Obs.incr (Obs.counter "test.metrics.counter");
+  Obs.register_gauge "test.metrics.gauge" (fun () -> 7.5);
+  let h = Obs.histogram "test.metrics.hist" in
+  List.iter (Obs.observe h) [ 0.5; 3.0; 900.0; 1e9 ];
+  let body = Metrics.render () in
+  (match Metrics.validate body with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "render does not validate: %s" m);
+  let has needle = check_bool needle true (contains ~needle body) in
+  has "# TYPE unit_test_metrics_counter counter\nunit_test_metrics_counter 1\n";
+  has "unit_test_metrics_gauge 7.5";
+  has "# TYPE unit_test_metrics_hist histogram";
+  has "unit_test_metrics_hist_bucket{le=\"+Inf\"} 4";
+  has "unit_test_metrics_hist_count 4"
+
+let test_metrics_validate_rejects () =
+  let rejects label text =
+    match Metrics.validate text with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail (label ^ " accepted")
+  in
+  rejects "undeclared sample" "unit_x 1\n";
+  rejects "bad metric name" "# TYPE unit_x counter\n9bad 1\n";
+  rejects "bad value" "# TYPE unit_x counter\nunit_x one\n";
+  rejects "non-cumulative buckets"
+    "# TYPE unit_h histogram\nunit_h_bucket{le=\"1\"} 5\nunit_h_bucket{le=\"+Inf\"} \
+     3\nunit_h_count 3\nunit_h_sum 1\n";
+  rejects "+Inf bucket != count"
+    "# TYPE unit_h histogram\nunit_h_bucket{le=\"+Inf\"} 3\nunit_h_count \
+     4\nunit_h_sum 1\n";
+  rejects "missing +Inf bucket" "# TYPE unit_h histogram\nunit_h_count 4\n";
+  match
+    Metrics.validate "# TYPE unit_ok counter\nunit_ok 3\n# free comment\n"
+  with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "valid exposition rejected: %s" m
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -397,5 +584,27 @@ let () =
         [ Alcotest.test_case "span table" `Quick test_golden_span_table;
           Alcotest.test_case "counter table" `Quick test_golden_counter_table;
           Alcotest.test_case "diag printer" `Quick test_golden_diag
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic durations" `Quick test_monotonic_clock ] );
+      ( "always-on",
+        [ Alcotest.test_case "counts with tracing off" `Quick
+            test_always_on_metrics
+        ] );
+      ( "buckets",
+        [ Alcotest.test_case "bucket index" `Quick test_bucket_index;
+          Alcotest.test_case "bucket quantile" `Quick test_bucket_quantile
+        ] );
+      ( "trace-context",
+        [ Alcotest.test_case "tagging and attribution" `Quick test_trace_context;
+          Alcotest.test_case "attribution with tracing off" `Quick
+            test_trace_attribution_with_tracing_off;
+          Alcotest.test_case "FIFO eviction" `Quick test_trace_fifo_eviction
+        ] );
+      ( "exposition",
+        [ Alcotest.test_case "name mangling" `Quick test_metrics_mangle;
+          Alcotest.test_case "render validates" `Quick test_metrics_render_validate;
+          Alcotest.test_case "validator rejects" `Quick
+            test_metrics_validate_rejects
         ] )
     ]

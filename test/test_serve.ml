@@ -326,6 +326,15 @@ let request_gen =
       [ return Protocol.Ping;
         return Protocol.Stats;
         return Protocol.Shutdown;
+        return Protocol.Metrics;
+        map (fun id -> Protocol.Trace { id = Printf.sprintf "trace-%d" id })
+          (int_range 0 9999);
+        map3
+          (fun last errors_only slower ->
+            Protocol.Flight
+              { last; errors_only;
+                slower_than_us = Option.map float_of_int slower })
+          (opt (int_range 0 4096)) bool (opt (int_range 0 1_000_000));
         map3
           (fun target engine workload -> Protocol.Tune { target; engine; workload })
           target engine workload_gen;
@@ -363,6 +372,151 @@ let prop_response_round_trip =
       match Protocol.response_of_json (Protocol.response_to_json resp) with
       | Ok resp' -> resp = resp'
       | Error _ -> false)
+
+(* ---------- trace ids and unknown-field tolerance ---------- *)
+
+let test_trace_id_of_json () =
+  let parse s =
+    match Json.parse s with
+    | Ok j -> Protocol.trace_id_of_json j
+    | Error e -> Alcotest.fail e
+  in
+  (match parse "{\"req\":\"ping\"}" with
+   | Ok None -> ()
+   | _ -> Alcotest.fail "absent trace_id must parse as Ok None");
+  (match parse "{\"req\":\"ping\",\"trace_id\":\"abc-123.X:z\"}" with
+   | Ok (Some "abc-123.X:z") -> ()
+   | _ -> Alcotest.fail "valid trace_id rejected");
+  let rejects label s =
+    match parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (label ^ " accepted")
+  in
+  rejects "empty id" "{\"req\":\"ping\",\"trace_id\":\"\"}";
+  rejects "overlong id"
+    (Printf.sprintf "{\"req\":\"ping\",\"trace_id\":%S}" (String.make 129 'a'));
+  rejects "id with a space" "{\"req\":\"ping\",\"trace_id\":\"has space\"}";
+  rejects "non-string id" "{\"req\":\"ping\",\"trace_id\":7}"
+
+(* Clients from the future may send fields this server doesn't know;
+   requests must still parse by ignoring them. *)
+let test_unknown_fields_ignored () =
+  List.iter
+    (fun (payload, expect) ->
+      match Protocol.parse_request payload with
+      | Ok req -> check_bool payload true (req = expect)
+      | Error e -> Alcotest.failf "%s rejected: %s" payload e)
+    [ ("{\"req\":\"ping\",\"future\":true}", Protocol.Ping);
+      ("{\"req\":\"metrics\",\"format\":\"prometheus\"}", Protocol.Metrics);
+      ( "{\"req\":\"trace\",\"id\":\"t1\",\"verbose\":1}",
+        Protocol.Trace { id = "t1" } );
+      ( "{\"req\":\"flight\",\"last\":3,\"color\":\"red\"}",
+        Protocol.Flight
+          { last = Some 3; errors_only = false; slower_than_us = None } )
+    ]
+
+(* ---------- flight recorder ring ---------- *)
+
+module Flight = Unit_serve.Flight
+
+let flight_entry ?(trace = "t") ?(outcome = "ok") run_us =
+  { Flight.fl_trace = trace; fl_key = "k"; fl_outcome = outcome;
+    fl_coalesced = false; fl_queue_us = 0.0; fl_run_us = run_us;
+    fl_engine = ""; fl_store_hit = false }
+
+(* The satellite property: with capacity for everything, a ring hammered
+   by N concurrent submitters ends up holding exactly the set of
+   recorded entries — nothing lost, nothing duplicated, and each
+   thread's own entries still in its submission order. *)
+let prop_flight_ring_no_loss_below_capacity =
+  QCheck.Test.make ~count:25
+    ~name:"flight ring under concurrent submitters equals the completed set"
+    QCheck.(pair (int_range 1 6) (int_range 1 48))
+    (fun (n_threads, per_thread) ->
+      let ring = Flight.create ~cap:(n_threads * per_thread) () in
+      let submitter id () =
+        for i = 0 to per_thread - 1 do
+          Flight.record ring
+            (flight_entry ~trace:(Printf.sprintf "t-%d-%d" id i)
+               (float_of_int i))
+        done
+      in
+      let threads =
+        List.init n_threads (fun id -> Thread.create (submitter id) ())
+      in
+      List.iter Thread.join threads;
+      let entries = Flight.entries ring in
+      let traces = List.map (fun e -> e.Flight.fl_trace) entries in
+      let expected =
+        List.concat_map
+          (fun id ->
+            List.init per_thread (fun i -> Printf.sprintf "t-%d-%d" id i))
+          (List.init n_threads Fun.id)
+      in
+      Flight.recorded ring = n_threads * per_thread
+      && List.length entries = n_threads * per_thread
+      && List.sort compare traces = List.sort compare expected
+      && (* per-thread submission order survives the interleaving *)
+      List.for_all
+        (fun id ->
+          let prefix = Printf.sprintf "t-%d-" id in
+          let mine =
+            List.filter
+              (fun t ->
+                String.length t > String.length prefix
+                && String.sub t 0 (String.length prefix) = prefix)
+              traces
+          in
+          mine
+          = List.init per_thread (fun i -> Printf.sprintf "t-%d-%d" id i))
+        (List.init n_threads Fun.id))
+
+(* Above capacity the ring must evict strictly oldest-first. *)
+let prop_flight_ring_fifo_eviction =
+  QCheck.Test.make ~count:50
+    ~name:"flight ring evicts strictly FIFO above capacity"
+    QCheck.(pair (int_range 1 32) (int_range 0 80))
+    (fun (cap, extra) ->
+      let ring = Flight.create ~cap () in
+      let total = cap + extra in
+      for i = 1 to total do
+        Flight.record ring (flight_entry ~trace:(string_of_int i) 1.0)
+      done;
+      let traces =
+        List.map (fun e -> e.Flight.fl_trace) (Flight.entries ring)
+      in
+      Flight.recorded ring = total
+      && traces = List.init cap (fun i -> string_of_int (total - cap + i + 1)))
+
+let test_flight_filters_and_percentiles () =
+  let ring = Flight.create ~cap:256 () in
+  for i = 1 to 100 do
+    Flight.record ring
+      (flight_entry
+         ~outcome:(if i mod 10 = 0 then "internal" else "ok")
+         (float_of_int i))
+  done;
+  let all = Flight.entries ring in
+  check_int "full window" 100 (List.length all);
+  (* nearest-rank percentiles over the window are exact *)
+  check_bool "exact p50" true (Flight.exact_percentile all 50.0 = 50.0);
+  check_bool "exact p99" true (Flight.exact_percentile all 99.0 = 99.0);
+  check_bool "empty window is 0" true (Flight.exact_percentile [] 50.0 = 0.0);
+  check_int "errors only" 10
+    (List.length (Flight.entries ~errors_only:true ring));
+  check_int "slower than is strict" 10
+    (List.length (Flight.entries ~slower_than_us:90.0 ring));
+  (* last-N applies after the other filters, newest retained *)
+  (match Flight.entries ~errors_only:true ~last:2 ring with
+   | [ a; b ] ->
+     check_bool "filters compose" true
+       (Flight.total_us a = 90.0 && Flight.total_us b = 100.0)
+   | l -> Alcotest.failf "expected 2 filtered entries, got %d" (List.length l));
+  (* entry JSON round-trips *)
+  let e = flight_entry ~trace:"rt" ~outcome:"overloaded" 42.0 in
+  (match Flight.entry_of_json (Flight.entry_to_json e) with
+   | Ok e' -> check_bool "entry survives JSON round trip" true (e = e')
+   | Error m -> Alcotest.fail m)
 
 (* ---------- sharded store ---------- *)
 
@@ -716,6 +870,107 @@ let test_drain_semantics () =
    | Protocol.Result _ -> ()
    | _ -> Alcotest.fail "ping must answer after drain")
 
+(* ---------- request-scoped tracing and exposition ---------- *)
+
+(* One traced request end to end: the client's id is echoed, the spans
+   the pipeline ran under it carry the id, the server answers a trace
+   request with the tagged chrome document, and ids the server generates
+   itself are distinct. *)
+let test_trace_propagation_end_to_end () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.reset ()) @@ fun () ->
+  let server =
+    Server.create { Server.domains = 2; queue_cap = 16; retries = 0 }
+  in
+  Fun.protect ~finally:(fun () -> Server.drain server) @@ fun () ->
+  let resp, tid =
+    Server.submit_traced server ~trace_id:"client-1" (tune_table1 3)
+  in
+  check_string "client trace id echoed" "client-1" tid;
+  (match resp with
+   | Protocol.Result _ -> ()
+   | Protocol.Failure (_, m) -> Alcotest.fail m);
+  (match Obs.trace_spans "client-1" with
+   | Some (_ :: _ as sps) ->
+     check_bool "every request span carries the trace id" true
+       (List.for_all (fun sp -> sp.Obs.sp_trace = "client-1") sps)
+   | _ -> Alcotest.fail "no spans attributed to the client's trace");
+  (match Server.submit server (Protocol.Trace { id = "client-1" }) with
+   | Protocol.Result j ->
+     check_bool "chrome document names the trace" true
+       (Json.member "trace_id" j = Some (Json.Str "client-1"))
+   | Protocol.Failure (_, m) -> Alcotest.fail m);
+  (match Server.submit server (Protocol.Trace { id = "never-begun" }) with
+   | Protocol.Failure (Protocol.Bad_request, _) -> ()
+   | _ -> Alcotest.fail "unknown trace id must answer bad_request");
+  let _, a = Server.submit_traced server Protocol.Ping in
+  let _, b = Server.submit_traced server Protocol.Ping in
+  check_bool "generated ids are distinct" true (a <> b)
+
+(* The metrics request answers a scrape that passes the strict
+   exposition validator and exposes the always-on serve family; the
+   stats document gained the live queue-depth gauge. *)
+let test_metrics_request_validates () =
+  with_stub_server @@ fun server ->
+  (match Server.submit server Protocol.Ping with
+   | Protocol.Result _ -> ()
+   | _ -> Alcotest.fail "ping failed");
+  (match Server.submit server Protocol.Metrics with
+   | Protocol.Failure (_, m) -> Alcotest.fail m
+   | Protocol.Result j ->
+     (match Option.bind (Json.member "body" j) Json.to_str with
+      | None -> Alcotest.fail "metrics result has no body"
+      | Some body ->
+        (match Unit_obs.Metrics.validate body with
+         | Ok () -> ()
+         | Error m -> Alcotest.failf "scrape fails validation: %s" m);
+        check_bool "serve.requests exposed" true
+          (string_contains body "unit_serve_requests");
+        check_bool "latency buckets exposed" true
+          (string_contains body "unit_serve_latency_us_bucket");
+        check_bool "queue depth gauge exposed" true
+          (string_contains body "unit_serve_queue_depth")));
+  check_bool "stats carries queue_depth" true
+    (List.mem_assoc "queue_depth" (Server.stats_fields server))
+
+(* Failures land in the flight recorder with their code as the outcome,
+   and the flight request's filters reach them. *)
+let test_flight_records_failures () =
+  let handle req =
+    match req with
+    | Protocol.Tune { workload = Protocol.Table1 1; _ } -> failwith "boom"
+    | _ -> ok_json
+  in
+  let server =
+    Server.create ~handle ~sleep:(fun _ -> ())
+      { Server.domains = 1; queue_cap = 4; retries = 0 }
+  in
+  Fun.protect ~finally:(fun () -> Server.drain server) @@ fun () ->
+  (match Server.submit server (tune_table1 1) with
+   | Protocol.Failure (Protocol.Internal, _) -> ()
+   | _ -> Alcotest.fail "expected an internal failure");
+  (match Server.submit server (tune_table1 2) with
+   | Protocol.Result _ -> ()
+   | _ -> Alcotest.fail "server must keep serving");
+  (match Flight.entries ~errors_only:true (Server.flight server) with
+   | [ e ] ->
+     check_string "outcome is the failure code" "internal" e.Flight.fl_outcome
+   | l -> Alcotest.failf "expected 1 error entry, got %d" (List.length l));
+  match
+    Server.submit server
+      (Protocol.Flight
+         { last = Some 8; errors_only = true; slower_than_us = None })
+  with
+  | Protocol.Result j ->
+    (match Option.bind (Json.member "entries" j) Json.to_list with
+     | Some [ _ ] -> ()
+     | Some l -> Alcotest.failf "flight request: %d entries" (List.length l)
+     | None -> Alcotest.fail "flight result has no entries");
+    check_bool "exact p50 reported" true (Json.member "exact_p50_us" j <> None);
+    check_bool "exact p99 reported" true (Json.member "exact_p99_us" j <> None)
+  | Protocol.Failure (_, m) -> Alcotest.fail m
+
 (* ---------- the soak ---------- *)
 
 let tune_span_count () =
@@ -877,7 +1132,28 @@ let () =
             [ prop_fuzz_raw_bytes; prop_fuzz_framed_payloads;
               prop_fuzz_truncated_tail
             ] );
-      ("protocol", qcheck [ prop_request_round_trip; prop_response_round_trip ]);
+      ( "protocol",
+        [ Alcotest.test_case "trace_id validation" `Quick test_trace_id_of_json;
+          Alcotest.test_case "unknown fields ignored" `Quick
+            test_unknown_fields_ignored
+        ]
+        @ qcheck [ prop_request_round_trip; prop_response_round_trip ] );
+      ( "flight recorder",
+        [ Alcotest.test_case "filters and exact percentiles" `Quick
+            test_flight_filters_and_percentiles
+        ]
+        @ qcheck
+            [ prop_flight_ring_no_loss_below_capacity;
+              prop_flight_ring_fifo_eviction
+            ] );
+      ( "tracing",
+        [ Alcotest.test_case "trace propagation end to end" `Quick
+            test_trace_propagation_end_to_end;
+          Alcotest.test_case "metrics scrape validates" `Quick
+            test_metrics_request_validates;
+          Alcotest.test_case "failures recorded in flight window" `Quick
+            test_flight_records_failures
+        ] );
       ( "sharded store",
         [ Alcotest.test_case "records route by content address" `Quick
             test_sharded_routing;
